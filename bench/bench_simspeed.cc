@@ -1,0 +1,88 @@
+// Host-side performance of the reproduction infrastructure itself, using
+// google-benchmark: simulator instruction throughput, assembler speed, and
+// the host BPF reference interpreter. These are engineering metrics for the
+// repository (how fast experiments run), not paper results.
+#include <benchmark/benchmark.h>
+
+#include "src/asm/assembler.h"
+#include "src/bpf/bpf.h"
+#include "src/filter/filter.h"
+#include "src/hw/bare_machine.h"
+#include "src/net/packet.h"
+
+namespace palladium {
+namespace {
+
+void BM_SimulatorInstructionThroughput(benchmark::State& state) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+main:
+  mov $1000, %ecx
+loop:
+  add $3, %eax
+  xor $5, %eax
+  ld 0x20000, %ebx
+  dec %ecx
+  cmp $0, %ecx
+  jne loop
+  hlt
+)",
+                            0x10000, &diag);
+  if (!img) {
+    state.SkipWithError(diag.c_str());
+    return;
+  }
+  u64 insns = 0;
+  for (auto _ : state) {
+    bm.Start(*img->Lookup("main"), 0, 0x80000);
+    u64 before = bm.cpu().instructions_retired();
+    benchmark::DoNotOptimize(bm.Run(10'000'000));
+    insns += bm.cpu().instructions_retired() - before;
+  }
+  state.counters["sim_insns_per_sec"] =
+      benchmark::Counter(static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorInstructionThroughput);
+
+void BM_AssembleFilter(benchmark::State& state) {
+  std::string err;
+  auto expr = ParseFilter(
+      "ip.proto == 6 && ip.src == 10.20.30.40 && ip.dst == 10.20.30.41 && tcp.dport == 80",
+      &err);
+  std::string src = CompileFilterToAsm(*expr);
+  for (auto _ : state) {
+    AssembleError aerr;
+    auto obj = Assemble(src, &aerr);
+    benchmark::DoNotOptimize(obj);
+  }
+}
+BENCHMARK(BM_AssembleFilter);
+
+void BM_HostBpfInterpreter(benchmark::State& state) {
+  std::string err;
+  auto expr = ParseFilter("ip.proto == 6 && tcp.dport == 8080", &err);
+  BpfProgram prog = CompileFilterToBpf(*expr);
+  PacketSpec spec;
+  spec.dst_port = 8080;
+  auto pkt = BuildPacket(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BpfInterpretHost(prog, pkt.data(), static_cast<u32>(pkt.size())));
+  }
+}
+BENCHMARK(BM_HostBpfInterpreter);
+
+void BM_PacketBuild(benchmark::State& state) {
+  PacketSpec spec;
+  spec.payload_len = static_cast<u16>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPacket(spec));
+  }
+}
+BENCHMARK(BM_PacketBuild)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace palladium
+
+BENCHMARK_MAIN();

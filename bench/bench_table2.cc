@@ -1,0 +1,174 @@
+// Table 2: string-reverse latency — unprotected call vs Palladium protected
+// call vs local socket RPC, for payloads of 32..256 bytes. The two call
+// variants execute the same extension code on the simulated machine; the
+// RPC baseline performs real marshalling with calibrated socket-path costs
+// plus the measured in-simulator compute time.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/rpc/rpc.h"
+
+namespace palladium {
+namespace {
+
+// The reverse extension: arg -> [u32 length][bytes] in a shared buffer.
+constexpr const char* kReverseExt = R"(
+  .global reverse
+reverse:
+  push %ebp
+  mov %esp, %ebp
+  push %ebx            ; callee-saved registers
+  push %esi
+  push %edi
+  ld 8(%ebp), %ebx     ; buffer: [len][bytes...]
+  ld 0(%ebx), %ecx     ; len
+  lea 4(%ebx), %esi    ; first byte
+  lea 3(%ebx,%ecx,1), %edi  ; last byte (4 + len - 1)
+rev_loop:
+  cmp %edi, %esi
+  jae rev_done
+  ld8 0(%esi), %eax
+  ld8 0(%edi), %edx
+  st8 %edx, 0(%esi)
+  st8 %eax, 0(%edi)
+  inc %esi
+  dec %edi
+  jmp rev_loop
+rev_done:
+  pop %edi
+  pop %esi
+  pop %ebx
+  pop %ebp
+  ret
+)";
+
+// Measures both call variants for one string size; returns {unprot, prot}.
+struct CallCosts {
+  u64 unprotected;
+  u64 palladium;
+};
+
+CallCosts MeasureCalls(u32 size) {
+  BenchSystem sys;
+  sys.RegisterObject("revext", kReverseExt);
+  sys.RunApp(R"(
+  .equ SIZE, )" + std::to_string(size) +
+             R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  ; a shared page for the string buffer
+  mov $SYS_MMAP, %eax
+  mov $0, %ebx
+  mov $0x1000, %ecx
+  mov $3, %edx
+  int $INT_SYSCALL
+  mov %eax, %ebp          ; buffer base (kept in %ebp throughout)
+  sti $SIZE, 0(%ebp)      ; length word (also materializes the page)
+  mov $SYS_SET_RANGE, %eax
+  mov %ebp, %ebx
+  mov $0x1000, %ecx
+  mov $1, %edx
+  int $INT_SYSCALL
+  ; fill the string with a pattern
+  mov $0, %ecx
+fill:
+  cmp $SIZE, %ecx
+  jae fill_done
+  mov %ecx, %eax
+  and $0xFF, %eax
+  lea 4(%ebp), %ebx
+  st8 %eax, 0(%ebx,%ecx,1)
+  inc %ecx
+  jmp fill
+fill_done:
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi          ; protected entry
+  mov $SYS_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %esi          ; raw entry
+
+  ; warm both paths (cache/TLB warmed, as in the paper)
+  push %ebp
+  call *%esi
+  pop %ecx
+  push %ebp
+  call *%edi
+  pop %ecx
+
+  ; pair 0: baseline
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  ; pair 1: unprotected
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  push %ebp
+  call *%esi
+  pop %ecx
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  ; pair 2: protected
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  push %ebp
+  call *%edi
+  pop %ecx
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  mov $SYS_EXIT, %eax
+  mov $0, %ebx
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "revext"
+fnname:
+  .asciz "reverse"
+)");
+  return CallCosts{sys.PairedDelta(1), sys.PairedDelta(2)};
+}
+
+}  // namespace
+}  // namespace palladium
+
+int main() {
+  using namespace palladium;
+
+  std::printf("Table 2: string reverse latency (microseconds, Pentium-200 model)\n");
+  std::printf("%-16s %14s %14s %12s\n", "Size of string", "Unprotected", "Palladium",
+              "Linux RPC");
+  std::printf("%-16s %14s %14s %12s\n", "(Bytes)", "call", "call", "");
+
+  for (u32 size : {32u, 64u, 128u, 256u}) {
+    CallCosts costs = MeasureCalls(size);
+
+    // RPC: marshalling + socket path + the same compute (measured above).
+    LocalRpcChannel channel;
+    channel.Bind("reverse", [](const std::vector<u8>& req) {
+      return std::vector<u8>(req.rbegin(), req.rend());
+    });
+    std::vector<u8> payload(size, 'x');
+    auto reply = channel.Call("reverse", payload);
+    if (!reply) return 1;
+    const u64 rpc_cycles = channel.cycles() + costs.unprotected;
+
+    std::printf("%-16u %14.2f %14.2f %12.2f\n", size, CyclesToUs(costs.unprotected),
+                CyclesToUs(costs.palladium), CyclesToUs(rpc_cycles));
+  }
+  std::printf("\nPaper reference (us): 32B: 2.20 / 2.79 / 349.19;  256B: 15.22 / 15.97 /\n");
+  std::printf("423.33. The protected-vs-unprotected gap stays ~constant (~118-150\n");
+  std::printf("cycles) while RPC is two orders of magnitude slower at small sizes.\n");
+  return 0;
+}

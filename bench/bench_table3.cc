@@ -1,0 +1,130 @@
+// Table 3: Web-server CGI throughput under five execution models. The
+// LibCGI invocation costs (protected and unprotected) are measured live from
+// the simulated machine and fed into the discrete-event server model; the
+// remaining costs are calibrated to the paper's testbed (Apache on a
+// Pentium 200, 100 Mbps Ethernet, 1000 requests, concurrency 30).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/web/server_sim.h"
+
+namespace palladium {
+namespace {
+
+// Measures the two LibCGI invocation variants on the simulator (same
+// machinery as bench_table1, with a request-buffer-sized shared area).
+struct MeasuredCalls {
+  u64 unprotected;
+  u64 protected_call;
+};
+
+MeasuredCalls MeasureLibCgiCalls() {
+  BenchSystem sys;
+  sys.RegisterObject("cgiext", R"(
+  .global render
+render:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax   ; request-buffer pointer (unused by the null script)
+  pop %ebp
+  ret
+)");
+  sys.RunApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  mov $SYS_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  push $0
+  call *%esi
+  pop %ecx
+  push $0
+  call *%edi
+  pop %ecx
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  push $0
+  call *%esi
+  pop %ecx
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  push $0
+  call *%edi
+  pop %ecx
+  mov $SYS_BENCH_MARK, %eax
+  int $INT_SYSCALL
+  mov $SYS_EXIT, %eax
+  mov $0, %ebx
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "cgiext"
+fnname:
+  .asciz "render"
+)");
+  return MeasuredCalls{sys.PairedDelta(1), sys.PairedDelta(2)};
+}
+
+}  // namespace
+}  // namespace palladium
+
+int main() {
+  using namespace palladium;
+
+  MeasuredCalls calls = MeasureLibCgiCalls();
+  WebServerCosts costs;
+  costs.libcgi_call_cycles = calls.unprotected;
+  costs.libcgi_protected_call_cycles = calls.protected_call;
+
+  std::printf("Table 3: CGI throughput (requests/sec); 1000 requests, concurrency 30,\n");
+  std::printf("100 Mbps link. LibCGI call costs measured from the simulator:\n");
+  std::printf("  unprotected %llu cycles, protected %llu cycles per invocation.\n\n",
+              static_cast<unsigned long long>(calls.unprotected),
+              static_cast<unsigned long long>(calls.protected_call));
+
+  const u32 sizes[] = {28, 1024, 10 * 1024, 100 * 1024};
+  const char* size_names[] = {"28 Bytes", "1 KBytes", "10 KBytes", "100 KBytes"};
+  const CgiModel models[] = {CgiModel::kCgi, CgiModel::kFastCgi, CgiModel::kLibCgiProtected,
+                             CgiModel::kLibCgi, CgiModel::kStatic};
+
+  std::printf("%-12s %8s %9s %12s %14s %8s\n", "Size", "CGI", "FastCGI", "LibCGI(Prot)",
+              "LibCGI(Unprot)", "Server");
+  for (int s = 0; s < 4; ++s) {
+    WebWorkload wl;
+    wl.file_bytes = sizes[s];
+    std::printf("%-12s", size_names[s]);
+    for (CgiModel model : models) {
+      WebRunResult r = SimulateWebServer(model, wl, costs);
+      std::printf(" %*.0f", model == CgiModel::kCgi ? 8 :
+                  model == CgiModel::kFastCgi ? 9 :
+                  model == CgiModel::kLibCgiProtected ? 12 :
+                  model == CgiModel::kLibCgi ? 14 : 8,
+                  r.requests_per_sec);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper reference (28B row): 98 / 193 / 437 / 448 / 460. Expected shape:\n");
+  std::printf("LibCGI within ~5%% of the static bound, protected within ~4%% of\n");
+  std::printf("unprotected, FastCGI ~2x slower below 10 KB, CGI slowest; all models\n");
+  std::printf("converge at 100 KB where per-byte costs dominate.\n");
+  return 0;
+}

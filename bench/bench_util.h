@@ -1,0 +1,118 @@
+// Shared benchmark plumbing: a Palladium system fixture (kernel + dynamic
+// linker + user-extension runtime) plus a cycle-checkpoint syscall so that
+// in-simulation code can bracket regions of interest with
+//   int $0x80 (eax = 240)
+// and the host collects the simulated-cycle timestamps. Deltas between
+// checkpoint *pairs* cancel the checkpoint overhead itself.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/asm/assembler.h"
+#include "src/core/kernel_ext.h"
+#include "src/core/user_ext.h"
+#include "src/dl/dynamic_linker.h"
+#include "src/kernel/kernel.h"
+
+namespace palladium {
+
+inline constexpr u32 kSysBenchMark = 240;
+inline constexpr double kCpuMhz = 200.0;  // the paper's Pentium 200
+
+inline std::string BenchAsmPrelude() {
+  return R"(
+  .equ SYS_EXIT, 1
+  .equ SYS_WRITE, 4
+  .equ SYS_MMAP, 90
+  .equ SYS_SIGACTION, 67
+  .equ SYS_INIT_PL, 200
+  .equ SYS_SET_RANGE, 201
+  .equ SYS_SET_CALL_GATE, 202
+  .equ SYS_SEG_DLOPEN, 212
+  .equ SYS_SEG_DLSYM, 213
+  .equ SYS_DLSYM, 214
+  .equ SYS_SEG_DLCLOSE, 215
+  .equ SYS_DLOPEN_UNPROT, 216
+  .equ SYS_EXPOSE_SERVICE, 217
+  .equ SYS_BENCH_MARK, 240
+  .equ INT_SYSCALL, 0x80
+)";
+}
+
+// A complete Palladium machine with cycle checkpoints.
+class BenchSystem {
+ public:
+  BenchSystem() : kernel_(machine_), dl_(kernel_), uext_(kernel_, dl_), kext_(kernel_) {
+    kernel_.RegisterSyscall(kSysBenchMark, [this](Kernel& k, u32, u32, u32) {
+      marks_.push_back(k.cpu().cycles());
+      k.ReturnFromGate(0);
+    });
+  }
+
+  Machine& machine() { return machine_; }
+  Kernel& kernel() { return kernel_; }
+  DynamicLinker& dl() { return dl_; }
+  UserExtensionRuntime& uext() { return uext_; }
+  KernelExtensionManager& kext() { return kext_; }
+  std::vector<u64>& marks() { return marks_; }
+
+  void RegisterObject(const std::string& name, const std::string& source) {
+    AssembleError aerr;
+    auto obj = Assemble(BenchAsmPrelude() + source, &aerr);
+    if (!obj) {
+      std::fprintf(stderr, "assemble %s: %s\n", name.c_str(), aerr.ToString().c_str());
+      std::exit(1);
+    }
+    dl_.RegisterObject(name, *obj);
+  }
+
+  // Loads and runs an app program to completion; dies loudly on failure.
+  i32 RunApp(const std::string& source, u64 budget = 2'000'000'000ull) {
+    std::string diag;
+    auto img = AssembleAndLink(BenchAsmPrelude() + source, kUserTextBase, {}, &diag);
+    if (!img) {
+      std::fprintf(stderr, "assemble app: %s\n", diag.c_str());
+      std::exit(1);
+    }
+    Pid pid = kernel_.CreateProcess();
+    if (pid == 0 || !kernel_.LoadUserImage(pid, *img, "main", &diag)) {
+      std::fprintf(stderr, "load app: %s\n", diag.c_str());
+      std::exit(1);
+    }
+    RunResult r = kernel_.RunProcess(pid, budget);
+    if (r.outcome != RunOutcome::kExited) {
+      std::fprintf(stderr, "app did not exit cleanly: %s\n", r.kill_reason.c_str());
+      std::exit(1);
+    }
+    last_pid_ = pid;
+    return r.exit_code;
+  }
+
+  Pid last_pid() const { return last_pid_; }
+
+  // Interval between marks [2k] and [2k+1] minus the empty-pair baseline
+  // (marks [0],[1]); callers lay out their checkpoints accordingly.
+  u64 PairedDelta(size_t pair_index) const {
+    const u64 baseline = marks_[1] - marks_[0];
+    const u64 raw = marks_[2 * pair_index + 1] - marks_[2 * pair_index];
+    return raw > baseline ? raw - baseline : 0;
+  }
+
+ private:
+  Machine machine_;
+  Kernel kernel_;
+  DynamicLinker dl_;
+  UserExtensionRuntime uext_;
+  KernelExtensionManager kext_;
+  std::vector<u64> marks_;
+  Pid last_pid_ = 0;
+};
+
+inline double CyclesToUs(double cycles) { return cycles / kCpuMhz; }
+
+}  // namespace palladium
+
+#endif  // BENCH_BENCH_UTIL_H_

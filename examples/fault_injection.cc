@@ -1,0 +1,202 @@
+// Fault-injection tour: every containment path Palladium provides, exercised
+// deliberately —
+//   1. a user extension writing the application's PPL 0 data  -> SIGSEGV
+//   2. a user extension attempting a direct system call        -> EPERM
+//   3. a user extension spinning forever                       -> SIGXCPU
+//   4. a kernel extension escaping its segment                 -> abort (#GP)
+//   5. a kernel extension attempting a system call             -> abort
+#include <cstdio>
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/core/kernel_ext.h"
+#include "src/core/user_ext.h"
+#include "src/dl/dynamic_linker.h"
+#include "src/kernel/kernel.h"
+
+using namespace palladium;
+
+namespace {
+
+constexpr const char* kAbi = R"(
+  .equ SYS_EXIT, 1
+  .equ SYS_WRITE, 4
+  .equ SYS_GETPID, 20
+  .equ SYS_SIGACTION, 67
+  .equ SYS_INIT_PL, 200
+  .equ SYS_SEG_DLOPEN, 212
+  .equ SYS_SEG_DLSYM, 213
+  .equ INT_SYSCALL, 0x80
+)";
+
+// Loads an app that installs handlers, loads extension `name`, calls `fn`
+// with `arg_expr`, and exits with a code describing what happened:
+//   exit  0: call returned normally (eax in console)
+//   exit 11: SIGSEGV handler ran
+//   exit 24: SIGXCPU handler ran
+i32 RunScenario(const std::string& ext_name, const std::string& ext_src,
+                const std::string& fn, Kernel::Config cfg = Kernel::Config{}) {
+  Machine machine;
+  Kernel kernel(machine, cfg);
+  DynamicLinker dl(kernel);
+  UserExtensionRuntime uext(kernel, dl);
+  AssembleError aerr;
+  auto obj = Assemble(kAbi + ext_src, &aerr);
+  if (!obj) {
+    std::fprintf(stderr, "ext %s: %s\n", ext_name.c_str(), aerr.ToString().c_str());
+    return -100;
+  }
+  dl.RegisterObject(ext_name, *obj);
+
+  std::string app = kAbi + std::string(R"(
+  .global main
+main:
+  mov $SYS_SIGACTION, %eax
+  mov $11, %ebx
+  mov $segv_handler, %ecx
+  int $INT_SYSCALL
+  mov $SYS_SIGACTION, %eax
+  mov $24, %ebx
+  mov $xcpu_handler, %ecx
+  int $INT_SYSCALL
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $secret
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx          ; extension's return value
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+segv_handler:
+  mov $SYS_EXIT, %eax
+  mov $11, %ebx
+  int $INT_SYSCALL
+xcpu_handler:
+  mov $SYS_EXIT, %eax
+  mov $24, %ebx
+  int $INT_SYSCALL
+  .data
+  .global secret
+secret:
+  .long 0x5EC4E7
+extname:
+  .asciz ")") + ext_name + R"("
+fnname:
+  .asciz ")" + fn + R"("
+)";
+  std::string diag;
+  auto img = AssembleAndLink(app, kUserTextBase, {}, &diag);
+  if (!img) {
+    std::fprintf(stderr, "app: %s\n", diag.c_str());
+    return -100;
+  }
+  Pid pid = kernel.CreateProcess();
+  if (!kernel.LoadUserImage(pid, *img, "main", &diag)) {
+    std::fprintf(stderr, "load: %s\n", diag.c_str());
+    return -100;
+  }
+  RunResult r = kernel.RunProcess(pid, 500'000'000);
+  if (r.outcome != RunOutcome::kExited) {
+    std::fprintf(stderr, "  (killed: %s)\n", r.kill_reason.c_str());
+    return -1;
+  }
+  return r.exit_code;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Palladium fault-injection tour\n");
+  std::printf("==============================\n\n");
+  int failures = 0;
+
+  std::printf("1. Extension writes the application's PPL 0 secret:\n");
+  i32 r = RunScenario("writer", R"(
+  .global attack
+attack:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ebx
+  sti $0xDEAD, 0(%ebx)
+  pop %ebp
+  ret
+)",
+                      "attack");
+  std::printf("   -> %s\n\n", r == 11 ? "SIGSEGV delivered to the application" : "UNEXPECTED");
+  failures += r != 11;
+
+  std::printf("2. Extension tries a direct system call (getpid):\n");
+  r = RunScenario("caller", R"(
+  .global attack
+attack:
+  mov $SYS_GETPID, %eax
+  int $INT_SYSCALL
+  ret
+)",
+                  "attack");
+  std::printf("   -> returned %d (%s)\n\n", r,
+              r == -1 ? "EPERM: taskSPL gating rejected it" : "UNEXPECTED");
+  failures += r != -1;
+
+  std::printf("3. Extension loops forever:\n");
+  Kernel::Config tight;
+  tight.extension_cycle_limit = 200'000;
+  r = RunScenario("looper", ".global attack\nattack:\n  jmp attack\n", "attack", tight);
+  std::printf("   -> %s\n\n", r == 24 ? "SIGXCPU after the CPU-time limit" : "UNEXPECTED");
+  failures += r != 24;
+
+  std::printf("4. Kernel extension escapes its segment:\n");
+  {
+    Machine machine;
+    Kernel kernel(machine);
+    KernelExtensionManager kext(kernel);
+    AssembleError aerr;
+    auto obj = Assemble(R"(
+  .global escape
+escape:
+  mov $0x00F00000, %ebx
+  sti $1, 0(%ebx)
+  ret
+)",
+                        &aerr);
+    std::string diag;
+    kext.LoadExtension("rogue", *obj, &diag);
+    auto res = kext.Invoke(*kext.FindFunction("escape"), 0);
+    std::printf("   -> %s\n\n", res.ok ? "UNEXPECTED" : res.error.c_str());
+    failures += res.ok;
+  }
+
+  std::printf("5. Kernel extension attempts a system call:\n");
+  {
+    Machine machine;
+    Kernel kernel(machine);
+    KernelExtensionManager kext(kernel);
+    AssembleError aerr;
+    auto obj = Assemble(kAbi + std::string(R"(
+  .global sneak
+sneak:
+  mov $SYS_GETPID, %eax
+  int $INT_SYSCALL
+  ret
+)"),
+                        &aerr);
+    std::string diag;
+    kext.LoadExtension("sneaky", *obj, &diag);
+    auto res = kext.Invoke(*kext.FindFunction("sneak"), 0);
+    std::printf("   -> %s\n\n", res.ok ? "UNEXPECTED" : res.error.c_str());
+    failures += res.ok;
+  }
+
+  std::printf(failures == 0 ? "All five containment paths held.\n"
+                            : "SOME CONTAINMENT PATHS FAILED!\n");
+  return failures;
+}

@@ -1,0 +1,158 @@
+// Quickstart: the smallest end-to-end Palladium user-level extension.
+//
+// An "extensible application" promotes itself to SPL 2 (init_PL), loads a
+// to-upper extension into an SPL 3 / PPL 1 extension segment (seg_dlopen),
+// resolves a protected entry point (seg_dlsym), and calls it like a normal
+// function. The extension transforms a buffer the application explicitly
+// shared with set_range — and cannot touch anything else.
+#include <cstdio>
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/core/user_ext.h"
+#include "src/dl/dynamic_linker.h"
+#include "src/kernel/kernel.h"
+
+using namespace palladium;
+
+namespace {
+
+// The extension: uppercases a NUL-terminated string in the shared buffer.
+constexpr const char* kUpperExt = R"(
+  .global to_upper
+to_upper:
+  push %ebp
+  mov %esp, %ebp
+  push %ebx
+  ld 8(%ebp), %ebx       ; shared buffer address (argument)
+upper_loop:
+  ld8 0(%ebx), %eax
+  cmp $0, %eax
+  je upper_done
+  cmp $97, %eax          ; 'a'
+  jb upper_next
+  cmp $122, %eax         ; 'z'
+  ja upper_next
+  sub $32, %eax
+  st8 %eax, 0(%ebx)
+upper_next:
+  inc %ebx
+  jmp upper_loop
+upper_done:
+  pop %ebx
+  pop %ebp
+  ret
+)";
+
+// The extensible application, written against the Palladium syscall API.
+constexpr const char* kApp = R"(
+  .equ SYS_EXIT, 1
+  .equ SYS_WRITE, 4
+  .equ SYS_MMAP, 90
+  .equ SYS_INIT_PL, 200
+  .equ SYS_SET_RANGE, 201
+  .equ SYS_SEG_DLOPEN, 212
+  .equ SYS_SEG_DLSYM, 213
+  .equ INT_SYSCALL, 0x80
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax       ; become a Palladium application (SPL 2)
+  int $INT_SYSCALL
+
+  mov $SYS_MMAP, %eax          ; one page to share with the extension
+  mov $0, %ebx
+  mov $0x1000, %ecx
+  mov $3, %edx
+  int $INT_SYSCALL
+  mov %eax, %ebp
+  ; copy "hello, palladium!" into the buffer
+  mov $msg, %esi
+  mov %ebp, %edi
+copy:
+  ld8 0(%esi), %eax
+  st8 %eax, 0(%edi)
+  cmp $0, %eax
+  je copied
+  inc %esi
+  inc %edi
+  jmp copy
+copied:
+  mov $SYS_SET_RANGE, %eax     ; expose the page at PPL 1
+  mov %ebp, %ebx
+  mov $0x1000, %ecx
+  mov $1, %edx
+  int $INT_SYSCALL
+
+  mov $SYS_SEG_DLOPEN, %eax    ; load the extension segment
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax     ; protected entry point ("massaged" pointer)
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+
+  push %ebp                    ; call the extension like a plain function
+  call *%edi
+  pop %ecx
+
+  ; print the transformed buffer
+  mov $SYS_WRITE, %eax
+  mov %ebp, %ebx
+  mov $17, %ecx
+  int $INT_SYSCALL
+  mov $SYS_EXIT, %eax
+  mov $0, %ebx
+  int $INT_SYSCALL
+  .data
+msg:
+  .asciz "hello, palladium!"
+extname:
+  .asciz "upper"
+fnname:
+  .asciz "to_upper"
+)";
+
+}  // namespace
+
+int main() {
+  Machine machine;
+  Kernel kernel(machine);
+  DynamicLinker dl(kernel);
+  UserExtensionRuntime uext(kernel, dl);
+
+  // "Install" the extension object (what a .so file would be on disk).
+  AssembleError aerr;
+  auto ext_obj = Assemble(kUpperExt, &aerr);
+  if (!ext_obj) {
+    std::fprintf(stderr, "extension: %s\n", aerr.ToString().c_str());
+    return 1;
+  }
+  dl.RegisterObject("upper", *ext_obj);
+
+  // Load and run the application.
+  std::string diag;
+  auto app = AssembleAndLink(kApp, kUserTextBase, {}, &diag);
+  if (!app) {
+    std::fprintf(stderr, "app: %s\n", diag.c_str());
+    return 1;
+  }
+  Pid pid = kernel.CreateProcess();
+  if (!kernel.LoadUserImage(pid, *app, "main", &diag)) {
+    std::fprintf(stderr, "load: %s\n", diag.c_str());
+    return 1;
+  }
+  RunResult r = kernel.RunProcess(pid, 100'000'000);
+
+  std::printf("application exited: %s (code %d)\n",
+              r.outcome == RunOutcome::kExited ? "cleanly" : r.kill_reason.c_str(),
+              r.exit_code);
+  std::printf("console output:     %s\n", kernel.console().c_str());
+  std::printf("simulated cycles:   %llu (%.2f ms at 200 MHz)\n",
+              static_cast<unsigned long long>(machine.cpu().cycles()),
+              static_cast<double>(machine.cpu().cycles()) / 200e3);
+  std::printf("\nThe extension ran at SPL 3 in its own segment: it could read and\n");
+  std::printf("write only its own pages and the one page shared via set_range.\n");
+  return r.outcome == RunOutcome::kExited && kernel.console() == "HELLO, PALLADIUM!" ? 0 : 1;
+}

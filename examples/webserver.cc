@@ -1,0 +1,37 @@
+// Web-server example: the LibCGI scenario of Section 5.2 — a web server
+// invoking CGI scripts as protected local function calls instead of forked
+// processes. Sweeps response sizes across the five execution models and
+// reports throughput, CPU and link utilization.
+#include <cstdio>
+
+#include "src/web/server_sim.h"
+
+using namespace palladium;
+
+int main(int argc, char** argv) {
+  WebWorkload workload;
+  if (argc > 1) workload.total_requests = static_cast<u32>(std::atoi(argv[1]));
+  WebServerCosts costs;
+
+  std::printf("Web server model: %u requests, concurrency %u, %.0f Mbps link,\n",
+              workload.total_requests, workload.concurrency, costs.link_mbps);
+  std::printf("%.0f MHz CPU.\n\n", costs.cpu_mhz);
+
+  const CgiModel models[] = {CgiModel::kStatic, CgiModel::kLibCgi,
+                             CgiModel::kLibCgiProtected, CgiModel::kFastCgi, CgiModel::kCgi};
+  for (u32 size : {28u, 1024u, 10u * 1024u, 100u * 1024u}) {
+    workload.file_bytes = size;
+    std::printf("--- response size %u bytes ---\n", size);
+    std::printf("%-20s %10s %8s %8s\n", "model", "req/s", "cpu%", "link%");
+    for (CgiModel model : models) {
+      WebRunResult r = SimulateWebServer(model, workload, costs);
+      std::printf("%-20s %10.1f %7.1f%% %7.1f%%\n", CgiModelName(model), r.requests_per_sec,
+                  100.0 * r.cpu_utilization, 100.0 * r.link_utilization);
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading: protected LibCGI stays within a few percent of the\n");
+  std::printf("unprotected variant; both nearly match the static-file bound, while\n");
+  std::printf("process-based CGI pays fork+exec on every request.\n");
+  return 0;
+}

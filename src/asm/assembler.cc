@@ -1,0 +1,923 @@
+#include "src/asm/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/isa/insn.h"
+
+namespace palladium {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind : u8 { kIdent, kNumber, kString, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  i64 number = 0;
+};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+bool IsIdentChar(char c) { return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)); }
+
+bool TokenizeLine(const std::string& line, std::vector<Token>* out, std::string* err) {
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ';' || c == '#') break;  // comment
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string s;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          ++i;
+          switch (line[i]) {
+            case 'n': s += '\n'; break;
+            case 't': s += '\t'; break;
+            case '0': s += '\0'; break;
+            case '\\': s += '\\'; break;
+            case '"': s += '"'; break;
+            default: s += line[i]; break;
+          }
+        } else {
+          s += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) {
+        *err = "unterminated string";
+        return false;
+      }
+      ++i;
+      Token t;
+      t.kind = TokKind::kString;
+      t.text = std::move(s);
+      out->push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      int base = 10;
+      if (c == '0' && i + 1 < line.size() && (line[i + 1] == 'x' || line[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+      }
+      while (i < line.size() && (std::isalnum(static_cast<unsigned char>(line[i])))) ++i;
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.text = line.substr(start, i - start);
+      errno = 0;
+      t.number = static_cast<i64>(std::strtoll(t.text.c_str(), nullptr, base == 16 ? 16 : 10));
+      out->push_back(std::move(t));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < line.size() && IsIdentChar(line[i])) ++i;
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = line.substr(start, i - start);
+      out->push_back(std::move(t));
+      continue;
+    }
+    // Punctuation (single char): % $ ( ) , : * + -
+    Token t;
+    t.kind = TokKind::kPunct;
+    t.text = std::string(1, c);
+    out->push_back(std::move(t));
+    ++i;
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  out->push_back(end);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parsed operand forms
+// ---------------------------------------------------------------------------
+
+struct ExprValue {
+  i64 constant = 0;
+  std::string symbol;  // empty => pure constant
+};
+
+struct MemOperand {
+  SegOverride seg = SegOverride::kNone;
+  ExprValue disp;
+  Reg base = Reg::kEax;
+  Reg index = Reg::kEax;
+  u8 scale = 0;
+  bool absolute = false;  // no base register: address = disp
+
+  u8 base_field() const { return absolute ? kNoBaseReg : static_cast<u8>(base); }
+};
+
+// ---------------------------------------------------------------------------
+// Assembler state
+// ---------------------------------------------------------------------------
+
+struct SectionBuf {
+  std::vector<u8> bytes;
+  u32 size() const { return static_cast<u32>(bytes.size()); }
+};
+
+class AssemblerImpl {
+ public:
+  std::optional<ObjectFile> Run(const std::string& source, AssembleError* error);
+
+ private:
+  bool ParseLine(std::vector<Token>& toks);
+  bool ParseDirective(std::vector<Token>& toks);
+  bool ParseInstruction(const std::string& mnemonic, std::vector<Token>& toks);
+
+  // Token cursor helpers.
+  const Token& Peek() const { return (*toks_)[pos_]; }
+  const Token& Next() { return (*toks_)[pos_ < toks_->size() - 1 ? pos_++ : pos_]; }
+  bool Accept(const char* punct) {
+    if (Peek().kind == TokKind::kPunct && Peek().text == punct) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(const char* punct) {
+    if (Accept(punct)) return true;
+    return Error(std::string("expected '") + punct + "'");
+  }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool Error(const std::string& msg) {
+    if (!failed_) {
+      error_->line = line_no_;
+      error_->message = msg;
+      failed_ = true;
+    }
+    return false;
+  }
+
+  std::optional<Reg> ParseGpr();
+  std::optional<SegReg> ParseSegReg();
+  bool ParseExpr(ExprValue* out);
+  bool ParseImmediate(ExprValue* out);  // leading '$'
+  bool ParseMemOperand(MemOperand* out);
+
+  SectionBuf& Cur() {
+    switch (section_) {
+      case SectionId::kText:
+        return text_;
+      case SectionId::kData:
+        return data_;
+      case SectionId::kBss:
+        return data_;  // never reached; bss handled separately
+    }
+    return text_;
+  }
+
+  void EmitInsn(const Insn& insn, const ExprValue* imm_sym, const ExprValue* disp_sym);
+  void AddReloc(u32 field_offset, const ExprValue& e);
+  bool DefineLabel(const std::string& name);
+
+  ObjectFile obj_;
+  SectionBuf text_;
+  SectionBuf data_;
+  u32 bss_size_ = 0;
+  SectionId section_ = SectionId::kText;
+  std::map<std::string, i64> equs_;
+  std::map<std::string, Symbol> symbols_;
+  std::set<std::string> globals_;
+  std::set<std::string> externs_;
+
+  std::vector<Token>* toks_ = nullptr;
+  size_t pos_ = 0;
+  int line_no_ = 0;
+  AssembleError* error_ = nullptr;
+  bool failed_ = false;
+};
+
+std::optional<Reg> AssemblerImpl::ParseGpr() {
+  size_t save = pos_;
+  if (!Accept("%")) return std::nullopt;
+  if (Peek().kind != TokKind::kIdent) {
+    pos_ = save;
+    return std::nullopt;
+  }
+  const std::string& n = Peek().text;
+  Reg r;
+  if (n == "eax") r = Reg::kEax;
+  else if (n == "ebx") r = Reg::kEbx;
+  else if (n == "ecx") r = Reg::kEcx;
+  else if (n == "edx") r = Reg::kEdx;
+  else if (n == "esi") r = Reg::kEsi;
+  else if (n == "edi") r = Reg::kEdi;
+  else if (n == "ebp") r = Reg::kEbp;
+  else if (n == "esp") r = Reg::kEsp;
+  else {
+    pos_ = save;
+    return std::nullopt;
+  }
+  ++pos_;
+  return r;
+}
+
+std::optional<SegReg> AssemblerImpl::ParseSegReg() {
+  size_t save = pos_;
+  if (!Accept("%")) return std::nullopt;
+  if (Peek().kind != TokKind::kIdent) {
+    pos_ = save;
+    return std::nullopt;
+  }
+  const std::string& n = Peek().text;
+  SegReg s;
+  if (n == "cs") s = SegReg::kCs;
+  else if (n == "ss") s = SegReg::kSs;
+  else if (n == "ds") s = SegReg::kDs;
+  else if (n == "es") s = SegReg::kEs;
+  else {
+    pos_ = save;
+    return std::nullopt;
+  }
+  ++pos_;
+  return s;
+}
+
+bool AssemblerImpl::ParseExpr(ExprValue* out) {
+  *out = ExprValue{};
+  bool first = true;
+  i64 sign = 1;
+  for (;;) {
+    if (Accept("-")) {
+      sign = -sign;
+    } else if (Accept("+")) {
+      // no-op
+    } else if (!first) {
+      break;
+    }
+    if (Peek().kind == TokKind::kNumber) {
+      out->constant += sign * Next().number;
+    } else if (Peek().kind == TokKind::kIdent) {
+      std::string name = Next().text;
+      auto eq = equs_.find(name);
+      if (eq != equs_.end()) {
+        out->constant += sign * eq->second;
+      } else {
+        if (!out->symbol.empty()) return Error("expression with two symbols: " + name);
+        if (sign < 0) return Error("negated symbol in expression: " + name);
+        out->symbol = std::move(name);
+      }
+    } else if (first) {
+      return Error("expected expression");
+    } else {
+      break;
+    }
+    first = false;
+    sign = 1;
+    if (Peek().kind == TokKind::kPunct && (Peek().text == "+" || Peek().text == "-")) {
+      if (Peek().text == "-") sign = -1;
+      ++pos_;
+      // fallthrough to parse next term
+      if (Peek().kind != TokKind::kNumber && Peek().kind != TokKind::kIdent) {
+        return Error("expected term after +/-");
+      }
+      if (Peek().kind == TokKind::kNumber) {
+        out->constant += sign * Next().number;
+      } else {
+        std::string name = Next().text;
+        auto eq = equs_.find(name);
+        if (eq != equs_.end()) {
+          out->constant += sign * eq->second;
+        } else {
+          if (!out->symbol.empty()) return Error("expression with two symbols: " + name);
+          if (sign < 0) return Error("negated symbol in expression: " + name);
+          out->symbol = std::move(name);
+        }
+      }
+      sign = 1;
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
+bool AssemblerImpl::ParseImmediate(ExprValue* out) {
+  if (!Expect("$")) return false;
+  return ParseExpr(out);
+}
+
+bool AssemblerImpl::ParseMemOperand(MemOperand* out) {
+  *out = MemOperand{};
+  // Optional segment override: %seg :
+  size_t save = pos_;
+  if (auto seg = ParseSegReg()) {
+    if (Accept(":")) {
+      switch (*seg) {
+        case SegReg::kCs: out->seg = SegOverride::kCs; break;
+        case SegReg::kSs: out->seg = SegOverride::kSs; break;
+        case SegReg::kDs: out->seg = SegOverride::kDs; break;
+        case SegReg::kEs: out->seg = SegOverride::kEs; break;
+      }
+    } else {
+      pos_ = save;
+    }
+  }
+  // Optional displacement expression before '('.
+  if (!(Peek().kind == TokKind::kPunct && Peek().text == "(")) {
+    if (!ParseExpr(&out->disp)) return false;
+  }
+  // No parenthesized base: absolute addressing (`st %esp, SP2_slot`).
+  if (!(Peek().kind == TokKind::kPunct && Peek().text == "(")) {
+    out->absolute = true;
+    return true;
+  }
+  if (!Expect("(")) return false;
+  auto base = ParseGpr();
+  if (!base) return Error("expected base register");
+  out->base = *base;
+  if (Accept(",")) {
+    auto index = ParseGpr();
+    if (!index) return Error("expected index register");
+    out->index = *index;
+    out->scale = 1;
+    if (Accept(",")) {
+      if (Peek().kind != TokKind::kNumber) return Error("expected scale");
+      i64 s = Next().number;
+      if (s != 1 && s != 2 && s != 4 && s != 8) return Error("scale must be 1/2/4/8");
+      out->scale = static_cast<u8>(s);
+    }
+  }
+  return Expect(")");
+}
+
+void AssemblerImpl::AddReloc(u32 field_offset, const ExprValue& e) {
+  Relocation r;
+  r.section = section_;
+  r.offset = field_offset;
+  r.symbol = e.symbol;
+  r.addend = static_cast<i32>(e.constant);
+  obj_.relocations.push_back(std::move(r));
+}
+
+void AssemblerImpl::EmitInsn(const Insn& insn, const ExprValue* imm_sym,
+                             const ExprValue* disp_sym) {
+  SectionBuf& sec = Cur();
+  u32 at = sec.size();
+  u8 raw[kInsnSize];
+  Insn copy = insn;
+  if (imm_sym != nullptr && !imm_sym->symbol.empty()) {
+    copy.imm = 0;
+    AddReloc(at + 8, *imm_sym);
+  }
+  if (disp_sym != nullptr && !disp_sym->symbol.empty()) {
+    copy.disp = 0;
+    AddReloc(at + 12, *disp_sym);
+  }
+  copy.EncodeTo(raw);
+  sec.bytes.insert(sec.bytes.end(), raw, raw + kInsnSize);
+}
+
+bool AssemblerImpl::DefineLabel(const std::string& name) {
+  if (symbols_.count(name) != 0 && symbols_[name].defined) {
+    return Error("duplicate label: " + name);
+  }
+  if (equs_.count(name) != 0) return Error("label collides with .equ: " + name);
+  Symbol s;
+  s.name = name;
+  s.section = section_;
+  s.offset = section_ == SectionId::kBss ? bss_size_ : Cur().size();
+  s.defined = true;
+  symbols_[name] = std::move(s);
+  return true;
+}
+
+bool AssemblerImpl::ParseDirective(std::vector<Token>& toks) {
+  (void)toks;
+  const std::string d = Next().text;
+  if (d == ".text") {
+    section_ = SectionId::kText;
+    return true;
+  }
+  if (d == ".data") {
+    section_ = SectionId::kData;
+    return true;
+  }
+  if (d == ".bss") {
+    section_ = SectionId::kBss;
+    return true;
+  }
+  if (d == ".global" || d == ".globl") {
+    if (Peek().kind != TokKind::kIdent) return Error(".global needs a name");
+    globals_.insert(Next().text);
+    return true;
+  }
+  if (d == ".extern") {
+    if (Peek().kind != TokKind::kIdent) return Error(".extern needs a name");
+    externs_.insert(Next().text);
+    return true;
+  }
+  if (d == ".equ") {
+    if (Peek().kind != TokKind::kIdent) return Error(".equ needs a name");
+    std::string name = Next().text;
+    if (!Expect(",")) return false;
+    ExprValue v;
+    if (!ParseExpr(&v)) return false;
+    if (!v.symbol.empty()) return Error(".equ value must be constant");
+    equs_[name] = v.constant;
+    return true;
+  }
+  if (d == ".long" || d == ".word" || d == ".byte") {
+    u32 width = d == ".long" ? 4u : (d == ".word" ? 2u : 1u);
+    if (section_ == SectionId::kBss) return Error("data directive in .bss");
+    do {
+      ExprValue v;
+      if (!ParseExpr(&v)) return false;
+      SectionBuf& sec = Cur();
+      u32 at = sec.size();
+      if (!v.symbol.empty()) {
+        if (width != 4) return Error("symbol reference must be .long");
+        AddReloc(at, ExprValue{v.constant, v.symbol});
+        v.constant = 0;
+      }
+      for (u32 i = 0; i < width; ++i) {
+        sec.bytes.push_back(static_cast<u8>(static_cast<u64>(v.constant) >> (8 * i)));
+      }
+    } while (Accept(","));
+    return true;
+  }
+  if (d == ".space") {
+    ExprValue v;
+    if (!ParseExpr(&v)) return false;
+    if (!v.symbol.empty() || v.constant < 0) return Error(".space needs a constant");
+    if (section_ == SectionId::kBss) {
+      bss_size_ += static_cast<u32>(v.constant);
+    } else {
+      Cur().bytes.resize(Cur().bytes.size() + static_cast<size_t>(v.constant), 0);
+    }
+    return true;
+  }
+  if (d == ".asciz" || d == ".ascii") {
+    if (Peek().kind != TokKind::kString) return Error(d + " needs a string");
+    if (section_ == SectionId::kBss) return Error("string in .bss");
+    std::string s = Next().text;
+    SectionBuf& sec = Cur();
+    sec.bytes.insert(sec.bytes.end(), s.begin(), s.end());
+    if (d == ".asciz") sec.bytes.push_back(0);
+    return true;
+  }
+  if (d == ".align") {
+    ExprValue v;
+    if (!ParseExpr(&v)) return false;
+    if (!v.symbol.empty() || v.constant <= 0) return Error(".align needs a positive constant");
+    u32 a = static_cast<u32>(v.constant);
+    if (section_ == SectionId::kBss) {
+      bss_size_ = (bss_size_ + a - 1) / a * a;
+    } else {
+      SectionBuf& sec = Cur();
+      while (sec.size() % a != 0) sec.bytes.push_back(0);
+    }
+    return true;
+  }
+  return Error("unknown directive: " + d);
+}
+
+bool AssemblerImpl::ParseInstruction(const std::string& m, std::vector<Token>& toks) {
+  (void)toks;
+  auto simple = [&](Opcode op) {
+    Insn i;
+    i.opcode = op;
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  };
+  if (m == "nop") return simple(Opcode::kNop);
+  if (m == "hlt") return simple(Opcode::kHlt);
+  if (m == "iret") return simple(Opcode::kIret);
+
+  if (m == "lret") {
+    Insn i;
+    i.opcode = Opcode::kLret;
+    if (!AtEnd()) {
+      ExprValue v;
+      if (!ParseImmediate(&v)) return false;
+      if (!v.symbol.empty()) return Error("lret $n must be constant");
+      i.imm = static_cast<i32>(v.constant);
+    }
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  if (m == "ret") {
+    if (AtEnd()) return simple(Opcode::kRet);
+    ExprValue v;
+    if (!ParseImmediate(&v)) return false;
+    if (!v.symbol.empty()) return Error("ret $n must be constant");
+    Insn i;
+    i.opcode = Opcode::kRetN;
+    i.imm = static_cast<i32>(v.constant);
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  if (m == "mov") {
+    // Forms: $imm,%r | %r,%r | %r,%seg | %seg,%r
+    if (Peek().kind == TokKind::kPunct && Peek().text == "$") {
+      ExprValue v;
+      if (!ParseImmediate(&v)) return false;
+      if (!Expect(",")) return false;
+      auto dst = ParseGpr();
+      if (!dst) return Error("mov $imm needs a register destination");
+      Insn i;
+      i.opcode = Opcode::kMovRI;
+      i.r1 = static_cast<u8>(*dst);
+      i.imm = static_cast<i32>(v.constant);
+      EmitInsn(i, &v, nullptr);
+      return true;
+    }
+    size_t save = pos_;
+    if (auto src = ParseGpr()) {
+      if (!Expect(",")) return false;
+      if (auto dst = ParseGpr()) {
+        Insn i;
+        i.opcode = Opcode::kMovRR;
+        i.r1 = static_cast<u8>(*dst);
+        i.r2 = static_cast<u8>(*src);
+        EmitInsn(i, nullptr, nullptr);
+        return true;
+      }
+      if (auto seg = ParseSegReg()) {
+        Insn i;
+        i.opcode = Opcode::kMovSegR;
+        i.r1 = static_cast<u8>(*seg);
+        i.r2 = static_cast<u8>(*src);
+        EmitInsn(i, nullptr, nullptr);
+        return true;
+      }
+      return Error("bad mov destination");
+    }
+    pos_ = save;
+    if (auto seg = ParseSegReg()) {
+      if (!Expect(",")) return false;
+      auto dst = ParseGpr();
+      if (!dst) return Error("mov %seg needs a register destination");
+      Insn i;
+      i.opcode = Opcode::kMovRSeg;
+      i.r1 = static_cast<u8>(*dst);
+      i.r2 = static_cast<u8>(*seg);
+      EmitInsn(i, nullptr, nullptr);
+      return true;
+    }
+    return Error("bad mov operands");
+  }
+
+  if (m == "ld" || m == "ld8" || m == "ld16" || m == "lea") {
+    MemOperand mem;
+    if (!ParseMemOperand(&mem)) return false;
+    if (!Expect(",")) return false;
+    auto dst = ParseGpr();
+    if (!dst) return Error(m + " needs a register destination");
+    Insn i;
+    i.opcode = m == "lea" ? Opcode::kLea : Opcode::kLoad;
+    i.size = m == "ld8" ? 1 : (m == "ld16" ? 2 : 4);
+    i.seg = mem.seg;
+    i.r1 = static_cast<u8>(*dst);
+    i.r2 = mem.base_field();
+    i.r3 = static_cast<u8>(mem.index);
+    i.scale = mem.scale;
+    i.disp = static_cast<i32>(mem.disp.constant);
+    EmitInsn(i, nullptr, &mem.disp);
+    return true;
+  }
+
+  if (m == "st" || m == "st8" || m == "st16") {
+    auto src = ParseGpr();
+    if (!src) return Error(m + " needs a register source");
+    if (!Expect(",")) return false;
+    MemOperand mem;
+    if (!ParseMemOperand(&mem)) return false;
+    Insn i;
+    i.opcode = Opcode::kStore;
+    i.size = m == "st8" ? 1 : (m == "st16" ? 2 : 4);
+    i.seg = mem.seg;
+    i.r1 = static_cast<u8>(*src);
+    i.r2 = mem.base_field();
+    i.r3 = static_cast<u8>(mem.index);
+    i.scale = mem.scale;
+    i.disp = static_cast<i32>(mem.disp.constant);
+    EmitInsn(i, nullptr, &mem.disp);
+    return true;
+  }
+
+  if (m == "sti" || m == "sti8" || m == "sti16") {
+    ExprValue v;
+    if (!ParseImmediate(&v)) return false;
+    if (!Expect(",")) return false;
+    MemOperand mem;
+    if (!ParseMemOperand(&mem)) return false;
+    Insn i;
+    i.opcode = Opcode::kStoreI;
+    i.size = m == "sti8" ? 1 : (m == "sti16" ? 2 : 4);
+    i.seg = mem.seg;
+    i.imm = static_cast<i32>(v.constant);
+    i.r2 = mem.base_field();
+    i.r3 = static_cast<u8>(mem.index);
+    i.scale = mem.scale;
+    i.disp = static_cast<i32>(mem.disp.constant);
+    EmitInsn(i, &v, &mem.disp);
+    return true;
+  }
+
+  if (m == "push") {
+    if (Peek().kind == TokKind::kPunct && Peek().text == "$") {
+      ExprValue v;
+      if (!ParseImmediate(&v)) return false;
+      Insn i;
+      i.opcode = Opcode::kPushI;
+      i.imm = static_cast<i32>(v.constant);
+      EmitInsn(i, &v, nullptr);
+      return true;
+    }
+    size_t save = pos_;
+    if (auto r = ParseGpr()) {
+      Insn i;
+      i.opcode = Opcode::kPushR;
+      i.r1 = static_cast<u8>(*r);
+      EmitInsn(i, nullptr, nullptr);
+      return true;
+    }
+    pos_ = save;
+    if (auto s = ParseSegReg()) {
+      Insn i;
+      i.opcode = Opcode::kPushSeg;
+      i.r1 = static_cast<u8>(*s);
+      EmitInsn(i, nullptr, nullptr);
+      return true;
+    }
+    return Error("bad push operand");
+  }
+
+  if (m == "pop") {
+    size_t save = pos_;
+    if (auto r = ParseGpr()) {
+      Insn i;
+      i.opcode = Opcode::kPopR;
+      i.r1 = static_cast<u8>(*r);
+      EmitInsn(i, nullptr, nullptr);
+      return true;
+    }
+    pos_ = save;
+    if (auto s = ParseSegReg()) {
+      Insn i;
+      i.opcode = Opcode::kPopSeg;
+      i.r1 = static_cast<u8>(*s);
+      EmitInsn(i, nullptr, nullptr);
+      return true;
+    }
+    return Error("bad pop operand");
+  }
+
+  struct AluOps {
+    Opcode rr, ri;
+  };
+  static const std::map<std::string, AluOps> kAlu = {
+      {"add", {Opcode::kAddRR, Opcode::kAddRI}},
+      {"sub", {Opcode::kSubRR, Opcode::kSubRI}},
+      {"and", {Opcode::kAndRR, Opcode::kAndRI}},
+      {"or", {Opcode::kOrRR, Opcode::kOrRI}},
+      {"xor", {Opcode::kXorRR, Opcode::kXorRI}},
+      {"imul", {Opcode::kImulRR, Opcode::kImulRI}},
+      {"cmp", {Opcode::kCmpRR, Opcode::kCmpRI}},
+      {"test", {Opcode::kTestRR, Opcode::kTestRI}},
+  };
+  auto alu = kAlu.find(m);
+  if (alu != kAlu.end()) {
+    if (Peek().kind == TokKind::kPunct && Peek().text == "$") {
+      ExprValue v;
+      if (!ParseImmediate(&v)) return false;
+      if (!Expect(",")) return false;
+      auto dst = ParseGpr();
+      if (!dst) return Error(m + " needs a register destination");
+      Insn i;
+      i.opcode = alu->second.ri;
+      i.r1 = static_cast<u8>(*dst);
+      i.imm = static_cast<i32>(v.constant);
+      EmitInsn(i, &v, nullptr);
+      return true;
+    }
+    auto src = ParseGpr();
+    if (!src) return Error(m + " needs a register or immediate source");
+    if (!Expect(",")) return false;
+    auto dst = ParseGpr();
+    if (!dst) return Error(m + " needs a register destination");
+    Insn i;
+    i.opcode = alu->second.rr;
+    i.r1 = static_cast<u8>(*dst);
+    i.r2 = static_cast<u8>(*src);
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  if (m == "udiv") {
+    auto src = ParseGpr();
+    if (!src) return Error("udiv needs a register source");
+    if (!Expect(",")) return false;
+    auto dst = ParseGpr();
+    if (!dst) return Error("udiv needs a register destination");
+    Insn i;
+    i.opcode = Opcode::kUdivRR;
+    i.r1 = static_cast<u8>(*dst);
+    i.r2 = static_cast<u8>(*src);
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  if (m == "shl" || m == "shr" || m == "sar") {
+    ExprValue v;
+    if (!ParseImmediate(&v)) return false;
+    if (!v.symbol.empty()) return Error("shift count must be constant");
+    if (!Expect(",")) return false;
+    auto dst = ParseGpr();
+    if (!dst) return Error(m + " needs a register destination");
+    Insn i;
+    i.opcode = m == "shl" ? Opcode::kShlRI : (m == "shr" ? Opcode::kShrRI : Opcode::kSarRI);
+    i.r1 = static_cast<u8>(*dst);
+    i.imm = static_cast<i32>(v.constant);
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  if (m == "neg" || m == "not" || m == "inc" || m == "dec") {
+    auto dst = ParseGpr();
+    if (!dst) return Error(m + " needs a register");
+    Insn i;
+    i.opcode = m == "neg" ? Opcode::kNegR
+               : m == "not" ? Opcode::kNotR
+               : m == "inc" ? Opcode::kIncR
+                            : Opcode::kDecR;
+    i.r1 = static_cast<u8>(*dst);
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  static const std::map<std::string, Opcode> kBranches = {
+      {"jmp", Opcode::kJmp}, {"je", Opcode::kJe},   {"jne", Opcode::kJne},
+      {"jb", Opcode::kJb},   {"jae", Opcode::kJae}, {"jbe", Opcode::kJbe},
+      {"ja", Opcode::kJa},   {"jl", Opcode::kJl},   {"jge", Opcode::kJge},
+      {"jle", Opcode::kJle}, {"jg", Opcode::kJg},   {"js", Opcode::kJs},
+      {"jns", Opcode::kJns}, {"call", Opcode::kCall},
+  };
+  auto br = kBranches.find(m);
+  if (br != kBranches.end()) {
+    if (Accept("*")) {
+      auto r = ParseGpr();
+      if (!r) return Error("indirect target must be a register");
+      Insn i;
+      i.opcode = m == "call" ? Opcode::kCallR : Opcode::kJmpR;
+      if (m != "call" && m != "jmp") return Error("only jmp/call support indirect targets");
+      i.r1 = static_cast<u8>(*r);
+      EmitInsn(i, nullptr, nullptr);
+      return true;
+    }
+    ExprValue v;
+    if (!ParseExpr(&v)) return false;
+    Insn i;
+    i.opcode = br->second;
+    i.imm = static_cast<i32>(v.constant);
+    EmitInsn(i, &v, nullptr);
+    return true;
+  }
+
+  if (m == "lcall") {
+    ExprValue v;
+    if (!ParseImmediate(&v)) return false;
+    Insn i;
+    i.opcode = Opcode::kLcall;
+    i.imm = static_cast<i32>(v.constant);
+    EmitInsn(i, &v, nullptr);
+    return true;
+  }
+
+  if (m == "int") {
+    ExprValue v;
+    if (!ParseImmediate(&v)) return false;
+    if (!v.symbol.empty()) return Error("int vector must be constant");
+    Insn i;
+    i.opcode = Opcode::kInt;
+    i.imm = static_cast<i32>(v.constant);
+    EmitInsn(i, nullptr, nullptr);
+    return true;
+  }
+
+  return Error("unknown mnemonic: " + m);
+}
+
+bool AssemblerImpl::ParseLine(std::vector<Token>& toks) {
+  toks_ = &toks;
+  pos_ = 0;
+  // Labels (possibly several) at line start.
+  while (Peek().kind == TokKind::kIdent && toks.size() > pos_ + 1 &&
+         toks[pos_ + 1].kind == TokKind::kPunct && toks[pos_ + 1].text == ":") {
+    std::string name = Peek().text;
+    if (name[0] == '.') break;  // directive, not a label
+    pos_ += 2;
+    if (!DefineLabel(name)) return false;
+  }
+  if (AtEnd()) return true;
+  if (Peek().kind != TokKind::kIdent) return Error("expected mnemonic or directive");
+  if (Peek().text[0] == '.') {
+    if (!ParseDirective(toks)) return false;
+  } else {
+    std::string mnemonic = Next().text;
+    if (section_ == SectionId::kBss) return Error("instruction in .bss");
+    if (section_ == SectionId::kData) return Error("instruction in .data");
+    if (!ParseInstruction(mnemonic, toks)) return false;
+  }
+  if (!AtEnd()) return Error("trailing tokens on line");
+  return true;
+}
+
+std::optional<ObjectFile> AssemblerImpl::Run(const std::string& source, AssembleError* error) {
+  error_ = error;
+  size_t start = 0;
+  line_no_ = 0;
+  while (start <= source.size()) {
+    size_t end = source.find('\n', start);
+    if (end == std::string::npos) end = source.size();
+    std::string line = source.substr(start, end - start);
+    ++line_no_;
+    std::vector<Token> toks;
+    std::string terr;
+    if (!TokenizeLine(line, &toks, &terr)) {
+      Error(terr);
+      return std::nullopt;
+    }
+    if (!ParseLine(toks)) return std::nullopt;
+    start = end + 1;
+  }
+
+  // Finalize the object.
+  obj_.text = std::move(text_.bytes);
+  obj_.data = std::move(data_.bytes);
+  obj_.bss_size = bss_size_;
+  for (auto& [name, sym] : symbols_) {
+    sym.global = globals_.count(name) != 0;
+    obj_.symbols.push_back(sym);
+  }
+  for (const std::string& e : externs_) {
+    if (symbols_.count(e) != 0) continue;  // defined after all; not an import
+    Symbol s;
+    s.name = e;
+    s.defined = false;
+    s.global = true;
+    obj_.symbols.push_back(std::move(s));
+  }
+  // Every relocation symbol must be a label or an extern.
+  for (const Relocation& r : obj_.relocations) {
+    if (symbols_.count(r.symbol) == 0 && externs_.count(r.symbol) == 0) {
+      error_->line = 0;
+      error_->message = "undefined symbol (did you forget .extern?): " + r.symbol;
+      return std::nullopt;
+    }
+  }
+  return std::move(obj_);
+}
+
+}  // namespace
+
+std::string AssembleError::ToString() const {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+std::optional<ObjectFile> Assemble(const std::string& source, AssembleError* error) {
+  AssemblerImpl impl;
+  return impl.Run(source, error);
+}
+
+std::optional<LinkedImage> AssembleAndLink(const std::string& source, u32 base,
+                                           const std::map<std::string, u32>& imports,
+                                           std::string* diag) {
+  AssembleError aerr;
+  auto obj = Assemble(source, &aerr);
+  if (!obj) {
+    if (diag != nullptr) *diag = "assemble: " + aerr.ToString();
+    return std::nullopt;
+  }
+  LinkError lerr;
+  auto img = LinkImage(*obj, base, imports, &lerr);
+  if (!img) {
+    if (diag != nullptr) *diag = "link: " + lerr.message;
+    return std::nullopt;
+  }
+  return img;
+}
+
+}  // namespace palladium

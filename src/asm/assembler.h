@@ -1,0 +1,69 @@
+// Two-pass assembler for the simulated ISA. This plays the role gcc/as play
+// in the paper: extensions, trampolines, filters and test programs are all
+// written in this assembly dialect and loaded through the object format.
+//
+// Syntax (AT&T-flavoured: source operand first, destination last):
+//
+//   ; comment          # comment
+//   .text / .data / .bss            section switch
+//   .global name                    export
+//   .extern name                    import (resolved at load time)
+//   .equ NAME, expr                 assemble-time constant
+//   .long e1[, e2...]  .word ...  .byte ...
+//   .space N           .asciz "str"   .align N
+//
+//   label:
+//     mov  %eax, %ebx          ; register move
+//     mov  $imm, %eax          ; immediate (expr allowed)
+//     mov  %eax, %ds           ; segment register load (privilege-checked)
+//     ld   8(%ebp), %eax       ; 32-bit load;  ld8 / ld16 for narrow
+//     ld   %es:4(%ebx,%ecx,2), %eax
+//     st   %eax, -4(%esp)      ; 32-bit store; st8 / st16 for narrow
+//     sti  $7, 0(%ebx)         ; store immediate
+//     lea  4(%ebx,%ecx,4), %edx
+//     push %eax | push $expr | push %ds
+//     pop  %eax | pop %es
+//     add/sub/and/or/xor/imul/udiv/cmp/test {%r|$expr}, %r
+//     shl/shr/sar $n, %r
+//     neg/not/inc/dec %r
+//     jmp label | jmp *%eax
+//     je/jne/jb/jae/jbe/ja/jl/jge/jle/jg/js/jns label
+//     call label | call *%eax
+//     ret | ret $n
+//     lcall $expr              ; far call through a call gate selector
+//     lret
+//     int $expr
+//     iret | nop | hlt
+//
+// Expressions: decimal / 0x hex literals, .equ names, defined or external
+// labels, and sym +/- const. A reference to an unresolved symbol emits a
+// 32-bit absolute relocation.
+#ifndef SRC_ASM_ASSEMBLER_H_
+#define SRC_ASM_ASSEMBLER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/asm/object_file.h"
+
+namespace palladium {
+
+struct AssembleError {
+  int line = 0;
+  std::string message;
+  std::string ToString() const;
+};
+
+// Assembles `source` into a relocatable object. Returns std::nullopt and
+// fills *error on the first syntax or semantic error.
+std::optional<ObjectFile> Assemble(const std::string& source, AssembleError* error);
+
+// Convenience used throughout tests and benchmarks: assemble + link at
+// `base` with `imports`. Dies via returned nullopt with *diag filled.
+std::optional<LinkedImage> AssembleAndLink(const std::string& source, u32 base,
+                                           const std::map<std::string, u32>& imports,
+                                           std::string* diag);
+
+}  // namespace palladium
+
+#endif  // SRC_ASM_ASSEMBLER_H_

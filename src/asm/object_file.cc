@@ -1,0 +1,85 @@
+#include "src/asm/object_file.h"
+
+#include <cstring>
+
+namespace palladium {
+
+const Symbol* ObjectFile::FindSymbol(const std::string& name) const {
+  for (const Symbol& s : symbols) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ObjectFile::UndefinedSymbols() const {
+  std::vector<std::string> out;
+  for (const Symbol& s : symbols) {
+    if (!s.defined) out.push_back(s.name);
+  }
+  return out;
+}
+
+std::optional<LinkedImage> LinkImage(const ObjectFile& obj, u32 base,
+                                     const std::map<std::string, u32>& imports,
+                                     LinkError* error) {
+  LinkedImage img;
+  img.base = base;
+  img.text_start = base;
+  img.text_size = static_cast<u32>(obj.text.size());
+  img.data_start = PageAlignUp(base + img.text_size);
+  img.bss_size = obj.bss_size;
+  img.data_size = static_cast<u32>(obj.data.size()) + obj.bss_size;
+
+  img.bytes.resize(img.data_start - base + obj.data.size(), 0);
+  std::memcpy(img.bytes.data(), obj.text.data(), obj.text.size());
+  std::memcpy(img.bytes.data() + (img.data_start - base), obj.data.data(), obj.data.size());
+
+  auto section_base = [&](SectionId s) -> u32 {
+    switch (s) {
+      case SectionId::kText:
+        return img.text_start;
+      case SectionId::kData:
+        return img.data_start;
+      case SectionId::kBss:
+        return img.data_start + static_cast<u32>(obj.data.size());
+    }
+    return img.text_start;
+  };
+
+  for (const Symbol& s : obj.symbols) {
+    if (s.defined) img.symbols[s.name] = section_base(s.section) + s.offset;
+  }
+
+  for (const Relocation& r : obj.relocations) {
+    u32 value = 0;
+    auto it = img.symbols.find(r.symbol);
+    if (it != img.symbols.end()) {
+      value = it->second;
+    } else {
+      auto imp = imports.find(r.symbol);
+      if (imp == imports.end()) {
+        if (error != nullptr) error->message = "unresolved symbol: " + r.symbol;
+        return std::nullopt;
+      }
+      value = imp->second;
+    }
+    u32 patch_at = (section_base(r.section) - base) + r.offset;
+    if (patch_at + 4 > img.bytes.size()) {
+      if (error != nullptr) error->message = "relocation outside image: " + r.symbol;
+      return std::nullopt;
+    }
+    i32 cur = 0;
+    std::memcpy(&cur, img.bytes.data() + patch_at, 4);
+    cur += static_cast<i32>(value) + r.addend;
+    std::memcpy(img.bytes.data() + patch_at, &cur, 4);
+  }
+  return img;
+}
+
+std::optional<u32> LinkedImage::Lookup(const std::string& name) const {
+  auto it = symbols.find(name);
+  if (it == symbols.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace palladium

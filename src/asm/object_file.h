@@ -1,0 +1,77 @@
+// Relocatable object format produced by the assembler and consumed by the
+// module loaders (the analogue of the ELF .o files that insmod / dlopen
+// handle in the paper's prototype).
+//
+// Addresses are always *segment-relative*: code linked for a kernel
+// extension segment is linked against offset 0 of that segment, exactly as
+// EIP is segment-relative on the simulated hardware.
+#ifndef SRC_ASM_OBJECT_FILE_H_
+#define SRC_ASM_OBJECT_FILE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+enum class SectionId : u8 { kText = 0, kData = 1, kBss = 2 };
+
+struct Symbol {
+  std::string name;
+  SectionId section = SectionId::kText;
+  u32 offset = 0;
+  bool global = false;
+  bool defined = false;  // false => import (.extern)
+};
+
+// A 32-bit absolute relocation: *(i32*)(section_bytes + offset) += S + A,
+// where S is the resolved address of `symbol`.
+struct Relocation {
+  SectionId section = SectionId::kText;
+  u32 offset = 0;
+  std::string symbol;
+  i32 addend = 0;
+};
+
+struct ObjectFile {
+  std::vector<u8> text;
+  std::vector<u8> data;
+  u32 bss_size = 0;
+  std::vector<Symbol> symbols;
+  std::vector<Relocation> relocations;
+
+  const Symbol* FindSymbol(const std::string& name) const;
+  std::vector<std::string> UndefinedSymbols() const;
+};
+
+// A fully linked, loadable image: text, then data, then bss, laid out
+// contiguously from `base` (data page-aligned so the loader can give data
+// pages different protections from text pages).
+struct LinkedImage {
+  u32 base = 0;
+  u32 text_start = 0, text_size = 0;
+  u32 data_start = 0, data_size = 0;  // data_size includes bss
+  u32 bss_size = 0;
+  std::vector<u8> bytes;  // text..data (bss is implicit zeroes)
+  std::map<std::string, u32> symbols;  // global + local, absolute addresses
+
+  u32 TotalSpan() const { return data_start - base + data_size; }
+  std::optional<u32> Lookup(const std::string& name) const;
+};
+
+struct LinkError {
+  std::string message;
+};
+
+// Links one object at `base`. `imports` resolves .extern symbols to absolute
+// addresses; a missing import is a LinkError.
+std::optional<LinkedImage> LinkImage(const ObjectFile& obj, u32 base,
+                                     const std::map<std::string, u32>& imports,
+                                     LinkError* error);
+
+}  // namespace palladium
+
+#endif  // SRC_ASM_OBJECT_FILE_H_

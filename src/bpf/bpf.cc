@@ -1,0 +1,265 @@
+#include "src/bpf/bpf.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace palladium {
+
+bool BpfProgram::Validate(std::string* error) const {
+  if (insns_.empty()) {
+    if (error != nullptr) *error = "empty program";
+    return false;
+  }
+  for (u32 i = 0; i < insns_.size(); ++i) {
+    const BpfInsn& in = insns_[i];
+    switch (in.code) {
+      case BpfOp::kJmpJa:
+        if (i + 1 + in.k >= insns_.size()) {
+          if (error != nullptr) *error = "ja target out of range";
+          return false;
+        }
+        break;
+      case BpfOp::kJmpJeqK:
+      case BpfOp::kJmpJgtK:
+      case BpfOp::kJmpJgeK:
+      case BpfOp::kJmpJsetK:
+        if (i + 1 + in.jt >= insns_.size() || i + 1 + in.jf >= insns_.size()) {
+          if (error != nullptr) *error = "conditional target out of range";
+          return false;
+        }
+        break;
+      case BpfOp::kLdWAbs:
+      case BpfOp::kLdHAbs:
+      case BpfOp::kLdBAbs:
+      case BpfOp::kLdImm:
+      case BpfOp::kAluAndK:
+      case BpfOp::kAluAddK:
+      case BpfOp::kRetK:
+      case BpfOp::kRetA:
+        break;
+      default:
+        if (error != nullptr) *error = "unknown opcode";
+        return false;
+    }
+  }
+  const BpfOp last = insns_.back().code;
+  if (last != BpfOp::kRetK && last != BpfOp::kRetA && last != BpfOp::kJmpJa) {
+    if (error != nullptr) *error = "program may fall off the end";
+    return false;
+  }
+  return true;
+}
+
+std::vector<u8> BpfProgram::Serialize() const {
+  std::vector<u8> out(insns_.size() * 8);
+  for (u32 i = 0; i < insns_.size(); ++i) {
+    const BpfInsn& in = insns_[i];
+    u16 code = static_cast<u16>(in.code);
+    std::memcpy(&out[i * 8 + 0], &code, 2);
+    out[i * 8 + 2] = in.jt;
+    out[i * 8 + 3] = in.jf;
+    std::memcpy(&out[i * 8 + 4], &in.k, 4);
+  }
+  return out;
+}
+
+u32 BpfInterpretHost(const BpfProgram& prog, const u8* pkt, u32 len) {
+  u32 a = 0;
+  const auto& insns = prog.insns();
+  for (u32 pc = 0; pc < insns.size();) {
+    const BpfInsn& in = insns[pc];
+    switch (in.code) {
+      case BpfOp::kLdWAbs:
+        if (in.k + 4 > len) return 0;
+        a = (static_cast<u32>(pkt[in.k]) << 24) | (static_cast<u32>(pkt[in.k + 1]) << 16) |
+            (static_cast<u32>(pkt[in.k + 2]) << 8) | pkt[in.k + 3];
+        ++pc;
+        break;
+      case BpfOp::kLdHAbs:
+        if (in.k + 2 > len) return 0;
+        a = (static_cast<u32>(pkt[in.k]) << 8) | pkt[in.k + 1];
+        ++pc;
+        break;
+      case BpfOp::kLdBAbs:
+        if (in.k >= len) return 0;
+        a = pkt[in.k];
+        ++pc;
+        break;
+      case BpfOp::kLdImm:
+        a = in.k;
+        ++pc;
+        break;
+      case BpfOp::kJmpJa:
+        pc += 1 + in.k;
+        break;
+      case BpfOp::kJmpJeqK:
+        pc += 1 + (a == in.k ? in.jt : in.jf);
+        break;
+      case BpfOp::kJmpJgtK:
+        pc += 1 + (a > in.k ? in.jt : in.jf);
+        break;
+      case BpfOp::kJmpJgeK:
+        pc += 1 + (a >= in.k ? in.jt : in.jf);
+        break;
+      case BpfOp::kJmpJsetK:
+        pc += 1 + ((a & in.k) != 0 ? in.jt : in.jf);
+        break;
+      case BpfOp::kAluAndK:
+        a &= in.k;
+        ++pc;
+        break;
+      case BpfOp::kAluAddK:
+        a += in.k;
+        ++pc;
+        break;
+      case BpfOp::kRetK:
+        return in.k;
+      case BpfOp::kRetA:
+        return a;
+    }
+  }
+  return 0;
+}
+
+std::string BpfInterpreterAsmSource(u32 prog_addr, u32 pkt_addr) {
+  std::ostringstream os;
+  os << "  .equ PROG, " << prog_addr << "\n"
+     << "  .equ PKT, " << pkt_addr << "\n";
+  // Register allocation mirrors the C interpreter in bpf_filter():
+  // %eax = accumulator A, %ebx = insn pointer, %ecx = opcode scratch,
+  // %edx = k, %esi = packet length, %edi = scratch.
+  os << R"(
+  .global bpf_run
+bpf_run:
+  push %ebp
+  mov %esp, %ebp
+  push %ebx              ; bpf_filter() is a real C function: save
+  push %esi              ; the callee-saved registers it burns on
+  push %edi              ; pc / A / X / len state
+  ld 8(%ebp), %esi       ; packet length
+  mov $PROG, %ebx
+  mov $0, %eax
+bpf_loop:
+  ld16 0(%ebx), %ecx     ; opcode dispatch (the interpreter's switch)
+  ld 4(%ebx), %edx       ; immediate k
+  cmp $0x20, %ecx
+  je op_ldw
+  cmp $0x28, %ecx
+  je op_ldh
+  cmp $0x30, %ecx
+  je op_ldb
+  cmp $0x15, %ecx
+  je op_jeq
+  cmp $0x06, %ecx
+  je op_retk
+  cmp $0x16, %ecx
+  je op_reta
+  cmp $0x00, %ecx
+  je op_ldi
+  cmp $0x05, %ecx
+  je op_ja
+  cmp $0x25, %ecx
+  je op_jgt
+  cmp $0x35, %ecx
+  je op_jge
+  cmp $0x45, %ecx
+  je op_jset
+  cmp $0x54, %ecx
+  je op_andk
+  cmp $0x04, %ecx
+  je op_addk
+  mov $0, %eax           ; unknown opcode: reject the packet
+  jmp bpf_done
+op_ldw:
+  mov %edx, %edi
+  add $4, %edi
+  cmp %esi, %edi
+  ja bad_access
+  ld8 PKT(%edx), %eax
+  shl $8, %eax
+  ld8 PKT+1(%edx), %edi
+  or %edi, %eax
+  shl $8, %eax
+  ld8 PKT+2(%edx), %edi
+  or %edi, %eax
+  shl $8, %eax
+  ld8 PKT+3(%edx), %edi
+  or %edi, %eax
+  jmp next_insn
+op_ldh:
+  mov %edx, %edi
+  add $2, %edi
+  cmp %esi, %edi
+  ja bad_access
+  ld8 PKT(%edx), %eax
+  shl $8, %eax
+  ld8 PKT+1(%edx), %edi
+  or %edi, %eax
+  jmp next_insn
+op_ldb:
+  cmp %esi, %edx
+  jae bad_access
+  ld8 PKT(%edx), %eax
+  jmp next_insn
+op_ldi:
+  mov %edx, %eax
+  jmp next_insn
+op_ja:
+  shl $3, %edx           ; pc += k (then the common +1)
+  add %edx, %ebx
+  jmp next_insn
+op_jeq:
+  cmp %edx, %eax
+  je take_jt
+  jmp take_jf
+op_jgt:
+  cmp %edx, %eax
+  ja take_jt
+  jmp take_jf
+op_jge:
+  cmp %edx, %eax
+  jae take_jt
+  jmp take_jf
+op_jset:
+  mov %eax, %edi
+  and %edx, %edi
+  cmp $0, %edi
+  jne take_jt
+  jmp take_jf
+op_andk:
+  and %edx, %eax
+  jmp next_insn
+op_addk:
+  add %edx, %eax
+  jmp next_insn
+take_jt:
+  ld8 2(%ebx), %edi
+  shl $3, %edi
+  add %edi, %ebx
+  jmp next_insn
+take_jf:
+  ld8 3(%ebx), %edi
+  shl $3, %edi
+  add %edi, %ebx
+  jmp next_insn
+op_retk:
+  mov %edx, %eax
+  jmp bpf_done
+op_reta:
+  jmp bpf_done
+bad_access:
+  mov $0, %eax
+bpf_done:
+  pop %edi
+  pop %esi
+  pop %ebx
+  pop %ebp
+  ret
+next_insn:
+  add $8, %ebx
+  jmp bpf_loop
+)";
+  return os.str();
+}
+
+}  // namespace palladium

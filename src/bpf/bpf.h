@@ -1,0 +1,72 @@
+// Classic BSD Packet Filter (BPF) virtual machine [McCanne & Jacobson '93]:
+// the interpreted baseline of Figure 7. Includes the instruction set, a
+// validator, a host reference interpreter, and an interpreter written in
+// simulated assembly so that the Figure-7 comparison measures both systems
+// on the same simulated CPU.
+#ifndef SRC_BPF_BPF_H_
+#define SRC_BPF_BPF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+// Opcode encoding (a compact subset of classic BPF, same structure).
+enum class BpfOp : u16 {
+  kLdWAbs = 0x20,   // A <- be32(pkt[k])
+  kLdHAbs = 0x28,   // A <- be16(pkt[k])
+  kLdBAbs = 0x30,   // A <- pkt[k]
+  kLdImm = 0x00,    // A <- k
+  kJmpJa = 0x05,    // pc += k
+  kJmpJeqK = 0x15,  // pc += (A == k) ? jt : jf
+  kJmpJgtK = 0x25,
+  kJmpJgeK = 0x35,
+  kJmpJsetK = 0x45, // pc += (A & k) ? jt : jf
+  kAluAndK = 0x54,  // A &= k
+  kAluAddK = 0x04,
+  kRetK = 0x06,     // return k
+  kRetA = 0x16,     // return A
+};
+
+struct BpfInsn {
+  BpfOp code = BpfOp::kRetK;
+  u8 jt = 0;
+  u8 jf = 0;
+  u32 k = 0;
+};
+
+class BpfProgram {
+ public:
+  BpfProgram() = default;
+  explicit BpfProgram(std::vector<BpfInsn> insns) : insns_(std::move(insns)) {}
+
+  const std::vector<BpfInsn>& insns() const { return insns_; }
+  void Append(BpfInsn insn) { insns_.push_back(insn); }
+  u32 size() const { return static_cast<u32>(insns_.size()); }
+
+  // Forward-jumps-only, in-range targets, terminates with RET on all paths.
+  bool Validate(std::string* error) const;
+
+  // Serializes to the in-memory layout the simulated interpreter walks:
+  // 8 bytes per insn: [code u16][jt u8][jf u8][k u32], little-endian.
+  std::vector<u8> Serialize() const;
+
+ private:
+  std::vector<BpfInsn> insns_;
+};
+
+// Host reference interpreter (for cross-validation against the simulated
+// one). Returns the filter's accept value; 0 on fall-off or bad access.
+u32 BpfInterpretHost(const BpfProgram& prog, const u8* pkt, u32 len);
+
+// The interpreter as simulated assembly. It expects, at assembly-time
+// constants: PROG at `prog_addr` (serialized program), PKT at `pkt_addr`,
+// and the packet length passed as the function argument. Exports `bpf_run`.
+std::string BpfInterpreterAsmSource(u32 prog_addr, u32 pkt_addr);
+
+}  // namespace palladium
+
+#endif  // SRC_BPF_BPF_H_

@@ -1,0 +1,370 @@
+#include "src/core/kernel_ext.h"
+
+#include "src/asm/assembler.h"
+#include "src/core/trampoline.h"
+#include "src/hw/paging.h"
+
+namespace palladium {
+
+KernelExtensionManager::KernelExtensionManager(Kernel& kernel) : kernel_(kernel) {
+  // Idle kernel stack for invocations made outside any process context (the
+  // paper: such extensions execute in the stack of the idle process).
+  u32 frame = kernel_.frames().Alloc();
+  idle_stack_top_ = frame + kPageSize;  // kernel-segment offset == phys
+
+  // INT 0x81 — the kernel-service dispatcher.
+  kernel_.RegisterHostCall(kHostEntryKernelService,
+                           [this](Kernel&) { HandleKernelService(); });
+  // kSysInvokeKext: user processes trigger extension services through the
+  // kernel (Figure 4, steps 4-5-9).
+  kernel_.SetKextInvoker([this](Kernel&, u32 function_id, u32 arg, bool* ok) {
+    InvokeResult r = Invoke(function_id, arg);
+    *ok = r.ok;
+    return r.value;
+  });
+
+  // Pre-registered core kernel services.
+  RegisterService(kKsvcPrintk, [this](Kernel& k, u32 ptr, u32 len, u32) -> u32 {
+    // `ptr` is segment-relative within the *current* extension segment; the
+    // dispatcher stores it in service_ext_ before calling us.
+    const ExtensionState* ext = extension(service_ext_);
+    if (ext == nullptr || len > 4096 || ptr + len > ext->span) return kErrFault;
+    std::string buf(len, '\0');
+    if (!k.ReadKernelVirt(ext->linear_base + ptr, buf.data(), len)) return kErrFault;
+    printk_output_ += buf;
+    return len;
+  });
+  RegisterService(kKsvcGetCycles, [](Kernel& k, u32, u32, u32) -> u32 {
+    return static_cast<u32>(k.cpu().cycles());
+  });
+  RegisterService(kKsvcPktOutput, [this](Kernel&, u32, u32, u32) -> u32 {
+    ++packets_output_;
+    return 0;
+  });
+}
+
+std::optional<u32> KernelExtensionManager::LoadExtension(const std::string& name,
+                                                         const ObjectFile& obj,
+                                                         std::string* diag,
+                                                         const KextOptions& options) {
+  ExtensionState* seg = nullptr;
+  u32 ext_id = 0;
+  if (options.into_segment != 0) {
+    auto it = extensions_.find(options.into_segment);
+    if (it == extensions_.end()) {
+      if (diag != nullptr) *diag = "no such extension segment";
+      return std::nullopt;
+    }
+    // Modules sharing a segment share its stack and can link against each
+    // other's symbols (Section 4.3).
+    seg = &it->second;
+    ext_id = options.into_segment;
+  } else {
+    if (next_region_offset_ + options.segment_span > kKextRegionSpan) {
+      if (diag != nullptr) *diag = "kernel extension region exhausted";
+      return std::nullopt;
+    }
+    ext_id = next_ext_id_++;
+    ExtensionState st;
+    st.name = name;
+    st.linear_base = kKextRegionBase + next_region_offset_;
+    st.span = options.segment_span;
+    st.cycle_limit = options.cycle_limit;
+    next_region_offset_ += options.segment_span;
+    // Stack at the top of the segment; stubs right below it.
+    st.stack_top = st.span;
+    st.stub_bump = st.span - options.stack_bytes - kPageSize;
+    st.link_bump = 0;
+
+    // GDT: one code and one data descriptor, both DPL 1, confined to the
+    // segment (Figure 3).
+    u16 cs_slot = kernel_.gdt().AllocateSlot(kGdtFirstDynamic);
+    kernel_.gdt().Set(cs_slot, SegmentDescriptor::MakeCode(st.linear_base, st.span, kSpl1));
+    u16 ds_slot = kernel_.gdt().AllocateSlot(kGdtFirstDynamic);
+    kernel_.gdt().Set(ds_slot, SegmentDescriptor::MakeData(st.linear_base, st.span, kSpl1));
+    st.code_selector = Selector::FromIndex(cs_slot, 1).raw();
+    st.data_selector = Selector::FromIndex(ds_slot, 1).raw();
+
+    // Map the whole segment in kernel space (present supervisor pages; the
+    // confinement is purely segment-level, as in the paper).
+    for (u32 off = 0; off < st.span; off += kPageSize) {
+      if (kernel_.MapKernelPage(st.linear_base + off) == 0) {
+        if (diag != nullptr) *diag = "out of frames for extension segment";
+        return std::nullopt;
+      }
+    }
+    seg = &extensions_.emplace(ext_id, std::move(st)).first->second;
+  }
+
+  // Link the module segment-relative at the segment's bump pointer; imports
+  // resolve against modules already in this segment.
+  std::map<std::string, u32> imports = seg->symbols;
+  LinkError lerr;
+  auto img = LinkImage(obj, seg->link_bump, imports, &lerr);
+  if (!img) {
+    if (diag != nullptr) *diag = "link: " + lerr.message;
+    return std::nullopt;
+  }
+  if (img->TotalSpan() + seg->link_bump > seg->stub_bump) {
+    if (diag != nullptr) *diag = "module does not fit in extension segment";
+    return std::nullopt;
+  }
+  if (!kernel_.WriteKernelVirt(seg->linear_base + seg->link_bump + (img->text_start - img->base),
+                               img->bytes.data(), static_cast<u32>(img->bytes.size()))) {
+    if (diag != nullptr) *diag = "cannot write extension segment";
+    return std::nullopt;
+  }
+  seg->link_bump = PageAlignUp(seg->link_bump + img->TotalSpan());
+
+  // Register every global text symbol of this module as an extension service
+  // entry point (the module's registration step in Section 4.3).
+  for (const Symbol& sym : obj.symbols) {
+    if (!sym.defined) continue;
+    auto addr = img->Lookup(sym.name);
+    if (!addr) continue;
+    seg->symbols[sym.name] = *addr;
+    if (sym.name == "pd_shared") seg->shared_offset = *addr;
+    if (!sym.global || sym.section != SectionId::kText) continue;
+    // Transfer stub: call f ; lcall kernel-return-gate.
+    std::string stub_diag;
+    auto stub = AssembleAndLink(KextTransferStubSource(*addr, kKernelReturnGateSel.raw()),
+                                seg->stub_bump, {}, &stub_diag);
+    if (!stub || !kernel_.WriteKernelVirt(seg->linear_base + seg->stub_bump,
+                                          stub->bytes.data(),
+                                          static_cast<u32>(stub->bytes.size()))) {
+      if (diag != nullptr) *diag = "cannot emit transfer stub: " + stub_diag;
+      return std::nullopt;
+    }
+    FunctionEntry entry;
+    entry.ext_id = ext_id;
+    entry.name = seg->name + ":" + sym.name;
+    entry.transfer_offset = seg->stub_bump;
+    eft_.push_back(std::move(entry));
+    seg->stub_bump += 2 * kInsnSize;
+  }
+  return ext_id;
+}
+
+void KernelExtensionManager::UnloadExtension(u32 ext_id) {
+  auto it = extensions_.find(ext_id);
+  if (it == extensions_.end()) return;
+  kernel_.gdt().Clear(Selector(it->second.code_selector).index());
+  kernel_.gdt().Clear(Selector(it->second.data_selector).index());
+  for (auto fit = eft_.begin(); fit != eft_.end();) {
+    if (fit->ext_id == ext_id) {
+      fit = eft_.erase(fit);
+    } else {
+      ++fit;
+    }
+  }
+  extensions_.erase(it);
+}
+
+std::optional<u32> KernelExtensionManager::FindFunction(const std::string& name) const {
+  std::optional<u32> match;
+  for (u32 i = 0; i < eft_.size(); ++i) {
+    const FunctionEntry& e = eft_[i];
+    if (e.name == name) return i;
+    // Suffix match on ":<fn>" for the unqualified form.
+    if (e.name.size() > name.size() &&
+        e.name.compare(e.name.size() - name.size() - 1, name.size() + 1, ":" + name) == 0) {
+      if (match) return std::nullopt;  // ambiguous
+      match = i;
+    }
+  }
+  return match;
+}
+
+const KernelExtensionManager::ExtensionState* KernelExtensionManager::extension(
+    u32 ext_id) const {
+  auto it = extensions_.find(ext_id);
+  return it == extensions_.end() ? nullptr : &it->second;
+}
+
+KernelExtensionManager::InvokeResult KernelExtensionManager::Abort(ExtensionState& ext,
+                                                                   const std::string& reason,
+                                                                   u32 charge) {
+  // The paper: ~1,020 cycles of exception processing, then the kernel aborts
+  // the offending extension without further cleanup.
+  kernel_.Charge(charge);
+  ext.aborted = true;
+  InvokeResult r;
+  r.ok = false;
+  r.error = reason;
+  return r;
+}
+
+KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function_id, u32 arg) {
+  InvokeResult result;
+  if (function_id >= eft_.size()) {
+    result.error = "no such extension function";
+    return result;
+  }
+  const FunctionEntry& fn = eft_[function_id];
+  ExtensionState& ext = extensions_.at(fn.ext_id);
+  if (ext.aborted) {
+    result.error = "extension was aborted";
+    return result;
+  }
+
+  Cpu& cpu = kernel_.cpu();
+  const CpuContext saved = cpu.SaveContext();
+  const u32 saved_cr3 = cpu.cr3();
+  Tss saved_tss = cpu.tss();
+  const u64 start_cycles = cpu.cycles();
+
+  // Ensure a kernel-capable address space and a safe inner PL0 stack for the
+  // return gate (nested entries must not trample an in-progress syscall
+  // frame on the per-process kernel stack).
+  if (saved_cr3 == 0) cpu.LoadCr3(kernel_.kernel_cr3());
+  cpu.tss().ss[0] = kKernelDsSel.raw();
+  if (cpu.cpl() == 0 && cpu.seg(SegReg::kSs).valid) {
+    cpu.tss().esp[0] = cpu.reg(Reg::kEsp) - 64;
+  } else if (kernel_.current() != nullptr) {
+    cpu.tss().esp[0] = kernel_.current()->esp0 - 256;
+  } else {
+    cpu.tss().esp[0] = idle_stack_top_;
+  }
+
+  auto restore = [&] {
+    cpu.RestoreContext(saved);
+    if (saved_cr3 != cpu.cr3() && saved_cr3 != 0) cpu.LoadCr3(saved_cr3);
+    cpu.tss() = saved_tss;
+  };
+
+  // Kernel-side Prepare: enter the extension segment at SPL 1 with the
+  // argument on the extension stack (Figure 4, step 5).
+  cpu.ForceSegment(SegReg::kCs, Selector(ext.code_selector));
+  cpu.ForceSegment(SegReg::kSs, Selector(ext.data_selector));
+  cpu.ForceSegment(SegReg::kDs, Selector(ext.data_selector));
+  cpu.ForceSegment(SegReg::kEs, Selector(ext.data_selector));
+  cpu.set_cpl(kSpl1);
+  cpu.set_reg(Reg::kEsp, ext.stack_top - 4);
+  u32 arg_le = arg;
+  kernel_.WriteKernelVirt(ext.linear_base + ext.stack_top - 4, &arg_le, 4);
+  cpu.set_eip(eft_[function_id].transfer_offset);
+  // Model the kernel-side sequence that stages the call (mirrors Prepare).
+  kernel_.Charge(26);
+
+  const u64 deadline = cpu.cycles() + ext.cycle_limit;
+  for (;;) {
+    StopInfo stop = cpu.Run(deadline);
+    switch (stop.reason) {
+      case StopReason::kHostCall:
+        if (stop.host_call_id == kHostEntryKextReturn) {
+          result.ok = true;
+          result.value = cpu.reg(Reg::kEax);
+          result.cycles = cpu.cycles() - start_cycles;
+          restore();
+          return result;
+        }
+        if (stop.host_call_id == kHostEntryKernelService) {
+          service_ext_ = fn.ext_id;
+          HandleKernelService();
+          continue;
+        }
+        if (stop.host_call_id == kHostEntrySyscall) {
+          // Kernel extensions cannot make arbitrary system calls (Section
+          // 4.1): treat as a protection violation and abort.
+          result = Abort(ext, "extension attempted a system call",
+                         kernel_.costs().kext_gp_processing);
+          result.cycles = cpu.cycles() - start_cycles;
+          restore();
+          return result;
+        }
+        result = Abort(ext, "extension reached an unknown kernel entry",
+                       kernel_.costs().kext_gp_processing);
+        result.cycles = cpu.cycles() - start_cycles;
+        restore();
+        return result;
+      case StopReason::kFault:
+        result = Abort(ext, "extension fault: " + FaultToString(stop.fault),
+                       kernel_.costs().kext_gp_processing);
+        result.cycles = cpu.cycles() - start_cycles;
+        restore();
+        return result;
+      case StopReason::kCycleLimit:
+        result = Abort(ext, "extension exceeded its CPU-time limit",
+                       kernel_.costs().kext_gp_processing);
+        result.cycles = cpu.cycles() - start_cycles;
+        restore();
+        return result;
+      case StopReason::kHalted:
+        result = Abort(ext, "extension executed hlt", kernel_.costs().kext_gp_processing);
+        result.cycles = cpu.cycles() - start_cycles;
+        restore();
+        return result;
+    }
+  }
+}
+
+void KernelExtensionManager::HandleKernelService() {
+  Cpu& cpu = kernel_.cpu();
+  const u32 nr = cpu.reg(Reg::kEax);
+  const u32 ebx = cpu.reg(Reg::kEbx);
+  const u32 ecx = cpu.reg(Reg::kEcx);
+  const u32 edx = cpu.reg(Reg::kEdx);
+  u32 result = kErrNoEnt;
+  auto it = services_.find(nr);
+  if (it != services_.end()) result = it->second(kernel_, ebx, ecx, edx);
+  kernel_.ReturnFromGate(result);
+}
+
+void KernelExtensionManager::RegisterService(u32 number, ServiceFn fn) {
+  services_[number] = std::move(fn);
+}
+
+bool KernelExtensionManager::EnqueueAsync(u32 function_id, u32 arg) {
+  if (function_id >= eft_.size()) return false;
+  ExtensionState& ext = extensions_.at(eft_[function_id].ext_id);
+  if (ext.aborted) return false;
+  ext.busy = true;
+  async_queue_.emplace_back(function_id, arg);
+  return true;
+}
+
+u32 KernelExtensionManager::DrainAsync() {
+  u32 executed = 0;
+  while (!async_queue_.empty()) {
+    auto [fid, arg] = async_queue_.front();
+    async_queue_.pop_front();
+    Invoke(fid, arg);
+    ++executed;
+    ExtensionState& ext = extensions_.at(eft_[fid].ext_id);
+    bool more = false;
+    for (const auto& [qfid, _] : async_queue_) {
+      if (eft_[qfid].ext_id == eft_[fid].ext_id) more = true;
+    }
+    ext.busy = more;
+  }
+  return executed;
+}
+
+bool KernelExtensionManager::IsBusy(u32 ext_id) const {
+  auto it = extensions_.find(ext_id);
+  return it != extensions_.end() && it->second.busy;
+}
+
+std::optional<u32> KernelExtensionManager::SharedAreaOffset(u32 ext_id) const {
+  auto it = extensions_.find(ext_id);
+  if (it == extensions_.end()) return std::nullopt;
+  return it->second.shared_offset;
+}
+
+bool KernelExtensionManager::WriteShared(u32 ext_id, u32 offset, const void* src, u32 len) {
+  const ExtensionState* ext = extension(ext_id);
+  if (ext == nullptr || !ext->shared_offset || *ext->shared_offset + offset + len > ext->span) {
+    return false;
+  }
+  return kernel_.WriteKernelVirt(ext->linear_base + *ext->shared_offset + offset, src, len);
+}
+
+bool KernelExtensionManager::ReadShared(u32 ext_id, u32 offset, void* dst, u32 len) {
+  const ExtensionState* ext = extension(ext_id);
+  if (ext == nullptr || !ext->shared_offset || *ext->shared_offset + offset + len > ext->span) {
+    return false;
+  }
+  return kernel_.ReadKernelVirt(ext->linear_base + *ext->shared_offset + offset, dst, len);
+}
+
+}  // namespace palladium

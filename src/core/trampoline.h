@@ -1,0 +1,60 @@
+// Generators for the control-transfer stubs of Figure 6 in the paper:
+// Prepare (SPL 2), Transfer (SPL 3), AppCallGate (SPL 2), the application-
+// service stub, the per-extension xmalloc runtime, and the kernel-extension
+// Transfer stub. Each returns assembly text; the runtimes assemble and place
+// them at their final addresses.
+//
+// A logical call from a more-privileged to a less-privileged domain is
+// implemented as two intra-domain calls plus an inter-domain lret; the
+// logical return is two intra-domain rets plus an inter-domain lcall.
+#ifndef SRC_CORE_TRAMPOLINE_H_
+#define SRC_CORE_TRAMPOLINE_H_
+
+#include <string>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+// Layout of the per-application trampoline slots (inside the PPL 0 runtime
+// area, so extensions can neither read nor corrupt the saved pointers).
+struct TrampolineSlots {
+  u32 sp2_slot = 0;  // saved application ESP
+  u32 bp2_slot = 0;  // saved application EBP
+};
+
+// Prepare (runs at SPL 2, called like a normal function by the application):
+// copies the 4-byte argument to the extension stack, saves ESP/EBP, builds
+// the phantom activation record, and lret's into Transfer at SPL 3.
+std::string PrepareStubSource(const TrampolineSlots& slots, u32 ext_arg_slot,
+                              u32 ext_stack_ptr, u16 ext_cs_selector, u16 ext_ss_selector,
+                              u32 transfer_addr);
+
+// Transfer (runs at SPL 3, inside the extension segment): local call to the
+// extension function, then inter-domain lcall through the AppCallGate.
+std::string TransferStubSource(u32 ext_function_addr, u16 app_gate_selector);
+
+// AppCallGate (runs at SPL 2; the call-gate target): restores the saved
+// stack/base pointers and returns to the original caller.
+std::string AppCallGateSource(const TrampolineSlots& slots);
+
+// Application-service stub (SPL 2; target of a service call gate): switches
+// to the *extension's* stack so standard parameter passing works (Section
+// 4.5.1), calls the real service, and lrets back to the extension.
+// `gate_frame_addr` is where the hardware builds the 4-word entry frame
+// (PL2 stack top - 16); the stub returns there for the lret. One gate entry
+// may be outstanding at a time (extensions run to completion).
+std::string AppServiceStubSource(u32 service_function_addr, u32 gate_frame_addr);
+
+// The extension-side allocation runtime (xmalloc/xfree of Section 4.4.2):
+// a bump allocator over the extension segment's heap. Linked into every
+// extension with pd_heap_base / pd_heap_limit resolved by the loader.
+std::string LibxSource();
+
+// Kernel-extension Transfer stub (runs at SPL 1): local call to the
+// extension function, then lcall through the kernel return gate.
+std::string KextTransferStubSource(u32 function_offset, u16 kernel_return_gate_selector);
+
+}  // namespace palladium
+
+#endif  // SRC_CORE_TRAMPOLINE_H_

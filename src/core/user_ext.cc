@@ -1,0 +1,391 @@
+#include "src/core/user_ext.h"
+
+#include "src/asm/assembler.h"
+
+namespace palladium {
+
+namespace {
+
+constexpr i64 kFailPerm = -1;
+constexpr i64 kFailNoEnt = -2;
+constexpr i64 kFailFault = -14;
+constexpr i64 kFailNoMem = -12;
+
+}  // namespace
+
+UserExtensionRuntime::UserExtensionRuntime(Kernel& kernel, DynamicLinker& dl)
+    : kernel_(kernel), dl_(dl) {
+  RegisterSyscalls();
+}
+
+bool UserExtensionRuntime::PlaceStub(Process& proc, u32 addr, const std::string& source,
+                                     const std::map<std::string, u32>& imports,
+                                     std::string* diag) {
+  auto img = AssembleAndLink(source, addr, imports, diag);
+  if (!img) return false;
+  return kernel_.CopyToUser(proc, addr, img->bytes.data(),
+                            static_cast<u32>(img->bytes.size()));
+}
+
+bool UserExtensionRuntime::EnsureRuntime(Pid pid, Process& proc, std::string* diag) {
+  PerProcess& pp = per_process_[pid];
+  if (pp.ready) return true;
+  if (proc.task_spl != 2) {
+    if (diag != nullptr) *diag = "application must call init_PL before loading extensions";
+    return false;
+  }
+  if (!kernel_.AddArea(proc, kRuntimeBase, kRuntimeBase + kRuntimeSpan,
+                       kProtRead | kProtWrite | kProtExec, "pd-runtime") ||
+      !kernel_.PopulateRange(proc, kRuntimeBase, kRuntimeBase + kRuntimeSpan)) {
+    if (diag != nullptr) *diag = "cannot allocate runtime area";
+    return false;
+  }
+  // Slot words first, stubs after. The area is writable => PPL 0 under the
+  // policy, so extensions can neither read nor corrupt the saved pointers.
+  pp.slots.sp2_slot = kRuntimeBase;
+  pp.slots.bp2_slot = kRuntimeBase + 4;
+  pp.rt_bump = kRuntimeBase + 64;
+
+  pp.app_gate_addr = pp.rt_bump;
+  if (!PlaceStub(proc, pp.app_gate_addr, AppCallGateSource(pp.slots), {}, diag)) return false;
+  pp.rt_bump += 4 * kInsnSize;
+
+  u16 slot = kernel_.gdt().AllocateSlot(kGdtFirstDynamic);
+  kernel_.gdt().Set(slot, SegmentDescriptor::MakeCallGate(kAppCsSel.raw(), pp.app_gate_addr,
+                                                          /*dpl=*/3));
+  pp.app_gate_selector = Selector::FromIndex(slot, 3).raw();
+  pp.ready = true;
+  return true;
+}
+
+i64 UserExtensionRuntime::SegDlopen(Pid pid, const std::string& name, std::string* diag) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) return kFailNoEnt;
+  if (!EnsureRuntime(pid, *proc, diag)) return kFailPerm;
+  PerProcess& pp = per_process_[pid];
+  const ObjectFile* obj = dl_.FindObject(name);
+  if (obj == nullptr) {
+    if (diag != nullptr) *diag = "no such extension object: " + name;
+    return kFailNoEnt;
+  }
+
+  const u32 handle = pp.next_handle++;
+  const u32 base = kFirstExtensionBase + (handle - 1) * kExtensionStride;
+
+  // Layout: [image][libx][GOT page][transfer page][heap][stack]. The image
+  // span is computed from section sizes (conservatively page-rounded).
+  LinkError lerr;
+  const u32 image_span =
+      (PageAlignUp(base + static_cast<u32>(obj->text.size())) - base) +
+      PageAlignUp(static_cast<u32>(obj->data.size()) + obj->bss_size);
+  const u32 libx_base = PageAlignUp(base + image_span);
+
+  AssembleError aerr;
+  auto libx_obj = Assemble(LibxSource(), &aerr);
+  if (!libx_obj) {
+    if (diag != nullptr) *diag = "libx: " + aerr.ToString();
+    return kFailFault;
+  }
+  // libx span: text + one data page.
+  const u32 libx_span = PageAlignUp(static_cast<u32>(libx_obj->text.size())) + kPageSize;
+  const u32 got_page = libx_base + libx_span;
+  const u32 transfer_page = got_page + kPageSize;
+  const u32 heap_base = transfer_page + kPageSize;
+  const u32 heap_limit = heap_base + kExtensionHeapPages * kPageSize;
+  const u32 stack_base = heap_limit;
+  const u32 stack_top = stack_base + kExtensionStackPages * kPageSize;
+  const u32 end = stack_top;
+
+  auto libx_img = LinkImage(*libx_obj, libx_base,
+                            {{"pd_heap_base", heap_base}, {"pd_heap_limit", heap_limit}}, &lerr);
+  if (!libx_img) {
+    if (diag != nullptr) *diag = "libx link: " + lerr.message;
+    return kFailFault;
+  }
+
+  // Build the import map: libx exports, shared-library exports, GOT slots
+  // (got_*), and application-service gate selectors (gate_*).
+  std::map<std::string, u32> imports;
+  for (const auto& [sym, addr] : libx_img->symbols) imports[sym] = addr;
+  for (const auto& [sym, addr] : dl_.ExportedSymbols(pid)) imports.emplace(sym, addr);
+  std::vector<std::string> got_symbols;
+  for (const std::string& undef : obj->UndefinedSymbols()) {
+    if (undef.rfind("got_", 0) == 0) {
+      imports[undef] = got_page + 4 * static_cast<u32>(got_symbols.size());
+      got_symbols.push_back(undef.substr(4));
+    } else if (undef.rfind("gate_", 0) == 0) {
+      auto it = pp.services.find(undef.substr(5));
+      if (it == pp.services.end()) {
+        if (diag != nullptr) *diag = "extension imports unknown app service: " + undef;
+        return kFailNoEnt;
+      }
+      imports[undef] = it->second;
+    }
+  }
+  auto img = LinkImage(*obj, base, imports, &lerr);
+  if (!img) {
+    if (diag != nullptr) *diag = "extension link: " + lerr.message;
+    return kFailFault;
+  }
+
+  // Materialize the segment: every page PPL 1 (the area is marked shared so
+  // the PPL-0 policy skips it), spanning the same 0–3 GB address range as
+  // the application.
+  if (!kernel_.AddArea(*proc, base, end, kProtRead | kProtWrite | kProtExec, "extension")) {
+    if (diag != nullptr) *diag = "extension area overlaps";
+    return kFailNoMem;
+  }
+  proc->areas.back().shared_ppl1 = true;
+  if (!kernel_.PopulateRange(*proc, base, end) ||
+      !kernel_.CopyToUser(*proc, base, img->bytes.data(), static_cast<u32>(img->bytes.size())) ||
+      !kernel_.CopyToUser(*proc, libx_base, libx_img->bytes.data(),
+                          static_cast<u32>(libx_img->bytes.size()))) {
+    if (diag != nullptr) *diag = "cannot materialize extension";
+    return kFailNoMem;
+  }
+  if (!got_symbols.empty()) {
+    auto slots = dl_.BuildGot(pid, got_page, got_symbols, diag);
+    if (!slots) return kFailFault;
+  }
+
+  ExtensionInfo info;
+  info.name = name;
+  info.isolated = true;
+  info.base = base;
+  info.end = end;
+  info.stack_top = stack_top;
+  info.arg_slot = stack_top - 4;
+  info.heap_base = heap_base;
+  info.heap_limit = heap_limit;
+  info.got_page = got_page;
+  info.transfer_page = transfer_page;
+  info.symbols = img->symbols;
+  for (const auto& [sym, addr] : libx_img->symbols) info.symbols.emplace(sym, addr);
+  pp.extensions[handle] = std::move(info);
+
+  // Loading cost: dlopen plus the PPL-marking pass that makes seg_dlopen
+  // ~20 us slower than dlopen (Section 5.1).
+  const u32 pages = (end - base) / kPageSize;
+  kernel_.Charge(costs_.dlopen_cycles + costs_.seg_dlopen_extra +
+                 pages * kernel_.costs().ppl_mark_per_page);
+  return handle;
+}
+
+i64 UserExtensionRuntime::DlopenUnprotected(Pid pid, const std::string& name,
+                                            std::string* diag) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) return kFailNoEnt;
+  PerProcess& pp = per_process_[pid];
+  const ObjectFile* obj = dl_.FindObject(name);
+  if (obj == nullptr) {
+    if (diag != nullptr) *diag = "no such extension object: " + name;
+    return kFailNoEnt;
+  }
+  const u32 handle = pp.next_handle++;
+  const u32 base = kFirstExtensionBase + (handle - 1) * kExtensionStride;
+  const u32 image_span =
+      (PageAlignUp(base + static_cast<u32>(obj->text.size())) - base) +
+      PageAlignUp(static_cast<u32>(obj->data.size()) + obj->bss_size);
+  const u32 heap_base = PageAlignUp(base + image_span);
+  const u32 heap_limit = heap_base + kExtensionHeapPages * kPageSize;
+
+  std::map<std::string, u32> imports;
+  for (const auto& [sym, addr] : dl_.ExportedSymbols(pid)) imports.emplace(sym, addr);
+  // Unprotected extensions get a private bump heap too, for API parity.
+  AssembleError aerr;
+  auto libx_obj = Assemble(LibxSource(), &aerr);
+  LinkError lerr;
+  const u32 libx_base = heap_limit;
+  auto libx_img = LinkImage(*libx_obj, libx_base,
+                            {{"pd_heap_base", heap_base}, {"pd_heap_limit", heap_limit}}, &lerr);
+  if (!libx_img) {
+    if (diag != nullptr) *diag = "libx link: " + lerr.message;
+    return kFailFault;
+  }
+  for (const auto& [sym, addr] : libx_img->symbols) imports.emplace(sym, addr);
+  auto img = LinkImage(*obj, base, imports, &lerr);
+  if (!img) {
+    if (diag != nullptr) *diag = "extension link: " + lerr.message;
+    return kFailFault;
+  }
+  const u32 end = libx_base + PageAlignUp(static_cast<u32>(libx_img->bytes.size())) + kPageSize;
+  if (!kernel_.AddArea(*proc, base, end, kProtRead | kProtWrite | kProtExec, "dlopen") ||
+      !kernel_.PopulateRange(*proc, base, end) ||
+      !kernel_.CopyToUser(*proc, base, img->bytes.data(), static_cast<u32>(img->bytes.size())) ||
+      !kernel_.CopyToUser(*proc, libx_base, libx_img->bytes.data(),
+                          static_cast<u32>(libx_img->bytes.size()))) {
+    if (diag != nullptr) *diag = "cannot materialize module";
+    return kFailNoMem;
+  }
+
+  ExtensionInfo info;
+  info.name = name;
+  info.isolated = false;
+  info.base = base;
+  info.end = end;
+  info.heap_base = heap_base;
+  info.heap_limit = heap_limit;
+  info.symbols = img->symbols;
+  for (const auto& [sym, addr] : libx_img->symbols) info.symbols.emplace(sym, addr);
+  pp.extensions[handle] = std::move(info);
+  kernel_.Charge(costs_.dlopen_cycles);
+  return handle;
+}
+
+i64 UserExtensionRuntime::SegDlsym(Pid pid, u32 handle, const std::string& function) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) return kFailNoEnt;
+  PerProcess& pp = per_process_[pid];
+  auto it = pp.extensions.find(handle);
+  if (it == pp.extensions.end() || it->second.closed) return kFailNoEnt;
+  ExtensionInfo& ext = it->second;
+  if (!ext.isolated) {
+    // Plain dlopen handle: seg_dlsym degenerates to dlsym.
+    return Dlsym(pid, handle, function);
+  }
+  auto cached = ext.prepare_stubs.find(function);
+  if (cached != ext.prepare_stubs.end()) return cached->second;
+  auto fn = ext.symbols.find(function);
+  if (fn == ext.symbols.end()) return kFailNoEnt;
+
+  std::string diag;
+  // Transfer stub in the extension segment (SPL 3 code).
+  const u32 transfer_addr =
+      ext.transfer_page + static_cast<u32>(ext.prepare_stubs.size()) * 2 * kInsnSize;
+  if (transfer_addr + 2 * kInsnSize > ext.transfer_page + kPageSize) return kFailNoMem;
+  if (!PlaceStub(*proc, transfer_addr,
+                 TransferStubSource(fn->second, pp.app_gate_selector), {}, &diag)) {
+    return kFailFault;
+  }
+  // Prepare stub in the application's runtime area (SPL 2 code).
+  const u32 prepare_addr = pp.rt_bump;
+  const std::string prepare_src =
+      PrepareStubSource(pp.slots, ext.arg_slot, ext.stack_top - 4, kUserCsSel.raw(),
+                        kUserDsSel.raw(), transfer_addr);
+  if (!PlaceStub(*proc, prepare_addr, prepare_src, {}, &diag)) return kFailFault;
+  pp.rt_bump += 10 * kInsnSize;
+
+  ext.prepare_stubs[function] = prepare_addr;
+  kernel_.Charge(costs_.stub_generation);
+  return prepare_addr;
+}
+
+i64 UserExtensionRuntime::Dlsym(Pid pid, u32 handle, const std::string& symbol) {
+  PerProcess& pp = per_process_[pid];
+  auto it = pp.extensions.find(handle);
+  if (it == pp.extensions.end() || it->second.closed) return kFailNoEnt;
+  auto sym = it->second.symbols.find(symbol);
+  if (sym == it->second.symbols.end()) return kFailNoEnt;
+  return sym->second;
+}
+
+bool UserExtensionRuntime::SegDlclose(Pid pid, u32 handle) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) return false;
+  PerProcess& pp = per_process_[pid];
+  auto it = pp.extensions.find(handle);
+  if (it == pp.extensions.end() || it->second.closed) return false;
+  kernel_.UnmapArea(*proc, it->second.base, it->second.end);
+  it->second.closed = true;
+  return true;
+}
+
+i64 UserExtensionRuntime::ExposeAppService(Pid pid, const std::string& name,
+                                           u32 function_addr) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) return kFailNoEnt;
+  std::string diag;
+  if (!EnsureRuntime(pid, *proc, &diag)) return kFailPerm;
+  PerProcess& pp = per_process_[pid];
+  const u32 stub_addr = pp.rt_bump;
+  const u32 gate_frame = proc->pl2_stack_top - 16;
+  if (!PlaceStub(*proc, stub_addr, AppServiceStubSource(function_addr, gate_frame), {},
+                 &diag)) {
+    return kFailFault;
+  }
+  pp.rt_bump += 6 * kInsnSize;
+  u16 slot = kernel_.gdt().AllocateSlot(kGdtFirstDynamic);
+  kernel_.gdt().Set(slot,
+                    SegmentDescriptor::MakeCallGate(kAppCsSel.raw(), stub_addr, /*dpl=*/3));
+  u16 sel = Selector::FromIndex(slot, 3).raw();
+  pp.services[name] = sel;
+  return sel;
+}
+
+const UserExtensionRuntime::ExtensionInfo* UserExtensionRuntime::extension(Pid pid,
+                                                                           u32 handle) const {
+  auto pit = per_process_.find(pid);
+  if (pit == per_process_.end()) return nullptr;
+  auto it = pit->second.extensions.find(handle);
+  return it == pit->second.extensions.end() ? nullptr : &it->second;
+}
+
+std::optional<TrampolineSlots> UserExtensionRuntime::slots(Pid pid) const {
+  auto pit = per_process_.find(pid);
+  if (pit == per_process_.end() || !pit->second.ready) return std::nullopt;
+  return pit->second.slots;
+}
+
+std::optional<u16> UserExtensionRuntime::app_gate_selector(Pid pid) const {
+  auto pit = per_process_.find(pid);
+  if (pit == per_process_.end() || !pit->second.ready) return std::nullopt;
+  return pit->second.app_gate_selector;
+}
+
+void UserExtensionRuntime::RegisterSyscalls() {
+  auto with_string = [this](u32 ptr, std::string* out) {
+    Process* proc = kernel_.current();
+    if (proc == nullptr) return false;
+    auto s = kernel_.ReadUserString(*proc, ptr);
+    if (!s) return false;
+    *out = *s;
+    return true;
+  };
+
+  kernel_.RegisterSyscall(kSysSegDlopen, [this, with_string](Kernel& k, u32 ebx, u32, u32) {
+    std::string name, diag;
+    if (!with_string(ebx, &name)) {
+      k.ReturnFromGate(kErrFault);
+      return;
+    }
+    k.ReturnFromGate(static_cast<u32>(SegDlopen(k.current()->pid, name, &diag)));
+  });
+  kernel_.RegisterSyscall(kSysDlopenUnprot, [this, with_string](Kernel& k, u32 ebx, u32, u32) {
+    std::string name, diag;
+    if (!with_string(ebx, &name)) {
+      k.ReturnFromGate(kErrFault);
+      return;
+    }
+    k.ReturnFromGate(static_cast<u32>(DlopenUnprotected(k.current()->pid, name, &diag)));
+  });
+  kernel_.RegisterSyscall(kSysSegDlsym, [this, with_string](Kernel& k, u32 ebx, u32 ecx, u32) {
+    std::string fn;
+    if (!with_string(ecx, &fn)) {
+      k.ReturnFromGate(kErrFault);
+      return;
+    }
+    k.ReturnFromGate(static_cast<u32>(SegDlsym(k.current()->pid, ebx, fn)));
+  });
+  kernel_.RegisterSyscall(kSysDlsym, [this, with_string](Kernel& k, u32 ebx, u32 ecx, u32) {
+    std::string sym;
+    if (!with_string(ecx, &sym)) {
+      k.ReturnFromGate(kErrFault);
+      return;
+    }
+    k.ReturnFromGate(static_cast<u32>(Dlsym(k.current()->pid, ebx, sym)));
+  });
+  kernel_.RegisterSyscall(kSysSegDlclose, [this](Kernel& k, u32 ebx, u32, u32) {
+    k.ReturnFromGate(SegDlclose(k.current()->pid, ebx) ? 0 : kErrNoEnt);
+  });
+  kernel_.RegisterSyscall(kSysExposeService, [this, with_string](Kernel& k, u32 ebx, u32 ecx,
+                                                                 u32) {
+    std::string name;
+    if (!with_string(ebx, &name)) {
+      k.ReturnFromGate(kErrFault);
+      return;
+    }
+    k.ReturnFromGate(static_cast<u32>(ExposeAppService(k.current()->pid, name, ecx)));
+  });
+}
+
+}  // namespace palladium

@@ -1,0 +1,107 @@
+// Palladium's user-level extension mechanism (paper Sections 4.4 and 4.5):
+// extension segments that span the same 0–3 GB range as the application but
+// at SPL 3 / PPL 1, the seg_dlopen / seg_dlsym / seg_dlclose loading family,
+// per-function Prepare/Transfer stubs with a per-application AppCallGate,
+// application services exposed through call gates, and the xmalloc runtime.
+//
+// The loader/bookkeeping logic runs as host code (standing in for a
+// user-level runtime library); all protection-relevant state — stubs, gates,
+// PPL bits, the read-only GOT — is simulated-machine state enforced by the
+// simulated segmentation and paging hardware.
+#ifndef SRC_CORE_USER_EXT_H_
+#define SRC_CORE_USER_EXT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/core/trampoline.h"
+#include "src/dl/dynamic_linker.h"
+#include "src/kernel/kernel.h"
+
+namespace palladium {
+
+class UserExtensionRuntime {
+ public:
+  struct CostModel {
+    u32 dlopen_cycles = 80'000;      // ~400 us at 200 MHz (paper Section 5.1)
+    u32 seg_dlopen_extra = 600;      // PPL-marking startup beyond plain dlopen
+    u32 stub_generation = 400;       // per seg_dlsym stub pair
+  };
+
+  // Region layout (user VAS).
+  static constexpr u32 kRuntimeBase = 0x5E000000;   // Prepare stubs + slots (PPL 0)
+  static constexpr u32 kRuntimeSpan = 0x10000;
+  static constexpr u32 kFirstExtensionBase = 0x60000000;
+  static constexpr u32 kExtensionStride = 0x01000000;
+  static constexpr u32 kExtensionStackPages = 16;
+  static constexpr u32 kExtensionHeapPages = 64;
+
+  UserExtensionRuntime(Kernel& kernel, DynamicLinker& dl);
+
+  // --- The seg_dl* API (host-level; also reachable via syscalls 212–217) ----
+  // Returns a handle (> 0) or a negative errno-style value.
+  i64 SegDlopen(Pid pid, const std::string& name, std::string* diag);
+  // Returns the address of the generated Prepare stub — the "massaged"
+  // function pointer of Section 4.5.1 — or a negative value.
+  i64 SegDlsym(Pid pid, u32 handle, const std::string& function);
+  // Raw symbol address (for data pointers; paper: use dlsym, not seg_dlsym).
+  i64 Dlsym(Pid pid, u32 handle, const std::string& symbol);
+  bool SegDlclose(Pid pid, u32 handle);
+  // The unprotected baseline: maps the same object as ordinary application
+  // code (PPL 0 under the policy); Dlsym then yields directly callable
+  // pointers. Used by the paper's "unprotected function call" comparisons.
+  i64 DlopenUnprotected(Pid pid, const std::string& name, std::string* diag);
+
+  // Exposes an application function to extensions through a call gate
+  // (Section 4.5.1). Extensions import it as `gate_<name>` and invoke it
+  // with `lcall`. Must be called before loading extensions that use it.
+  i64 ExposeAppService(Pid pid, const std::string& name, u32 function_addr);
+
+  struct ExtensionInfo {
+    std::string name;
+    bool isolated = false;  // true for seg_dlopen, false for the baseline
+    bool closed = false;
+    u32 base = 0, end = 0;
+    u32 stack_top = 0;
+    u32 arg_slot = 0;
+    u32 heap_base = 0, heap_limit = 0;
+    u32 got_page = 0;
+    u32 transfer_page = 0;
+    std::map<std::string, u32> symbols;
+    std::map<std::string, u32> prepare_stubs;  // function -> Prepare address
+  };
+  const ExtensionInfo* extension(Pid pid, u32 handle) const;
+  // The per-application runtime slots (for tests and benches).
+  std::optional<TrampolineSlots> slots(Pid pid) const;
+  std::optional<u16> app_gate_selector(Pid pid) const;
+
+  CostModel& costs() { return costs_; }
+
+ private:
+  struct PerProcess {
+    bool ready = false;
+    u32 rt_bump = 0;
+    TrampolineSlots slots;
+    u32 app_gate_addr = 0;
+    u16 app_gate_selector = 0;
+    std::map<u32, ExtensionInfo> extensions;
+    u32 next_handle = 1;
+    std::map<std::string, u16> services;  // name -> gate selector
+  };
+
+  bool EnsureRuntime(Pid pid, Process& proc, std::string* diag);
+  // Assembles `source` at `addr` inside the process and copies it in.
+  bool PlaceStub(Process& proc, u32 addr, const std::string& source,
+                 const std::map<std::string, u32>& imports, std::string* diag);
+  void RegisterSyscalls();
+
+  Kernel& kernel_;
+  DynamicLinker& dl_;
+  CostModel costs_;
+  std::map<Pid, PerProcess> per_process_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_CORE_USER_EXT_H_

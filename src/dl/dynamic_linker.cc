@@ -1,0 +1,101 @@
+#include "src/dl/dynamic_linker.h"
+
+namespace palladium {
+
+std::optional<u32> DynamicLinker::LoadLibrary(Pid pid, const std::string& name,
+                                              bool expose_ppl1, std::string* diag) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) {
+    if (diag != nullptr) *diag = "no such process";
+    return std::nullopt;
+  }
+  const ObjectFile* obj = FindObject(name);
+  if (obj == nullptr) {
+    if (diag != nullptr) *diag = "no such object: " + name;
+    return std::nullopt;
+  }
+  u32 base = kSharedLibBase;
+  auto nb = next_base_.find(pid);
+  if (nb != next_base_.end()) base = nb->second;
+
+  // Imports resolve against libraries already loaded in this process
+  // (eager binding: unresolved imports fail the load).
+  LinkError lerr;
+  auto img = LinkImage(*obj, base, ExportedSymbols(pid), &lerr);
+  if (!img) {
+    if (diag != nullptr) *diag = "link " + name + ": " + lerr.message;
+    return std::nullopt;
+  }
+  const u32 end = PageAlignUp(base + img->TotalSpan());
+  if (!kernel_.AddArea(*proc, base, end, kProtRead | kProtWrite | kProtExec, "shlib")) {
+    if (diag != nullptr) *diag = "library area overlaps";
+    return std::nullopt;
+  }
+  if (expose_ppl1) proc->areas.back().shared_ppl1 = true;
+  if (!kernel_.PopulateRange(*proc, base, end) ||
+      !kernel_.CopyToUser(*proc, base, img->bytes.data(), static_cast<u32>(img->bytes.size()))) {
+    if (diag != nullptr) *diag = "cannot materialize library";
+    return std::nullopt;
+  }
+  next_base_[pid] = end + kPageSize;
+  loaded_[pid].push_back(Library{name, *img, expose_ppl1});
+  return base;
+}
+
+std::optional<u32> DynamicLinker::Lookup(Pid pid, const std::string& symbol) const {
+  auto it = loaded_.find(pid);
+  if (it == loaded_.end()) return std::nullopt;
+  for (const Library& lib : it->second) {
+    auto addr = lib.image.Lookup(symbol);
+    if (addr) return addr;
+  }
+  return std::nullopt;
+}
+
+std::map<std::string, u32> DynamicLinker::ExportedSymbols(Pid pid) const {
+  std::map<std::string, u32> out;
+  auto it = loaded_.find(pid);
+  if (it == loaded_.end()) return out;
+  for (const Library& lib : it->second) {
+    for (const auto& [sym, addr] : lib.image.symbols) out.emplace(sym, addr);
+  }
+  return out;
+}
+
+std::optional<std::map<std::string, u32>> DynamicLinker::BuildGot(
+    Pid pid, u32 got_page, const std::vector<std::string>& symbols, std::string* diag) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr || (got_page & kPageMask) != 0) {
+    if (diag != nullptr) *diag = "GOT page must be page-aligned in a live process";
+    return std::nullopt;
+  }
+  if (symbols.size() * 4 > kPageSize) {
+    if (diag != nullptr) *diag = "too many GOT entries for one page";
+    return std::nullopt;
+  }
+  std::map<std::string, u32> slots;
+  u32 slot = got_page;
+  for (const std::string& sym : symbols) {
+    auto addr = Lookup(pid, sym);
+    if (!addr) {
+      if (diag != nullptr) *diag = "GOT symbol unresolved: " + sym;
+      return std::nullopt;
+    }
+    u32 value = *addr;
+    if (!kernel_.CopyToUser(*proc, slot, &value, 4)) {
+      if (diag != nullptr) *diag = "cannot write GOT";
+      return std::nullopt;
+    }
+    slots["got_" + sym] = slot;
+    slot += 4;
+  }
+  // All modifications happen at load time; the page then becomes read-only
+  // (Section 4.4.2: eager resolution + write-protected GOT).
+  if (!kernel_.SetPageWritable(*proc, got_page, false)) {
+    if (diag != nullptr) *diag = "cannot write-protect GOT page";
+    return std::nullopt;
+  }
+  return slots;
+}
+
+}  // namespace palladium

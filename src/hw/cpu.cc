@@ -1,0 +1,872 @@
+#include "src/hw/cpu.h"
+
+#include "src/hw/paging.h"
+
+namespace palladium {
+
+namespace {
+
+Fault Gp(const char* detail, u32 err = 0) {
+  Fault f;
+  f.vector = FaultVector::kGeneralProtection;
+  f.error_code = err;
+  f.detail = detail;
+  return f;
+}
+
+Fault Ss(const char* detail, u32 err = 0) {
+  Fault f;
+  f.vector = FaultVector::kStackFault;
+  f.error_code = err;
+  f.detail = detail;
+  return f;
+}
+
+Fault Np(const char* detail, u32 err = 0) {
+  Fault f;
+  f.vector = FaultVector::kSegmentNotPresent;
+  f.error_code = err;
+  f.detail = detail;
+  return f;
+}
+
+Fault Ud(const char* detail) {
+  Fault f;
+  f.vector = FaultVector::kInvalidOpcode;
+  f.detail = detail;
+  return f;
+}
+
+}  // namespace
+
+Cpu::Cpu(PhysicalMemory& pm, DescriptorTable& gdt, DescriptorTable& idt, CycleModel model)
+    : pm_(pm), gdt_(gdt), idt_(idt), model_(model) {}
+
+bool Cpu::LoadSegmentChecked(SegReg sr, Selector sel, Fault* fault) {
+  LoadedSegment& target = segs_[static_cast<u8>(sr)];
+  if (sel.IsNull()) {
+    if (sr == SegReg::kSs || sr == SegReg::kCs) {
+      *fault = Gp("null selector load into CS/SS");
+      return false;
+    }
+    target.selector = sel;
+    target.valid = false;  // later accesses through it fault
+    return true;
+  }
+  const SegmentDescriptor* d = gdt_.Get(sel.index());
+  if (d == nullptr || d->type == DescriptorType::kNull) {
+    *fault = Gp("selector index out of descriptor table", sel.raw());
+    return false;
+  }
+  if (!d->present) {
+    *fault = Np("segment not present", sel.raw());
+    return false;
+  }
+  if (sr == SegReg::kCs) {
+    // Direct CS loads are not an instruction; only far transfers load CS.
+    *fault = Gp("CS cannot be loaded with mov/pop");
+    return false;
+  }
+  if (sr == SegReg::kSs) {
+    if (!d->IsData() || !d->writable) {
+      *fault = Gp("SS must be a writable data segment", sel.raw());
+      return false;
+    }
+    if (sel.rpl() != cpl_ || d->dpl != cpl_) {
+      *fault = Gp("SS privilege mismatch", sel.raw());
+      return false;
+    }
+  } else {
+    // DS/ES: data or readable code, DPL >= max(CPL, RPL). This is the check
+    // that stops an SPL 3 extension from loading the SPL 2 application
+    // segment or an SPL 1 kernel extension from loading kernel segments.
+    if (!(d->IsData() || (d->IsCode() && d->readable))) {
+      *fault = Gp("not a data-readable segment", sel.raw());
+      return false;
+    }
+    u8 eff = cpl_ > sel.rpl() ? cpl_ : sel.rpl();
+    if (!d->conforming && d->dpl < eff) {
+      *fault = Gp("data segment DPL below max(CPL,RPL)", sel.raw());
+      return false;
+    }
+  }
+  target.selector = sel;
+  target.cache = *d;
+  target.valid = true;
+  return true;
+}
+
+bool Cpu::ForceSegment(SegReg sr, Selector sel) {
+  LoadedSegment& target = segs_[static_cast<u8>(sr)];
+  if (sel.IsNull()) {
+    target.selector = sel;
+    target.valid = false;
+    return true;
+  }
+  const SegmentDescriptor* d = gdt_.Get(sel.index());
+  if (d == nullptr || !d->present) return false;
+  target.selector = sel;
+  target.cache = *d;
+  target.valid = true;
+  if (sr == SegReg::kCs) cpl_ = sel.rpl();
+  return true;
+}
+
+CpuContext Cpu::SaveContext() const {
+  CpuContext ctx;
+  ctx.regs = regs_;
+  ctx.eip = eip_;
+  ctx.eflags = eflags_;
+  ctx.cpl = cpl_;
+  ctx.segs = segs_;
+  return ctx;
+}
+
+void Cpu::RestoreContext(const CpuContext& ctx) {
+  regs_ = ctx.regs;
+  eip_ = ctx.eip;
+  eflags_ = ctx.eflags;
+  cpl_ = ctx.cpl;
+  segs_ = ctx.segs;
+}
+
+bool Cpu::Translate(u32 linear, bool is_write, u32* phys, Fault* fault) {
+  const bool is_user = cpl_ == 3;
+  u32 frame = 0, flags = 0;
+  if (tlb_.Lookup(linear, &frame, &flags)) {
+    // Permission check from the cached entry, as the hardware does.
+    if (is_user && !(flags & kPteUser)) {
+      Fault f;
+      f.vector = FaultVector::kPageFault;
+      f.error_code = kPfErrPresent | (is_write ? kPfErrWrite : 0) | kPfErrUser;
+      f.linear_address = linear;
+      f.detail = "SPL 3 access to PPL 0 (supervisor) page";
+      *fault = f;
+      return false;
+    }
+    if (is_user && is_write && !(flags & kPteWrite)) {
+      Fault f;
+      f.vector = FaultVector::kPageFault;
+      f.error_code = kPfErrPresent | kPfErrWrite | kPfErrUser;
+      f.linear_address = linear;
+      f.detail = "write to read-only page";
+      *fault = f;
+      return false;
+    }
+  } else {
+    WalkResult wr = WalkPageTable(pm_, cr3_, linear, is_write, is_user);
+    cycles_ += model_.tlb_miss_penalty;
+    if (!wr.ok) {
+      *fault = wr.fault;
+      return false;
+    }
+    SetAccessedDirty(pm_, cr3_, linear, is_write);
+    tlb_.Insert(linear, wr.frame, wr.flags);
+    frame = wr.frame;
+  }
+  *phys = frame | (linear & kPageMask);
+  return true;
+}
+
+bool Cpu::CheckSegmentAccess(const LoadedSegment& seg, u32 offset, u32 size, bool is_write,
+                             bool is_stack, Fault* fault) {
+  if (!seg.valid) {
+    *fault = is_stack ? Ss("access through invalid SS") : Gp("access through null segment");
+    return false;
+  }
+  const SegmentDescriptor& d = seg.cache;
+  // Limit check: `limit` is the segment size in bytes.
+  if (offset > d.limit || size > d.limit - offset) {
+    *fault = is_stack ? Ss("stack segment limit violation") : Gp("segment limit violation");
+    return false;
+  }
+  if (is_write) {
+    if (d.IsCode()) {
+      *fault = Gp("write into code segment");
+      return false;
+    }
+    if (!d.writable) {
+      *fault = Gp("write into read-only segment");
+      return false;
+    }
+  } else if (d.IsCode() && !d.readable) {
+    *fault = Gp("read from execute-only code segment");
+    return false;
+  }
+  return true;
+}
+
+bool Cpu::MemRead(const LoadedSegment& seg, u32 offset, u32 size, bool is_stack, u32* out,
+                  Fault* fault) {
+  if (!CheckSegmentAccess(seg, offset, size, /*is_write=*/false, is_stack, fault)) return false;
+  u32 linear = seg.cache.base + offset;  // wraps mod 2^32 like the hardware
+  u32 value = 0;
+  for (u32 i = 0; i < size; ++i) {
+    // Per-byte composition handles page-crossing accesses; same-page bytes
+    // hit the TLB so the cost stays realistic.
+    u32 phys = 0;
+    if (!Translate(linear + i, /*is_write=*/false, &phys, fault)) return false;
+    u8 b = 0;
+    if (!pm_.Read8(phys, &b)) {
+      *fault = Gp("physical address out of range (bus error)");
+      return false;
+    }
+    value |= static_cast<u32>(b) << (8 * i);
+  }
+  *out = value;
+  return true;
+}
+
+bool Cpu::MemWrite(const LoadedSegment& seg, u32 offset, u32 size, bool is_stack, u32 value,
+                   Fault* fault) {
+  if (!CheckSegmentAccess(seg, offset, size, /*is_write=*/true, is_stack, fault)) return false;
+  u32 linear = seg.cache.base + offset;
+  for (u32 i = 0; i < size; ++i) {
+    u32 phys = 0;
+    if (!Translate(linear + i, /*is_write=*/true, &phys, fault)) return false;
+    if (!pm_.Write8(phys, static_cast<u8>(value >> (8 * i)))) {
+      *fault = Gp("physical address out of range (bus error)");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Cpu::ReadVirt(SegReg sr, u32 offset, u32 size, u32* out, Fault* fault) {
+  return MemRead(segs_[static_cast<u8>(sr)], offset, size, sr == SegReg::kSs, out, fault);
+}
+
+bool Cpu::WriteVirt(SegReg sr, u32 offset, u32 size, u32 value, Fault* fault) {
+  return MemWrite(segs_[static_cast<u8>(sr)], offset, size, sr == SegReg::kSs, value, fault);
+}
+
+bool Cpu::Push32(u32 v, Fault* fault) {
+  u32 esp = reg(Reg::kEsp) - 4;
+  if (!WriteVirt(SegReg::kSs, esp, 4, v, fault)) return false;
+  set_reg(Reg::kEsp, esp);
+  return true;
+}
+
+bool Cpu::Pop32(u32* v, Fault* fault) {
+  u32 esp = reg(Reg::kEsp);
+  if (!ReadVirt(SegReg::kSs, esp, 4, v, fault)) return false;
+  set_reg(Reg::kEsp, esp + 4);
+  return true;
+}
+
+LoadedSegment& Cpu::SegForOverride(SegOverride ov, bool base_is_stackish) {
+  switch (ov) {
+    case SegOverride::kCs:
+      return segs_[static_cast<u8>(SegReg::kCs)];
+    case SegOverride::kSs:
+      return segs_[static_cast<u8>(SegReg::kSs)];
+    case SegOverride::kDs:
+      return segs_[static_cast<u8>(SegReg::kDs)];
+    case SegOverride::kEs:
+      return segs_[static_cast<u8>(SegReg::kEs)];
+    case SegOverride::kNone:
+      break;
+  }
+  return segs_[static_cast<u8>(base_is_stackish ? SegReg::kSs : SegReg::kDs)];
+}
+
+bool Cpu::FetchInsn(Insn* insn, Fault* fault) {
+  const LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+  if (!CheckSegmentAccess(cs, eip_, kInsnSize, /*is_write=*/false, /*is_stack=*/false, fault)) {
+    return false;
+  }
+  u8 raw[kInsnSize];
+  u32 linear = cs.cache.base + eip_;
+  for (u32 i = 0; i < kInsnSize; ++i) {
+    u32 phys = 0;
+    if (!Translate(linear + i, /*is_write=*/false, &phys, fault)) return false;
+    if (!pm_.Read8(phys, &raw[i])) {
+      *fault = Gp("instruction fetch beyond physical memory");
+      return false;
+    }
+  }
+  auto decoded = Insn::Decode(raw);
+  if (!decoded) {
+    *fault = Ud("undecodable instruction");
+    return false;
+  }
+  *insn = *decoded;
+  return true;
+}
+
+bool Cpu::DoLcall(const Insn& insn, Fault* fault, u32* extra_cycles) {
+  Selector sel(static_cast<u16>(insn.imm));
+  const SegmentDescriptor* gate = gdt_.Get(sel.index());
+  if (gate == nullptr || gate->type != DescriptorType::kCallGate) {
+    *fault = Gp("lcall target is not a call gate", sel.raw());
+    return false;
+  }
+  if (!gate->present) {
+    *fault = Np("call gate not present", sel.raw());
+    return false;
+  }
+  u8 eff = cpl_ > sel.rpl() ? cpl_ : sel.rpl();
+  if (gate->dpl < eff) {
+    *fault = Gp("call gate DPL below max(CPL,RPL)", sel.raw());
+    return false;
+  }
+  Selector tsel(gate->gate_selector);
+  const SegmentDescriptor* target = gdt_.Get(tsel.index());
+  if (target == nullptr || !target->IsCode() || !target->present) {
+    *fault = Gp("call gate target is not present code", tsel.raw());
+    return false;
+  }
+  if (target->dpl > cpl_) {
+    *fault = Gp("call gate target less privileged than caller", tsel.raw());
+    return false;
+  }
+
+  const u32 old_eip = eip_;
+  const Selector old_cs = segs_[static_cast<u8>(SegReg::kCs)].selector;
+
+  if (target->dpl < cpl_ && !target->conforming) {
+    // Inter-privilege call: switch to the inner stack from the TSS, then
+    // push the outer SS:ESP and CS:EIP onto it.
+    const u8 new_cpl = target->dpl;
+    const Selector old_ss = segs_[static_cast<u8>(SegReg::kSs)].selector;
+    const u32 old_esp = reg(Reg::kEsp);
+
+    Selector new_ss(tss_.ss[new_cpl]);
+    const SegmentDescriptor* ssd = gdt_.Get(new_ss.index());
+    if (ssd == nullptr || !ssd->IsData() || !ssd->writable || !ssd->present ||
+        ssd->dpl != new_cpl) {
+      Fault f;
+      f.vector = FaultVector::kInvalidTss;
+      f.error_code = new_ss.raw();
+      f.detail = "bad inner stack segment in TSS";
+      *fault = f;
+      return false;
+    }
+    // Commit the privilege switch before pushing (pushes run at new CPL on
+    // the new stack).
+    cpl_ = new_cpl;
+    LoadedSegment& ss = segs_[static_cast<u8>(SegReg::kSs)];
+    ss.selector = new_ss;
+    ss.cache = *ssd;
+    ss.valid = true;
+    set_reg(Reg::kEsp, tss_.esp[new_cpl]);
+
+    if (!Push32(old_ss.raw(), fault) || !Push32(old_esp, fault)) return false;
+    // Parameter copy (gate_param_count dwords from the outer stack).
+    for (u8 i = 0; i < gate->gate_param_count; ++i) {
+      u32 off = old_esp + (gate->gate_param_count - 1 - i) * 4u;
+      // Read with the *old* SS descriptor via a temporary loaded segment.
+      LoadedSegment old_stack;
+      old_stack.selector = old_ss;
+      const SegmentDescriptor* od = gdt_.Get(old_ss.index());
+      if (od == nullptr) {
+        *fault = Gp("outer stack segment vanished");
+        return false;
+      }
+      old_stack.cache = *od;
+      old_stack.valid = true;
+      u32 word = 0;
+      if (!MemRead(old_stack, off, 4, /*is_stack=*/true, &word, fault)) return false;
+      if (!Push32(word, fault)) return false;
+    }
+    if (!Push32(old_cs.raw(), fault) || !Push32(old_eip, fault)) return false;
+    // Privilege-change premium plus the hardware's per-parameter word copy
+    // (~4 cycles each per the Pentium manual).
+    *extra_cycles = model_.lcall_inter - model_.lcall_same + 4u * gate->gate_param_count;
+  } else {
+    if (!Push32(old_cs.raw(), fault) || !Push32(old_eip, fault)) return false;
+  }
+
+  LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+  cs.selector = Selector::FromIndex(tsel.index(), cpl_);
+  cs.cache = *target;
+  cs.valid = true;
+  eip_ = gate->gate_offset;
+  return true;
+}
+
+bool Cpu::DoLret(u32 release_bytes, Fault* fault, u32* extra_cycles) {
+  u32 new_eip = 0, cs_raw = 0;
+  if (!Pop32(&new_eip, fault) || !Pop32(&cs_raw, fault)) return false;
+  set_reg(Reg::kEsp, reg(Reg::kEsp) + release_bytes);  // release inner-stack params
+  Selector sel(static_cast<u16>(cs_raw));
+  if (sel.IsNull()) {
+    *fault = Gp("lret to null CS");
+    return false;
+  }
+  if (sel.rpl() < cpl_) {
+    *fault = Gp("lret to inner (more privileged) level", sel.raw());
+    return false;
+  }
+  const SegmentDescriptor* d = gdt_.Get(sel.index());
+  if (d == nullptr || !d->IsCode() || !d->present) {
+    *fault = Gp("lret target is not present code", sel.raw());
+    return false;
+  }
+  if (!d->conforming && d->dpl != sel.rpl()) {
+    *fault = Gp("lret target DPL/RPL mismatch", sel.raw());
+    return false;
+  }
+  if (sel.rpl() > cpl_) {
+    // Return to outer level: pop the outer SS:ESP (still from the inner
+    // stack), then switch.
+    u32 new_esp = 0, ss_raw = 0;
+    if (!Pop32(&new_esp, fault) || !Pop32(&ss_raw, fault)) return false;
+    Selector ss_sel(static_cast<u16>(ss_raw));
+    const SegmentDescriptor* ssd = gdt_.Get(ss_sel.index());
+    if (ssd == nullptr || !ssd->IsData() || !ssd->writable || !ssd->present ||
+        ssd->dpl != sel.rpl()) {
+      *fault = Gp("lret outer SS invalid", ss_sel.raw());
+      return false;
+    }
+    cpl_ = sel.rpl();
+    LoadedSegment& ss = segs_[static_cast<u8>(SegReg::kSs)];
+    ss.selector = ss_sel;
+    ss.cache = *ssd;
+    ss.valid = true;
+    set_reg(Reg::kEsp, new_esp + release_bytes);  // release outer-stack params too
+    *extra_cycles = model_.lret_inter - model_.lret_same;
+  }
+  LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+  cs.selector = sel;
+  cs.cache = *d;
+  cs.valid = true;
+  eip_ = new_eip;
+  return true;
+}
+
+bool Cpu::DoInt(u8 vector, bool software, Fault* fault) {
+  const SegmentDescriptor* gate = idt_.Get(vector);
+  if (gate == nullptr || gate->type != DescriptorType::kInterruptGate || !gate->present) {
+    *fault = Gp("missing interrupt gate", static_cast<u32>(vector) << 3);
+    return false;
+  }
+  // Software INT n must satisfy CPL <= gate DPL; this is what keeps user
+  // code from invoking kernel-internal vectors directly.
+  if (software && gate->dpl < cpl_) {
+    *fault = Gp("software interrupt to protected vector", static_cast<u32>(vector) << 3);
+    return false;
+  }
+  Selector tsel(gate->gate_selector);
+  const SegmentDescriptor* target = gdt_.Get(tsel.index());
+  if (target == nullptr || !target->IsCode() || !target->present) {
+    *fault = Gp("interrupt gate target invalid", tsel.raw());
+    return false;
+  }
+  const u32 old_eip = eip_;
+  const u32 old_eflags = eflags_;
+  const Selector old_cs = segs_[static_cast<u8>(SegReg::kCs)].selector;
+
+  if (target->dpl < cpl_) {
+    const u8 new_cpl = target->dpl;
+    const Selector old_ss = segs_[static_cast<u8>(SegReg::kSs)].selector;
+    const u32 old_esp = reg(Reg::kEsp);
+    Selector new_ss(tss_.ss[new_cpl]);
+    const SegmentDescriptor* ssd = gdt_.Get(new_ss.index());
+    if (ssd == nullptr || !ssd->IsData() || !ssd->writable || !ssd->present ||
+        ssd->dpl != new_cpl) {
+      Fault f;
+      f.vector = FaultVector::kInvalidTss;
+      f.error_code = new_ss.raw();
+      f.detail = "bad inner stack segment in TSS (interrupt)";
+      *fault = f;
+      return false;
+    }
+    cpl_ = new_cpl;
+    LoadedSegment& ss = segs_[static_cast<u8>(SegReg::kSs)];
+    ss.selector = new_ss;
+    ss.cache = *ssd;
+    ss.valid = true;
+    set_reg(Reg::kEsp, tss_.esp[new_cpl]);
+    if (!Push32(old_ss.raw(), fault) || !Push32(old_esp, fault)) return false;
+  }
+  if (!Push32(old_eflags, fault) || !Push32(old_cs.raw(), fault) || !Push32(old_eip, fault)) {
+    return false;
+  }
+  LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+  cs.selector = Selector::FromIndex(tsel.index(), cpl_);
+  cs.cache = *target;
+  cs.valid = true;
+  eip_ = gate->gate_offset;
+  return true;
+}
+
+bool Cpu::DoIret(Fault* fault) {
+  u32 new_eip = 0, cs_raw = 0, new_eflags = 0;
+  if (!Pop32(&new_eip, fault) || !Pop32(&cs_raw, fault) || !Pop32(&new_eflags, fault)) {
+    return false;
+  }
+  Selector sel(static_cast<u16>(cs_raw));
+  if (sel.rpl() < cpl_) {
+    *fault = Gp("iret to inner level", sel.raw());
+    return false;
+  }
+  const SegmentDescriptor* d = gdt_.Get(sel.index());
+  if (d == nullptr || !d->IsCode() || !d->present) {
+    *fault = Gp("iret target is not present code", sel.raw());
+    return false;
+  }
+  if (sel.rpl() > cpl_) {
+    u32 new_esp = 0, ss_raw = 0;
+    if (!Pop32(&new_esp, fault) || !Pop32(&ss_raw, fault)) return false;
+    Selector ss_sel(static_cast<u16>(ss_raw));
+    const SegmentDescriptor* ssd = gdt_.Get(ss_sel.index());
+    if (ssd == nullptr || !ssd->IsData() || !ssd->writable || !ssd->present ||
+        ssd->dpl != sel.rpl()) {
+      *fault = Gp("iret outer SS invalid", ss_sel.raw());
+      return false;
+    }
+    cpl_ = sel.rpl();
+    LoadedSegment& ss = segs_[static_cast<u8>(SegReg::kSs)];
+    ss.selector = ss_sel;
+    ss.cache = *ssd;
+    ss.valid = true;
+    set_reg(Reg::kEsp, new_esp);
+  }
+  LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+  cs.selector = sel;
+  cs.cache = *d;
+  cs.valid = true;
+  eip_ = new_eip;
+  eflags_ = new_eflags;
+  return true;
+}
+
+StopInfo Cpu::Run(u64 cycle_limit) {
+  StopInfo stop;
+  for (;;) {
+    if (cycles_ >= cycle_limit) {
+      stop.reason = StopReason::kCycleLimit;
+      return stop;
+    }
+    // Host-entry detection happens on the *next* fetch address so that gate
+    // semantics (stack switch, frame pushes) are architecturally complete
+    // before the host kernel takes over.
+    const LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+    if (cs.valid && host_size_ != 0) {
+      u32 linear = cs.cache.base + eip_;
+      if (linear >= host_base_ && linear - host_base_ < host_size_) {
+        stop.reason = StopReason::kHostCall;
+        stop.host_call_id = (linear - host_base_) / kInsnSize;
+        return stop;
+      }
+    }
+    if (!StepOne(&stop)) return stop;
+  }
+}
+
+bool Cpu::StepOne(StopInfo* stop) {
+  const u32 insn_eip = eip_;
+  Fault fault;
+  Insn insn;
+  if (!FetchInsn(&insn, &fault)) {
+    eip_ = insn_eip;
+    stop->reason = StopReason::kFault;
+    stop->fault = fault;
+    return false;
+  }
+  eip_ += kInsnSize;
+  ++instructions_;
+
+  bool taken = false;
+  u32 extra_cycles = 0;
+  bool ok = true;
+
+  auto addr_of = [&](const Insn& in) {
+    u32 a = static_cast<u32>(in.disp);
+    if (in.r2 != kNoBaseReg) a += regs_[in.r2];
+    if (in.scale != 0) a += regs_[in.r3] * in.scale;
+    return a;
+  };
+  auto base_is_stackish = [&](const Insn& in) {
+    return in.r2 != kNoBaseReg &&
+           (static_cast<Reg>(in.r2) == Reg::kEsp || static_cast<Reg>(in.r2) == Reg::kEbp);
+  };
+
+  switch (insn.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHlt:
+      if (cpl_ != 0) {
+        ok = false;
+        fault = Gp("hlt at CPL > 0");
+        break;
+      }
+      cycles_ += model_.BaseCost(insn.opcode, false);
+      stop->reason = StopReason::kHalted;
+      return false;
+    case Opcode::kMovRR:
+      regs_[insn.r1] = regs_[insn.r2];
+      break;
+    case Opcode::kMovRI:
+      regs_[insn.r1] = static_cast<u32>(insn.imm);
+      break;
+    case Opcode::kLoad: {
+      LoadedSegment& seg = SegForOverride(insn.seg, base_is_stackish(insn));
+      u32 v = 0;
+      ok = MemRead(seg, addr_of(insn), insn.size, &seg == &segs_[1], &v, &fault);
+      if (ok) regs_[insn.r1] = v;
+      break;
+    }
+    case Opcode::kStore: {
+      LoadedSegment& seg = SegForOverride(insn.seg, base_is_stackish(insn));
+      ok = MemWrite(seg, addr_of(insn), insn.size, &seg == &segs_[1], regs_[insn.r1], &fault);
+      break;
+    }
+    case Opcode::kStoreI: {
+      LoadedSegment& seg = SegForOverride(insn.seg, base_is_stackish(insn));
+      ok = MemWrite(seg, addr_of(insn), insn.size, &seg == &segs_[1],
+                    static_cast<u32>(insn.imm), &fault);
+      break;
+    }
+    case Opcode::kLea:
+      regs_[insn.r1] = addr_of(insn);
+      break;
+    case Opcode::kPushR:
+      ok = Push32(regs_[insn.r1], &fault);
+      break;
+    case Opcode::kPushI:
+      ok = Push32(static_cast<u32>(insn.imm), &fault);
+      break;
+    case Opcode::kPopR: {
+      u32 v = 0;
+      ok = Pop32(&v, &fault);
+      if (ok) regs_[insn.r1] = v;
+      break;
+    }
+    case Opcode::kPushSeg: {
+      if (insn.r1 >= kNumSegRegs) {
+        ok = false;
+        fault = Ud("bad segment register");
+        break;
+      }
+      ok = Push32(segs_[insn.r1].selector.raw(), &fault);
+      break;
+    }
+    case Opcode::kPopSeg: {
+      if (insn.r1 >= kNumSegRegs) {
+        ok = false;
+        fault = Ud("bad segment register");
+        break;
+      }
+      u32 v = 0;
+      ok = Pop32(&v, &fault);
+      if (ok) ok = LoadSegmentChecked(static_cast<SegReg>(insn.r1), Selector(static_cast<u16>(v)),
+                                      &fault);
+      break;
+    }
+    case Opcode::kMovSegR: {
+      if (insn.r1 >= kNumSegRegs) {
+        ok = false;
+        fault = Ud("bad segment register");
+        break;
+      }
+      ok = LoadSegmentChecked(static_cast<SegReg>(insn.r1),
+                              Selector(static_cast<u16>(regs_[insn.r2])), &fault);
+      break;
+    }
+    case Opcode::kMovRSeg: {
+      if (insn.r2 >= kNumSegRegs) {
+        ok = false;
+        fault = Ud("bad segment register");
+        break;
+      }
+      regs_[insn.r1] = segs_[insn.r2].selector.raw();
+      break;
+    }
+
+    case Opcode::kAddRR:
+    case Opcode::kAddRI: {
+      u32 a = regs_[insn.r1];
+      u32 b = insn.opcode == Opcode::kAddRR ? regs_[insn.r2] : static_cast<u32>(insn.imm);
+      u32 r = a + b;
+      regs_[insn.r1] = r;
+      SetFlags(r < a, r == 0, (r >> 31) & 1,
+               ((~(a ^ b)) & (a ^ r) & 0x80000000u) != 0);
+      break;
+    }
+    case Opcode::kSubRR:
+    case Opcode::kSubRI:
+    case Opcode::kCmpRR:
+    case Opcode::kCmpRI: {
+      u32 a = regs_[insn.r1];
+      u32 b = (insn.opcode == Opcode::kSubRR || insn.opcode == Opcode::kCmpRR)
+                  ? regs_[insn.r2]
+                  : static_cast<u32>(insn.imm);
+      u32 r = a - b;
+      if (insn.opcode == Opcode::kSubRR || insn.opcode == Opcode::kSubRI) regs_[insn.r1] = r;
+      SetFlags(a < b, r == 0, (r >> 31) & 1, (((a ^ b) & (a ^ r)) & 0x80000000u) != 0);
+      break;
+    }
+    case Opcode::kAndRR:
+    case Opcode::kAndRI:
+    case Opcode::kTestRR:
+    case Opcode::kTestRI: {
+      u32 b = (insn.opcode == Opcode::kAndRR || insn.opcode == Opcode::kTestRR)
+                  ? regs_[insn.r2]
+                  : static_cast<u32>(insn.imm);
+      u32 r = regs_[insn.r1] & b;
+      if (insn.opcode == Opcode::kAndRR || insn.opcode == Opcode::kAndRI) regs_[insn.r1] = r;
+      SetLogicFlags(r);
+      break;
+    }
+    case Opcode::kOrRR:
+    case Opcode::kOrRI: {
+      u32 b = insn.opcode == Opcode::kOrRR ? regs_[insn.r2] : static_cast<u32>(insn.imm);
+      u32 r = regs_[insn.r1] | b;
+      regs_[insn.r1] = r;
+      SetLogicFlags(r);
+      break;
+    }
+    case Opcode::kXorRR:
+    case Opcode::kXorRI: {
+      u32 b = insn.opcode == Opcode::kXorRR ? regs_[insn.r2] : static_cast<u32>(insn.imm);
+      u32 r = regs_[insn.r1] ^ b;
+      regs_[insn.r1] = r;
+      SetLogicFlags(r);
+      break;
+    }
+    case Opcode::kShlRI: {
+      u32 s = static_cast<u32>(insn.imm) & 31;
+      u32 r = regs_[insn.r1] << s;
+      regs_[insn.r1] = r;
+      SetLogicFlags(r);
+      break;
+    }
+    case Opcode::kShrRI: {
+      u32 s = static_cast<u32>(insn.imm) & 31;
+      u32 r = regs_[insn.r1] >> s;
+      regs_[insn.r1] = r;
+      SetLogicFlags(r);
+      break;
+    }
+    case Opcode::kSarRI: {
+      u32 s = static_cast<u32>(insn.imm) & 31;
+      u32 r = static_cast<u32>(static_cast<i32>(regs_[insn.r1]) >> s);
+      regs_[insn.r1] = r;
+      SetLogicFlags(r);
+      break;
+    }
+    case Opcode::kImulRR:
+    case Opcode::kImulRI: {
+      i64 a = static_cast<i32>(regs_[insn.r1]);
+      i64 b = insn.opcode == Opcode::kImulRR ? static_cast<i32>(regs_[insn.r2]) : insn.imm;
+      i64 r = a * b;
+      regs_[insn.r1] = static_cast<u32>(r);
+      bool overflow = r != static_cast<i32>(r);
+      SetFlags(overflow, static_cast<u32>(r) == 0, (static_cast<u32>(r) >> 31) & 1, overflow);
+      break;
+    }
+    case Opcode::kUdivRR: {
+      u32 b = regs_[insn.r2];
+      if (b == 0) {
+        ok = false;
+        Fault f;
+        f.vector = FaultVector::kDivideError;
+        f.detail = "division by zero";
+        fault = f;
+        break;
+      }
+      regs_[insn.r1] = regs_[insn.r1] / b;
+      break;
+    }
+    case Opcode::kNegR: {
+      u32 r = 0 - regs_[insn.r1];
+      SetFlags(regs_[insn.r1] != 0, r == 0, (r >> 31) & 1, regs_[insn.r1] == 0x80000000u);
+      regs_[insn.r1] = r;
+      break;
+    }
+    case Opcode::kNotR:
+      regs_[insn.r1] = ~regs_[insn.r1];
+      break;
+    case Opcode::kIncR: {
+      u32 a = regs_[insn.r1];
+      u32 r = a + 1;
+      regs_[insn.r1] = r;
+      SetFlags(cf(), r == 0, (r >> 31) & 1, a == 0x7FFFFFFFu);
+      break;
+    }
+    case Opcode::kDecR: {
+      u32 a = regs_[insn.r1];
+      u32 r = a - 1;
+      regs_[insn.r1] = r;
+      SetFlags(cf(), r == 0, (r >> 31) & 1, a == 0x80000000u);
+      break;
+    }
+
+    case Opcode::kJmp:
+      eip_ = static_cast<u32>(insn.imm);
+      break;
+    case Opcode::kJmpR:
+      eip_ = regs_[insn.r1];
+      break;
+    case Opcode::kJe: taken = zf(); goto branch;
+    case Opcode::kJne: taken = !zf(); goto branch;
+    case Opcode::kJb: taken = cf(); goto branch;
+    case Opcode::kJae: taken = !cf(); goto branch;
+    case Opcode::kJbe: taken = cf() || zf(); goto branch;
+    case Opcode::kJa: taken = !cf() && !zf(); goto branch;
+    case Opcode::kJl: taken = sf() != of(); goto branch;
+    case Opcode::kJge: taken = sf() == of(); goto branch;
+    case Opcode::kJle: taken = zf() || sf() != of(); goto branch;
+    case Opcode::kJg: taken = !zf() && sf() == of(); goto branch;
+    case Opcode::kJs: taken = sf(); goto branch;
+    case Opcode::kJns: taken = !sf(); goto branch;
+    branch:
+      if (taken) eip_ = static_cast<u32>(insn.imm);
+      break;
+
+    case Opcode::kCall:
+      ok = Push32(eip_, &fault);
+      if (ok) eip_ = static_cast<u32>(insn.imm);
+      break;
+    case Opcode::kCallR:
+      ok = Push32(eip_, &fault);
+      if (ok) eip_ = regs_[insn.r1];
+      break;
+    case Opcode::kRet: {
+      u32 v = 0;
+      ok = Pop32(&v, &fault);
+      if (ok) eip_ = v;
+      break;
+    }
+    case Opcode::kRetN: {
+      u32 v = 0;
+      ok = Pop32(&v, &fault);
+      if (ok) {
+        eip_ = v;
+        set_reg(Reg::kEsp, reg(Reg::kEsp) + static_cast<u32>(insn.imm));
+      }
+      break;
+    }
+
+    case Opcode::kLcall:
+      ok = DoLcall(insn, &fault, &extra_cycles);
+      break;
+    case Opcode::kLret:
+      ok = DoLret(static_cast<u32>(insn.imm), &fault, &extra_cycles);
+      break;
+    case Opcode::kInt:
+      ok = DoInt(static_cast<u8>(insn.imm), /*software=*/true, &fault);
+      break;
+    case Opcode::kIret:
+      ok = DoIret(&fault);
+      break;
+
+    case Opcode::kCount:
+      ok = false;
+      fault = Ud("invalid opcode");
+      break;
+  }
+
+  if (!ok) {
+    eip_ = insn_eip;  // faulting EIP points at the faulting instruction
+    stop->reason = StopReason::kFault;
+    stop->fault = fault;
+    return false;
+  }
+  cycles_ += model_.BaseCost(insn.opcode, taken) + extra_cycles;
+  return true;
+}
+
+}  // namespace palladium

@@ -1,0 +1,200 @@
+// The simulated CPU: fetch/decode/execute with full segment-level and
+// page-level protection checks on every memory access, call gates with TSS
+// stack switching, far returns to outer privilege levels, and software
+// interrupts — i.e. exactly the IA-32 machinery of Section 3 of the paper.
+//
+// The kernel model is host C++ code; control enters it whenever the CPU
+// would fetch from the "host entry" linear range (interrupt-gate and
+// call-gate targets for kernel services point there). Faults likewise stop
+// execution and surface to the host, which is the fault handler.
+#ifndef SRC_HW_CPU_H_
+#define SRC_HW_CPU_H_
+
+#include <array>
+
+#include "src/hw/cycle_model.h"
+#include "src/hw/fault.h"
+#include "src/hw/physical_memory.h"
+#include "src/hw/segment.h"
+#include "src/hw/tlb.h"
+#include "src/hw/types.h"
+#include "src/isa/insn.h"
+
+namespace palladium {
+
+// Why Run()/Step() stopped.
+enum class StopReason : u8 {
+  kHalted,      // HLT executed
+  kFault,       // processor exception; see StopInfo::fault
+  kHostCall,    // control reached a host entry point (gate into kernel C++)
+  kCycleLimit,  // cycle budget exhausted (the kernel's timer-limit hook)
+};
+
+struct StopInfo {
+  StopReason reason = StopReason::kHalted;
+  Fault fault;
+  u32 host_call_id = 0;  // valid when reason == kHostCall
+};
+
+// Task State Segment (the parts Palladium uses): one stack pointer per
+// privilege level 0..2. Level 3's stack needs no TSS slot (Section 3.2).
+struct Tss {
+  std::array<u16, 3> ss{};
+  std::array<u32, 3> esp{};
+};
+
+// A loaded segment register: selector plus the descriptor shadow copy, as on
+// real hardware (later GDT edits do not affect already-loaded registers).
+struct LoadedSegment {
+  Selector selector;
+  SegmentDescriptor cache;
+  bool valid = false;
+};
+
+// Full architectural register state, for host-side context switching.
+struct CpuContext {
+  std::array<u32, kNumRegs> regs{};
+  u32 eip = 0;
+  u32 eflags = 0;
+  u8 cpl = 0;
+  std::array<LoadedSegment, kNumSegRegs> segs{};
+};
+
+// EFLAGS bit positions (x86 layout for the flags we model).
+inline constexpr u32 kFlagCf = 1u << 0;
+inline constexpr u32 kFlagZf = 1u << 6;
+inline constexpr u32 kFlagSf = 1u << 7;
+inline constexpr u32 kFlagOf = 1u << 11;
+
+class Cpu {
+ public:
+  Cpu(PhysicalMemory& pm, DescriptorTable& gdt, DescriptorTable& idt,
+      CycleModel model = CycleModel::Measured());
+
+  // --- Architectural state -------------------------------------------------
+  u32 reg(Reg r) const { return regs_[static_cast<u8>(r)]; }
+  void set_reg(Reg r, u32 v) { regs_[static_cast<u8>(r)] = v; }
+  u32 eip() const { return eip_; }
+  void set_eip(u32 v) { eip_ = v; }
+  u8 cpl() const { return cpl_; }
+  u32 eflags() const { return eflags_; }
+  void set_eflags(u32 v) { eflags_ = v; }
+
+  u32 cr3() const { return cr3_; }
+  // Loading CR3 flushes the TLB, as on the real hardware.
+  void LoadCr3(u32 cr3) {
+    cr3_ = cr3;
+    tlb_.Flush();
+  }
+
+  Tss& tss() { return tss_; }
+  const LoadedSegment& seg(SegReg s) const { return segs_[static_cast<u8>(s)]; }
+
+  // Privilege-checked segment load (the semantics of `mov %r, %seg`).
+  // On failure records the fault in *fault and returns false.
+  bool LoadSegmentChecked(SegReg sr, Selector sel, Fault* fault);
+
+  // Host-level (kernel) state setup: loads a segment register with explicit
+  // descriptor-table lookup but no privilege checks, and for CS also sets
+  // CPL from the selector RPL. Used when the kernel dispatches to user code,
+  // extensions, or signal handlers.
+  bool ForceSegment(SegReg sr, Selector sel);
+  void set_cpl(u8 cpl) { cpl_ = cpl; }
+
+  CpuContext SaveContext() const;
+  void RestoreContext(const CpuContext& ctx);
+
+  // --- Execution ------------------------------------------------------------
+  // Runs until HLT, fault, host call, or the *cumulative* cycle counter
+  // reaches `cycle_limit` (pass ~0ull for no limit).
+  StopInfo Run(u64 cycle_limit = ~0ull);
+
+  u64 cycles() const { return cycles_; }
+  void set_cycles(u64 c) { cycles_ = c; }
+  u64 instructions_retired() const { return instructions_; }
+  const Tlb::Stats& tlb_stats() const { return tlb_.stats(); }
+  Tlb& tlb() { return tlb_; }
+  const CycleModel& cycle_model() const { return model_; }
+  void set_cycle_model(const CycleModel& m) { model_ = m; }
+
+  // Host entry range: instruction fetches whose *linear* address lands in
+  // [base, base+size) stop execution with kHostCall and
+  // host_call_id = (linear - base) / kInsnSize.
+  void SetHostCallRange(u32 base, u32 size) {
+    host_base_ = base;
+    host_size_ = size;
+  }
+  u32 host_call_base() const { return host_base_; }
+
+  // Stack helpers running with the current SS:ESP and full checks; used by
+  // the host kernel to build and consume frames (signal delivery, returns).
+  bool Push32(u32 v, Fault* fault);
+  bool Pop32(u32* v, Fault* fault);
+
+  // Checked virtual-memory access through a segment register, as an
+  // executing instruction would perform it. Exposed for the kernel model.
+  bool ReadVirt(SegReg sr, u32 offset, u32 size, u32* out, Fault* fault);
+  bool WriteVirt(SegReg sr, u32 offset, u32 size, u32 value, Fault* fault);
+
+ private:
+  friend class CpuTestPeer;
+
+  bool cf() const { return eflags_ & kFlagCf; }
+  bool zf() const { return eflags_ & kFlagZf; }
+  bool sf() const { return eflags_ & kFlagSf; }
+  bool of() const { return eflags_ & kFlagOf; }
+  void SetFlags(bool cf, bool zf, bool sf, bool of) {
+    eflags_ = (eflags_ & ~(kFlagCf | kFlagZf | kFlagSf | kFlagOf)) | (cf ? kFlagCf : 0) |
+              (zf ? kFlagZf : 0) | (sf ? kFlagSf : 0) | (of ? kFlagOf : 0);
+  }
+  void SetLogicFlags(u32 result) { SetFlags(false, result == 0, (result >> 31) & 1, false); }
+
+  // One instruction. Returns false when execution must stop (*stop filled).
+  bool StepOne(StopInfo* stop);
+
+  // Address translation: linear -> physical with paging + TLB.
+  bool Translate(u32 linear, bool is_write, u32* phys, Fault* fault);
+
+  // Segment-checked access path. `is_exec` marks instruction fetches.
+  bool CheckSegmentAccess(const LoadedSegment& seg, u32 offset, u32 size, bool is_write,
+                          bool is_stack, Fault* fault);
+  bool MemRead(const LoadedSegment& seg, u32 offset, u32 size, bool is_stack, u32* out,
+               Fault* fault);
+  bool MemWrite(const LoadedSegment& seg, u32 offset, u32 size, bool is_stack, u32 value,
+                Fault* fault);
+
+  LoadedSegment& SegForOverride(SegOverride ov, bool base_is_stackish);
+
+  // Far-transfer implementations.
+  bool DoLcall(const Insn& insn, Fault* fault, u32* extra_cycles);
+  // `release_bytes` implements `lret $n`: parameters copied by the gate are
+  // released from both the inner and the outer stack.
+  bool DoLret(u32 release_bytes, Fault* fault, u32* extra_cycles);
+  bool DoInt(u8 vector, bool software, Fault* fault);
+  bool DoIret(Fault* fault);
+
+  bool FetchInsn(Insn* insn, Fault* fault);
+
+  PhysicalMemory& pm_;
+  DescriptorTable& gdt_;
+  DescriptorTable& idt_;
+  CycleModel model_;
+  Tlb tlb_;
+
+  std::array<u32, kNumRegs> regs_{};
+  std::array<LoadedSegment, kNumSegRegs> segs_{};
+  u32 eip_ = 0;
+  u32 eflags_ = 0;
+  u8 cpl_ = 0;
+  u32 cr3_ = 0;
+  Tss tss_;
+
+  u64 cycles_ = 0;
+  u64 instructions_ = 0;
+  u32 host_base_ = 0;
+  u32 host_size_ = 0;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_CPU_H_

@@ -1,0 +1,65 @@
+// The cycle-accounting model. Every simulated instruction charges a cost from
+// this table; privilege-crossing far transfers charge the large costs that
+// dominate the paper's Table 1. Two presets exist:
+//
+//  * Measured():      calibrated so the Figure-6 trampoline sequences cost what
+//                     the paper *measured* on a Pentium 200 (142-cycle protected
+//                     call, 12-cycle segment-register load, ...).
+//  * TheoryPentium(): per-instruction costs from the Pentium architecture
+//                     manual, used for Table 1's "Hardware" column.
+//
+// The difference between the two is the paper's "data/control pipeline
+// hazards" remark.
+#ifndef SRC_HW_CYCLE_MODEL_H_
+#define SRC_HW_CYCLE_MODEL_H_
+
+#include "src/isa/insn.h"
+#include "src/hw/types.h"
+
+namespace palladium {
+
+struct CycleModel {
+  // Simple register ops.
+  u32 alu = 1;
+  u32 mov = 1;
+  u32 lea = 1;
+
+  // Memory traffic.
+  u32 load = 2;
+  u32 store = 3;
+  u32 push_reg = 1;
+  u32 push_imm = 3;
+  u32 pop_reg = 2;
+  u32 tlb_miss_penalty = 9;  // two-level walk on a miss
+
+  // Near control transfer.
+  u32 jmp = 1;
+  u32 jcc_not_taken = 1;
+  u32 jcc_taken = 3;
+  u32 call_near = 3;
+  u32 ret_near = 3;
+
+  // Segment-register loads. The paper measures 12 cycles where the manual
+  // claims 2–3 (Section 5.1, cross-segment reference cost).
+  u32 seg_load = 12;
+
+  // Far transfers. The privilege-crossing variants are the expensive ones:
+  // stack switch, descriptor checks, shadow-register reloads.
+  u32 lcall_same = 13;
+  u32 lcall_inter = 72;  // call gate with privilege change (+TSS stack switch)
+  u32 lret_same = 10;
+  u32 lret_inter = 31;   // far return to outer (less privileged) level
+  u32 int_gate = 71;     // software interrupt through an interrupt gate
+  u32 iret_inter = 36;
+
+  // Cost of one instruction, excluding TLB-miss penalties and the
+  // privilege-change premium for far transfers (the CPU adds those).
+  u32 BaseCost(Opcode op, bool branch_taken) const;
+
+  static CycleModel Measured();
+  static CycleModel TheoryPentium();
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_CYCLE_MODEL_H_

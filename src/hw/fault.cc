@@ -1,0 +1,39 @@
+#include "src/hw/fault.h"
+
+#include <sstream>
+
+namespace palladium {
+
+const char* FaultVectorName(FaultVector v) {
+  switch (v) {
+    case FaultVector::kDivideError:
+      return "#DE";
+    case FaultVector::kInvalidOpcode:
+      return "#UD";
+    case FaultVector::kDoubleFault:
+      return "#DF";
+    case FaultVector::kInvalidTss:
+      return "#TS";
+    case FaultVector::kSegmentNotPresent:
+      return "#NP";
+    case FaultVector::kStackFault:
+      return "#SS";
+    case FaultVector::kGeneralProtection:
+      return "#GP";
+    case FaultVector::kPageFault:
+      return "#PF";
+  }
+  return "#??";
+}
+
+std::string FaultToString(const Fault& f) {
+  std::ostringstream os;
+  os << FaultVectorName(f.vector) << "(err=0x" << std::hex << f.error_code;
+  if (f.vector == FaultVector::kPageFault) {
+    os << ", addr=0x" << f.linear_address;
+  }
+  os << std::dec << ") " << f.detail;
+  return os.str();
+}
+
+}  // namespace palladium

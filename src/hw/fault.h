@@ -1,0 +1,44 @@
+// Processor fault (exception) records. Faults abort the current instruction
+// and surface to the host-level kernel model, which plays the role of the
+// fault handlers in the paper's modified Linux kernel.
+#ifndef SRC_HW_FAULT_H_
+#define SRC_HW_FAULT_H_
+
+#include <string>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+enum class FaultVector : u8 {
+  kDivideError = 0,
+  kInvalidOpcode = 6,
+  kDoubleFault = 8,
+  kInvalidTss = 10,
+  kSegmentNotPresent = 11,
+  kStackFault = 12,
+  kGeneralProtection = 13,
+  kPageFault = 14,
+};
+
+// Page-fault error code bits (IA-32 layout).
+inline constexpr u32 kPfErrPresent = 1u << 0;  // 0: not-present page, 1: protection
+inline constexpr u32 kPfErrWrite = 1u << 1;    // access was a write
+inline constexpr u32 kPfErrUser = 1u << 2;     // access originated at CPL 3
+
+struct Fault {
+  FaultVector vector = FaultVector::kGeneralProtection;
+  u32 error_code = 0;
+  // For page faults, the faulting linear address (the CR2 analogue).
+  u32 linear_address = 0;
+  // Human-readable detail for diagnostics and tests.
+  const char* detail = "";
+};
+
+const char* FaultVectorName(FaultVector v);
+
+std::string FaultToString(const Fault& f);
+
+}  // namespace palladium
+
+#endif  // SRC_HW_FAULT_H_

@@ -1,0 +1,43 @@
+// Machine: the assembled simulated computer — physical memory, descriptor
+// tables, and the CPU. The kernel model builds on exactly this.
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include "src/hw/cpu.h"
+#include "src/hw/physical_memory.h"
+#include "src/hw/segment.h"
+#include "src/hw/types.h"
+
+namespace palladium {
+
+struct MachineConfig {
+  u32 physical_memory_bytes = 64u << 20;  // 64 MB
+  CycleModel cycle_model = CycleModel::Measured();
+};
+
+class Machine {
+ public:
+  using Config = MachineConfig;
+
+  explicit Machine(const Config& config = MachineConfig{})
+      : pm_(config.physical_memory_bytes),
+        gdt_(128),
+        idt_(64),
+        cpu_(pm_, gdt_, idt_, config.cycle_model) {}
+
+  PhysicalMemory& pm() { return pm_; }
+  DescriptorTable& gdt() { return gdt_; }
+  DescriptorTable& idt() { return idt_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+
+ private:
+  PhysicalMemory pm_;
+  DescriptorTable gdt_;
+  DescriptorTable idt_;
+  Cpu cpu_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_MACHINE_H_

@@ -1,0 +1,92 @@
+#include "src/hw/paging.h"
+
+namespace palladium {
+
+namespace {
+
+Fault MakePageFault(u32 linear, bool present, bool is_write, bool is_user, const char* detail) {
+  Fault f;
+  f.vector = FaultVector::kPageFault;
+  f.error_code = (present ? kPfErrPresent : 0) | (is_write ? kPfErrWrite : 0) |
+                 (is_user ? kPfErrUser : 0);
+  f.linear_address = linear;
+  f.detail = detail;
+  return f;
+}
+
+}  // namespace
+
+WalkResult WalkPageTable(const PhysicalMemory& pm, u32 cr3, u32 linear, bool is_write,
+                         bool is_user) {
+  WalkResult r;
+  u32 pde = 0;
+  r.accesses = 1;
+  if (!pm.Read32(cr3 + PdeIndex(linear) * 4, &pde)) {
+    r.fault = MakePageFault(linear, false, is_write, is_user, "page directory out of range");
+    return r;
+  }
+  if (!(pde & kPtePresent)) {
+    r.fault = MakePageFault(linear, false, is_write, is_user, "PDE not present");
+    return r;
+  }
+  u32 pte = 0;
+  r.accesses = 2;
+  if (!pm.Read32((pde & kPteFrameMask) + PteIndex(linear) * 4, &pte)) {
+    r.fault = MakePageFault(linear, false, is_write, is_user, "page table out of range");
+    return r;
+  }
+  if (!(pte & kPtePresent)) {
+    r.fault = MakePageFault(linear, false, is_write, is_user, "PTE not present");
+    return r;
+  }
+  // Effective permissions are the AND of PDE and PTE bits.
+  u32 eff = pte & pde & (kPteWrite | kPteUser);
+  if (is_user && !(eff & kPteUser)) {
+    r.fault = MakePageFault(linear, true, is_write, is_user,
+                            "SPL 3 access to PPL 0 (supervisor) page");
+    return r;
+  }
+  // No CR0.WP: supervisor writes ignore the R/W bit (386 / Linux 2.0 era),
+  // which the paper's SPL 2 application relies on for its own pages.
+  if (is_user && is_write && !(eff & kPteWrite)) {
+    r.fault = MakePageFault(linear, true, is_write, is_user, "write to read-only page");
+    return r;
+  }
+  r.ok = true;
+  r.frame = pte & kPteFrameMask;
+  r.flags = (pte & ~(kPteWrite | kPteUser)) | eff;
+  return r;
+}
+
+bool SetAccessedDirty(PhysicalMemory& pm, u32 cr3, u32 linear, bool dirty) {
+  u32 pde = 0;
+  if (!pm.Read32(cr3 + PdeIndex(linear) * 4, &pde) || !(pde & kPtePresent)) return false;
+  u32 pte_addr = (pde & kPteFrameMask) + PteIndex(linear) * 4;
+  u32 pte = 0;
+  if (!pm.Read32(pte_addr, &pte) || !(pte & kPtePresent)) return false;
+  pte |= kPteAccessed | (dirty ? kPteDirty : 0);
+  return pm.Write32(pte_addr, pte);
+}
+
+bool PageTableEditor::GetPte(u32 linear, u32* out) const {
+  u32 pde = 0;
+  if (!pm_.Read32(cr3_ + PdeIndex(linear) * 4, &pde) || !(pde & kPtePresent)) return false;
+  return pm_.Read32((pde & kPteFrameMask) + PteIndex(linear) * 4, out);
+}
+
+bool PageTableEditor::SetPte(u32 linear, u32 pte) {
+  u32 pde = 0;
+  if (!pm_.Read32(cr3_ + PdeIndex(linear) * 4, &pde) || !(pde & kPtePresent)) return false;
+  return pm_.Write32((pde & kPteFrameMask) + PteIndex(linear) * 4, pte);
+}
+
+bool PageTableEditor::Unmap(u32 linear) { return SetPte(linear, 0); }
+
+bool PageTableEditor::UpdateFlags(u32 linear, u32 set_bits, u32 clear_bits) {
+  u32 pte = 0;
+  if (!GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
+  pte = (pte | set_bits) & ~clear_bits;
+  return SetPte(linear, pte);
+}
+
+}  // namespace palladium

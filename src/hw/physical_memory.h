@@ -1,0 +1,79 @@
+// Simulated physical memory: a flat byte array with bounds-checked accessors.
+#ifndef SRC_HW_PHYSICAL_MEMORY_H_
+#define SRC_HW_PHYSICAL_MEMORY_H_
+
+#include <cstring>
+#include <vector>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(u32 size_bytes) : bytes_(size_bytes, 0) {}
+
+  u32 size() const { return static_cast<u32>(bytes_.size()); }
+
+  bool Contains(u32 addr, u32 len) const {
+    return addr < bytes_.size() && len <= bytes_.size() - addr;
+  }
+
+  // All accessors return false (and leave *out untouched / memory unmodified)
+  // on an out-of-range physical address. The CPU maps that to a bus-error
+  // style #GP; well-formed page tables never produce one.
+  bool Read8(u32 addr, u8* out) const {
+    if (!Contains(addr, 1)) return false;
+    *out = bytes_[addr];
+    return true;
+  }
+  bool Read16(u32 addr, u16* out) const {
+    if (!Contains(addr, 2)) return false;
+    std::memcpy(out, &bytes_[addr], 2);
+    return true;
+  }
+  bool Read32(u32 addr, u32* out) const {
+    if (!Contains(addr, 4)) return false;
+    std::memcpy(out, &bytes_[addr], 4);
+    return true;
+  }
+  bool Write8(u32 addr, u8 v) {
+    if (!Contains(addr, 1)) return false;
+    bytes_[addr] = v;
+    return true;
+  }
+  bool Write16(u32 addr, u16 v) {
+    if (!Contains(addr, 2)) return false;
+    std::memcpy(&bytes_[addr], &v, 2);
+    return true;
+  }
+  bool Write32(u32 addr, u32 v) {
+    if (!Contains(addr, 4)) return false;
+    std::memcpy(&bytes_[addr], &v, 4);
+    return true;
+  }
+
+  // Bulk helpers for loaders and the kernel model (not charged cycles).
+  bool ReadBlock(u32 addr, void* dst, u32 len) const {
+    if (!Contains(addr, len)) return false;
+    std::memcpy(dst, &bytes_[addr], len);
+    return true;
+  }
+  bool WriteBlock(u32 addr, const void* src, u32 len) {
+    if (!Contains(addr, len)) return false;
+    std::memcpy(&bytes_[addr], src, len);
+    return true;
+  }
+  bool Fill(u32 addr, u8 value, u32 len) {
+    if (!Contains(addr, len)) return false;
+    std::memset(&bytes_[addr], value, len);
+    return true;
+  }
+
+ private:
+  std::vector<u8> bytes_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_PHYSICAL_MEMORY_H_

@@ -1,0 +1,60 @@
+#include "src/hw/segment.h"
+
+namespace palladium {
+
+SegmentDescriptor SegmentDescriptor::MakeCode(u32 base, u32 limit, u8 dpl, bool conforming) {
+  SegmentDescriptor d;
+  d.type = DescriptorType::kCode;
+  d.present = true;
+  d.base = base;
+  d.limit = limit;
+  d.dpl = dpl;
+  d.readable = true;
+  d.conforming = conforming;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::MakeData(u32 base, u32 limit, u8 dpl, bool writable) {
+  SegmentDescriptor d;
+  d.type = DescriptorType::kData;
+  d.present = true;
+  d.base = base;
+  d.limit = limit;
+  d.dpl = dpl;
+  d.writable = writable;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::MakeCallGate(u16 target_selector, u32 target_offset, u8 dpl,
+                                                  u8 param_count) {
+  SegmentDescriptor d;
+  d.type = DescriptorType::kCallGate;
+  d.present = true;
+  d.dpl = dpl;
+  d.gate_selector = target_selector;
+  d.gate_offset = target_offset;
+  d.gate_param_count = param_count;
+  return d;
+}
+
+SegmentDescriptor SegmentDescriptor::MakeInterruptGate(u16 target_selector, u32 target_offset,
+                                                       u8 dpl) {
+  SegmentDescriptor d;
+  d.type = DescriptorType::kInterruptGate;
+  d.present = true;
+  d.dpl = dpl;
+  d.gate_selector = target_selector;
+  d.gate_offset = target_offset;
+  return d;
+}
+
+u16 DescriptorTable::AllocateSlot(u16 first) {
+  for (u16 i = first; i < entries_.size(); ++i) {
+    if (entries_[i].type == DescriptorType::kNull) return i;
+  }
+  u16 index = static_cast<u16>(entries_.size());
+  entries_.resize(entries_.size() + 1);
+  return index;
+}
+
+}  // namespace palladium

@@ -1,0 +1,110 @@
+// Segment descriptors, selectors, descriptor tables and gates — the
+// segment-level half of the paper's protection hardware (Section 3.1).
+#ifndef SRC_HW_SEGMENT_H_
+#define SRC_HW_SEGMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+enum class DescriptorType : u8 {
+  kNull = 0,
+  kCode,
+  kData,
+  kCallGate,
+  kInterruptGate,
+  kTaskState,
+};
+
+// A single GDT entry. `limit` is stored as the segment *size in bytes*
+// (an access at offset `o` of width `w` is legal iff o + w <= limit), which
+// is equivalent to IA-32's inclusive limit without the off-by-one hazards.
+struct SegmentDescriptor {
+  DescriptorType type = DescriptorType::kNull;
+  bool present = false;
+  u8 dpl = 0;
+
+  // Code/data segments.
+  u32 base = 0;
+  u32 limit = 0;
+  bool writable = false;  // data segments: writes allowed
+  bool readable = true;   // code segments: data reads allowed
+  bool conforming = false;
+
+  // Call / interrupt gates.
+  u16 gate_selector = 0;
+  u32 gate_offset = 0;
+  u8 gate_param_count = 0;
+
+  bool IsCode() const { return type == DescriptorType::kCode; }
+  bool IsData() const { return type == DescriptorType::kData; }
+  bool IsGate() const {
+    return type == DescriptorType::kCallGate || type == DescriptorType::kInterruptGate;
+  }
+
+  static SegmentDescriptor MakeCode(u32 base, u32 limit, u8 dpl, bool conforming = false);
+  static SegmentDescriptor MakeData(u32 base, u32 limit, u8 dpl, bool writable = true);
+  static SegmentDescriptor MakeCallGate(u16 target_selector, u32 target_offset, u8 dpl,
+                                        u8 param_count = 0);
+  static SegmentDescriptor MakeInterruptGate(u16 target_selector, u32 target_offset, u8 dpl);
+};
+
+// A 16-bit segment selector: [index:13][TI:1][RPL:2]. The prototype (like
+// Linux) keeps everything in the GDT, so TI is always 0 here.
+class Selector {
+ public:
+  constexpr Selector() : raw_(0) {}
+  constexpr explicit Selector(u16 raw) : raw_(raw) {}
+  static constexpr Selector FromIndex(u16 index, u8 rpl) {
+    return Selector(static_cast<u16>((index << 3) | (rpl & 3)));
+  }
+
+  constexpr u16 raw() const { return raw_; }
+  constexpr u16 index() const { return raw_ >> 3; }
+  constexpr bool local() const { return (raw_ & 4) != 0; }
+  constexpr u8 rpl() const { return raw_ & 3; }
+  constexpr bool IsNull() const { return (raw_ & ~3u) == 0; }
+
+  friend constexpr bool operator==(Selector a, Selector b) { return a.raw_ == b.raw_; }
+
+ private:
+  u16 raw_;
+};
+
+// The GDT (and, reused, the IDT). Entries are settable only by the kernel
+// model — the analogue of "modifiable only by code running at SPL 0".
+class DescriptorTable {
+ public:
+  explicit DescriptorTable(size_t entries = 64) : entries_(entries) {}
+
+  size_t size() const { return entries_.size(); }
+
+  // Returns nullptr if the index is out of range.
+  const SegmentDescriptor* Get(u16 index) const {
+    if (index >= entries_.size()) return nullptr;
+    return &entries_[index];
+  }
+
+  void Set(u16 index, const SegmentDescriptor& d) {
+    if (index >= entries_.size()) entries_.resize(index + 1);
+    entries_[index] = d;
+  }
+
+  void Clear(u16 index) {
+    if (index < entries_.size()) entries_[index] = SegmentDescriptor{};
+  }
+
+  // Allocates the first free (null) slot at or after `first`; returns its
+  // index. Used for dynamically created extension segments and call gates.
+  u16 AllocateSlot(u16 first = 1);
+
+ private:
+  std::vector<SegmentDescriptor> entries_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_SEGMENT_H_

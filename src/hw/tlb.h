@@ -1,0 +1,68 @@
+// A small direct-mapped TLB. Flushed on CR3 load, exactly like the hardware
+// the paper describes ("automatically flushed on task switch").
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <array>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+class Tlb {
+ public:
+  static constexpr u32 kEntries = 64;
+
+  struct Entry {
+    bool valid = false;
+    u32 vpn = 0;    // virtual page number
+    u32 frame = 0;  // physical frame base
+    u32 flags = 0;  // effective PTE flags
+  };
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 flushes = 0;
+  };
+
+  bool Lookup(u32 linear, u32* frame, u32* flags) {
+    const u32 vpn = PageNumber(linear);
+    Entry& e = entries_[vpn % kEntries];
+    if (e.valid && e.vpn == vpn) {
+      ++stats_.hits;
+      *frame = e.frame;
+      *flags = e.flags;
+      return true;
+    }
+    ++stats_.misses;
+    return false;
+  }
+
+  void Insert(u32 linear, u32 frame, u32 flags) {
+    const u32 vpn = PageNumber(linear);
+    entries_[vpn % kEntries] = Entry{true, vpn, frame, flags};
+  }
+
+  void Flush() {
+    for (Entry& e : entries_) e.valid = false;
+    ++stats_.flushes;
+  }
+
+  // INVLPG analogue, used by the kernel model after PTE edits.
+  void FlushPage(u32 linear) {
+    const u32 vpn = PageNumber(linear);
+    Entry& e = entries_[vpn % kEntries];
+    if (e.valid && e.vpn == vpn) e.valid = false;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::array<Entry, kEntries> entries_{};
+  Stats stats_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_TLB_H_

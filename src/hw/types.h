@@ -1,0 +1,43 @@
+// Fundamental scalar types and architectural constants for the simulated
+// 32-bit x86-style protection hardware.
+#ifndef SRC_HW_TYPES_H_
+#define SRC_HW_TYPES_H_
+
+#include <cstdint>
+
+namespace palladium {
+
+using u8 = uint8_t;
+using u16 = uint16_t;
+using u32 = uint32_t;
+using u64 = uint64_t;
+using i8 = int8_t;
+using i16 = int16_t;
+using i32 = int32_t;
+using i64 = int64_t;
+
+// Paging geometry (identical to IA-32 with 4 KB pages).
+inline constexpr u32 kPageShift = 12;
+inline constexpr u32 kPageSize = 1u << kPageShift;
+inline constexpr u32 kPageMask = kPageSize - 1;
+inline constexpr u32 kPtesPerTable = 1024;
+
+// Virtual address space split used by the Linux-2.0-style kernel model
+// (Figure 2 of the paper): user 0..3GB, kernel 3..4GB.
+inline constexpr u32 kUserLimit = 0xC0000000u;   // 3 GB
+inline constexpr u32 kKernelBase = 0xC0000000u;  // 3 GB
+inline constexpr u32 kKernelSpan = 0x40000000u;  // 1 GB
+
+inline constexpr u32 PageAlignDown(u32 addr) { return addr & ~kPageMask; }
+inline constexpr u32 PageAlignUp(u32 addr) { return (addr + kPageMask) & ~kPageMask; }
+inline constexpr u32 PageNumber(u32 addr) { return addr >> kPageShift; }
+
+// Segment privilege levels (SPL in the paper's terminology; ring numbers).
+inline constexpr u8 kSpl0 = 0;  // kernel
+inline constexpr u8 kSpl1 = 1;  // kernel extensions
+inline constexpr u8 kSpl2 = 2;  // extensible (Palladium) applications
+inline constexpr u8 kSpl3 = 3;  // ordinary applications and user extensions
+
+}  // namespace palladium
+
+#endif  // SRC_HW_TYPES_H_

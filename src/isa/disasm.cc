@@ -1,0 +1,188 @@
+#include "src/isa/disasm.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace palladium {
+
+namespace {
+
+std::string MemOperand(const Insn& in) {
+  std::ostringstream os;
+  switch (in.seg) {
+    case SegOverride::kCs: os << "%cs:"; break;
+    case SegOverride::kSs: os << "%ss:"; break;
+    case SegOverride::kDs: os << "%ds:"; break;
+    case SegOverride::kEs: os << "%es:"; break;
+    case SegOverride::kNone: break;
+  }
+  if (in.r2 == kNoBaseReg) {
+    // Absolute addressing: just the displacement (optionally indexed).
+    os << in.disp;
+    if (in.scale != 0) {
+      os << "(" << RegName(static_cast<Reg>(in.r3)) << "," << static_cast<int>(in.scale)
+         << ")";
+    }
+    return os.str();
+  }
+  if (in.disp != 0) os << in.disp;
+  os << "(" << RegName(static_cast<Reg>(in.r2));
+  if (in.scale != 0) {
+    os << "," << RegName(static_cast<Reg>(in.r3)) << "," << static_cast<int>(in.scale);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string Hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%x", v);
+  return buf;
+}
+
+}  // namespace
+
+// Mnemonic in the assembler's *input* syntax: RI forms share the RR
+// mnemonic (the `$imm` operand disambiguates), `retn` is written `ret $n`,
+// and pushes of immediates are plain `push`.
+const char* SyntaxName(Opcode op) {
+  switch (op) {
+    case Opcode::kMovRI: return "mov";
+    case Opcode::kAddRI: return "add";
+    case Opcode::kSubRI: return "sub";
+    case Opcode::kAndRI: return "and";
+    case Opcode::kOrRI: return "or";
+    case Opcode::kXorRI: return "xor";
+    case Opcode::kImulRI: return "imul";
+    case Opcode::kCmpRI: return "cmp";
+    case Opcode::kTestRI: return "test";
+    case Opcode::kPushI: return "push";
+    case Opcode::kRetN: return "ret";
+    default: return OpcodeName(op);
+  }
+}
+
+std::string Disassemble(const Insn& in) {
+  std::ostringstream os;
+  const char* name = SyntaxName(in.opcode);
+  auto r1 = [&] { return RegName(static_cast<Reg>(in.r1)); };
+  auto r2 = [&] { return RegName(static_cast<Reg>(in.r2)); };
+  auto sz = [&]() -> std::string {
+    return in.size == 4 ? "" : (in.size == 2 ? "16" : "8");
+  };
+  switch (in.opcode) {
+    case Opcode::kNop:
+    case Opcode::kHlt:
+    case Opcode::kRet:
+    case Opcode::kIret:
+      os << name;
+      break;
+    case Opcode::kLret:
+      os << name;
+      if (in.imm != 0) os << " $" << Hex(static_cast<u32>(in.imm));
+      break;
+    case Opcode::kMovRR:
+      os << name << " " << r2() << ", " << r1();
+      break;
+    case Opcode::kMovRI:
+      os << name << " $" << Hex(static_cast<u32>(in.imm)) << ", " << r1();
+      break;
+    case Opcode::kLoad:
+      os << "ld" << sz() << " " << MemOperand(in) << ", " << r1();
+      break;
+    case Opcode::kStore:
+      os << "st" << sz() << " " << r1() << ", " << MemOperand(in);
+      break;
+    case Opcode::kStoreI:
+      os << "sti" << sz() << " $" << Hex(static_cast<u32>(in.imm)) << ", " << MemOperand(in);
+      break;
+    case Opcode::kLea:
+      os << name << " " << MemOperand(in) << ", " << r1();
+      break;
+    case Opcode::kPushR:
+    case Opcode::kPopR:
+    case Opcode::kNegR:
+    case Opcode::kNotR:
+    case Opcode::kIncR:
+    case Opcode::kDecR:
+      os << name << " " << r1();
+      break;
+    case Opcode::kCallR:
+      os << "call *" << r1();
+      break;
+    case Opcode::kJmpR:
+      os << "jmp *" << r1();
+      break;
+    case Opcode::kPushSeg:
+      os << "push " << SegRegName(static_cast<SegReg>(in.r1));
+      break;
+    case Opcode::kPopSeg:
+      os << "pop " << SegRegName(static_cast<SegReg>(in.r1));
+      break;
+    case Opcode::kMovSegR:
+      os << "mov " << r2() << ", " << SegRegName(static_cast<SegReg>(in.r1));
+      break;
+    case Opcode::kMovRSeg:
+      os << "mov " << SegRegName(static_cast<SegReg>(in.r2)) << ", " << r1();
+      break;
+    case Opcode::kPushI:
+    case Opcode::kInt:
+    case Opcode::kRetN:
+      os << name << " $" << Hex(static_cast<u32>(in.imm));
+      break;
+    case Opcode::kAddRR:
+    case Opcode::kSubRR:
+    case Opcode::kAndRR:
+    case Opcode::kOrRR:
+    case Opcode::kXorRR:
+    case Opcode::kImulRR:
+    case Opcode::kUdivRR:
+    case Opcode::kCmpRR:
+    case Opcode::kTestRR:
+      os << name << " " << r2() << ", " << r1();
+      break;
+    case Opcode::kAddRI:
+    case Opcode::kSubRI:
+    case Opcode::kAndRI:
+    case Opcode::kOrRI:
+    case Opcode::kXorRI:
+    case Opcode::kShlRI:
+    case Opcode::kShrRI:
+    case Opcode::kSarRI:
+    case Opcode::kImulRI:
+    case Opcode::kCmpRI:
+    case Opcode::kTestRI:
+      os << name << " $" << Hex(static_cast<u32>(in.imm)) << ", " << r1();
+      break;
+    case Opcode::kJmp:
+    case Opcode::kJe: case Opcode::kJne: case Opcode::kJb: case Opcode::kJae:
+    case Opcode::kJbe: case Opcode::kJa: case Opcode::kJl: case Opcode::kJge:
+    case Opcode::kJle: case Opcode::kJg: case Opcode::kJs: case Opcode::kJns:
+    case Opcode::kCall:
+      os << name << " " << Hex(static_cast<u32>(in.imm));
+      break;
+    case Opcode::kLcall:
+      os << name << " $" << Hex(static_cast<u32>(in.imm));
+      break;
+    case Opcode::kCount:
+      os << ".bad";
+      break;
+  }
+  return os.str();
+}
+
+std::string DisassembleRange(const u8* bytes, u32 len, u32 base_addr) {
+  std::ostringstream os;
+  for (u32 off = 0; off + kInsnSize <= len; off += kInsnSize) {
+    os << Hex(base_addr + off) << ":  ";
+    auto insn = Insn::Decode(bytes + off);
+    if (!insn) {
+      os << ".bad\n";
+      break;
+    }
+    os << Disassemble(*insn) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace palladium

@@ -1,0 +1,21 @@
+// Disassembler for the simulated ISA — used by diagnostics, the SFI
+// rewriter's verifier, and tests.
+#ifndef SRC_ISA_DISASM_H_
+#define SRC_ISA_DISASM_H_
+
+#include <string>
+
+#include "src/isa/insn.h"
+
+namespace palladium {
+
+// Renders one instruction in the assembler's input syntax.
+std::string Disassemble(const Insn& insn);
+
+// Disassembles `count` instructions from raw bytes; stops early on a
+// decode failure (rendered as ".bad").
+std::string DisassembleRange(const u8* bytes, u32 len, u32 base_addr);
+
+}  // namespace palladium
+
+#endif  // SRC_ISA_DISASM_H_

@@ -1,0 +1,128 @@
+// The kernel/user ABI: GDT layout, selectors, syscall numbers, signal
+// numbers, interrupt vectors, and the fixed virtual-address-space layout of
+// Figure 2 in the paper. Assembly programs reference these values via .equ;
+// keep them in sync with the table below.
+#ifndef SRC_KERNEL_ABI_H_
+#define SRC_KERNEL_ABI_H_
+
+#include "src/hw/segment.h"
+#include "src/hw/types.h"
+
+namespace palladium {
+
+// --- GDT layout -------------------------------------------------------------
+// 0        null
+// 1,2      kernel code/data   base=3GB  limit=1GB  DPL0
+// 3,4      user code/data     base=0    limit=3GB  DPL3
+// 5,6      application code/data (Palladium SPL 2) base=0 limit=3GB DPL2
+// 7        kernel-return call gate (kernel extensions -> kernel, DPL1)
+// 8..15    reserved
+// 16..     dynamically allocated: extension segments, application call gates
+inline constexpr u16 kGdtKernelCs = 1;
+inline constexpr u16 kGdtKernelDs = 2;
+inline constexpr u16 kGdtUserCs = 3;
+inline constexpr u16 kGdtUserDs = 4;
+inline constexpr u16 kGdtAppCs = 5;
+inline constexpr u16 kGdtAppDs = 6;
+inline constexpr u16 kGdtKernelReturnGate = 7;
+inline constexpr u16 kGdtFirstDynamic = 16;
+
+inline constexpr Selector kKernelCsSel = Selector::FromIndex(kGdtKernelCs, 0);
+inline constexpr Selector kKernelDsSel = Selector::FromIndex(kGdtKernelDs, 0);
+inline constexpr Selector kUserCsSel = Selector::FromIndex(kGdtUserCs, 3);
+inline constexpr Selector kUserDsSel = Selector::FromIndex(kGdtUserDs, 3);
+inline constexpr Selector kAppCsSel = Selector::FromIndex(kGdtAppCs, 2);
+inline constexpr Selector kAppDsSel = Selector::FromIndex(kGdtAppDs, 2);
+inline constexpr Selector kKernelReturnGateSel = Selector::FromIndex(kGdtKernelReturnGate, 1);
+
+// --- Interrupt vectors ------------------------------------------------------
+inline constexpr u8 kVecSyscall = 0x80;        // user / app system calls (gate DPL 3)
+inline constexpr u8 kVecKernelService = 0x81;  // kernel-extension services (gate DPL 1)
+
+// --- Host entry ids (offsets into the host-call range) ----------------------
+inline constexpr u32 kHostEntrySyscall = 0;
+inline constexpr u32 kHostEntryKernelService = 1;
+inline constexpr u32 kHostEntryKextReturn = 2;
+inline constexpr u32 kHostEntryFaultRelay = 3;
+inline constexpr u32 kHostEntryFirstFree = 8;
+
+// --- System call numbers (Linux-2.0-flavoured + Palladium additions) --------
+inline constexpr u32 kSysExit = 1;
+inline constexpr u32 kSysFork = 2;
+inline constexpr u32 kSysWrite = 4;      // ebx=ptr ecx=len -> console
+inline constexpr u32 kSysGetPid = 20;
+inline constexpr u32 kSysKill = 37;  // ebx=signo, delivered to self on return
+inline constexpr u32 kSysBrk = 45;
+inline constexpr u32 kSysMmap = 90;      // ebx=addr(0=any) ecx=len edx=prot
+inline constexpr u32 kSysMunmap = 91;
+inline constexpr u32 kSysMprotect = 125;
+inline constexpr u32 kSysSigaction = 67;   // ebx=signo ecx=handler
+inline constexpr u32 kSysSigreturn = 119;
+// Palladium (paper Section 4.4.2 / 4.5.2):
+inline constexpr u32 kSysInitPL = 200;       // promote to SPL 2, writable pages -> PPL 0
+inline constexpr u32 kSysSetRange = 201;     // ebx=addr ecx=len edx=ppl(0|1)
+inline constexpr u32 kSysSetCallGate = 202;  // ebx=function -> returns gate selector
+inline constexpr u32 kSysInvokeKext = 210;   // ebx=extension function id ecx=arg
+// Dynamic loading (the seg_dl* family of Section 4.4.2; the loader logic is
+// kernel-assisted in this prototype, standing in for a user-level ld.so):
+inline constexpr u32 kSysSegDlopen = 212;    // ebx=name -> handle
+inline constexpr u32 kSysSegDlsym = 213;     // ebx=handle ecx=name -> Prepare ptr
+inline constexpr u32 kSysDlsym = 214;        // ebx=handle ecx=name -> raw data ptr
+inline constexpr u32 kSysSegDlclose = 215;   // ebx=handle
+inline constexpr u32 kSysDlopenUnprot = 216; // unprotected dlopen (baseline)
+inline constexpr u32 kSysExposeService = 217; // ebx=name ecx=fn -> gate selector
+
+// Errno-style return values (negative in EAX, as in Linux).
+inline constexpr u32 kErrPerm = static_cast<u32>(-1);
+inline constexpr u32 kErrNoEnt = static_cast<u32>(-2);
+inline constexpr u32 kErrFault = static_cast<u32>(-14);
+inline constexpr u32 kErrInval = static_cast<u32>(-22);
+inline constexpr u32 kErrNoMem = static_cast<u32>(-12);
+
+// --- Signals ---------------------------------------------------------------
+inline constexpr u32 kSigSegv = 11;
+inline constexpr u32 kSigXcpu = 24;  // extension ran past its time limit
+inline constexpr u32 kNumSignals = 32;
+
+// --- Memory protection bits for mmap/mprotect ------------------------------
+inline constexpr u32 kProtRead = 1;
+inline constexpr u32 kProtWrite = 2;
+inline constexpr u32 kProtExec = 4;
+
+// --- Virtual address space layout (Figure 2) --------------------------------
+inline constexpr u32 kUserTextBase = 0x08048000;   // "a little greater than 0"
+inline constexpr u32 kSharedLibBase = 0x40000000;  // middle of the 0-3GB range
+inline constexpr u32 kUserStackTop = 0xBFFFE000;   // below 3 GB
+inline constexpr u32 kUserStackSize = 64 * kPageSize;
+inline constexpr u32 kSignalTrampolinePage = 0xBFFFE000;  // one PPL1 RO page
+inline constexpr u32 kMmapSearchBase = 0x50000000;
+
+// Kernel-side layout (all linear addresses; kernel segment base is 3 GB so
+// kernel-segment offsets are linear - kKernelBase).
+inline constexpr u32 kHostCallLinearBase = kKernelBase;        // 4 KB of host stubs
+inline constexpr u32 kKernelStackSpan = 2 * kPageSize;         // per-process
+inline constexpr u32 kKextRegionBase = 0xC8000000;             // extension segments live here
+inline constexpr u32 kKextRegionSpan = 0x08000000;
+
+// --- Kernel services exposed to kernel extensions (via INT 0x81) -----------
+inline constexpr u32 kKsvcPrintk = 1;     // ebx=segment-relative ptr ecx=len
+inline constexpr u32 kKsvcGetCycles = 2;  // -> low 32 bits of the cycle counter
+inline constexpr u32 kKsvcPktOutput = 3;  // router-style "emit packet" counter
+
+// --- Kernel software cost model (cycles charged for host-side kernel work) --
+// Calibrated against the measurements quoted in Section 5.1 of the paper.
+struct KernelCosts {
+  u32 syscall_dispatch = 120;        // gate already charged by hardware model
+  u32 page_fault_service = 350;      // demand-paging a fresh page
+  u32 sigsegv_delivery = 3100;       // + in-sim frame pushes => ~3,325 total
+  u32 kext_gp_processing = 1020;     // abort path for kernel extensions
+  u32 ppl_mark_startup = 3400;       // set_range: fixed cost ("3000 to 5000")
+  u32 ppl_mark_per_page = 45;        // set_range: per page marked
+  u32 fork_base = 20000;
+  u32 exec_base = 40000;
+  u32 context_switch = 500;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_KERNEL_ABI_H_

@@ -1,0 +1,1057 @@
+#include "src/kernel/kernel.h"
+
+#include <cstring>
+
+#include "src/hw/paging.h"
+
+namespace palladium {
+
+namespace {
+
+// Builds a LoadedSegment the way ForceSegment would, for saved contexts.
+LoadedSegment MakeLoaded(const DescriptorTable& gdt, Selector sel) {
+  LoadedSegment seg;
+  seg.selector = sel;
+  const SegmentDescriptor* d = gdt.Get(sel.index());
+  if (d != nullptr && d->present) {
+    seg.cache = *d;
+    seg.valid = true;
+  }
+  return seg;
+}
+
+}  // namespace
+
+Kernel::Kernel(Machine& machine) : Kernel(machine, Config{}) {}
+
+Kernel::Kernel(Machine& machine, const Config& config)
+    : machine_(machine), config_(config), frames_(machine.pm(), kPageSize) {
+  SetupGdtIdt();
+
+  // Kernel page-directory template: one page directory whose kernel half
+  // (PDEs for >= 3 GB) is copied into every process. All 256 kernel page
+  // tables are pre-created so that later kernel mappings (e.g. extension
+  // segments) are visible in every address space.
+  PhysicalMemory& pm = machine_.pm();
+  kernel_page_dir_template_ = frames_.Alloc();
+  for (u32 pde_idx = PdeIndex(kKernelBase); pde_idx < kPtesPerTable; ++pde_idx) {
+    u32 table = frames_.Alloc();
+    pm.Write32(kernel_page_dir_template_ + pde_idx * 4,
+               MakePte(table, kPtePresent | kPteWrite));
+  }
+  // Direct map: kernel linear [3GB, 3GB + physmem) -> physical [0, physmem),
+  // supervisor-only, writable.
+  PageTableEditor ed(pm, kernel_page_dir_template_);
+  for (u32 phys = 0; phys < pm.size(); phys += kPageSize) {
+    ed.Map(kKernelBase + phys, phys, kPtePresent | kPteWrite, [] { return 0u; });
+  }
+
+  cpu().SetHostCallRange(kHostCallLinearBase, kPageSize);
+}
+
+void Kernel::SetupGdtIdt() {
+  DescriptorTable& gdt = machine_.gdt();
+  gdt.Set(kGdtKernelCs, SegmentDescriptor::MakeCode(kKernelBase, kKernelSpan, 0));
+  gdt.Set(kGdtKernelDs, SegmentDescriptor::MakeData(kKernelBase, kKernelSpan, 0));
+  gdt.Set(kGdtUserCs, SegmentDescriptor::MakeCode(0, kUserLimit, 3));
+  gdt.Set(kGdtUserDs, SegmentDescriptor::MakeData(0, kUserLimit, 3));
+  gdt.Set(kGdtAppCs, SegmentDescriptor::MakeCode(0, kUserLimit, 2));
+  gdt.Set(kGdtAppDs, SegmentDescriptor::MakeData(0, kUserLimit, 2));
+  gdt.Set(kGdtKernelReturnGate,
+          SegmentDescriptor::MakeCallGate(kKernelCsSel.raw(),
+                                          HostEntryOffset(kHostEntryKextReturn), 1));
+
+  DescriptorTable& idt = machine_.idt();
+  idt.Set(kVecSyscall, SegmentDescriptor::MakeInterruptGate(
+                           kKernelCsSel.raw(), HostEntryOffset(kHostEntrySyscall), 3));
+  idt.Set(kVecKernelService,
+          SegmentDescriptor::MakeInterruptGate(kKernelCsSel.raw(),
+                                               HostEntryOffset(kHostEntryKernelService), 1));
+}
+
+// --- Process lifecycle -------------------------------------------------------
+
+Pid Kernel::CreateProcess() {
+  auto proc = std::make_unique<Process>();
+  proc->pid = next_pid_++;
+  if (!BuildAddressSpace(*proc)) return 0;
+  Pid pid = proc->pid;
+  processes_[pid] = std::move(proc);
+  return pid;
+}
+
+Process* Kernel::process(Pid pid) {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : it->second.get();
+}
+
+bool Kernel::BuildAddressSpace(Process& proc) {
+  PhysicalMemory& pm = machine_.pm();
+  proc.cr3 = frames_.Alloc();
+  if (proc.cr3 == 0) return false;
+  // Share the kernel half of the template page directory.
+  for (u32 pde_idx = PdeIndex(kKernelBase); pde_idx < kPtesPerTable; ++pde_idx) {
+    u32 pde = 0;
+    pm.Read32(kernel_page_dir_template_ + pde_idx * 4, &pde);
+    pm.Write32(proc.cr3 + pde_idx * 4, pde);
+  }
+  proc.kernel_stack_frame = frames_.Alloc();
+  if (proc.kernel_stack_frame == 0) return false;
+  // Kernel-segment offset == physical address thanks to the direct map.
+  proc.esp0 = proc.kernel_stack_frame + kPageSize;
+  return true;
+}
+
+void Kernel::ReleaseAddressSpace(Process& proc) {
+  // Frees user page tables and frames (kernel tables are shared).
+  PhysicalMemory& pm = machine_.pm();
+  for (u32 pde_idx = 0; pde_idx < PdeIndex(kKernelBase); ++pde_idx) {
+    u32 pde = 0;
+    pm.Read32(proc.cr3 + pde_idx * 4, &pde);
+    if (!(pde & kPtePresent)) continue;
+    u32 table = pde & kPteFrameMask;
+    for (u32 i = 0; i < kPtesPerTable; ++i) {
+      u32 pte = 0;
+      pm.Read32(table + i * 4, &pte);
+      if (pte & kPtePresent) frames_.Free(pte & kPteFrameMask);
+    }
+    frames_.Free(table);
+    pm.Write32(proc.cr3 + pde_idx * 4, 0);
+  }
+  proc.areas.clear();
+}
+
+bool Kernel::AddArea(Process& proc, u32 start, u32 end, u32 prot, const char* tag) {
+  start = PageAlignDown(start);
+  end = PageAlignUp(end);
+  if (start >= end || end > kUserLimit) return false;
+  for (const VmArea& a : proc.areas) {
+    if (start < a.end && a.start < end) return false;  // overlap
+  }
+  VmArea area;
+  area.start = start;
+  area.end = end;
+  area.prot = prot;
+  area.tag = tag;
+  proc.areas.push_back(area);
+  return true;
+}
+
+bool Kernel::MapUserPage(Process& proc, u32 linear, const VmArea& area) {
+  linear = PageAlignDown(linear);
+  u32 frame = frames_.Alloc();
+  if (frame == 0) return false;
+  const bool writable = (area.prot & kProtWrite) != 0;
+  // Palladium PPL policy (Section 4.4.1): once the process is at SPL 2,
+  // writable pages default to PPL 0 unless explicitly shared via set_range.
+  bool ppl1 = true;
+  if (proc.ppl_policy && writable && !area.shared_ppl1 &&
+      proc.ppl1_pages.count(PageNumber(linear)) == 0) {
+    ppl1 = false;
+  }
+  u32 flags = kPtePresent | (writable ? kPteWrite : 0) | (ppl1 ? kPteUser : 0);
+  PageTableEditor ed(machine_.pm(), proc.cr3);
+  return ed.Map(linear, frame, flags, [this] { return frames_.Alloc(); });
+}
+
+bool Kernel::PopulateRange(Process& proc, u32 start, u32 end) {
+  for (u32 addr = PageAlignDown(start); addr < end; addr += kPageSize) {
+    VmArea* area = proc.FindArea(addr);
+    if (area == nullptr) return false;
+    PageTableEditor ed(machine_.pm(), proc.cr3);
+    u32 pte = 0;
+    if (ed.GetPte(addr, &pte) && (pte & kPtePresent)) continue;
+    if (!MapUserPage(proc, addr, *area)) return false;
+  }
+  return true;
+}
+
+bool Kernel::CopyToUser(Process& proc, u32 linear, const void* src, u32 len) {
+  const u8* p = static_cast<const u8*>(src);
+  while (len > 0) {
+    VmArea* area = proc.FindArea(linear);
+    if (area == nullptr) return false;
+    PageTableEditor ed(machine_.pm(), proc.cr3);
+    u32 pte = 0;
+    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) {
+      if (!MapUserPage(proc, linear, *area)) return false;
+      ed.GetPte(linear, &pte);
+    }
+    u32 page_off = linear & kPageMask;
+    u32 chunk = std::min(len, kPageSize - page_off);
+    if (!machine_.pm().WriteBlock((pte & kPteFrameMask) + page_off, p, chunk)) return false;
+    linear += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+bool Kernel::CopyFromUser(Process& proc, u32 linear, void* dst, u32 len) {
+  u8* p = static_cast<u8*>(dst);
+  while (len > 0) {
+    PageTableEditor ed(machine_.pm(), proc.cr3);
+    u32 pte = 0;
+    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) {
+      // Unmapped page: demand-zero if within an area.
+      VmArea* area = proc.FindArea(linear);
+      if (area == nullptr) return false;
+      if (!MapUserPage(proc, linear, *area)) return false;
+      ed.GetPte(linear, &pte);
+    }
+    u32 page_off = linear & kPageMask;
+    u32 chunk = std::min(len, kPageSize - page_off);
+    if (!machine_.pm().ReadBlock((pte & kPteFrameMask) + page_off, p, chunk)) return false;
+    linear += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+bool Kernel::SetPageUserBit(Process& proc, u32 linear, bool user) {
+  PageTableEditor ed(machine_.pm(), proc.cr3);
+  bool ok = user ? ed.UpdateFlags(linear, kPteUser, 0) : ed.UpdateFlags(linear, 0, kPteUser);
+  if (ok) cpu().tlb().FlushPage(linear);
+  return ok;
+}
+
+bool Kernel::SetPageWritable(Process& proc, u32 linear, bool writable) {
+  PageTableEditor ed(machine_.pm(), proc.cr3);
+  bool ok =
+      writable ? ed.UpdateFlags(linear, kPteWrite, 0) : ed.UpdateFlags(linear, 0, kPteWrite);
+  if (ok) cpu().tlb().FlushPage(linear);
+  return ok;
+}
+
+std::optional<u32> Kernel::GetPte(Process& proc, u32 linear) {
+  PageTableEditor ed(machine_.pm(), proc.cr3);
+  u32 pte = 0;
+  if (!ed.GetPte(linear, &pte)) return std::nullopt;
+  return pte;
+}
+
+bool Kernel::WriteKernelVirt(u32 linear, const void* src, u32 len) {
+  const u8* p = static_cast<const u8*>(src);
+  PageTableEditor ed(machine_.pm(), kernel_page_dir_template_);
+  while (len > 0) {
+    u32 pte = 0;
+    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
+    u32 off = linear & kPageMask;
+    u32 chunk = std::min(len, kPageSize - off);
+    if (!machine_.pm().WriteBlock((pte & kPteFrameMask) + off, p, chunk)) return false;
+    linear += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+bool Kernel::ReadKernelVirt(u32 linear, void* dst, u32 len) {
+  u8* p = static_cast<u8*>(dst);
+  PageTableEditor ed(machine_.pm(), kernel_page_dir_template_);
+  while (len > 0) {
+    u32 pte = 0;
+    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
+    u32 off = linear & kPageMask;
+    u32 chunk = std::min(len, kPageSize - off);
+    if (!machine_.pm().ReadBlock((pte & kPteFrameMask) + off, p, chunk)) return false;
+    linear += chunk;
+    p += chunk;
+    len -= chunk;
+  }
+  return true;
+}
+
+std::optional<std::string> Kernel::ReadUserString(Process& proc, u32 linear) {
+  std::string out;
+  for (u32 i = 0; i < 256; ++i) {
+    char c = 0;
+    if (!CopyFromUser(proc, linear + i, &c, 1)) return std::nullopt;
+    if (c == '\0') return out;
+    out += c;
+  }
+  return std::nullopt;
+}
+
+u32 Kernel::MapKernelPage(u32 linear, bool user_bit) {
+  if (linear < kKernelBase) return 0;
+  u32 frame = frames_.Alloc();
+  if (frame == 0) return 0;
+  PageTableEditor ed(machine_.pm(), kernel_page_dir_template_);
+  u32 flags = kPtePresent | kPteWrite | (user_bit ? kPteUser : 0);
+  if (!ed.Map(linear, frame, flags, [] { return 0u; })) {
+    frames_.Free(frame);
+    return 0;
+  }
+  cpu().tlb().FlushPage(linear);
+  return frame;
+}
+
+// --- Image loading -----------------------------------------------------------
+
+void Kernel::InstallSignalTrampoline(Process& proc) {
+  // The sigreturn trampoline (Linux 2.0 placed an equivalent on the user
+  // stack): mov $kSysSigreturn, %eax ; int $0x80
+  AddArea(proc, kSignalTrampolinePage, kSignalTrampolinePage + kPageSize, kProtRead,
+          "sigreturn-trampoline");
+  Insn mov;
+  mov.opcode = Opcode::kMovRI;
+  mov.r1 = static_cast<u8>(Reg::kEax);
+  mov.imm = static_cast<i32>(kSysSigreturn);
+  Insn intr;
+  intr.opcode = Opcode::kInt;
+  intr.imm = static_cast<i32>(kVecSyscall);
+  u8 code[2 * kInsnSize];
+  mov.EncodeTo(code);
+  intr.EncodeTo(code + kInsnSize);
+  CopyToUser(proc, kSignalTrampolinePage, code, sizeof(code));
+}
+
+bool Kernel::LoadUserImage(Pid pid, const LinkedImage& image, const std::string& entry_symbol,
+                           std::string* diag) {
+  Process* proc = process(pid);
+  if (proc == nullptr) {
+    if (diag != nullptr) *diag = "no such process";
+    return false;
+  }
+  auto entry = image.Lookup(entry_symbol);
+  if (!entry) {
+    if (diag != nullptr) *diag = "entry symbol not found: " + entry_symbol;
+    return false;
+  }
+  const u32 text_start = PageAlignDown(image.text_start);
+  const u32 text_end = PageAlignUp(image.text_start + image.text_size);
+  const u32 data_end = PageAlignUp(image.data_start + image.data_size);
+  if (!AddArea(*proc, text_start, text_end, kProtRead | kProtExec, "text") ||
+      (data_end > image.data_start &&
+       !AddArea(*proc, image.data_start, data_end, kProtRead | kProtWrite, "data"))) {
+    if (diag != nullptr) *diag = "image areas overlap";
+    return false;
+  }
+  proc->heap_start = data_end;
+  proc->brk = data_end;
+  AddArea(*proc, data_end, data_end + 1, kProtRead | kProtWrite, "heap");
+  // Heap area starts empty; brk grows it. (AddArea page-aligns to one page.)
+  proc->areas.back().end = data_end;  // truly empty until brk
+
+  if (!AddArea(*proc, kUserStackTop - kUserStackSize, kUserStackTop, kProtRead | kProtWrite,
+               "stack")) {
+    if (diag != nullptr) *diag = "stack area overlaps image";
+    return false;
+  }
+  InstallSignalTrampoline(*proc);
+
+  if (!CopyToUser(*proc, image.base, image.bytes.data(), static_cast<u32>(image.bytes.size()))) {
+    if (diag != nullptr) *diag = "failed to copy image";
+    return false;
+  }
+
+  CpuContext& ctx = proc->context;
+  ctx = CpuContext{};
+  ctx.eip = *entry;
+  ctx.cpl = 3;
+  ctx.regs[static_cast<u8>(Reg::kEsp)] = kUserStackTop - 16;
+  const DescriptorTable& gdt = machine_.gdt();
+  ctx.segs[static_cast<u8>(SegReg::kCs)] = MakeLoaded(gdt, kUserCsSel);
+  ctx.segs[static_cast<u8>(SegReg::kSs)] = MakeLoaded(gdt, kUserDsSel);
+  ctx.segs[static_cast<u8>(SegReg::kDs)] = MakeLoaded(gdt, kUserDsSel);
+  ctx.segs[static_cast<u8>(SegReg::kEs)] = MakeLoaded(gdt, kUserDsSel);
+  return true;
+}
+
+bool Kernel::ExecImage(Pid pid, const LinkedImage& image, const std::string& entry_symbol,
+                       std::string* diag) {
+  Process* proc = process(pid);
+  if (proc == nullptr) {
+    if (diag != nullptr) *diag = "no such process";
+    return false;
+  }
+  ReleaseAddressSpace(*proc);
+  cpu().tlb().Flush();
+  // Privilege levels are not inherited across exec (Section 4.5.2).
+  proc->task_spl = 3;
+  proc->ppl_policy = false;
+  proc->ppl1_pages.clear();
+  proc->signals = SignalState{};
+  proc->state = ProcessState::kRunnable;
+  Charge(config_.costs.exec_base);
+  return LoadUserImage(pid, image, entry_symbol, diag);
+}
+
+// --- Run loop ----------------------------------------------------------------
+
+void Kernel::SwitchTo(Process& proc) {
+  cpu().LoadCr3(proc.cr3);
+  Tss& tss = cpu().tss();
+  tss.ss[0] = kKernelDsSel.raw();
+  tss.esp[0] = proc.esp0;
+  tss.ss[2] = kAppDsSel.raw();
+  tss.esp[2] = proc.pl2_stack_top;
+  cpu().RestoreContext(proc.context);
+  current_ = &proc;
+  Charge(config_.costs.context_switch);
+}
+
+void Kernel::SaveCurrent() {
+  if (current_ != nullptr) current_->context = cpu().SaveContext();
+}
+
+RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
+  RunResult result;
+  Process* proc = process(pid);
+  if (proc == nullptr || proc->state != ProcessState::kRunnable) {
+    result.outcome = RunOutcome::kKilled;
+    result.kill_reason = "process not runnable";
+    return result;
+  }
+  SwitchTo(*proc);
+  const u64 deadline =
+      cycle_budget == ~0ull ? ~0ull : cpu().cycles() + cycle_budget;
+
+  while (proc->state == ProcessState::kRunnable) {
+    u64 slice_end = cpu().cycles() + config_.timer_slice_cycles;
+    if (slice_end > deadline) slice_end = deadline;
+    StopInfo stop = cpu().Run(slice_end);
+    switch (stop.reason) {
+      case StopReason::kCycleLimit: {
+        if (cpu().cycles() >= deadline) {
+          SaveCurrent();
+          result.outcome = RunOutcome::kCycleLimit;
+          return result;
+        }
+        // Timer tick: enforce the extension CPU-time limit (Section 4.5.2).
+        if (proc->task_spl == 2 && cpu().cpl() == 3) {
+          if (!proc->in_extension) {
+            proc->in_extension = true;
+            proc->ext_cycle_start = cpu().cycles();
+          } else if (cpu().cycles() - proc->ext_cycle_start > config_.extension_cycle_limit) {
+            proc->in_extension = false;
+            if (time_limit_hook_) {
+              time_limit_hook_(*this, *proc);
+            } else {
+              DeliverSignal(*proc, kSigXcpu);
+            }
+          }
+        } else {
+          proc->in_extension = false;
+        }
+        break;
+      }
+      case StopReason::kHostCall: {
+        if (stop.host_call_id == kHostEntrySyscall) {
+          HandleSyscall();
+        } else {
+          auto it = host_calls_.find(stop.host_call_id);
+          if (it != host_calls_.end()) {
+            it->second(*this);
+          } else {
+            KillCurrent("jump into unregistered kernel entry");
+          }
+        }
+        break;
+      }
+      case StopReason::kFault:
+        HandleFault(stop);
+        break;
+      case StopReason::kHalted:
+        KillCurrent("unexpected hlt from process context");
+        break;
+    }
+  }
+
+  current_ = nullptr;
+  if (proc->state == ProcessState::kExited) {
+    result.outcome = RunOutcome::kExited;
+    result.exit_code = proc->exit_code;
+  } else {
+    result.outcome = RunOutcome::kKilled;
+    result.kill_reason = proc->kill_reason;
+  }
+  return result;
+}
+
+void Kernel::KillCurrent(const std::string& reason) {
+  if (current_ == nullptr) return;
+  current_->state = ProcessState::kKilled;
+  current_->kill_reason = reason;
+}
+
+// --- Gate frame helpers --------------------------------------------------------
+
+bool Kernel::PeekGateFrame(GateFrame* frame) {
+  Fault f;
+  u32 esp = cpu().reg(Reg::kEsp);
+  u32 eip = 0, cs = 0, eflags = 0, oesp = 0, oss = 0;
+  if (!cpu().ReadVirt(SegReg::kSs, esp + 0, 4, &eip, &f) ||
+      !cpu().ReadVirt(SegReg::kSs, esp + 4, 4, &cs, &f) ||
+      !cpu().ReadVirt(SegReg::kSs, esp + 8, 4, &eflags, &f)) {
+    return false;
+  }
+  frame->eip = eip;
+  frame->cs = cs;
+  frame->eflags = eflags;
+  Selector cs_sel(static_cast<u16>(cs));
+  if (cs_sel.rpl() > cpu().cpl()) {
+    if (!cpu().ReadVirt(SegReg::kSs, esp + 12, 4, &oesp, &f) ||
+        !cpu().ReadVirt(SegReg::kSs, esp + 16, 4, &oss, &f)) {
+      return false;
+    }
+    frame->esp = oesp;
+    frame->ss = oss;
+    frame->has_outer_stack = true;
+  }
+  return true;
+}
+
+bool Kernel::PatchGateFrameSelectors(Selector cs, Selector ss) {
+  Fault f;
+  u32 esp = cpu().reg(Reg::kEsp);
+  return cpu().WriteVirt(SegReg::kSs, esp + 4, 4, cs.raw(), &f) &&
+         cpu().WriteVirt(SegReg::kSs, esp + 16, 4, ss.raw(), &f);
+}
+
+void Kernel::ReturnFromGate(u32 eax_value) {
+  cpu().set_reg(Reg::kEax, eax_value);
+  Fault f;
+  u32 eip = 0, cs = 0, eflags = 0;
+  if (!cpu().Pop32(&eip, &f) || !cpu().Pop32(&cs, &f) || !cpu().Pop32(&eflags, &f)) {
+    KillCurrent("corrupt gate frame");
+    return;
+  }
+  Selector cs_sel(static_cast<u16>(cs));
+  if (cs_sel.rpl() > cpu().cpl()) {
+    u32 oesp = 0, oss = 0;
+    if (!cpu().Pop32(&oesp, &f) || !cpu().Pop32(&oss, &f)) {
+      KillCurrent("corrupt gate frame (outer stack)");
+      return;
+    }
+    if (!cpu().ForceSegment(SegReg::kCs, cs_sel) ||
+        !cpu().ForceSegment(SegReg::kSs, Selector(static_cast<u16>(oss)))) {
+      KillCurrent("gate frame references dead segments");
+      return;
+    }
+    cpu().set_reg(Reg::kEsp, oesp);
+  } else if (!cpu().ForceSegment(SegReg::kCs, cs_sel)) {
+    KillCurrent("gate frame references dead segment");
+    return;
+  }
+  cpu().set_eip(eip);
+  cpu().set_eflags(eflags);
+  Charge(cpu().cycle_model().iret_inter);
+}
+
+// --- Host call / syscall plumbing ---------------------------------------------
+
+void Kernel::RegisterHostCall(u32 id, HostCallHandler handler) {
+  host_calls_[id] = std::move(handler);
+}
+
+u32 Kernel::AllocateHostCallId() { return next_host_call_id_++; }
+
+void Kernel::RegisterSyscall(u32 number, SyscallHandler handler) {
+  extra_syscalls_[number] = std::move(handler);
+}
+
+void Kernel::HandleSyscall() {
+  Process& proc = *current_;
+  Charge(config_.costs.syscall_dispatch);
+  const u32 nr = cpu().reg(Reg::kEax);
+  const u32 ebx = cpu().reg(Reg::kEbx);
+  const u32 ecx = cpu().reg(Reg::kEcx);
+  const u32 edx = cpu().reg(Reg::kEdx);
+
+  // taskSPL gating (Section 4.5.2): once the process promoted itself to SPL
+  // 2, system calls arriving from SPL 3 code (i.e. user extensions) are
+  // rejected. Non-Palladium processes (taskSPL == 3) are unaffected.
+  GateFrame frame;
+  if (!PeekGateFrame(&frame)) {
+    KillCurrent("unreadable syscall frame");
+    return;
+  }
+  const u8 caller_spl = Selector(static_cast<u16>(frame.cs)).rpl();
+  if (proc.task_spl == 2 && caller_spl == 3) {
+    ReturnFromGate(kErrPerm);
+    return;
+  }
+  // Kernel extensions (SPL 1) may only use the kernel-service gate, never
+  // the general system-call interface (Section 4.1).
+  if (caller_spl <= 1) {
+    ReturnFromGate(kErrPerm);
+    return;
+  }
+
+  switch (nr) {
+    case kSysExit:
+      SysExit(ebx);
+      return;
+    case kSysFork:
+      SysFork();
+      return;
+    case kSysWrite:
+      SysWrite(ebx, ecx);
+      return;
+    case kSysGetPid:
+      ReturnFromGate(proc.pid);
+      return;
+    case kSysKill:
+      // Signal to self, delivered on return to user (as Linux does).
+      ReturnFromGate(0);
+      if (proc.state == ProcessState::kRunnable) DeliverSignal(proc, ebx);
+      return;
+    case kSysBrk:
+      SysBrk(ebx);
+      return;
+    case kSysMmap:
+      SysMmap(ebx, ecx, edx);
+      return;
+    case kSysMunmap:
+      SysMunmap(ebx, ecx);
+      return;
+    case kSysMprotect:
+      SysMprotect(ebx, ecx, edx);
+      return;
+    case kSysSigaction:
+      SysSigaction(ebx, ecx);
+      return;
+    case kSysSigreturn:
+      SysSigreturn();
+      return;
+    case kSysInitPL:
+      SysInitPL();
+      return;
+    case kSysSetRange:
+      SysSetRange(ebx, ecx, edx);
+      return;
+    case kSysSetCallGate:
+      SysSetCallGate(ebx);
+      return;
+    case kSysInvokeKext: {
+      if (!kext_invoker_) {
+        ReturnFromGate(kErrNoEnt);
+        return;
+      }
+      bool ok = true;
+      u32 result = kext_invoker_(*this, ebx, ecx, &ok);
+      if (current_ == nullptr || current_->state != ProcessState::kRunnable) return;
+      ReturnFromGate(ok ? result : kErrFault);
+      return;
+    }
+    default: {
+      auto it = extra_syscalls_.find(nr);
+      if (it != extra_syscalls_.end()) {
+        it->second(*this, ebx, ecx, edx);
+        return;
+      }
+      ReturnFromGate(kErrNoEnt);
+      return;
+    }
+  }
+}
+
+// --- Fault handling ------------------------------------------------------------
+
+void Kernel::HandleFault(const StopInfo& stop) {
+  Process& proc = *current_;
+  const Fault& fault = stop.fault;
+  const u8 cpl = cpu().cpl();
+
+  if (fault.vector == FaultVector::kPageFault && !(fault.error_code & kPfErrPresent)) {
+    // Demand paging: a not-present page inside a mapped area.
+    VmArea* area = proc.FindArea(fault.linear_address);
+    const bool want_write = (fault.error_code & kPfErrWrite) != 0;
+    if (area != nullptr && (!want_write || (area->prot & kProtWrite) != 0)) {
+      if (MapUserPage(proc, fault.linear_address, *area)) {
+        cpu().tlb().FlushPage(fault.linear_address);
+        Charge(config_.costs.page_fault_service);
+        return;  // retry the faulting instruction
+      }
+      KillCurrent("out of memory during demand paging");
+      return;
+    }
+  }
+
+  // Kernel-extension (SPL 1) and application-segment (SPL 2) faults go to
+  // the Palladium module first.
+  if ((cpl == 1 || cpl == 2) && extension_fault_hook_ && extension_fault_hook_(*this, stop)) {
+    return;
+  }
+
+  // Palladium user-extension containment: fault raised by SPL 3 code in an
+  // SPL 2 process delivers SIGSEGV to the extended application.
+  if (proc.task_spl == 2 && cpl == 3) {
+    Charge(config_.costs.sigsegv_delivery);
+    DeliverSignal(proc, kSigSegv);
+    return;
+  }
+
+  // Ordinary process fault: SIGSEGV if handled, else kill.
+  if (cpl == 3 && proc.signals.handlers[kSigSegv % kNumSignals] != 0) {
+    Charge(config_.costs.sigsegv_delivery);
+    DeliverSignal(proc, kSigSegv);
+    return;
+  }
+  KillCurrent("fault: " + FaultToString(fault));
+}
+
+void Kernel::DeliverSignal(Process& proc, u32 signo) {
+  signo %= kNumSignals;
+  u32 handler = proc.signals.handlers[signo];
+  if (handler == 0) {
+    KillCurrent("unhandled signal " + std::to_string(signo));
+    return;
+  }
+  proc.signals.saved_context = cpu().SaveContext();
+  proc.signals.in_handler = true;
+  proc.signals.last_signal = signo;
+  ++proc.signals.delivered_count;
+
+  const DescriptorTable& gdt = machine_.gdt();
+  CpuContext ctx = cpu().SaveContext();
+  u32 stack_top;
+  if (proc.task_spl == 2) {
+    // Handler runs in the extended application at SPL 2; use the PL 2
+    // transition stack (never the extension's stack).
+    ctx.cpl = 2;
+    ctx.segs[static_cast<u8>(SegReg::kCs)] = MakeLoaded(gdt, kAppCsSel);
+    ctx.segs[static_cast<u8>(SegReg::kSs)] = MakeLoaded(gdt, kAppDsSel);
+    ctx.segs[static_cast<u8>(SegReg::kDs)] = MakeLoaded(gdt, kAppDsSel);
+    ctx.segs[static_cast<u8>(SegReg::kEs)] = MakeLoaded(gdt, kAppDsSel);
+    stack_top = proc.pl2_stack_top != 0 ? proc.pl2_stack_top - 256 : kUserStackTop - 4096;
+  } else {
+    ctx.cpl = 3;
+    ctx.segs[static_cast<u8>(SegReg::kCs)] = MakeLoaded(gdt, kUserCsSel);
+    ctx.segs[static_cast<u8>(SegReg::kSs)] = MakeLoaded(gdt, kUserDsSel);
+    ctx.segs[static_cast<u8>(SegReg::kDs)] = MakeLoaded(gdt, kUserDsSel);
+    ctx.segs[static_cast<u8>(SegReg::kEs)] = MakeLoaded(gdt, kUserDsSel);
+    stack_top = ctx.regs[static_cast<u8>(Reg::kEsp)];
+  }
+  // Frame: [return address -> sigreturn trampoline][signo]
+  u32 esp = stack_top - 8;
+  u32 words[2] = {kSignalTrampolinePage, signo};
+  if (!CopyToUser(proc, esp, words, sizeof(words))) {
+    KillCurrent("cannot build signal frame");
+    return;
+  }
+  ctx.regs[static_cast<u8>(Reg::kEsp)] = esp;
+  ctx.eip = handler;
+  cpu().RestoreContext(ctx);
+}
+
+// --- System call implementations ------------------------------------------------
+
+void Kernel::SysExit(u32 code) {
+  current_->state = ProcessState::kExited;
+  current_->exit_code = static_cast<i32>(code);
+}
+
+void Kernel::SysWrite(u32 ptr, u32 len) {
+  if (len > 1u << 20) {
+    ReturnFromGate(kErrInval);
+    return;
+  }
+  std::string buf(len, '\0');
+  if (!CopyFromUser(*current_, ptr, buf.data(), len)) {
+    ReturnFromGate(kErrFault);
+    return;
+  }
+  console_ += buf;
+  ReturnFromGate(len);
+}
+
+void Kernel::SysBrk(u32 new_brk) {
+  Process& proc = *current_;
+  if (new_brk == 0) {
+    ReturnFromGate(proc.brk);
+    return;
+  }
+  if (new_brk < proc.heap_start || new_brk > proc.heap_start + (64u << 20)) {
+    ReturnFromGate(proc.brk);
+    return;
+  }
+  for (VmArea& a : proc.areas) {
+    if (a.start == proc.heap_start && std::string(a.tag) == "heap") {
+      u32 new_end = PageAlignUp(new_brk);
+      // Refuse to collide with a later area.
+      for (const VmArea& other : proc.areas) {
+        if (&other != &a && new_end > other.start && other.start >= a.start) {
+          ReturnFromGate(proc.brk);
+          return;
+        }
+      }
+      a.end = new_end;
+      proc.brk = new_brk;
+      ReturnFromGate(new_brk);
+      return;
+    }
+  }
+  ReturnFromGate(proc.brk);
+}
+
+void Kernel::SysMmap(u32 addr, u32 len, u32 prot) {
+  Process& proc = *current_;
+  if (len == 0) {
+    ReturnFromGate(kErrInval);
+    return;
+  }
+  len = PageAlignUp(len);
+  if (addr == 0) {
+    addr = proc.mmap_next;
+    proc.mmap_next += len + kPageSize;
+  }
+  if (!AddArea(proc, addr, addr + len, prot, "mmap")) {
+    ReturnFromGate(kErrNoMem);
+    return;
+  }
+  // Palladium's mmap change (Section 4.5.2): pages of a writable region in
+  // an SPL 2 process are marked PPL 0 — which MapUserPage already applies at
+  // page-fault time, exactly as the paper describes.
+  ReturnFromGate(addr);
+}
+
+bool Kernel::UnmapArea(Process& proc, u32 start, u32 end) {
+  for (auto it = proc.areas.begin(); it != proc.areas.end(); ++it) {
+    if (it->start == start && it->end == end) {
+      PageTableEditor ed(machine_.pm(), proc.cr3);
+      for (u32 a = start; a < end; a += kPageSize) {
+        u32 pte = 0;
+        if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
+          frames_.Free(pte & kPteFrameMask);
+          ed.Unmap(a);
+          cpu().tlb().FlushPage(a);
+        }
+      }
+      proc.areas.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Kernel::SysMunmap(u32 addr, u32 len) {
+  Process& proc = *current_;
+  const u32 start = PageAlignDown(addr);
+  const u32 end = PageAlignUp(addr + len);
+  ReturnFromGate(UnmapArea(proc, start, end) ? 0 : kErrInval);
+}
+
+void Kernel::SysMprotect(u32 addr, u32 len, u32 prot) {
+  Process& proc = *current_;
+  // The Palladium mprotect hardening is subsumed by taskSPL gating: an SPL 3
+  // extension cannot reach this syscall at all in an SPL 2 process. The
+  // explicit check remains for defense in depth.
+  GateFrame frame;
+  if (PeekGateFrame(&frame) && Selector(static_cast<u16>(frame.cs)).rpl() == 3 &&
+      proc.task_spl == 2) {
+    ReturnFromGate(kErrPerm);
+    return;
+  }
+  const u32 start = PageAlignDown(addr);
+  const u32 end = PageAlignUp(addr + len);
+  VmArea* area = proc.FindArea(start);
+  if (area == nullptr || end > area->end) {
+    ReturnFromGate(kErrInval);
+    return;
+  }
+  area->prot = prot;
+  PageTableEditor ed(machine_.pm(), proc.cr3);
+  for (u32 a = start; a < end; a += kPageSize) {
+    u32 pte = 0;
+    if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
+      if (prot & kProtWrite) {
+        ed.UpdateFlags(a, kPteWrite, 0);
+      } else {
+        ed.UpdateFlags(a, 0, kPteWrite);
+      }
+      cpu().tlb().FlushPage(a);
+    }
+  }
+  ReturnFromGate(0);
+}
+
+void Kernel::SysSigaction(u32 signo, u32 handler) {
+  if (signo >= kNumSignals) {
+    ReturnFromGate(kErrInval);
+    return;
+  }
+  current_->signals.handlers[signo] = handler;
+  ReturnFromGate(0);
+}
+
+void Kernel::SysSigreturn() {
+  Process& proc = *current_;
+  if (!proc.signals.in_handler) {
+    ReturnFromGate(kErrInval);
+    return;
+  }
+  proc.signals.in_handler = false;
+  cpu().RestoreContext(proc.signals.saved_context);
+}
+
+void Kernel::SysFork() {
+  Process& parent = *current_;
+  Pid child_pid = CreateProcess();
+  if (child_pid == 0) {
+    ReturnFromGate(kErrNoMem);
+    return;
+  }
+  Process& child = *process(child_pid);
+  // Clone the memory map eagerly (no COW in the prototype kernel).
+  child.areas = parent.areas;
+  child.brk = parent.brk;
+  child.heap_start = parent.heap_start;
+  child.mmap_next = parent.mmap_next;
+  child.xmalloc_brk = parent.xmalloc_brk;
+  child.pl2_stack_top = parent.pl2_stack_top;
+  // Palladium: segment/page privilege levels are inherited across fork
+  // (Section 4.5.2) — that includes taskSPL, the PPL policy, and the PPL
+  // bits in every copied PTE.
+  child.task_spl = parent.task_spl;
+  child.ppl_policy = parent.ppl_policy;
+  child.ppl1_pages = parent.ppl1_pages;
+  child.signals.handlers = parent.signals.handlers;
+
+  PhysicalMemory& pm = machine_.pm();
+  PageTableEditor ped(pm, parent.cr3);
+  PageTableEditor ced(pm, child.cr3);
+  u32 copied_pages = 0;
+  for (const VmArea& area : parent.areas) {
+    for (u32 a = area.start; a < area.end; a += kPageSize) {
+      u32 pte = 0;
+      if (!ped.GetPte(a, &pte) || !(pte & kPtePresent)) continue;
+      u32 frame = frames_.Alloc();
+      if (frame == 0) {
+        ReturnFromGate(kErrNoMem);
+        return;
+      }
+      u8 buf[kPageSize];
+      pm.ReadBlock(pte & kPteFrameMask, buf, kPageSize);
+      pm.WriteBlock(frame, buf, kPageSize);
+      ced.Map(a, frame, pte & kPteFlagsMask, [this] { return frames_.Alloc(); });
+      ++copied_pages;
+    }
+  }
+  Charge(config_.costs.fork_base + copied_pages * 100);
+
+  // The child resumes at the syscall return point with EAX = 0.
+  GateFrame frame;
+  if (!PeekGateFrame(&frame) || !frame.has_outer_stack) {
+    KillCurrent("fork: unreadable gate frame");
+    return;
+  }
+  CpuContext ctx = cpu().SaveContext();
+  ctx.regs[static_cast<u8>(Reg::kEax)] = 0;
+  ctx.regs[static_cast<u8>(Reg::kEsp)] = frame.esp;
+  ctx.eip = frame.eip;
+  ctx.eflags = frame.eflags;
+  const DescriptorTable& gdt = machine_.gdt();
+  Selector cs_sel(static_cast<u16>(frame.cs));
+  Selector ss_sel(static_cast<u16>(frame.ss));
+  ctx.cpl = cs_sel.rpl();
+  ctx.segs[static_cast<u8>(SegReg::kCs)] = MakeLoaded(gdt, cs_sel);
+  ctx.segs[static_cast<u8>(SegReg::kSs)] = MakeLoaded(gdt, ss_sel);
+  // DS/ES as currently loaded in the parent.
+  child.context = ctx;
+
+  ReturnFromGate(child_pid);
+}
+
+void Kernel::SysInitPL() {
+  Process& proc = *current_;
+  if (proc.task_spl != 3) {
+    ReturnFromGate(kErrPerm);
+    return;
+  }
+  GateFrame frame;
+  if (!PeekGateFrame(&frame) || !frame.has_outer_stack) {
+    KillCurrent("init_PL: unreadable gate frame");
+    return;
+  }
+  proc.task_spl = 2;
+  proc.ppl_policy = true;
+
+  // Mark every already-mapped writable page PPL 0 (Section 4.4.1) and count
+  // the work for the cycle model.
+  PageTableEditor ed(machine_.pm(), proc.cr3);
+  u32 marked = 0;
+  for (const VmArea& area : proc.areas) {
+    if (!(area.prot & kProtWrite) || area.shared_ppl1) continue;
+    for (u32 a = area.start; a < area.end; a += kPageSize) {
+      u32 pte = 0;
+      if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
+        ed.UpdateFlags(a, 0, kPteUser);
+        ++marked;
+      }
+    }
+  }
+  cpu().tlb().Flush();
+  Charge(config_.costs.ppl_mark_startup + marked * config_.costs.ppl_mark_per_page);
+
+  // Allocate the PL 2 transition stack (the TSS inner stack for lcalls from
+  // SPL 3 into the application).
+  u32 base = proc.mmap_next;
+  proc.mmap_next += 4 * kPageSize;
+  if (!AddArea(proc, base, base + 2 * kPageSize, kProtRead | kProtWrite, "pl2-stack") ||
+      !PopulateRange(proc, base, base + 2 * kPageSize)) {
+    KillCurrent("init_PL: cannot allocate PL2 stack");
+    return;
+  }
+  proc.pl2_stack_top = base + 2 * kPageSize;
+  cpu().tss().esp[2] = proc.pl2_stack_top;
+  cpu().tss().ss[2] = kAppDsSel.raw();
+
+  // Return the caller at SPL 2: rewrite the frame's CS (DPL 2 code) and SS
+  // (SS DPL must equal CPL). DS/ES keep the DPL 3 user data segment — legal
+  // at CPL 2 (DPL >= CPL) and what lets extensions inherit a usable DS.
+  if (!PatchGateFrameSelectors(kAppCsSel, kAppDsSel)) {
+    KillCurrent("init_PL: cannot patch gate frame");
+    return;
+  }
+  ReturnFromGate(0);
+}
+
+void Kernel::SysSetRange(u32 addr, u32 len, u32 ppl) {
+  Process& proc = *current_;
+  if (proc.task_spl != 2) {
+    ReturnFromGate(kErrPerm);
+    return;
+  }
+  if ((addr & kPageMask) != 0 || len == 0 || (len & kPageMask) != 0 || ppl > 1) {
+    // Sharing granularity is whole pages (Section 4.4.1).
+    ReturnFromGate(kErrInval);
+    return;
+  }
+  u32 marked = 0;
+  for (u32 a = addr; a < addr + len; a += kPageSize) {
+    if (proc.FindArea(a) == nullptr) {
+      ReturnFromGate(kErrFault);
+      return;
+    }
+    if (ppl == 1) {
+      proc.ppl1_pages.insert(PageNumber(a));
+    } else {
+      proc.ppl1_pages.erase(PageNumber(a));
+    }
+    u32 pte = 0;
+    PageTableEditor ed(machine_.pm(), proc.cr3);
+    if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
+      SetPageUserBit(proc, a, ppl == 1);
+    }
+    ++marked;
+  }
+  Charge(config_.costs.ppl_mark_startup + marked * config_.costs.ppl_mark_per_page);
+  ReturnFromGate(0);
+}
+
+void Kernel::SysSetCallGate(u32 function) {
+  Process& proc = *current_;
+  if (proc.task_spl != 2) {
+    ReturnFromGate(kErrPerm);
+    return;
+  }
+  u16 slot = gdt().AllocateSlot(kGdtFirstDynamic);
+  gdt().Set(slot, SegmentDescriptor::MakeCallGate(kAppCsSel.raw(), function, /*dpl=*/3));
+  ReturnFromGate(Selector::FromIndex(slot, 3).raw());
+}
+
+}  // namespace palladium

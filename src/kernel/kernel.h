@@ -1,0 +1,211 @@
+// The kernel model: a Linux-2.0.34-style kernel (as modified by Palladium)
+// running as host code over the simulated hardware. It owns the GDT/IDT,
+// per-process page tables with the Figure-2 address-space layout, demand
+// paging with Palladium's PPL policy, system-call dispatch through an
+// interrupt gate, signals, fork/exec, and the taskSPL syscall gating of
+// Section 4.5.2. The Palladium extension mechanisms (src/core) plug into the
+// hooks exposed here.
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/asm/object_file.h"
+#include "src/hw/machine.h"
+#include "src/kernel/abi.h"
+#include "src/kernel/page_alloc.h"
+#include "src/kernel/process.h"
+
+namespace palladium {
+
+// Outcome of RunProcess.
+enum class RunOutcome : u8 {
+  kExited,       // process called exit
+  kKilled,       // unrecoverable fault
+  kCycleLimit,   // budget exhausted while still runnable
+};
+
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kExited;
+  i32 exit_code = 0;
+  std::string kill_reason;
+};
+
+class Kernel {
+ public:
+  struct Config {
+    u64 extension_cycle_limit = 5'000'000;  // per-invocation CPU-time cap
+    u64 timer_slice_cycles = 50'000;        // granularity of the limit check
+    KernelCosts costs;
+  };
+
+  explicit Kernel(Machine& machine);
+  Kernel(Machine& machine, const Config& config);
+
+  Machine& machine() { return machine_; }
+  Cpu& cpu() { return machine_.cpu(); }
+  FrameAllocator& frames() { return frames_; }
+  const Config& config() const { return config_; }
+  KernelCosts& costs() { return config_.costs; }
+
+  // --- Processes -------------------------------------------------------------
+  Pid CreateProcess();
+  Process* process(Pid pid);
+
+  // Loads a linked user image: text (read-exec), data+bss (read-write), a
+  // stack area, a heap area, and the signal trampoline page. Sets the saved
+  // context to enter at `entry_symbol` at SPL 3.
+  bool LoadUserImage(Pid pid, const LinkedImage& image, const std::string& entry_symbol,
+                     std::string* diag);
+
+  // exec() semantics (host-level, standing in for the syscall + filesystem):
+  // replaces the address space with `image`; taskSPL resets to 3 (the paper:
+  // privilege levels are *not* inherited across exec).
+  bool ExecImage(Pid pid, const LinkedImage& image, const std::string& entry_symbol,
+                 std::string* diag);
+
+  // Runs the process until exit/kill or cycle budget exhaustion.
+  RunResult RunProcess(Pid pid, u64 cycle_budget = ~0ull);
+
+  // --- Memory ----------------------------------------------------------------
+  // Adds a VmArea (no eager mapping). Returns false on overlap.
+  bool AddArea(Process& proc, u32 start, u32 end, u32 prot, const char* tag);
+  // Demand-pages one user page according to the Palladium PPL policy.
+  bool MapUserPage(Process& proc, u32 linear, const VmArea& area);
+  // Eagerly materializes every page of [start,end).
+  bool PopulateRange(Process& proc, u32 start, u32 end);
+  // Reads/writes process memory from the host (kernel copy_to/from_user).
+  bool CopyToUser(Process& proc, u32 linear, const void* src, u32 len);
+  bool CopyFromUser(Process& proc, u32 linear, void* dst, u32 len);
+  // Removes an area and frees its frames (munmap's core).
+  bool UnmapArea(Process& proc, u32 start, u32 end);
+  // Page-table access for the Palladium module (set_range etc).
+  bool SetPageUserBit(Process& proc, u32 linear, bool user);
+  bool SetPageWritable(Process& proc, u32 linear, bool writable);
+  std::optional<u32> GetPte(Process& proc, u32 linear);
+
+  // --- Kernel virtual memory --------------------------------------------------
+  // Maps `linear` (in kernel space, >= 3 GB) to a fresh frame in every
+  // process (kernel mappings are shared). Returns the frame, 0 on OOM.
+  u32 MapKernelPage(u32 linear, bool user_bit = false);
+  // Direct-map helpers: kernel linear <-> physical.
+  static u32 KernelLinearToPhys(u32 linear) { return linear - kKernelBase; }
+  // The kernel-only page directory (valid CR3 when no process is current).
+  u32 kernel_cr3() const { return kernel_page_dir_template_; }
+  // Read/write kernel virtual memory (e.g. extension segments) from the host.
+  bool WriteKernelVirt(u32 linear, const void* src, u32 len);
+  bool ReadKernelVirt(u32 linear, void* dst, u32 len);
+  // Reads a NUL-terminated string from the current process (max 256 bytes).
+  std::optional<std::string> ReadUserString(Process& proc, u32 linear);
+
+  // --- Host-call and fault hooks (used by src/core) ---------------------------
+  // Handler receives the kernel; return value semantics: the handler is
+  // responsible for adjusting CPU state (e.g. ReturnFromGate).
+  using HostCallHandler = std::function<void(Kernel&)>;
+  void RegisterHostCall(u32 id, HostCallHandler handler);
+  u32 AllocateHostCallId();
+  // Linear address of a host entry (for gate targets): kernel-segment offset.
+  static u32 HostEntryOffset(u32 id) { return id * kInsnSize; }
+
+  // Fault hook: invoked for faults raised at CPL 1/2 (kernel-extension and
+  // application-segment contexts). Returns true if handled (execution may
+  // continue or the context was redirected); false falls through to the
+  // default handler.
+  using FaultHook = std::function<bool(Kernel&, const StopInfo&)>;
+  void SetExtensionFaultHook(FaultHook hook) { extension_fault_hook_ = std::move(hook); }
+
+  // Hook consulted when the extension time limit fires (user extensions).
+  using TimeLimitHook = std::function<void(Kernel&, Process&)>;
+  void SetTimeLimitHook(TimeLimitHook hook) { time_limit_hook_ = std::move(hook); }
+
+  // --- Syscall/gate plumbing ---------------------------------------------------
+  // Emulates IRET from the current interrupt-gate frame, placing `eax_value`
+  // in EAX. Used by every syscall handler.
+  void ReturnFromGate(u32 eax_value);
+  // Reads the interrupt frame of the in-progress gate entry.
+  struct GateFrame {
+    u32 eip = 0, cs = 0, eflags = 0, esp = 0, ss = 0;
+    bool has_outer_stack = false;
+  };
+  bool PeekGateFrame(GateFrame* frame);
+  // Rewrites the CS/SS selectors in the current gate frame (init_PL uses
+  // this to return the caller at SPL 2 instead of SPL 3).
+  bool PatchGateFrameSelectors(Selector cs, Selector ss);
+
+  // Charges host-side kernel work to the simulated cycle counter.
+  void Charge(u32 cycles) { cpu().set_cycles(cpu().cycles() + cycles); }
+
+  // --- Signals ----------------------------------------------------------------
+  // Queues + immediately delivers `signo` to the process's registered
+  // handler (at the application privilege level); kills on no handler.
+  void DeliverSignal(Process& proc, u32 signo);
+
+  // --- Console ----------------------------------------------------------------
+  const std::string& console() const { return console_; }
+  void ClearConsole() { console_.clear(); }
+
+  Process* current() { return current_; }
+  DescriptorTable& gdt() { return machine_.gdt(); }
+
+  // The paper's Extension Function Table lives in the kernel (Figure 4);
+  // the kext module populates it and kSysInvokeKext consults it.
+  using KextInvoker = std::function<u32(Kernel&, u32 function_id, u32 arg, bool* ok)>;
+  void SetKextInvoker(KextInvoker invoker) { kext_invoker_ = std::move(invoker); }
+
+  // Extra syscall handlers (dl / palladium modules add theirs).
+  using SyscallHandler = std::function<void(Kernel&, u32 ebx, u32 ecx, u32 edx)>;
+  void RegisterSyscall(u32 number, SyscallHandler handler);
+
+ private:
+  void SetupGdtIdt();
+  void SwitchTo(Process& proc);
+  void SaveCurrent();
+
+  void HandleSyscall();
+  void HandleFault(const StopInfo& stop);
+  void KillCurrent(const std::string& reason);
+
+  // Built-in syscall implementations.
+  void SysExit(u32 code);
+  void SysWrite(u32 ptr, u32 len);
+  void SysBrk(u32 new_brk);
+  void SysMmap(u32 addr, u32 len, u32 prot);
+  void SysMunmap(u32 addr, u32 len);
+  void SysMprotect(u32 addr, u32 len, u32 prot);
+  void SysSigaction(u32 signo, u32 handler);
+  void SysSigreturn();
+  void SysFork();
+  void SysInitPL();
+  void SysSetRange(u32 addr, u32 len, u32 ppl);
+  void SysSetCallGate(u32 function);
+
+  void InstallSignalTrampoline(Process& proc);
+  bool BuildAddressSpace(Process& proc);
+  void ReleaseAddressSpace(Process& proc);
+
+  Machine& machine_;
+  Config config_;
+  FrameAllocator frames_;
+  u32 kernel_page_dir_template_ = 0;  // PDEs >= 3GB shared by all processes
+
+  std::map<Pid, std::unique_ptr<Process>> processes_;
+  Pid next_pid_ = 1;
+  Process* current_ = nullptr;
+
+  std::map<u32, HostCallHandler> host_calls_;
+  u32 next_host_call_id_ = kHostEntryFirstFree;
+  std::map<u32, SyscallHandler> extra_syscalls_;
+  FaultHook extension_fault_hook_;
+  TimeLimitHook time_limit_hook_;
+  KextInvoker kext_invoker_;
+
+  std::string console_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,31 @@
+#include "src/kernel/page_alloc.h"
+
+#include <utility>
+
+#include "src/hw/paging.h"
+
+namespace palladium {
+
+FrameAllocator::FrameAllocator(PhysicalMemory& pm, u32 first_frame_addr) : pm_(pm) {
+  const u32 first = PageAlignUp(first_frame_addr);
+  for (u32 addr = first; addr + kPageSize <= pm.size(); addr += kPageSize) {
+    free_list_.push_back(addr);
+  }
+  // LIFO order with low addresses on top, for deterministic layouts.
+  for (u32 i = 0; i < free_list_.size() / 2; ++i) {
+    std::swap(free_list_[i], free_list_[free_list_.size() - 1 - i]);
+  }
+  total_ = static_cast<u32>(free_list_.size());
+}
+
+u32 FrameAllocator::Alloc() {
+  if (free_list_.empty()) return 0;
+  u32 frame = free_list_.back();
+  free_list_.pop_back();
+  pm_.Fill(frame, 0, kPageSize);
+  return frame;
+}
+
+void FrameAllocator::Free(u32 frame_addr) { free_list_.push_back(frame_addr & kPteFrameMask); }
+
+}  // namespace palladium

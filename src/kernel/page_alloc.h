@@ -1,0 +1,35 @@
+// Physical frame allocator: a simple free-list over the machine's physical
+// memory, excluding the low region reserved for kernel text/stub addresses.
+#ifndef SRC_KERNEL_PAGE_ALLOC_H_
+#define SRC_KERNEL_PAGE_ALLOC_H_
+
+#include <vector>
+
+#include "src/hw/physical_memory.h"
+#include "src/hw/types.h"
+
+namespace palladium {
+
+class FrameAllocator {
+ public:
+  // Manages frames in [first_frame_addr, pm.size()).
+  FrameAllocator(PhysicalMemory& pm, u32 first_frame_addr);
+
+  // Returns the physical base of a zeroed 4 KB frame, or 0 on exhaustion
+  // (frame 0 is never handed out).
+  u32 Alloc();
+
+  void Free(u32 frame_addr);
+
+  u32 free_frames() const { return static_cast<u32>(free_list_.size()); }
+  u32 total_frames() const { return total_; }
+
+ private:
+  PhysicalMemory& pm_;
+  std::vector<u32> free_list_;
+  u32 total_ = 0;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_KERNEL_PAGE_ALLOC_H_

@@ -1,0 +1,74 @@
+#include "src/net/packet.h"
+
+namespace palladium {
+
+u16 ReadBe16(const u8* p) { return static_cast<u16>((p[0] << 8) | p[1]); }
+
+u32 ReadBe32(const u8* p) {
+  return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+         (static_cast<u32>(p[2]) << 8) | p[3];
+}
+
+void WriteBe16(u8* p, u16 v) {
+  p[0] = static_cast<u8>(v >> 8);
+  p[1] = static_cast<u8>(v);
+}
+
+void WriteBe32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v >> 24);
+  p[1] = static_cast<u8>(v >> 16);
+  p[2] = static_cast<u8>(v >> 8);
+  p[3] = static_cast<u8>(v);
+}
+
+std::vector<u8> BuildPacket(const PacketSpec& spec) {
+  const u32 l4_len = spec.proto == kIpProtoTcp ? kTcpHeaderLen : kUdpHeaderLen;
+  std::vector<u8> pkt(kEthHeaderLen + kIpHeaderLen + l4_len + spec.payload_len, 0);
+  // Ethernet: dst/src MACs zero, ethertype IPv4.
+  WriteBe16(&pkt[kOffEtherType], kEtherTypeIp);
+  // IPv4.
+  pkt[kEthHeaderLen + 0] = 0x45;  // version 4, IHL 5
+  WriteBe16(&pkt[kEthHeaderLen + 2],
+            static_cast<u16>(kIpHeaderLen + l4_len + spec.payload_len));
+  pkt[kEthHeaderLen + 8] = 64;  // TTL
+  pkt[kOffIpProto] = spec.proto;
+  WriteBe32(&pkt[kOffIpSrc], spec.src_ip);
+  WriteBe32(&pkt[kOffIpDst], spec.dst_ip);
+  // TCP/UDP ports.
+  WriteBe16(&pkt[kOffSrcPort], spec.src_port);
+  WriteBe16(&pkt[kOffDstPort], spec.dst_port);
+  return pkt;
+}
+
+TraceGenerator::TraceGenerator(u64 seed, const PacketSpec& match_spec, double match_fraction)
+    : state_(seed == 0 ? 0x9E3779B97F4A7C15ull : seed),
+      match_spec_(match_spec),
+      match_threshold_(static_cast<u32>(match_fraction * 4294967295.0)) {}
+
+u32 TraceGenerator::NextRand() {
+  // xorshift64*.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return static_cast<u32>((state_ * 0x2545F4914F6CDD1Dull) >> 32);
+}
+
+PacketSpec TraceGenerator::Next(bool* is_match) {
+  if (NextRand() <= match_threshold_) {
+    *is_match = true;
+    return match_spec_;
+  }
+  *is_match = false;
+  PacketSpec spec = match_spec_;
+  // Perturb one field so the packet fails the filter (and vary the rest).
+  u32 r = NextRand();
+  spec.src_ip = match_spec_.src_ip ^ (1u + (r & 0xFFFF));
+  spec.dst_ip = match_spec_.dst_ip ^ (NextRand() & 0xFFFF);
+  spec.src_port = static_cast<u16>(NextRand());
+  spec.dst_port = static_cast<u16>(match_spec_.dst_port ^ (1 + (NextRand() & 0xFF)));
+  spec.proto = (NextRand() & 1) ? kIpProtoTcp : kIpProtoUdp;
+  spec.payload_len = static_cast<u16>(NextRand() % 512);
+  return spec;
+}
+
+}  // namespace palladium

@@ -1,0 +1,66 @@
+// Packet formats and synthetic trace generation: Ethernet/IPv4/TCP/UDP
+// headers in wire (big-endian) byte order, used by the packet-filter
+// workloads of Section 5.2 (Figure 7).
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <vector>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+// Header geometry (no VLANs, no IP options).
+inline constexpr u32 kEthHeaderLen = 14;
+inline constexpr u32 kIpHeaderLen = 20;
+inline constexpr u32 kTcpHeaderLen = 20;
+inline constexpr u32 kUdpHeaderLen = 8;
+inline constexpr u16 kEtherTypeIp = 0x0800;
+inline constexpr u8 kIpProtoTcp = 6;
+inline constexpr u8 kIpProtoUdp = 17;
+
+// Byte offsets from the start of the frame (the offsets BPF programs and the
+// compiled filters both use).
+inline constexpr u32 kOffEtherType = 12;
+inline constexpr u32 kOffIpProto = kEthHeaderLen + 9;
+inline constexpr u32 kOffIpSrc = kEthHeaderLen + 12;
+inline constexpr u32 kOffIpDst = kEthHeaderLen + 16;
+inline constexpr u32 kOffSrcPort = kEthHeaderLen + kIpHeaderLen + 0;
+inline constexpr u32 kOffDstPort = kEthHeaderLen + kIpHeaderLen + 2;
+
+struct PacketSpec {
+  u32 src_ip = 0x0A000001;  // 10.0.0.1
+  u32 dst_ip = 0x0A000002;
+  u16 src_port = 1234;
+  u16 dst_port = 80;
+  u8 proto = kIpProtoTcp;
+  u16 payload_len = 64;
+};
+
+// Builds a wire-format frame (headers big-endian, zeroed payload).
+std::vector<u8> BuildPacket(const PacketSpec& spec);
+
+// Wire-order field accessors.
+u16 ReadBe16(const u8* p);
+u32 ReadBe32(const u8* p);
+void WriteBe16(u8* p, u16 v);
+void WriteBe32(u8* p, u32 v);
+
+// Deterministic synthetic trace generator (xorshift-based); `match_fraction`
+// of packets are forced to match `match_spec` exactly.
+class TraceGenerator {
+ public:
+  TraceGenerator(u64 seed, const PacketSpec& match_spec, double match_fraction);
+
+  PacketSpec Next(bool* is_match);
+
+ private:
+  u32 NextRand();
+  u64 state_;
+  PacketSpec match_spec_;
+  u32 match_threshold_;  // in 2^32 units
+};
+
+}  // namespace palladium
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,26 @@
+#include "src/rpc/rpc.h"
+
+namespace palladium {
+
+std::optional<std::vector<u8>> LocalRpcChannel::Call(const std::string& method,
+                                                     const std::vector<u8>& request) {
+  auto it = handlers_.find(method);
+  if (it == handlers_.end()) return std::nullopt;
+  // Request marshalling: client -> socket buffer -> server. The copies are
+  // real; the surrounding syscall/scheduling cost is modeled.
+  socket_buffer_.assign(request.begin(), request.end());
+  cycles_ += costs_.per_byte_cycles * request.size();
+  std::vector<u8> server_view(socket_buffer_.begin(), socket_buffer_.end());
+
+  std::vector<u8> reply = it->second(server_view);
+
+  // Reply marshalling: server -> socket buffer -> client.
+  socket_buffer_.assign(reply.begin(), reply.end());
+  cycles_ += costs_.per_byte_cycles * reply.size();
+  std::vector<u8> client_view(socket_buffer_.begin(), socket_buffer_.end());
+
+  cycles_ += costs_.base_cycles;
+  return client_view;
+}
+
+}  // namespace palladium

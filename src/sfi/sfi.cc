@@ -1,0 +1,175 @@
+#include "src/sfi/sfi.h"
+
+#include <map>
+#include <vector>
+
+namespace palladium {
+
+namespace {
+
+bool IsMemoryOp(Opcode op) {
+  return op == Opcode::kLoad || op == Opcode::kStore || op == Opcode::kStoreI;
+}
+
+bool IsIndirectTransfer(Opcode op) { return op == Opcode::kCallR || op == Opcode::kJmpR; }
+
+}  // namespace
+
+std::optional<ObjectFile> SfiRewrite(const ObjectFile& obj, const SfiOptions& options,
+                                     SfiStats* stats, std::string* diag) {
+  const u32 mask = (1u << options.sandbox_bits) - 1;
+  if ((options.sandbox_base & mask) != 0) {
+    if (diag != nullptr) *diag = "sandbox base not aligned to its size";
+    return std::nullopt;
+  }
+  if (obj.text.size() % kInsnSize != 0) {
+    if (diag != nullptr) *diag = "text section is not instruction-aligned";
+    return std::nullopt;
+  }
+  const u8 scratch = static_cast<u8>(options.scratch);
+  const u32 n = static_cast<u32>(obj.text.size() / kInsnSize);
+
+  SfiStats local_stats;
+  local_stats.original_insns = n;
+
+  // First pass: decode and compute the new offset of every original insn.
+  std::vector<Insn> insns(n);
+  std::vector<u32> new_index(n + 1, 0);  // in instructions
+  u32 out_count = 0;
+  for (u32 i = 0; i < n; ++i) {
+    auto decoded = Insn::Decode(obj.text.data() + i * kInsnSize);
+    if (!decoded) {
+      if (diag != nullptr) *diag = "undecodable instruction at text offset " +
+                                   std::to_string(i * kInsnSize);
+      return std::nullopt;
+    }
+    insns[i] = *decoded;
+    new_index[i] = out_count;
+    const Insn& in = insns[i];
+    const bool sandbox_this =
+        (IsMemoryOp(in.opcode) &&
+         (options.protection == SfiProtection::kReadWrite || in.opcode != Opcode::kLoad)) ||
+        IsIndirectTransfer(in.opcode);
+    if (sandbox_this && IsMemoryOp(in.opcode)) {
+      // lea; and; or; op
+      if (in.r1 == scratch || (in.r2 != kNoBaseReg && in.r2 == scratch) ||
+          (in.scale != 0 && in.r3 == scratch)) {
+        if (diag != nullptr) {
+          *diag = "code uses the SFI scratch register at instruction " + std::to_string(i);
+        }
+        return std::nullopt;
+      }
+      out_count += 4;
+      ++local_stats.sandboxed_memory_ops;
+    } else if (sandbox_this) {
+      // and; or; op  (indirect target masking mutates the target register,
+      // as in classic SFI)
+      out_count += 3;
+      ++local_stats.sandboxed_indirect_jumps;
+    } else {
+      out_count += 1;
+    }
+  }
+  new_index[n] = out_count;
+  local_stats.rewritten_insns = out_count;
+
+  // Second pass: emit.
+  ObjectFile out;
+  out.data = obj.data;
+  out.bss_size = obj.bss_size;
+  out.text.resize(out_count * kInsnSize);
+  // Field-offset remapping for relocations: old byte offset -> new.
+  std::map<u32, u32> field_map;
+
+  u32 emit_at = 0;
+  auto emit = [&](const Insn& insn) {
+    insn.EncodeTo(out.text.data() + emit_at * kInsnSize);
+    ++emit_at;
+  };
+  for (u32 i = 0; i < n; ++i) {
+    const Insn& in = insns[i];
+    const u32 old_base = i * kInsnSize;
+    const bool sandbox_this =
+        (IsMemoryOp(in.opcode) &&
+         (options.protection == SfiProtection::kReadWrite || in.opcode != Opcode::kLoad)) ||
+        IsIndirectTransfer(in.opcode);
+    if (sandbox_this && IsMemoryOp(in.opcode)) {
+      // lea <mem>, %scratch
+      Insn lea;
+      lea.opcode = Opcode::kLea;
+      lea.r1 = scratch;
+      lea.r2 = in.r2;
+      lea.r3 = in.r3;
+      lea.scale = in.scale;
+      lea.disp = in.disp;
+      // A disp relocation on the original lands on the lea.
+      field_map[old_base + 12] = emit_at * kInsnSize + 12;
+      emit(lea);
+      Insn mask_insn;
+      mask_insn.opcode = Opcode::kAndRI;
+      mask_insn.r1 = scratch;
+      mask_insn.imm = static_cast<i32>(mask);
+      emit(mask_insn);
+      Insn or_insn;
+      or_insn.opcode = Opcode::kOrRI;
+      or_insn.r1 = scratch;
+      or_insn.imm = static_cast<i32>(options.sandbox_base);
+      emit(or_insn);
+      Insn op = in;
+      op.r2 = scratch;
+      op.r3 = 0;
+      op.scale = 0;
+      op.disp = 0;
+      // An imm relocation (StoreI) lands on the final op.
+      field_map[old_base + 8] = emit_at * kInsnSize + 8;
+      emit(op);
+    } else if (sandbox_this) {
+      Insn mask_insn;
+      mask_insn.opcode = Opcode::kAndRI;
+      mask_insn.r1 = in.r1;
+      mask_insn.imm = static_cast<i32>(mask);
+      emit(mask_insn);
+      Insn or_insn;
+      or_insn.opcode = Opcode::kOrRI;
+      or_insn.r1 = in.r1;
+      or_insn.imm = static_cast<i32>(options.sandbox_base);
+      emit(or_insn);
+      field_map[old_base + 8] = emit_at * kInsnSize + 8;
+      emit(in);
+    } else {
+      field_map[old_base + 8] = emit_at * kInsnSize + 8;
+      field_map[old_base + 12] = emit_at * kInsnSize + 12;
+      emit(in);
+    }
+  }
+
+  // Remap symbols and relocations.
+  for (Symbol sym : obj.symbols) {
+    if (sym.defined && sym.section == SectionId::kText) {
+      if (sym.offset % kInsnSize != 0 || sym.offset / kInsnSize > n) {
+        if (diag != nullptr) *diag = "text symbol not instruction-aligned: " + sym.name;
+        return std::nullopt;
+      }
+      sym.offset = new_index[sym.offset / kInsnSize] * kInsnSize;
+    }
+    out.symbols.push_back(std::move(sym));
+  }
+  for (Relocation rel : obj.relocations) {
+    if (rel.section == SectionId::kText) {
+      auto it = field_map.find(rel.offset);
+      if (it == field_map.end()) {
+        if (diag != nullptr) {
+          *diag = "text relocation at unexpected offset " + std::to_string(rel.offset);
+        }
+        return std::nullopt;
+      }
+      rel.offset = it->second;
+    }
+    out.relocations.push_back(std::move(rel));
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace palladium

@@ -1,0 +1,50 @@
+// Software Fault Isolation (Wahbe et al. '93): the software-only baseline the
+// paper compares against in Section 2. A binary-rewriting pass over object
+// files that forces every (write, or all) memory access and every indirect
+// control transfer into a 2^k-aligned sandbox region by masking effective
+// addresses through a dedicated scratch register.
+#ifndef SRC_SFI_SFI_H_
+#define SRC_SFI_SFI_H_
+
+#include <optional>
+#include <string>
+
+#include "src/asm/object_file.h"
+#include "src/isa/insn.h"
+
+namespace palladium {
+
+enum class SfiProtection : u8 {
+  kWriteOnly,  // sandbox stores + indirect jumps (the cheap variant)
+  kReadWrite,  // sandbox loads too (full fault isolation)
+};
+
+struct SfiOptions {
+  u32 sandbox_base = 0x00400000;  // must be 2^bits aligned
+  u32 sandbox_bits = 20;          // 1 MB sandbox
+  SfiProtection protection = SfiProtection::kReadWrite;
+  Reg scratch = Reg::kEdx;        // dedicated register (must be free in the code)
+};
+
+struct SfiStats {
+  u32 original_insns = 0;
+  u32 rewritten_insns = 0;
+  u32 sandboxed_memory_ops = 0;
+  u32 sandboxed_indirect_jumps = 0;
+
+  double Expansion() const {
+    return original_insns == 0
+               ? 1.0
+               : static_cast<double>(rewritten_insns) / static_cast<double>(original_insns);
+  }
+};
+
+// Rewrites `obj`'s text section, remapping symbols and relocations. Fails if
+// the code uses the scratch register in a way the transform would clobber,
+// or if text symbols/relocations are not instruction-aligned.
+std::optional<ObjectFile> SfiRewrite(const ObjectFile& obj, const SfiOptions& options,
+                                     SfiStats* stats, std::string* diag);
+
+}  // namespace palladium
+
+#endif  // SRC_SFI_SFI_H_

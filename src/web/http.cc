@@ -1,0 +1,44 @@
+#include "src/web/http.h"
+
+#include <sstream>
+
+namespace palladium {
+
+std::optional<HttpRequest> HttpRequest::Parse(const std::string& text) {
+  std::istringstream is(text);
+  HttpRequest req;
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::istringstream first(line);
+  if (!(first >> req.method >> req.path >> req.version)) return std::nullopt;
+  if (req.method.empty() || req.path.empty() || req.path[0] != '/') return std::nullopt;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    std::string key = line.substr(0, colon);
+    size_t vstart = line.find_first_not_of(' ', colon + 1);
+    req.headers[key] = vstart == std::string::npos ? "" : line.substr(vstart);
+  }
+  return req;
+}
+
+std::string HttpRequest::Format() const {
+  std::ostringstream os;
+  os << method << " " << path << " " << version << "\r\n";
+  for (const auto& [k, v] : headers) os << k << ": " << v << "\r\n";
+  os << "\r\n";
+  return os.str();
+}
+
+std::string HttpResponse::FormatHead() const {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << " " << reason << "\r\n";
+  for (const auto& [k, v] : headers) os << k << ": " << v << "\r\n";
+  os << "Content-Length: " << body_bytes << "\r\n\r\n";
+  return os.str();
+}
+
+}  // namespace palladium

@@ -1,0 +1,41 @@
+// Minimal HTTP/1.0 message handling for the web-server workload (Table 3).
+// Real parsing/formatting code — the server model runs every request through
+// it, so the workload exercises genuine request handling, while time is
+// accounted in simulated cycles.
+#ifndef SRC_WEB_HTTP_H_
+#define SRC_WEB_HTTP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/hw/types.h"
+
+namespace palladium {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string version;
+  std::map<std::string, std::string> headers;
+
+  static std::optional<HttpRequest> Parse(const std::string& text);
+  std::string Format() const;
+
+  // CGI requests address scripts under /cgi-bin/.
+  bool IsCgi() const { return path.rfind("/cgi-bin/", 0) == 0; }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  u32 body_bytes = 0;
+
+  // Formats the status line + headers (the body is synthetic bulk).
+  std::string FormatHead() const;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_WEB_HTTP_H_

@@ -1,0 +1,110 @@
+#include "src/web/server_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "src/web/http.h"
+
+namespace palladium {
+
+const char* CgiModelName(CgiModel model) {
+  switch (model) {
+    case CgiModel::kStatic: return "static";
+    case CgiModel::kCgi: return "CGI";
+    case CgiModel::kFastCgi: return "FastCGI";
+    case CgiModel::kLibCgi: return "LibCGI";
+    case CgiModel::kLibCgiProtected: return "LibCGI (protected)";
+  }
+  return "?";
+}
+
+u64 RequestCpuCycles(CgiModel model, u32 file_bytes, const WebServerCosts& costs) {
+  u64 cycles = costs.request_base_cycles +
+               static_cast<u64>(file_bytes) * costs.per_body_byte_cycles;
+  switch (model) {
+    case CgiModel::kStatic:
+      break;
+    case CgiModel::kCgi:
+      cycles += costs.cgi_fork_exec_cycles + costs.libcgi_script_cycles;
+      break;
+    case CgiModel::kFastCgi:
+      cycles += costs.fastcgi_ipc_cycles + costs.libcgi_script_cycles;
+      break;
+    case CgiModel::kLibCgi:
+      cycles += costs.libcgi_call_cycles + costs.libcgi_script_cycles;
+      break;
+    case CgiModel::kLibCgiProtected:
+      cycles += costs.libcgi_protected_call_cycles + costs.libcgi_script_cycles +
+                costs.protected_per_request_cycles;
+      break;
+  }
+  return cycles;
+}
+
+WebRunResult SimulateWebServer(CgiModel model, const WebWorkload& workload,
+                               const WebServerCosts& costs) {
+  WebRunResult result;
+  const double hz = costs.cpu_mhz * 1e6;
+  const double link_bytes_per_sec = costs.link_mbps * 1e6 / 8.0;
+
+  const std::string target =
+      model == CgiModel::kStatic ? "/index.html" : "/cgi-bin/render";
+  HttpRequest request_template;
+  request_template.method = "GET";
+  request_template.path = target;
+  request_template.version = "HTTP/1.0";
+  request_template.headers["Host"] = "server";
+  const std::string wire_request = request_template.Format();
+
+  // Closed-loop clients: each issues its next request as soon as the
+  // previous one completes (ApacheBench's -c behaviour).
+  using Event = std::pair<double, u32>;  // (issue time, client)
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> clients;
+  for (u32 c = 0; c < workload.concurrency && c < workload.total_requests; ++c) {
+    clients.emplace(0.0, c);
+  }
+
+  double cpu_free = 0, link_free = 0;
+  double cpu_busy = 0, link_busy = 0;
+  double last_completion = 0;
+  u32 issued = 0;
+
+  while (!clients.empty()) {
+    auto [arrival, client] = clients.top();
+    clients.pop();
+    ++issued;
+
+    // The request really flows through the HTTP layer.
+    auto parsed = HttpRequest::Parse(wire_request);
+    if (parsed.has_value()) ++result.parsed_requests;
+    HttpResponse resp;
+    resp.body_bytes = workload.file_bytes;
+    (void)resp.FormatHead();
+
+    const double cpu_time = RequestCpuCycles(model, workload.file_bytes, costs) / hz;
+    const double net_time =
+        (workload.file_bytes + costs.response_header_bytes) / link_bytes_per_sec;
+
+    const double cpu_start = std::max(arrival, cpu_free);
+    cpu_free = cpu_start + cpu_time;
+    cpu_busy += cpu_time;
+    const double link_start = std::max(cpu_free, link_free);
+    link_free = link_start + net_time;
+    link_busy += net_time;
+    last_completion = link_free;
+
+    if (issued + clients.size() < workload.total_requests) {
+      clients.emplace(link_free, client);
+    }
+  }
+
+  result.elapsed_seconds = last_completion;
+  result.requests_per_sec =
+      last_completion > 0 ? workload.total_requests / last_completion : 0;
+  result.cpu_utilization = last_completion > 0 ? cpu_busy / last_completion : 0;
+  result.link_utilization = last_completion > 0 ? link_busy / last_completion : 0;
+  return result;
+}
+
+}  // namespace palladium

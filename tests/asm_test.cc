@@ -1,0 +1,299 @@
+// Assembler and linker tests: syntax coverage, symbols, relocations,
+// sections, and error reporting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/asm/assembler.h"
+#include "src/isa/insn.h"
+
+namespace palladium {
+namespace {
+
+ObjectFile MustAssemble(const std::string& src) {
+  AssembleError err;
+  auto obj = Assemble(src, &err);
+  EXPECT_TRUE(obj.has_value()) << err.ToString();
+  return obj.value_or(ObjectFile{});
+}
+
+Insn DecodeAt(const std::vector<u8>& text, u32 index) {
+  EXPECT_GE(text.size(), (index + 1) * kInsnSize);
+  auto insn = Insn::Decode(text.data() + index * kInsnSize);
+  EXPECT_TRUE(insn.has_value());
+  return insn.value_or(Insn{});
+}
+
+TEST(Assembler, BasicInstructions) {
+  ObjectFile obj = MustAssemble(R"(
+  mov $5, %eax
+  mov %eax, %ebx
+  add %ebx, %eax
+  nop
+)");
+  EXPECT_EQ(obj.text.size(), 4 * kInsnSize);
+  Insn i0 = DecodeAt(obj.text, 0);
+  EXPECT_EQ(i0.opcode, Opcode::kMovRI);
+  EXPECT_EQ(i0.imm, 5);
+  EXPECT_EQ(static_cast<Reg>(i0.r1), Reg::kEax);
+  Insn i1 = DecodeAt(obj.text, 1);
+  EXPECT_EQ(i1.opcode, Opcode::kMovRR);
+  EXPECT_EQ(static_cast<Reg>(i1.r1), Reg::kEbx);
+  EXPECT_EQ(static_cast<Reg>(i1.r2), Reg::kEax);
+}
+
+TEST(Assembler, MemoryOperands) {
+  ObjectFile obj = MustAssemble(R"(
+  ld 8(%ebp), %eax
+  ld %es:4(%ebx,%ecx,2), %edx
+  st8 %eax, -4(%esp)
+  lea 0(%ebx,%ecx,4), %esi
+)");
+  Insn i0 = DecodeAt(obj.text, 0);
+  EXPECT_EQ(i0.opcode, Opcode::kLoad);
+  EXPECT_EQ(i0.disp, 8);
+  EXPECT_EQ(static_cast<Reg>(i0.r2), Reg::kEbp);
+  EXPECT_EQ(i0.size, 4);
+  Insn i1 = DecodeAt(obj.text, 1);
+  EXPECT_EQ(i1.seg, SegOverride::kEs);
+  EXPECT_EQ(i1.scale, 2);
+  Insn i2 = DecodeAt(obj.text, 2);
+  EXPECT_EQ(i2.opcode, Opcode::kStore);
+  EXPECT_EQ(i2.size, 1);
+  EXPECT_EQ(i2.disp, -4);
+  Insn i3 = DecodeAt(obj.text, 3);
+  EXPECT_EQ(i3.opcode, Opcode::kLea);
+  EXPECT_EQ(i3.scale, 4);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  ObjectFile obj = MustAssemble(R"(
+start:
+  jmp end
+  nop
+end:
+  ret
+)");
+  // jmp's imm is reloc'd against `end`.
+  ASSERT_EQ(obj.relocations.size(), 1u);
+  EXPECT_EQ(obj.relocations[0].symbol, "end");
+  EXPECT_EQ(obj.relocations[0].offset, 8u);  // imm field of insn 0
+  const Symbol* end = obj.FindSymbol("end");
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(end->offset, 2 * kInsnSize);
+}
+
+TEST(Assembler, ForwardAndBackwardReferences) {
+  std::string diag;
+  auto img = AssembleAndLink(R"(
+  .global main
+main:
+  call fwd
+  jmp main
+fwd:
+  ret
+)",
+                             0x1000, {}, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  Insn call = DecodeAt(img->bytes, 0);
+  EXPECT_EQ(static_cast<u32>(call.imm), 0x1000u + 2 * kInsnSize);
+  Insn jmp = DecodeAt(img->bytes, 1);
+  EXPECT_EQ(static_cast<u32>(jmp.imm), 0x1000u);
+}
+
+TEST(Assembler, EquConstantsFold) {
+  ObjectFile obj = MustAssemble(R"(
+  .equ FOO, 0x40
+  .equ BAR, FOO + 8
+  mov $BAR, %eax
+  lcall $FOO
+)");
+  EXPECT_TRUE(obj.relocations.empty());
+  EXPECT_EQ(DecodeAt(obj.text, 0).imm, 0x48);
+  EXPECT_EQ(DecodeAt(obj.text, 1).imm, 0x40);
+}
+
+TEST(Assembler, SymbolPlusOffsetExpression) {
+  ObjectFile obj = MustAssemble(R"(
+  .data
+buf:
+  .space 16
+  .text
+  mov $buf+8, %eax
+)");
+  ASSERT_EQ(obj.relocations.size(), 1u);
+  EXPECT_EQ(obj.relocations[0].symbol, "buf");
+  EXPECT_EQ(obj.relocations[0].addend, 8);
+}
+
+TEST(Assembler, DataDirectives) {
+  ObjectFile obj = MustAssemble(R"(
+  .data
+  .byte 1, 2, 3
+  .word 0x1234
+  .align 4
+  .long 0xDEADBEEF
+  .asciz "hi"
+  .space 4
+)");
+  ASSERT_GE(obj.data.size(), 3u + 2 + 3 + 4 + 3 + 4);
+  EXPECT_EQ(obj.data[0], 1);
+  EXPECT_EQ(obj.data[3], 0x34);
+  EXPECT_EQ(obj.data[4], 0x12);
+  // .align pads to offset 8 for the .long.
+  u32 v = 0;
+  std::memcpy(&v, &obj.data[8], 4);
+  EXPECT_EQ(v, 0xDEADBEEFu);
+  EXPECT_EQ(obj.data[12], 'h');
+  EXPECT_EQ(obj.data[14], '\0');
+}
+
+TEST(Assembler, BssAccumulatesSpace) {
+  ObjectFile obj = MustAssemble(R"(
+  .bss
+buf1:
+  .space 100
+buf2:
+  .space 28
+)");
+  EXPECT_EQ(obj.bss_size, 128u);
+  const Symbol* b2 = obj.FindSymbol("buf2");
+  ASSERT_NE(b2, nullptr);
+  EXPECT_EQ(b2->section, SectionId::kBss);
+  EXPECT_EQ(b2->offset, 100u);
+}
+
+TEST(Assembler, ExternEmitsImport) {
+  ObjectFile obj = MustAssemble(R"(
+  .extern helper
+  call helper
+)");
+  auto undef = obj.UndefinedSymbols();
+  ASSERT_EQ(undef.size(), 1u);
+  EXPECT_EQ(undef[0], "helper");
+}
+
+TEST(Assembler, SegRegisterMoves) {
+  ObjectFile obj = MustAssemble(R"(
+  mov %eax, %ds
+  mov %es, %ebx
+  push %ds
+  pop %es
+)");
+  EXPECT_EQ(DecodeAt(obj.text, 0).opcode, Opcode::kMovSegR);
+  EXPECT_EQ(DecodeAt(obj.text, 1).opcode, Opcode::kMovRSeg);
+  EXPECT_EQ(DecodeAt(obj.text, 2).opcode, Opcode::kPushSeg);
+  EXPECT_EQ(DecodeAt(obj.text, 3).opcode, Opcode::kPopSeg);
+}
+
+TEST(Assembler, IndirectCallAndJmp) {
+  ObjectFile obj = MustAssemble(R"(
+  call *%eax
+  jmp *%ebx
+)");
+  EXPECT_EQ(DecodeAt(obj.text, 0).opcode, Opcode::kCallR);
+  EXPECT_EQ(DecodeAt(obj.text, 1).opcode, Opcode::kJmpR);
+}
+
+TEST(AssemblerErrors, ReportsLineNumbers) {
+  AssembleError err;
+  auto obj = Assemble("  nop\n  bogus %eax\n", &err);
+  EXPECT_FALSE(obj.has_value());
+  EXPECT_EQ(err.line, 2);
+  EXPECT_NE(err.message.find("bogus"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  AssembleError err;
+  auto obj = Assemble("a:\n  nop\na:\n  nop\n", &err);
+  EXPECT_FALSE(obj.has_value());
+  EXPECT_NE(err.message.find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbolWithoutExtern) {
+  AssembleError err;
+  auto obj = Assemble("  call nowhere\n", &err);
+  EXPECT_FALSE(obj.has_value());
+  EXPECT_NE(err.message.find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerErrors, InstructionInDataSection) {
+  AssembleError err;
+  auto obj = Assemble(".data\n  nop\n", &err);
+  EXPECT_FALSE(obj.has_value());
+}
+
+TEST(AssemblerErrors, BadScale) {
+  AssembleError err;
+  auto obj = Assemble("  ld 0(%ebx,%ecx,3), %eax\n", &err);
+  EXPECT_FALSE(obj.has_value());
+}
+
+TEST(Linker, LaysOutSectionsAndResolves) {
+  AssembleError err;
+  auto obj = Assemble(R"(
+  .global main
+main:
+  mov $value, %eax
+  ld 0(%eax), %ebx
+  ret
+  .data
+value:
+  .long 77
+)",
+                      &err);
+  ASSERT_TRUE(obj.has_value()) << err.ToString();
+  LinkError lerr;
+  auto img = LinkImage(*obj, 0x8000, {}, &lerr);
+  ASSERT_TRUE(img.has_value()) << lerr.message;
+  EXPECT_EQ(img->text_start, 0x8000u);
+  EXPECT_EQ(img->data_start % kPageSize, 0u);
+  EXPECT_GT(img->data_start, img->text_start);
+  auto value_addr = img->Lookup("value");
+  ASSERT_TRUE(value_addr.has_value());
+  EXPECT_EQ(*value_addr, img->data_start);
+}
+
+TEST(Linker, ImportsResolveExterns) {
+  AssembleError err;
+  auto obj = Assemble(".extern ext_fn\n  call ext_fn\n", &err);
+  ASSERT_TRUE(obj.has_value());
+  LinkError lerr;
+  auto img = LinkImage(*obj, 0, {{"ext_fn", 0xABCD0}}, &lerr);
+  ASSERT_TRUE(img.has_value()) << lerr.message;
+  auto insn = Insn::Decode(img->bytes.data());
+  ASSERT_TRUE(insn.has_value());
+  EXPECT_EQ(static_cast<u32>(insn->imm), 0xABCD0u);
+}
+
+TEST(Linker, MissingImportFails) {
+  AssembleError err;
+  auto obj = Assemble(".extern ext_fn\n  call ext_fn\n", &err);
+  ASSERT_TRUE(obj.has_value());
+  LinkError lerr;
+  auto img = LinkImage(*obj, 0, {}, &lerr);
+  EXPECT_FALSE(img.has_value());
+  EXPECT_NE(lerr.message.find("ext_fn"), std::string::npos);
+}
+
+TEST(Linker, BssSymbolsAddressedAfterData) {
+  AssembleError err;
+  auto obj = Assemble(R"(
+  .data
+d:
+  .long 1
+  .bss
+b:
+  .space 8
+)",
+                      &err);
+  ASSERT_TRUE(obj.has_value());
+  LinkError lerr;
+  auto img = LinkImage(*obj, 0x4000, {}, &lerr);
+  ASSERT_TRUE(img.has_value());
+  EXPECT_EQ(*img->Lookup("b"), *img->Lookup("d") + 4);
+  EXPECT_EQ(img->bss_size, 8u);
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,220 @@
+// BPF VM tests: validation, host interpretation, serialization, and the
+// property that the *simulated* interpreter agrees with the host reference
+// on random packets — the Figure-7 baseline must be semantically sound.
+#include <gtest/gtest.h>
+
+#include "src/bpf/bpf.h"
+#include "src/filter/filter.h"
+#include "src/hw/bare_machine.h"
+#include "src/net/packet.h"
+
+namespace palladium {
+namespace {
+
+BpfProgram AcceptTcpPort80() {
+  // ldb [23]; jeq 6 ? +0 : reject; ldh [36]; jeq 80 ? accept : reject
+  BpfProgram p;
+  p.Append({BpfOp::kLdBAbs, 0, 0, kOffIpProto});
+  p.Append({BpfOp::kJmpJeqK, 0, 3, 6});
+  p.Append({BpfOp::kLdHAbs, 0, 0, kOffDstPort});
+  p.Append({BpfOp::kJmpJeqK, 0, 1, 80});
+  p.Append({BpfOp::kRetK, 0, 0, 1});
+  p.Append({BpfOp::kRetK, 0, 0, 0});
+  return p;
+}
+
+TEST(BpfValidate, AcceptsWellFormed) {
+  std::string err;
+  EXPECT_TRUE(AcceptTcpPort80().Validate(&err)) << err;
+}
+
+TEST(BpfValidate, RejectsEmpty) {
+  BpfProgram p;
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+}
+
+TEST(BpfValidate, RejectsOutOfRangeJump) {
+  BpfProgram p;
+  p.Append({BpfOp::kJmpJeqK, 10, 0, 1});
+  p.Append({BpfOp::kRetK, 0, 0, 0});
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+  EXPECT_NE(err.find("target"), std::string::npos);
+}
+
+TEST(BpfValidate, RejectsFallOffEnd) {
+  BpfProgram p;
+  p.Append({BpfOp::kLdImm, 0, 0, 1});
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+}
+
+TEST(BpfHost, MatchesAndRejects) {
+  BpfProgram p = AcceptTcpPort80();
+  PacketSpec hit;
+  hit.proto = kIpProtoTcp;
+  hit.dst_port = 80;
+  auto pkt = BuildPacket(hit);
+  EXPECT_EQ(BpfInterpretHost(p, pkt.data(), static_cast<u32>(pkt.size())), 1u);
+
+  PacketSpec miss = hit;
+  miss.dst_port = 443;
+  auto pkt2 = BuildPacket(miss);
+  EXPECT_EQ(BpfInterpretHost(p, pkt2.data(), static_cast<u32>(pkt2.size())), 0u);
+
+  PacketSpec udp = hit;
+  udp.proto = kIpProtoUdp;
+  auto pkt3 = BuildPacket(udp);
+  EXPECT_EQ(BpfInterpretHost(p, pkt3.data(), static_cast<u32>(pkt3.size())), 0u);
+}
+
+TEST(BpfHost, ShortPacketRejected) {
+  BpfProgram p = AcceptTcpPort80();
+  u8 tiny[4] = {0, 0, 0, 0};
+  EXPECT_EQ(BpfInterpretHost(p, tiny, 4), 0u);
+}
+
+TEST(BpfHost, AluAndJsetWork) {
+  BpfProgram p;
+  p.Append({BpfOp::kLdImm, 0, 0, 0xF0});
+  p.Append({BpfOp::kAluAndK, 0, 0, 0x30});
+  p.Append({BpfOp::kAluAddK, 0, 0, 2});
+  p.Append({BpfOp::kJmpJsetK, 0, 1, 0x02});
+  p.Append({BpfOp::kRetA, 0, 0, 0});
+  p.Append({BpfOp::kRetK, 0, 0, 99});
+  u8 dummy[1] = {0};
+  EXPECT_EQ(BpfInterpretHost(p, dummy, 1), 0x32u);
+}
+
+TEST(BpfSerialize, LayoutIsEightBytesPerInsn) {
+  BpfProgram p = AcceptTcpPort80();
+  auto bytes = p.Serialize();
+  EXPECT_EQ(bytes.size(), p.size() * 8);
+  // First insn: ldb, k = kOffIpProto.
+  EXPECT_EQ(bytes[0], 0x30);
+  u32 k = 0;
+  std::memcpy(&k, &bytes[4], 4);
+  EXPECT_EQ(k, kOffIpProto);
+}
+
+// --- Simulated interpreter vs host reference --------------------------------
+
+class BpfSimTest : public ::testing::Test {
+ protected:
+  static constexpr u32 kProgAddr = 0x40000;
+  static constexpr u32 kPktAddr = 0x48000;
+  static constexpr u32 kCodeBase = 0x10000;
+  static constexpr u32 kStackTop = 0x80000;
+
+  // Runs the simulated interpreter over (prog, pkt) and returns EAX.
+  u32 RunSim(const BpfProgram& prog, const std::vector<u8>& pkt, bool* ok,
+             u64* cycles = nullptr) {
+    BareMachine bm;
+    std::string diag;
+    std::string src = BpfInterpreterAsmSource(kProgAddr, kPktAddr) + R"(
+  .global main
+main:
+  push $)" + std::to_string(pkt.size()) +
+                      R"(
+  call bpf_run
+  pop %ecx
+  hlt
+)";
+    auto img = bm.LoadProgram(src, kCodeBase, &diag);
+    EXPECT_TRUE(img.has_value()) << diag;
+    if (!img) {
+      *ok = false;
+      return 0;
+    }
+    auto ser = prog.Serialize();
+    bm.pm().WriteBlock(kProgAddr, ser.data(), static_cast<u32>(ser.size()));
+    bm.pm().WriteBlock(kPktAddr, pkt.data(), static_cast<u32>(pkt.size()));
+    bm.Start(*img->Lookup("main"), 0, kStackTop);
+    u64 before = bm.cpu().cycles();
+    StopInfo stop = bm.Run(5'000'000);
+    *ok = stop.reason == StopReason::kHalted;
+    if (cycles != nullptr) *cycles = bm.cpu().cycles() - before;
+    return bm.cpu().reg(Reg::kEax);
+  }
+};
+
+TEST_F(BpfSimTest, AgreesWithHostOnHandWrittenProgram) {
+  BpfProgram p = AcceptTcpPort80();
+  PacketSpec spec;
+  spec.proto = kIpProtoTcp;
+  spec.dst_port = 80;
+  auto pkt = BuildPacket(spec);
+  bool ok = false;
+  EXPECT_EQ(RunSim(p, pkt, &ok), BpfInterpretHost(p, pkt.data(), static_cast<u32>(pkt.size())));
+  EXPECT_TRUE(ok);
+}
+
+class BpfSimProperty : public BpfSimTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(BpfSimProperty, SimulatedInterpreterMatchesHostReference) {
+  // Random filters of GetParam() terms over random packet traces: the
+  // simulated interpreter and the host reference must agree exactly.
+  const int terms = GetParam();
+  PacketSpec match;
+  match.src_ip = 0x0A141E28;
+  match.dst_port = 8080;
+  FilterExpr expr;
+  const FilterField fields[] = {FilterField::kIpProto, FilterField::kIpSrc,
+                                FilterField::kIpDst, FilterField::kSrcPort,
+                                FilterField::kDstPort};
+  for (int i = 0; i < terms; ++i) {
+    FilterTerm t;
+    t.field = fields[i % 5];
+    t.rel = FilterRel::kEq;
+    switch (t.field) {
+      case FilterField::kIpProto: t.value = match.proto; break;
+      case FilterField::kIpSrc: t.value = match.src_ip; break;
+      case FilterField::kIpDst: t.value = match.dst_ip; break;
+      case FilterField::kSrcPort: t.value = match.src_port; break;
+      case FilterField::kDstPort: t.value = match.dst_port; break;
+      default: break;
+    }
+    expr.terms.push_back(t);
+  }
+  BpfProgram prog = CompileFilterToBpf(expr);
+  std::string verr;
+  ASSERT_TRUE(prog.Validate(&verr)) << verr;
+
+  TraceGenerator gen(1234 + terms, match, 0.5);
+  for (int i = 0; i < 6; ++i) {
+    bool is_match = false;
+    auto pkt = BuildPacket(gen.Next(&is_match));
+    bool ok = false;
+    u32 sim = RunSim(prog, pkt, &ok);
+    ASSERT_TRUE(ok);
+    u32 host = BpfInterpretHost(prog, pkt.data(), static_cast<u32>(pkt.size()));
+    EXPECT_EQ(sim, host) << "terms=" << terms << " packet " << i;
+    u32 expected = EvalFilterHost(expr, pkt.data(), static_cast<u32>(pkt.size())) ? 1 : 0;
+    EXPECT_EQ(host, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TermSweep, BpfSimProperty, ::testing::Values(0, 1, 2, 3, 4));
+
+TEST_F(BpfSimTest, InterpretationCostGrowsWithTerms) {
+  // The Figure-7 effect in miniature: per-term interpretation cost.
+  PacketSpec match;
+  auto pkt = BuildPacket(match);
+  u64 cost1 = 0, cost4 = 0;
+  FilterExpr e1, e4;
+  FilterTerm t;
+  t.field = FilterField::kIpProto;
+  t.value = match.proto;
+  e1.terms = {t};
+  e4.terms = {t, t, t, t};
+  bool ok = false;
+  RunSim(CompileFilterToBpf(e1), pkt, &ok, &cost1);
+  ASSERT_TRUE(ok);
+  RunSim(CompileFilterToBpf(e4), pkt, &ok, &cost4);
+  ASSERT_TRUE(ok);
+  EXPECT_GT(cost4, cost1 + 3 * 35) << "each extra term should cost >~35 cycles interpreted";
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,74 @@
+// Calibration contracts: the cycle model must keep reproducing the paper's
+// headline numbers. If a cycle-model edit breaks Table 1's 142/10 totals or
+// the Section 5.1 constants, these tests fail before the benchmarks drift.
+#include <gtest/gtest.h>
+
+#include "src/hw/cycle_model.h"
+#include "src/kernel/abi.h"
+#include "src/rpc/rpc.h"
+
+namespace palladium {
+namespace {
+
+TEST(Calibration, InterDomainCallIs142Cycles) {
+  const CycleModel m = CycleModel::Measured();
+  // The Figure-6 sequences, phase by phase (see bench_table1).
+  const u32 setup = m.push_imm + m.load + 3 * m.store + 4 * m.push_imm;
+  const u32 call = m.lret_inter + m.call_near;
+  const u32 ret = m.ret_near + m.lcall_inter;
+  const u32 restore = 2 * m.load + m.ret_near;
+  EXPECT_EQ(setup, 26u);
+  EXPECT_EQ(call, 34u);
+  EXPECT_EQ(ret, 75u);
+  EXPECT_EQ(restore, 7u);
+  EXPECT_EQ(setup + call + ret + restore, 142u) << "the paper's protected-call total";
+}
+
+TEST(Calibration, IntraDomainCallIs10Cycles) {
+  const CycleModel m = CycleModel::Measured();
+  EXPECT_EQ(m.push_reg + m.mov + m.call_near + m.ret_near + m.pop_reg, 10u);
+}
+
+TEST(Calibration, SegmentLoadMeasuredVsManual) {
+  EXPECT_EQ(CycleModel::Measured().seg_load, 12u);     // paper's measurement
+  EXPECT_LE(CycleModel::TheoryPentium().seg_load, 3u); // the manual's claim
+}
+
+TEST(Calibration, TheoreticalColumnIsCheaperThanMeasured) {
+  const CycleModel meas = CycleModel::Measured();
+  const CycleModel theory = CycleModel::TheoryPentium();
+  EXPECT_LT(theory.lcall_inter, meas.lcall_inter);
+  EXPECT_LT(theory.lret_inter, meas.lret_inter);
+  EXPECT_LT(theory.int_gate, meas.int_gate);
+}
+
+TEST(Calibration, KernelCostsMatchSection51) {
+  KernelCosts costs;
+  EXPECT_EQ(costs.ppl_mark_per_page, 45u);  // "45 cycles per page marked"
+  EXPECT_GE(costs.ppl_mark_startup, 3000u);
+  EXPECT_LE(costs.ppl_mark_startup, 5000u);
+  EXPECT_EQ(costs.kext_gp_processing, 1020u);  // "average cost ... is 1,020 cycles"
+  // SIGSEGV delivery lands near 3,325 once the in-simulator frame work and
+  // fault detection are added (bench_micro verifies the end-to-end span).
+  EXPECT_NEAR(static_cast<double>(costs.sigsegv_delivery), 3100.0, 300.0);
+}
+
+TEST(Calibration, RpcAnchorsMatchTable2) {
+  RpcCosts costs;
+  // 32-byte round trip: base + 64 copied bytes.
+  double us32 = (costs.base_cycles + 64.0 * costs.per_byte_cycles) / 200.0;
+  double us256 = (costs.base_cycles + 512.0 * costs.per_byte_cycles) / 200.0;
+  EXPECT_NEAR(us32, 349.19, 12.0);
+  EXPECT_NEAR(us256, 423.33, 12.0);
+}
+
+TEST(Calibration, BaseCostCoversEveryOpcode) {
+  const CycleModel m = CycleModel::Measured();
+  for (u16 op = 0; op < static_cast<u16>(Opcode::kCount); ++op) {
+    EXPECT_GE(m.BaseCost(static_cast<Opcode>(op), false), 1u) << OpcodeName(static_cast<Opcode>(op));
+    EXPECT_GE(m.BaseCost(static_cast<Opcode>(op), true), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,252 @@
+// Property tests for CPU semantics: ALU results and flags must agree with
+// host-side 32-bit arithmetic across pseudo-random operand sweeps, and
+// memory round-trips must hold for every width and addressing form.
+#include <gtest/gtest.h>
+
+#include "src/hw/bare_machine.h"
+
+namespace palladium {
+namespace {
+
+constexpr u32 kCodeBase = 0x10000;
+constexpr u32 kStackTop = 0x80000;
+
+// Deterministic operand generator.
+u32 NextRand(u64* state) {
+  *state ^= *state >> 12;
+  *state ^= *state << 25;
+  *state ^= *state >> 27;
+  return static_cast<u32>((*state * 0x2545F4914F6CDD1Dull) >> 32);
+}
+
+// Runs `op a, b` with a in EAX, b in EBX and returns EAX plus the flags.
+struct AluResult {
+  u32 value;
+  bool cf, zf, sf, of;
+};
+
+AluResult RunAlu(const std::string& mnemonic, u32 a, u32 b) {
+  BareMachine bm;
+  std::string diag;
+  std::string src = R"(
+  .global main
+main:
+  mov $)" + std::to_string(a) + R"(, %eax
+  mov $)" + std::to_string(b) + R"(, %ebx
+  )" + mnemonic + R"( %ebx, %eax
+  hlt
+)";
+  auto img = bm.LoadProgram(src, kCodeBase, &diag);
+  EXPECT_TRUE(img.has_value()) << diag;
+  bm.Start(*img->Lookup("main"), 0, kStackTop);
+  StopInfo stop = bm.Run(10'000);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  u32 fl = bm.cpu().eflags();
+  return AluResult{bm.cpu().reg(Reg::kEax), (fl & kFlagCf) != 0, (fl & kFlagZf) != 0,
+                   (fl & kFlagSf) != 0, (fl & kFlagOf) != 0};
+}
+
+class AluProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(AluProperty, AddMatchesHostSemantics) {
+  u64 state = GetParam();
+  for (int i = 0; i < 8; ++i) {
+    u32 a = NextRand(&state), b = NextRand(&state);
+    AluResult r = RunAlu("add", a, b);
+    u32 expected = a + b;
+    EXPECT_EQ(r.value, expected) << a << "+" << b;
+    EXPECT_EQ(r.cf, expected < a);
+    EXPECT_EQ(r.zf, expected == 0);
+    EXPECT_EQ(r.sf, (expected >> 31) != 0);
+    bool of = ((~(a ^ b)) & (a ^ expected) & 0x80000000u) != 0;
+    EXPECT_EQ(r.of, of);
+  }
+}
+
+TEST_P(AluProperty, SubMatchesHostSemantics) {
+  u64 state = GetParam() * 3 + 1;
+  for (int i = 0; i < 8; ++i) {
+    u32 a = NextRand(&state), b = NextRand(&state);
+    AluResult r = RunAlu("sub", a, b);
+    u32 expected = a - b;
+    EXPECT_EQ(r.value, expected);
+    EXPECT_EQ(r.cf, a < b);
+    EXPECT_EQ(r.zf, expected == 0);
+    EXPECT_EQ(r.sf, (expected >> 31) != 0);
+  }
+}
+
+TEST_P(AluProperty, LogicOpsMatchHostSemantics) {
+  u64 state = GetParam() * 7 + 5;
+  for (int i = 0; i < 5; ++i) {
+    u32 a = NextRand(&state), b = NextRand(&state);
+    EXPECT_EQ(RunAlu("and", a, b).value, a & b);
+    EXPECT_EQ(RunAlu("or", a, b).value, a | b);
+    EXPECT_EQ(RunAlu("xor", a, b).value, a ^ b);
+    AluResult r = RunAlu("and", a, b);
+    EXPECT_FALSE(r.cf);
+    EXPECT_FALSE(r.of);
+    EXPECT_EQ(r.zf, (a & b) == 0);
+  }
+}
+
+TEST_P(AluProperty, MulDivMatchHostSemantics) {
+  u64 state = GetParam() * 13 + 11;
+  for (int i = 0; i < 5; ++i) {
+    u32 a = NextRand(&state), b = NextRand(&state);
+    EXPECT_EQ(RunAlu("imul", a, b).value,
+              static_cast<u32>(static_cast<i64>(static_cast<i32>(a)) *
+                               static_cast<i32>(b)));
+    if (b != 0) {
+      EXPECT_EQ(RunAlu("udiv", a, b).value, a / b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluProperty, ::testing::Values(1u, 42u, 0xDEADBEEFu, 7777u));
+
+class ShiftProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftProperty, ShiftsMatchHostSemantics) {
+  const int amount = GetParam();
+  u64 state = 1000 + amount;
+  for (int i = 0; i < 4; ++i) {
+    u32 a = NextRand(&state);
+    BareMachine bm;
+    std::string diag;
+    std::string src = R"(
+  .global main
+main:
+  mov $)" + std::to_string(a) + R"(, %eax
+  mov %eax, %ebx
+  mov %eax, %ecx
+  shl $)" + std::to_string(amount) + R"(, %eax
+  shr $)" + std::to_string(amount) + R"(, %ebx
+  sar $)" + std::to_string(amount) + R"(, %ecx
+  hlt
+)";
+    auto img = bm.LoadProgram(src, kCodeBase, &diag);
+    ASSERT_TRUE(img.has_value()) << diag;
+    bm.Start(*img->Lookup("main"), 0, kStackTop);
+    ASSERT_EQ(bm.Run(10'000).reason, StopReason::kHalted);
+    EXPECT_EQ(bm.cpu().reg(Reg::kEax), a << amount);
+    EXPECT_EQ(bm.cpu().reg(Reg::kEbx), a >> amount);
+    EXPECT_EQ(bm.cpu().reg(Reg::kEcx), static_cast<u32>(static_cast<i32>(a) >> amount));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, ShiftProperty, ::testing::Values(0, 1, 7, 16, 31));
+
+class MemWidthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemWidthProperty, StoreLoadRoundTrip) {
+  const int width = GetParam();
+  const char* st = width == 1 ? "st8" : (width == 2 ? "st16" : "st");
+  const char* ld = width == 1 ? "ld8" : (width == 2 ? "ld16" : "ld");
+  u64 state = 99 + width;
+  for (int i = 0; i < 6; ++i) {
+    u32 v = NextRand(&state);
+    u32 mask = width == 1 ? 0xFFu : (width == 2 ? 0xFFFFu : 0xFFFFFFFFu);
+    BareMachine bm;
+    std::string diag;
+    std::string src = R"(
+  .global main
+main:
+  mov $0x20000, %ebx
+  mov $)" + std::to_string(v) + R"(, %eax
+  )" + st + R"( %eax, 0(%ebx)
+  mov $0, %eax
+  )" + ld + R"( 0(%ebx), %eax
+  hlt
+)";
+    auto img = bm.LoadProgram(src, kCodeBase, &diag);
+    ASSERT_TRUE(img.has_value()) << diag;
+    bm.Start(*img->Lookup("main"), 0, kStackTop);
+    ASSERT_EQ(bm.Run(10'000).reason, StopReason::kHalted);
+    EXPECT_EQ(bm.cpu().reg(Reg::kEax), v & mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MemWidthProperty, ::testing::Values(1, 2, 4));
+
+TEST(MemAddressing, PageCrossingAccess) {
+  // A 4-byte store straddling a page boundary must behave like two partial
+  // accesses on consecutive pages.
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+main:
+  mov $0x20FFE, %ebx     ; 2 bytes before a page boundary
+  mov $0xAABBCCDD, %eax
+  st %eax, 0(%ebx)
+  ld 0(%ebx), %ecx
+  ld8 2(%ebx), %edx      ; first byte of the next page: 0xBB
+  hlt
+)",
+                            0x10000, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  bm.Start(*img->Lookup("main"), 0, kStackTop);
+  ASSERT_EQ(bm.Run(10'000).reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEcx), 0xAABBCCDDu);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdx), 0xBBu);
+}
+
+TEST(MemAddressing, ScaledIndexSweep) {
+  for (u32 scale : {1u, 2u, 4u, 8u}) {
+    BareMachine bm;
+    std::string diag;
+    std::string src = R"(
+  .global main
+main:
+  mov $0x20000, %ebx
+  mov $3, %ecx
+  mov $0x77, %eax
+  st %eax, 0(%ebx,%ecx,)" + std::to_string(scale) +
+                      R"()
+  ld )" + std::to_string(3 * scale) +
+                      R"((%ebx), %edx
+  hlt
+)";
+    auto img = bm.LoadProgram(src, 0x10000, &diag);
+    ASSERT_TRUE(img.has_value()) << diag;
+    bm.Start(*img->Lookup("main"), 0, kStackTop);
+    ASSERT_EQ(bm.Run(10'000).reason, StopReason::kHalted);
+    EXPECT_EQ(bm.cpu().reg(Reg::kEdx), 0x77u) << "scale " << scale;
+  }
+}
+
+TEST(Flags, EflagsSurviveInterruptRoundTrip) {
+  // Flags are pushed/popped by int/iret; a comparison result must survive a
+  // software interrupt.
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+  .global isr
+main:
+  mov $5, %eax
+  cmp $5, %eax          ; ZF := 1
+  int $0x40
+  je good               ; ZF must still be set
+  mov $0, %edi
+  hlt
+good:
+  mov $1, %edi
+  hlt
+isr:
+  mov $7, %eax
+  cmp $9, %eax          ; clobber flags inside the handler
+  iret
+)",
+                            0x10000, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  bm.idt().Set(0x40, SegmentDescriptor::MakeInterruptGate(BareMachine::CodeSelector(0).raw(),
+                                                          *img->Lookup("isr"), 0));
+  bm.Start(*img->Lookup("main"), 0, kStackTop);
+  ASSERT_EQ(bm.Run(100'000).reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdi), 1u);
+}
+
+}  // namespace
+}  // namespace palladium

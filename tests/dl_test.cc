@@ -1,0 +1,118 @@
+// Dynamic-linker tests: library loading, symbol lookup across libraries,
+// eager-binding failures, and GOT construction.
+#include <gtest/gtest.h>
+
+#include "src/dl/dynamic_linker.h"
+#include "src/hw/paging.h"
+#include "tests/kernel_test_util.h"
+
+namespace palladium {
+namespace {
+
+class DlTest : public ::testing::Test {
+ protected:
+  DlTest() : kernel_(machine_), dl_(kernel_) {
+    pid_ = kernel_.CreateProcess();
+    std::string diag;
+    auto img = AssembleAndLink(AbiPrelude() + R"(
+  .global main
+main:
+  mov $SYS_EXIT, %eax
+  mov $0, %ebx
+  int $INT_SYSCALL
+)",
+                               kUserTextBase, {}, &diag);
+    EXPECT_TRUE(img.has_value()) << diag;
+    EXPECT_TRUE(kernel_.LoadUserImage(pid_, *img, "main", &diag)) << diag;
+  }
+
+  void Register(const std::string& name, const std::string& src) {
+    AssembleError aerr;
+    auto obj = Assemble(src, &aerr);
+    ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+    dl_.RegisterObject(name, *obj);
+  }
+
+  Machine machine_;
+  Kernel kernel_;
+  DynamicLinker dl_;
+  Pid pid_ = 0;
+};
+
+TEST_F(DlTest, LoadsAtSharedLibBase) {
+  Register("liba", ".global f\nf:\n  ret\n");
+  std::string diag;
+  auto base = dl_.LoadLibrary(pid_, "liba", true, &diag);
+  ASSERT_TRUE(base.has_value()) << diag;
+  EXPECT_EQ(*base, kSharedLibBase);
+  auto f = dl_.Lookup(pid_, "f");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, kSharedLibBase);
+}
+
+TEST_F(DlTest, SecondLibraryLoadsHigher) {
+  Register("liba", ".global fa\nfa:\n  ret\n");
+  Register("libb", ".global fb\nfb:\n  ret\n");
+  std::string diag;
+  auto a = dl_.LoadLibrary(pid_, "liba", true, &diag);
+  auto b = dl_.LoadLibrary(pid_, "libb", true, &diag);
+  ASSERT_TRUE(a && b);
+  EXPECT_GT(*b, *a);
+  EXPECT_TRUE(dl_.Lookup(pid_, "fa").has_value());
+  EXPECT_TRUE(dl_.Lookup(pid_, "fb").has_value());
+}
+
+TEST_F(DlTest, InterLibraryImportsResolveEagerly) {
+  Register("liba", ".global helper\nhelper:\n  mov $5, %eax\n  ret\n");
+  Register("libb", ".extern helper\n.global wrapper\nwrapper:\n  call helper\n  ret\n");
+  std::string diag;
+  ASSERT_TRUE(dl_.LoadLibrary(pid_, "liba", true, &diag)) << diag;
+  ASSERT_TRUE(dl_.LoadLibrary(pid_, "libb", true, &diag)) << diag;
+}
+
+TEST_F(DlTest, MissingImportFailsAtLoadTime) {
+  // Eager binding: the error surfaces at dlopen time, not first call.
+  Register("libbad", ".extern nowhere\n.global f\nf:\n  call nowhere\n  ret\n");
+  std::string diag;
+  EXPECT_FALSE(dl_.LoadLibrary(pid_, "libbad", true, &diag).has_value());
+  EXPECT_NE(diag.find("nowhere"), std::string::npos);
+}
+
+TEST_F(DlTest, UnknownObjectFails) {
+  std::string diag;
+  EXPECT_FALSE(dl_.LoadLibrary(pid_, "libmissing", true, &diag).has_value());
+}
+
+TEST_F(DlTest, GotSlotsHoldResolvedAddresses) {
+  Register("liba", ".global target\ntarget:\n  ret\n");
+  std::string diag;
+  ASSERT_TRUE(dl_.LoadLibrary(pid_, "liba", true, &diag)) << diag;
+  Process* proc = kernel_.process(pid_);
+  // A page for the GOT.
+  u32 got_page = 0x70000000;
+  ASSERT_TRUE(kernel_.AddArea(*proc, got_page, got_page + kPageSize, 3, "got"));
+  ASSERT_TRUE(kernel_.PopulateRange(*proc, got_page, got_page + kPageSize));
+  auto slots = dl_.BuildGot(pid_, got_page, {"target"}, &diag);
+  ASSERT_TRUE(slots.has_value()) << diag;
+  ASSERT_EQ(slots->count("got_target"), 1u);
+  u32 value = 0;
+  ASSERT_TRUE(kernel_.CopyFromUser(*proc, slots->at("got_target"), &value, 4));
+  EXPECT_EQ(value, *dl_.Lookup(pid_, "target"));
+  // Page is read-only now.
+  auto pte = kernel_.GetPte(*proc, got_page);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_FALSE(*pte & kPteWrite);
+}
+
+TEST_F(DlTest, GotUnresolvedSymbolFails) {
+  Process* proc = kernel_.process(pid_);
+  u32 got_page = 0x70000000;
+  ASSERT_TRUE(kernel_.AddArea(*proc, got_page, got_page + kPageSize, 3, "got"));
+  ASSERT_TRUE(kernel_.PopulateRange(*proc, got_page, got_page + kPageSize));
+  std::string diag;
+  EXPECT_FALSE(dl_.BuildGot(pid_, got_page, {"ghost"}, &diag).has_value());
+  EXPECT_NE(diag.find("ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,512 @@
+// CPU execution tests: ALU semantics, memory protection at segment and page
+// level, far control transfers through call gates, interrupt gates, and the
+// TSS stack switch — the hardware behaviours Palladium builds on.
+#include <gtest/gtest.h>
+
+#include "src/hw/bare_machine.h"
+#include "src/hw/paging.h"
+
+namespace palladium {
+namespace {
+
+constexpr u32 kCodeBase = 0x10000;
+constexpr u32 kStackTop = 0x80000;
+
+// Assembles and runs `source` at CPL `cpl`, returning the stop info.
+StopInfo RunProgram(BareMachine& bm, const std::string& source, u8 cpl = 0,
+                    const char* entry = "main") {
+  std::string diag;
+  auto img = bm.LoadProgram(source, kCodeBase, &diag);
+  EXPECT_TRUE(img.has_value()) << diag;
+  if (!img) return StopInfo{};
+  auto addr = img->Lookup(entry);
+  EXPECT_TRUE(addr.has_value()) << "no symbol " << entry;
+  bm.Start(*addr, cpl, kStackTop);
+  return bm.Run(10'000'000);
+}
+
+// CPL>0 cannot HLT, so non-kernel programs park on an endless jmp which the
+// test detects via a register value and a cycle limit.
+TEST(CpuAlu, ArithmeticAndFlags) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $7, %eax
+  add $35, %eax        ; 42
+  mov $10, %ebx
+  sub %ebx, %eax       ; 32
+  shl $2, %eax         ; 128
+  shr $1, %eax         ; 64
+  xor $0xF, %eax       ; 79
+  mov $3, %ecx
+  imul %ecx, %eax      ; 237
+  mov $10, %edx
+  udiv %edx, %eax      ; 23
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 23u);
+}
+
+TEST(CpuAlu, CmpSetsFlagsForSignedAndUnsigned) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $0, %edi
+  mov $5, %eax
+  cmp $7, %eax
+  jb below             ; unsigned 5 < 7
+  jmp done
+below:
+  or $1, %edi
+  mov $0xFFFFFFFF, %eax  ; -1 signed
+  cmp $1, %eax
+  jl less              ; signed -1 < 1
+  jmp done
+less:
+  or $2, %edi
+  ja above             ; unsigned 0xFFFFFFFF > 1
+  jmp done
+above:
+  or $4, %edi
+done:
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdi), 7u);
+}
+
+TEST(CpuAlu, DivideByZeroFaults) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $5, %eax
+  mov $0, %ebx
+  udiv %ebx, %eax
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kDivideError);
+}
+
+TEST(CpuMemory, LoadStoreWidths) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $0x20000, %ebx
+  sti $0x11223344, 0(%ebx)
+  ld8 0(%ebx), %eax       ; 0x44
+  ld16 1(%ebx), %ecx      ; 0x2233
+  st8 %eax, 4(%ebx)
+  ld 4(%ebx), %edx        ; 0x00000044
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 0x44u);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEcx), 0x2233u);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdx), 0x44u);
+}
+
+TEST(CpuMemory, IndexedAddressing) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .data
+table:
+  .long 10, 20, 30, 40
+  .global main
+  .text
+main:
+  mov $table, %ebx
+  mov $2, %ecx
+  ld 0(%ebx,%ecx,4), %eax   ; table[2] == 30
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 30u);
+}
+
+TEST(CpuMemory, PushPopCallRet) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $5, %eax
+  push %eax
+  call double_it
+  pop %ecx          ; discard arg
+  hlt
+double_it:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  add %eax, %eax
+  pop %ebp
+  ret
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 10u);
+}
+
+TEST(CpuProtection, SegmentLimitViolationIsGp) {
+  BareMachine bm;
+  // A data segment with a 16-byte limit; access offset 16 must #GP.
+  bm.gdt().Set(20, SegmentDescriptor::MakeData(0x20000, 16, 0));
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $0xA3, %eax       ; selector: index 20, RPL 3? no — use RPL 0: 20<<3 = 160
+  mov $160, %eax
+  mov %eax, %es
+  mov $0, %ebx
+  ld %es:12(%ebx), %ecx   ; 12+4 <= 16: ok
+  ld %es:16(%ebx), %ecx   ; out of limit
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuProtection, DataSegmentLoadChecksDpl) {
+  BareMachine bm;
+  // CPL 3 code loading a DPL 0 data segment must #GP: this is exactly what
+  // stops extensions from loading more privileged segments.
+  StopInfo stop = RunProgram(bm,
+                             R"(
+  .global main
+main:
+  mov $16, %eax       ; kData0 selector (index 2, RPL 0)
+  mov %eax, %es
+  jmp main
+)",
+                             /*cpl=*/3);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuProtection, RplWeakensPrivilege) {
+  BareMachine bm;
+  // Even CPL 0 code using an RPL 3 selector for a DPL 0 segment faults
+  // (max(CPL,RPL) > DPL).
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $19, %eax       ; index 2 (kData0), RPL 3
+  mov %eax, %es
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuProtection, WriteToCodeSegmentFaults) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $0x10000, %ebx
+  sti $0, %cs:0(%ebx)
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuProtection, UserAccessToSupervisorPageIsPageFault) {
+  BareMachine bm;
+  // Clear the U bit on one identity-mapped page, then touch it from CPL 3.
+  PageTableEditor ed(bm.pm(), bm.cpu().cr3());
+  ASSERT_TRUE(ed.UpdateFlags(0x30000, 0, kPteUser));
+  bm.cpu().tlb().Flush();
+  StopInfo stop = RunProgram(bm,
+                             R"(
+  .global main
+main:
+  mov $0x30000, %ebx
+  ld 0(%ebx), %eax
+  jmp main
+)",
+                             /*cpl=*/3);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kPageFault);
+  EXPECT_EQ(stop.fault.linear_address, 0x30000u);
+  EXPECT_TRUE(stop.fault.error_code & kPfErrUser);
+  EXPECT_TRUE(stop.fault.error_code & kPfErrPresent);
+}
+
+TEST(CpuProtection, SupervisorCplTwoPassesUserBitCheck) {
+  BareMachine bm;
+  PageTableEditor ed(bm.pm(), bm.cpu().cr3());
+  ASSERT_TRUE(ed.UpdateFlags(0x30000, 0, kPteUser));
+  bm.cpu().tlb().Flush();
+  // CPL 2 (the paper's extensible application) is supervisor at page level.
+  StopInfo stop = RunProgram(bm,
+                             R"(
+  .global main
+main:
+  mov $0x30000, %ebx
+  ld 0(%ebx), %eax
+  mov $1, %edi
+stop:
+  jmp stop
+)",
+                             /*cpl=*/2);
+  EXPECT_EQ(stop.reason, StopReason::kCycleLimit);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdi), 1u);
+}
+
+TEST(CpuProtection, HltRequiresCplZero) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, ".global main\nmain:\n  hlt\n", /*cpl=*/3);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+// --- Far transfers ---------------------------------------------------------
+
+TEST(CpuFarTransfer, CallGateWithPrivilegeChange) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global user_main
+  .global kernel_entry
+user_main:
+  mov $0x1234, %ebx
+  lcall $96            ; gate selector: index 12, RPL 0
+  mov $1, %edi
+spin:
+  jmp spin
+kernel_entry:
+  mov $0xBEEF, %eax
+  lret
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  // Gate at GDT index 12 -> kernel code (DPL 0), callable from CPL 3.
+  bm.gdt().Set(12, SegmentDescriptor::MakeCallGate(BareMachine::CodeSelector(0).raw(),
+                                                   *img->Lookup("kernel_entry"), 3));
+  bm.Start(*img->Lookup("user_main"), 3, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  EXPECT_EQ(stop.reason, StopReason::kCycleLimit);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 0xBEEFu);  // set at CPL 0
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdi), 1u);       // returned to CPL 3
+  EXPECT_EQ(bm.cpu().cpl(), 3);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEbx), 0x1234u);  // registers preserved
+  EXPECT_EQ(bm.cpu().reg(Reg::kEsp), kStackTop);
+}
+
+TEST(CpuFarTransfer, GateDplBlocksUnprivilegedCaller) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global user_main
+  .global kernel_entry
+user_main:
+  lcall $96
+spin:
+  jmp spin
+kernel_entry:
+  lret
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  // Gate DPL 1: CPL 3 callers must #GP. This is how kernel-service gates are
+  // reserved for kernel extensions in Palladium.
+  bm.gdt().Set(12, SegmentDescriptor::MakeCallGate(BareMachine::CodeSelector(0).raw(),
+                                                   *img->Lookup("kernel_entry"), 1));
+  bm.Start(*img->Lookup("user_main"), 3, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuFarTransfer, LcallToNonGateFaults) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  lcall $8            ; kCode0 selector, not a gate
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuFarTransfer, LretToInnerLevelFaults) {
+  BareMachine bm;
+  // CPL 3 forging a far-return frame to CPL 0 code must #GP.
+  StopInfo stop = RunProgram(bm,
+                             R"(
+  .global main
+main:
+  push $8             ; kCode0 selector (RPL 0 < CPL)
+  push $0x10000
+  lret
+spin:
+  jmp spin
+)",
+                             /*cpl=*/3);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuFarTransfer, LretToOuterLevelSwitchesStack) {
+  // The Prepare->Transfer transition of Figure 6: a privileged caller uses
+  // lret with a synthesized frame to enter less-privileged code.
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .equ EXT_CS, 27      ; index 3 (kCode3), RPL 3
+  .equ EXT_SS, 35      ; index 4 (kData3), RPL 3
+  .global main
+  .global ext_entry
+main:
+  push $EXT_SS
+  push $0x70000        ; extension stack pointer
+  push $EXT_CS
+  push $ext_entry
+  lret
+ext_entry:
+  mov $0xCAFE, %eax
+spin:
+  jmp spin
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  bm.Start(*img->Lookup("main"), 2, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  EXPECT_EQ(stop.reason, StopReason::kCycleLimit);
+  EXPECT_EQ(bm.cpu().cpl(), 3);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 0xCAFEu);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEsp), 0x70000u);
+}
+
+TEST(CpuFarTransfer, InterruptGateStackSwitchAndIret) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+  .global isr
+main:
+  mov $7, %ebx
+  int $0x40
+  mov $1, %edi
+spin:
+  jmp spin
+isr:
+  mov %ebx, %eax
+  add $1, %eax
+  iret
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  bm.idt().Set(0x40, SegmentDescriptor::MakeInterruptGate(BareMachine::CodeSelector(0).raw(),
+                                                          *img->Lookup("isr"), 3));
+  bm.Start(*img->Lookup("main"), 3, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  EXPECT_EQ(stop.reason, StopReason::kCycleLimit);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 8u);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEdi), 1u);
+  EXPECT_EQ(bm.cpu().cpl(), 3);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEsp), kStackTop);
+}
+
+TEST(CpuFarTransfer, SoftwareIntToProtectedVectorFaults) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+  .global isr
+main:
+  int $0x41
+spin:
+  jmp spin
+isr:
+  iret
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  // Gate DPL 0: user INT must fault.
+  bm.idt().Set(0x41, SegmentDescriptor::MakeInterruptGate(BareMachine::CodeSelector(0).raw(),
+                                                          *img->Lookup("isr"), 0));
+  bm.Start(*img->Lookup("main"), 3, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kGeneralProtection);
+}
+
+TEST(CpuFarTransfer, HostCallRangeStopsExecution) {
+  BareMachine bm;
+  bm.cpu().SetHostCallRange(0xF0000, 0x1000);
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+main:
+  int $0x42
+  hlt
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  // Vector 0x42 -> host entry id 3 (offset 3*16 into the host range).
+  bm.idt().Set(0x42, SegmentDescriptor::MakeInterruptGate(BareMachine::CodeSelector(0).raw(),
+                                                          0xF0000 + 3 * kInsnSize, 3));
+  bm.Start(*img->Lookup("main"), 0, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  ASSERT_EQ(stop.reason, StopReason::kHostCall);
+  EXPECT_EQ(stop.host_call_id, 3u);
+}
+
+TEST(CpuCycles, FaultingEipPointsAtFaultingInstruction) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+main:
+  mov $1, %eax
+bad:
+  sti $0, %cs:0(%ebx)
+  hlt
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  bm.Start(*img->Lookup("main"), 0, kStackTop);
+  StopInfo stop = bm.Run(100'000);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(bm.cpu().eip(), *img->Lookup("bad"));
+}
+
+TEST(CpuCycles, TlbCachesTranslations) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $0x20000, %ebx
+  mov $100, %ecx
+loop:
+  ld 0(%ebx), %eax
+  dec %ecx
+  cmp $0, %ecx
+  jne loop
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  const auto& stats = bm.cpu().tlb_stats();
+  EXPECT_GT(stats.hits, stats.misses * 10);
+}
+
+TEST(CpuCycles, ContextSaveRestoreRoundTrip) {
+  BareMachine bm;
+  RunProgram(bm, ".global main\nmain:\n  mov $99, %esi\n  hlt\n");
+  CpuContext ctx = bm.cpu().SaveContext();
+  bm.cpu().set_reg(Reg::kEsi, 0);
+  bm.cpu().set_eip(0xDEAD);
+  bm.cpu().RestoreContext(ctx);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEsi), 99u);
+  EXPECT_NE(bm.cpu().eip(), 0xDEADu);
+}
+
+}  // namespace
+}  // namespace palladium

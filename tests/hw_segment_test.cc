@@ -1,0 +1,91 @@
+// Segment descriptor, selector and descriptor-table tests.
+#include <gtest/gtest.h>
+
+#include "src/hw/segment.h"
+
+namespace palladium {
+namespace {
+
+TEST(Selector, FieldExtraction) {
+  Selector s = Selector::FromIndex(5, 3);
+  EXPECT_EQ(s.index(), 5);
+  EXPECT_EQ(s.rpl(), 3);
+  EXPECT_FALSE(s.local());
+  EXPECT_FALSE(s.IsNull());
+  EXPECT_EQ(s.raw(), (5u << 3) | 3u);
+}
+
+TEST(Selector, NullSelectorIgnoresRpl) {
+  // Selector 0..3 are all "null" (index 0, GDT).
+  for (u16 rpl = 0; rpl < 4; ++rpl) {
+    EXPECT_TRUE(Selector(rpl).IsNull()) << rpl;
+  }
+  EXPECT_FALSE(Selector::FromIndex(1, 0).IsNull());
+}
+
+TEST(SegmentDescriptor, MakeCodeDefaults) {
+  SegmentDescriptor d = SegmentDescriptor::MakeCode(0x1000, 0x2000, 2);
+  EXPECT_TRUE(d.IsCode());
+  EXPECT_FALSE(d.IsData());
+  EXPECT_FALSE(d.IsGate());
+  EXPECT_TRUE(d.present);
+  EXPECT_TRUE(d.readable);
+  EXPECT_FALSE(d.conforming);
+  EXPECT_EQ(d.base, 0x1000u);
+  EXPECT_EQ(d.limit, 0x2000u);
+  EXPECT_EQ(d.dpl, 2);
+}
+
+TEST(SegmentDescriptor, MakeDataDefaults) {
+  SegmentDescriptor d = SegmentDescriptor::MakeData(0, 0xC0000000u, 3);
+  EXPECT_TRUE(d.IsData());
+  EXPECT_TRUE(d.writable);
+  SegmentDescriptor ro = SegmentDescriptor::MakeData(0, 16, 3, /*writable=*/false);
+  EXPECT_FALSE(ro.writable);
+}
+
+TEST(SegmentDescriptor, MakeGates) {
+  SegmentDescriptor cg = SegmentDescriptor::MakeCallGate(0x08, 0x1234, 3, 2);
+  EXPECT_TRUE(cg.IsGate());
+  EXPECT_EQ(cg.type, DescriptorType::kCallGate);
+  EXPECT_EQ(cg.gate_selector, 0x08);
+  EXPECT_EQ(cg.gate_offset, 0x1234u);
+  EXPECT_EQ(cg.gate_param_count, 2);
+
+  SegmentDescriptor ig = SegmentDescriptor::MakeInterruptGate(0x08, 0x80, 0);
+  EXPECT_EQ(ig.type, DescriptorType::kInterruptGate);
+}
+
+TEST(DescriptorTable, GetOutOfRangeIsNull) {
+  DescriptorTable t(4);
+  EXPECT_EQ(t.Get(100), nullptr);
+  ASSERT_NE(t.Get(2), nullptr);
+  EXPECT_EQ(t.Get(2)->type, DescriptorType::kNull);
+}
+
+TEST(DescriptorTable, SetExtendsTable) {
+  DescriptorTable t(2);
+  t.Set(10, SegmentDescriptor::MakeData(0, 1, 0));
+  ASSERT_NE(t.Get(10), nullptr);
+  EXPECT_TRUE(t.Get(10)->IsData());
+}
+
+TEST(DescriptorTable, AllocateSlotSkipsUsed) {
+  DescriptorTable t(8);
+  t.Set(1, SegmentDescriptor::MakeData(0, 1, 0));
+  t.Set(2, SegmentDescriptor::MakeData(0, 1, 0));
+  u16 idx = t.AllocateSlot(1);
+  EXPECT_EQ(idx, 3);
+  t.Set(idx, SegmentDescriptor::MakeData(0, 1, 0));
+  EXPECT_EQ(t.AllocateSlot(1), 4);
+}
+
+TEST(DescriptorTable, ClearFreesSlot) {
+  DescriptorTable t(8);
+  t.Set(3, SegmentDescriptor::MakeData(0, 1, 0));
+  t.Clear(3);
+  EXPECT_EQ(t.AllocateSlot(3), 3);
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,119 @@
+// Encode/decode round-trip and validation tests for the ISA.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/isa/disasm.h"
+#include "src/isa/insn.h"
+
+namespace palladium {
+namespace {
+
+TEST(InsnEncoding, RoundTripAllFields) {
+  Insn in;
+  in.opcode = Opcode::kLoad;
+  in.seg = SegOverride::kEs;
+  in.r1 = static_cast<u8>(Reg::kEdx);
+  in.r2 = static_cast<u8>(Reg::kEbx);
+  in.r3 = static_cast<u8>(Reg::kEcx);
+  in.scale = 4;
+  in.size = 2;
+  in.imm = -123456;
+  in.disp = 0x7FFFFFFF;
+
+  u8 raw[kInsnSize];
+  in.EncodeTo(raw);
+  auto out = Insn::Decode(raw);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->opcode, in.opcode);
+  EXPECT_EQ(out->seg, in.seg);
+  EXPECT_EQ(out->r1, in.r1);
+  EXPECT_EQ(out->r2, in.r2);
+  EXPECT_EQ(out->r3, in.r3);
+  EXPECT_EQ(out->scale, in.scale);
+  EXPECT_EQ(out->size, in.size);
+  EXPECT_EQ(out->imm, in.imm);
+  EXPECT_EQ(out->disp, in.disp);
+}
+
+TEST(InsnEncoding, RejectsBadOpcode) {
+  u8 raw[kInsnSize] = {};
+  u16 bad = static_cast<u16>(Opcode::kCount);
+  std::memcpy(raw, &bad, 2);
+  raw[7] = 4;
+  EXPECT_FALSE(Insn::Decode(raw).has_value());
+}
+
+TEST(InsnEncoding, RejectsBadScale) {
+  Insn in;
+  in.opcode = Opcode::kLoad;
+  u8 raw[kInsnSize];
+  in.EncodeTo(raw);
+  raw[6] = 3;  // invalid scale
+  EXPECT_FALSE(Insn::Decode(raw).has_value());
+}
+
+TEST(InsnEncoding, RejectsBadSize) {
+  Insn in;
+  in.opcode = Opcode::kStore;
+  u8 raw[kInsnSize];
+  in.EncodeTo(raw);
+  raw[7] = 3;  // invalid width
+  EXPECT_FALSE(Insn::Decode(raw).has_value());
+}
+
+TEST(InsnEncoding, RejectsBadSegOverride) {
+  Insn in;
+  in.opcode = Opcode::kLoad;
+  u8 raw[kInsnSize];
+  in.EncodeTo(raw);
+  raw[2] = 9;  // invalid override
+  EXPECT_FALSE(Insn::Decode(raw).has_value());
+}
+
+class RoundTripAllOpcodes : public ::testing::TestWithParam<u16> {};
+
+TEST_P(RoundTripAllOpcodes, EncodeDecode) {
+  Insn in;
+  in.opcode = static_cast<Opcode>(GetParam());
+  in.imm = 42;
+  in.disp = -8;
+  u8 raw[kInsnSize];
+  in.EncodeTo(raw);
+  auto out = Insn::Decode(raw);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->opcode, in.opcode);
+  // Every opcode has a printable name and a non-empty disassembly.
+  EXPECT_STRNE(OpcodeName(in.opcode), "???");
+  EXPECT_FALSE(Disassemble(*out).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, RoundTripAllOpcodes,
+                         ::testing::Range<u16>(0, static_cast<u16>(Opcode::kCount)));
+
+TEST(Disasm, RendersMemoryOperand) {
+  Insn in;
+  in.opcode = Opcode::kLoad;
+  in.seg = SegOverride::kEs;
+  in.r1 = static_cast<u8>(Reg::kEax);
+  in.r2 = static_cast<u8>(Reg::kEbx);
+  in.r3 = static_cast<u8>(Reg::kEcx);
+  in.scale = 2;
+  in.size = 4;
+  in.disp = 8;
+  EXPECT_EQ(Disassemble(in), "ld %es:8(%ebx,%ecx,2), %eax");
+}
+
+TEST(Disasm, RangeStopsOnBadBytes) {
+  u8 buf[2 * kInsnSize] = {};
+  Insn nop;
+  nop.EncodeTo(buf);
+  u16 bad = 0xFFFF;
+  std::memcpy(buf + kInsnSize, &bad, 2);
+  std::string text = DisassembleRange(buf, sizeof(buf), 0x1000);
+  EXPECT_NE(text.find("nop"), std::string::npos);
+  EXPECT_NE(text.find(".bad"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,382 @@
+// Kernel-extension mechanism tests (paper Section 4.3): loading into SPL 1
+// segments, protected invocation, confinement by segment limits and DPL
+// checks, kernel services, shared data areas, multi-module segments, and
+// asynchronous extensions.
+#include <gtest/gtest.h>
+
+#include "src/core/kernel_ext.h"
+#include "tests/kernel_test_util.h"
+
+namespace palladium {
+namespace {
+
+class KextFixture : public ::testing::Test {
+ protected:
+  KextFixture() : kernel_(machine_), kext_(kernel_) {}
+
+  u32 MustLoad(const std::string& name, const std::string& source,
+               KextOptions options = KextOptions{}) {
+    AssembleError aerr;
+    auto obj = Assemble(AbiPrelude() + source, &aerr);
+    EXPECT_TRUE(obj.has_value()) << aerr.ToString();
+    std::string diag;
+    auto id = kext_.LoadExtension(name, *obj, &diag, options);
+    EXPECT_TRUE(id.has_value()) << diag;
+    return id.value_or(0);
+  }
+
+  u32 Fn(const std::string& name) {
+    auto id = kext_.FindFunction(name);
+    EXPECT_TRUE(id.has_value()) << "no EFT entry: " << name;
+    return id.value_or(0);
+  }
+
+  Machine machine_;
+  Kernel kernel_;
+  KernelExtensionManager kext_;
+};
+
+TEST_F(KextFixture, InvokeReturnsValue) {
+  MustLoad("add", R"(
+  .global add1
+add1:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  add $1, %eax
+  pop %ebp
+  ret
+)");
+  auto r = kext_.Invoke(Fn("add:add1"), 41);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 42u);
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST_F(KextFixture, ExtensionUsesItsOwnData) {
+  MustLoad("stateful", R"(
+  .global bump
+bump:
+  ld counter, %eax
+  add $1, %eax
+  st %eax, counter
+  ret
+  .data
+counter:
+  .long 100
+)");
+  u32 f = Fn("bump");
+  EXPECT_EQ(kext_.Invoke(f, 0).value, 101u);
+  EXPECT_EQ(kext_.Invoke(f, 0).value, 102u);
+  EXPECT_EQ(kext_.Invoke(f, 0).value, 103u);
+}
+
+TEST_F(KextFixture, SegmentLimitConfinesExtension) {
+  // The segment is 1 MB; an access beyond the limit must fault and abort the
+  // extension while the kernel survives (the paper's core safety claim).
+  MustLoad("bad", R"(
+  .global escape
+escape:
+  mov $0x00200000, %ebx    ; 2 MB: outside the 1 MB segment
+  ld 0(%ebx), %eax
+  ret
+)");
+  auto r = kext_.Invoke(Fn("escape"), 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("#GP"), std::string::npos);
+  EXPECT_TRUE(kext_.extension(1)->aborted);
+  // Subsequent invocations of the aborted extension are refused.
+  auto r2 = kext_.Invoke(Fn("escape"), 0);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("aborted"), std::string::npos);
+}
+
+TEST_F(KextFixture, JumpBeyondLimitFaults) {
+  MustLoad("jmp_out", R"(
+  .global jump_away
+jump_away:
+  mov $0x00300000, %eax
+  jmp *%eax
+)");
+  auto r = kext_.Invoke(Fn("jump_away"), 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("#GP"), std::string::npos);
+}
+
+TEST_F(KextFixture, CannotLoadKernelSegment) {
+  // SPL 1 code loading the DPL 0 kernel data segment must #GP.
+  MustLoad("seg_thief", R"(
+  .global steal
+steal:
+  mov $16, %eax        ; kernel DS selector (index 2, RPL 0)
+  mov %eax, %ds
+  ret
+)");
+  auto r = kext_.Invoke(Fn("steal"), 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("#GP"), std::string::npos);
+}
+
+TEST_F(KextFixture, SyscallFromExtensionAborts) {
+  MustLoad("sneaky", R"(
+  .global sneak
+sneak:
+  mov $SYS_WRITE, %eax
+  int $INT_SYSCALL
+  ret
+)");
+  auto r = kext_.Invoke(Fn("sneak"), 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("system call"), std::string::npos);
+}
+
+TEST_F(KextFixture, InfiniteLoopHitsTimeLimit) {
+  KextOptions opts;
+  opts.cycle_limit = 50'000;
+  MustLoad("looper", R"(
+  .global spin
+spin:
+  jmp spin
+)",
+           opts);
+  auto r = kext_.Invoke(Fn("spin"), 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("time limit"), std::string::npos);
+  EXPECT_GE(r.cycles, 50'000u);
+}
+
+TEST_F(KextFixture, PrintkServiceWorks) {
+  MustLoad("hello", R"(
+  .global say
+say:
+  mov $1, %eax          ; KSVC_PRINTK
+  mov $msg, %ebx
+  mov $5, %ecx
+  int $INT_KSERVICE
+  mov $77, %eax
+  ret
+  .data
+msg:
+  .asciz "hello"
+)");
+  auto r = kext_.Invoke(Fn("say"), 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 77u);
+  EXPECT_EQ(kext_.printk_output(), "hello");
+}
+
+TEST_F(KextFixture, SharedDataAreaRoundTrip) {
+  // Kernel writes input into pd_shared; extension transforms it in place;
+  // kernel reads the result back — no copying through gates (Section 4.3).
+  MustLoad("sharer", R"(
+  .global sum_shared
+sum_shared:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ecx      ; element count
+  mov $pd_shared, %ebx
+  mov $0, %eax
+sum_loop:
+  cmp $0, %ecx
+  je sum_done
+  ld 0(%ebx), %edx
+  add %edx, %eax
+  add $4, %ebx
+  dec %ecx
+  jmp sum_loop
+sum_done:
+  st %eax, pd_shared    ; result goes back through the shared area
+  pop %ebp
+  ret
+  .data
+  .global pd_shared
+pd_shared:
+  .space 256
+)");
+  u32 values[4] = {10, 20, 30, 40};
+  ASSERT_TRUE(kext_.WriteShared(1, 0, values, sizeof(values)));
+  auto r = kext_.Invoke(Fn("sum_shared"), 4);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 100u);
+  u32 result = 0;
+  ASSERT_TRUE(kext_.ReadShared(1, 0, &result, 4));
+  EXPECT_EQ(result, 100u);
+}
+
+TEST_F(KextFixture, ModulesInSameSegmentShareSymbols) {
+  u32 seg = MustLoad("base_mod", R"(
+  .global shared_value
+  .global get_value
+get_value:
+  ld shared_value, %eax
+  ret
+  .data
+shared_value:
+  .long 5
+)");
+  KextOptions opts;
+  opts.into_segment = seg;
+  MustLoad("second_mod", R"(
+  .extern shared_value
+  .global set_value
+set_value:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  st %eax, shared_value
+  pop %ebp
+  ret
+)",
+           opts);
+  ASSERT_TRUE(kext_.Invoke(Fn("set_value"), 1234).ok);
+  auto r = kext_.Invoke(Fn("get_value"), 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 1234u);
+}
+
+TEST_F(KextFixture, SeparateSegmentsAreDisjoint) {
+  // Two extensions in separate segments: all addresses are segment-relative,
+  // so extension B dereferencing the numeric offset of A's secret reads its
+  // *own* memory, never A's (disjoint linear ranges + limit checks).
+  MustLoad("victim", R"(
+  .global victim_get
+victim_get:
+  ld secret, %eax
+  ret
+  .data
+  .global secret
+secret:
+  .long 0xCAFEBABE
+)");
+  const KernelExtensionManager::ExtensionState* victim = kext_.extension(1);
+  ASSERT_NE(victim, nullptr);
+  u32 secret_off = victim->symbols.at("secret");
+
+  MustLoad("snoop", R"(
+  .global snoop_read
+snoop_read:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ebx      ; offset to probe
+  ld 0(%ebx), %eax
+  pop %ebp
+  ret
+  .data
+pad:
+  .long 0
+)");
+  auto r = kext_.Invoke(Fn("snoop_read"), secret_off);
+  ASSERT_TRUE(r.ok) << r.error;  // within snoop's own limit: reads own memory
+  EXPECT_NE(r.value, 0xCAFEBABEu);
+  // And the victim still sees its secret intact.
+  auto v = kext_.Invoke(Fn("victim_get"), 0);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.value, 0xCAFEBABEu);
+}
+
+TEST_F(KextFixture, AsyncQueueRunsToCompletion) {
+  MustLoad("counter", R"(
+  .global tally
+tally:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  ld total, %ecx
+  add %eax, %ecx
+  st %ecx, total
+  mov %ecx, %eax
+  pop %ebp
+  ret
+  .data
+  .global total
+total:
+  .long 0
+)");
+  u32 f = Fn("tally");
+  EXPECT_TRUE(kext_.EnqueueAsync(f, 5));
+  EXPECT_TRUE(kext_.EnqueueAsync(f, 7));
+  EXPECT_TRUE(kext_.EnqueueAsync(f, 8));
+  EXPECT_TRUE(kext_.IsBusy(1));
+  EXPECT_EQ(kext_.DrainAsync(), 3u);
+  EXPECT_FALSE(kext_.IsBusy(1));
+  auto r = kext_.Invoke(f, 0);
+  EXPECT_EQ(r.value, 20u);
+}
+
+TEST_F(KextFixture, FindFunctionQualifiedAndUnqualified) {
+  MustLoad("alpha", ".global fn_a\nfn_a:\n  ret\n");
+  MustLoad("beta", ".global fn_b\nfn_b:\n  ret\n");
+  EXPECT_TRUE(kext_.FindFunction("alpha:fn_a").has_value());
+  EXPECT_TRUE(kext_.FindFunction("fn_b").has_value());
+  EXPECT_FALSE(kext_.FindFunction("fn_c").has_value());
+  // Ambiguity: same function name in two extensions.
+  MustLoad("gamma", ".global fn_a\nfn_a:\n  ret\n");
+  EXPECT_FALSE(kext_.FindFunction("fn_a").has_value());
+  EXPECT_TRUE(kext_.FindFunction("alpha:fn_a").has_value());
+  EXPECT_TRUE(kext_.FindFunction("gamma:fn_a").has_value());
+}
+
+TEST_F(KextFixture, UnloadRemovesFunctions) {
+  u32 id = MustLoad("temp", ".global f\nf:\n  ret\n");
+  EXPECT_TRUE(kext_.FindFunction("f").has_value());
+  kext_.UnloadExtension(id);
+  EXPECT_FALSE(kext_.FindFunction("f").has_value());
+  EXPECT_EQ(kext_.extension(id), nullptr);
+}
+
+TEST_F(KextFixture, InvokeFromUserProcessViaSyscall) {
+  // The full Figure 4 path: user process -> INT 0x80 -> kernel -> extension
+  // at SPL 1 -> kernel -> user process.
+  MustLoad("svc", R"(
+  .global triple
+triple:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  mov %eax, %ecx
+  add %ecx, %eax
+  add %ecx, %eax
+  pop %ebp
+  ret
+)");
+  u32 fid = Fn("triple");
+  std::string diag;
+  auto img = AssembleAndLink(AbiPrelude() + R"(
+  .global main
+main:
+  mov $SYS_INVOKE_KEXT, %eax
+  mov $)" + std::to_string(fid) +
+                                 R"(, %ebx
+  mov $14, %ecx
+  int $INT_SYSCALL
+  mov %eax, %ebx
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+)",
+                             kUserTextBase, {}, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  Pid pid = kernel_.CreateProcess();
+  ASSERT_TRUE(kernel_.LoadUserImage(pid, *img, "main", &diag)) << diag;
+  RunResult r = kernel_.RunProcess(pid, 50'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited);
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST_F(KextFixture, AbortedExtensionDoesNotCorruptKernelState) {
+  MustLoad("ok_ext", ".global good\ngood:\n  mov $1, %eax\n  ret\n");
+  MustLoad("bad_ext", R"(
+  .global bad
+bad:
+  mov $0x00F00000, %ebx
+  sti $0xDEAD, 0(%ebx)
+  ret
+)");
+  EXPECT_FALSE(kext_.Invoke(Fn("bad"), 0).ok);
+  // The healthy extension still works after the abort.
+  auto r = kext_.Invoke(Fn("good"), 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 1u);
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,78 @@
+// Shared helpers for kernel-level tests: the ABI constants as an assembly
+// prelude, and a fixture that assembles, loads and runs user programs.
+#ifndef TESTS_KERNEL_TEST_UTIL_H_
+#define TESTS_KERNEL_TEST_UTIL_H_
+
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/hw/machine.h"
+#include "src/kernel/kernel.h"
+
+namespace palladium {
+
+// .equ block exposing the kernel ABI to assembly programs.
+inline std::string AbiPrelude() {
+  return R"(
+  .equ SYS_EXIT, 1
+  .equ SYS_FORK, 2
+  .equ SYS_WRITE, 4
+  .equ SYS_GETPID, 20
+  .equ SYS_KILL, 37
+  .equ SYS_BRK, 45
+  .equ SYS_SIGACTION, 67
+  .equ SYS_MMAP, 90
+  .equ SYS_MUNMAP, 91
+  .equ SYS_SIGRETURN, 119
+  .equ SYS_MPROTECT, 125
+  .equ SYS_INIT_PL, 200
+  .equ SYS_SET_RANGE, 201
+  .equ SYS_SET_CALL_GATE, 202
+  .equ SYS_INVOKE_KEXT, 210
+  .equ SYS_SEG_DLOPEN, 212
+  .equ SYS_SEG_DLSYM, 213
+  .equ SYS_DLSYM, 214
+  .equ SYS_SEG_DLCLOSE, 215
+  .equ SYS_DLOPEN_UNPROT, 216
+  .equ SYS_EXPOSE_SERVICE, 217
+  .equ INT_SYSCALL, 0x80
+  .equ INT_KSERVICE, 0x81
+  .equ KERNEL_RETURN_GATE, 57   ; selector: index 7, RPL 1
+)";
+}
+
+class KernelFixture {
+ public:
+  KernelFixture() : kernel_(machine_) {}
+
+  // Assembles `source` (with the ABI prelude prepended), loads it into a new
+  // process, and returns the pid (0 on failure, with *diag set).
+  Pid LoadProgram(const std::string& source, std::string* diag,
+                  const std::string& entry = "main") {
+    auto img = AssembleAndLink(AbiPrelude() + source, kUserTextBase, {}, diag);
+    if (!img) return 0;
+    Pid pid = kernel_.CreateProcess();
+    if (pid == 0) {
+      *diag = "CreateProcess failed";
+      return 0;
+    }
+    if (!kernel_.LoadUserImage(pid, *img, entry, diag)) return 0;
+    images_[pid] = *img;
+    return pid;
+  }
+
+  RunResult Run(Pid pid, u64 budget = 50'000'000) { return kernel_.RunProcess(pid, budget); }
+
+  Machine& machine() { return machine_; }
+  Kernel& kernel() { return kernel_; }
+  const LinkedImage& image(Pid pid) { return images_[pid]; }
+
+ private:
+  Machine machine_;
+  Kernel kernel_;
+  std::map<Pid, LinkedImage> images_;
+};
+
+}  // namespace palladium
+
+#endif  // TESTS_KERNEL_TEST_UTIL_H_

@@ -1,0 +1,86 @@
+// Packet construction and trace-generation tests.
+#include <gtest/gtest.h>
+
+#include "src/net/packet.h"
+
+namespace palladium {
+namespace {
+
+TEST(Packet, FieldsLandAtDocumentedOffsets) {
+  PacketSpec spec;
+  spec.src_ip = 0xC0A80101;  // 192.168.1.1
+  spec.dst_ip = 0x0A000063;
+  spec.src_port = 4242;
+  spec.dst_port = 80;
+  spec.proto = kIpProtoTcp;
+  spec.payload_len = 10;
+  std::vector<u8> pkt = BuildPacket(spec);
+  ASSERT_GE(pkt.size(), kEthHeaderLen + kIpHeaderLen + kTcpHeaderLen + 10u);
+  EXPECT_EQ(ReadBe16(&pkt[kOffEtherType]), kEtherTypeIp);
+  EXPECT_EQ(pkt[kOffIpProto], kIpProtoTcp);
+  EXPECT_EQ(ReadBe32(&pkt[kOffIpSrc]), 0xC0A80101u);
+  EXPECT_EQ(ReadBe32(&pkt[kOffIpDst]), 0x0A000063u);
+  EXPECT_EQ(ReadBe16(&pkt[kOffSrcPort]), 4242);
+  EXPECT_EQ(ReadBe16(&pkt[kOffDstPort]), 80);
+}
+
+TEST(Packet, UdpPacketsAreShorter) {
+  PacketSpec tcp;
+  tcp.proto = kIpProtoTcp;
+  tcp.payload_len = 0;
+  PacketSpec udp = tcp;
+  udp.proto = kIpProtoUdp;
+  EXPECT_EQ(BuildPacket(tcp).size(), BuildPacket(udp).size() + 12);
+}
+
+TEST(Packet, BeHelpersRoundTrip) {
+  u8 buf[4];
+  WriteBe32(buf, 0x12345678);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(ReadBe32(buf), 0x12345678u);
+  WriteBe16(buf, 0xBEEF);
+  EXPECT_EQ(ReadBe16(buf), 0xBEEF);
+}
+
+TEST(TraceGenerator, DeterministicForSameSeed) {
+  PacketSpec match;
+  TraceGenerator a(42, match, 0.5);
+  TraceGenerator b(42, match, 0.5);
+  for (int i = 0; i < 100; ++i) {
+    bool ma = false, mb = false;
+    PacketSpec pa = a.Next(&ma);
+    PacketSpec pb = b.Next(&mb);
+    EXPECT_EQ(ma, mb);
+    EXPECT_EQ(pa.src_ip, pb.src_ip);
+    EXPECT_EQ(pa.dst_port, pb.dst_port);
+  }
+}
+
+TEST(TraceGenerator, MatchFractionApproximatelyHolds) {
+  PacketSpec match;
+  TraceGenerator gen(7, match, 0.3);
+  int matches = 0;
+  const int kTotal = 5000;
+  for (int i = 0; i < kTotal; ++i) {
+    bool m = false;
+    gen.Next(&m);
+    if (m) ++matches;
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / kTotal, 0.3, 0.05);
+}
+
+TEST(TraceGenerator, NonMatchesDifferFromMatchSpec) {
+  PacketSpec match;
+  TraceGenerator gen(3, match, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    bool m = false;
+    PacketSpec spec = gen.Next(&m);
+    EXPECT_FALSE(m);
+    // At least the dst port is always perturbed.
+    EXPECT_NE(spec.dst_port, match.dst_port);
+  }
+}
+
+}  // namespace
+}  // namespace palladium

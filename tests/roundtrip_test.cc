@@ -1,0 +1,111 @@
+// Assembler/disassembler round-trip property: disassembling a fully linked
+// image and re-assembling the text must reproduce the identical bytes.
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/core/trampoline.h"
+#include "src/isa/disasm.h"
+
+namespace palladium {
+namespace {
+
+void ExpectRoundTrip(const std::string& source, u32 base) {
+  std::string diag;
+  auto img = AssembleAndLink(source, base, {}, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  ASSERT_GE(img->text_size, kInsnSize);
+
+  // Disassemble only the text portion.
+  std::string listing;
+  for (u32 off = 0; off + kInsnSize <= img->text_size; off += kInsnSize) {
+    auto insn = Insn::Decode(img->bytes.data() + off);
+    ASSERT_TRUE(insn.has_value()) << "offset " << off;
+    std::string line = Disassemble(*insn);
+    // The disassembler writes `ld ...` etc. in re-parseable syntax; branch
+    // targets come out as absolute hex which the assembler accepts.
+    listing += "  " + line + "\n";
+  }
+  AssembleError aerr;
+  auto reobj = Assemble(listing, &aerr);
+  ASSERT_TRUE(reobj.has_value()) << aerr.ToString() << "\n" << listing;
+  ASSERT_EQ(reobj->text.size(), img->text_size) << listing;
+  for (u32 off = 0; off < img->text_size; ++off) {
+    ASSERT_EQ(reobj->text[off], img->bytes[off]) << "byte " << off << "\n" << listing;
+  }
+}
+
+TEST(RoundTrip, ArithmeticKernel) {
+  ExpectRoundTrip(R"(
+  .global main
+main:
+  mov $5, %eax
+  add $3, %eax
+  mov %eax, %ebx
+  sub %ebx, %eax
+  imul $7, %ebx
+  shl $2, %ebx
+  shr $1, %ebx
+  sar $1, %ebx
+  neg %ebx
+  not %ebx
+  inc %eax
+  dec %eax
+  ret
+)",
+                  0x1000);
+}
+
+TEST(RoundTrip, MemoryAndControl) {
+  ExpectRoundTrip(R"(
+  .global main
+main:
+  ld 8(%ebp), %eax
+  ld16 4(%ebx,%ecx,2), %edx
+  ld8 0(%esi), %edi
+  st %eax, -4(%esp)
+  st8 %eax, 1(%ebx)
+  sti $9, 0(%ebx)
+  lea 12(%ebx,%ecx,4), %eax
+  push %eax
+  push $77
+  pop %ecx
+  cmp $0, %ecx
+  jne main
+  call main
+  jmp main
+  ret
+)",
+                  0x2000);
+}
+
+TEST(RoundTrip, FarTransfersAndSegments) {
+  ExpectRoundTrip(R"(
+  .global main
+main:
+  push %ds
+  pop %es
+  mov %eax, %ds
+  mov %es, %ebx
+  lcall $96
+  int $0x80
+  iret
+  lret
+  nop
+  hlt
+)",
+                  0x3000);
+}
+
+TEST(RoundTrip, GeneratedTrampolines) {
+  // The Figure-6 stubs themselves survive the round trip (they use absolute
+  // addressing, the form most likely to diverge).
+  TrampolineSlots slots{0x5E000000, 0x5E000004};
+  ExpectRoundTrip(PrepareStubSource(slots, 0x60FFFFFC, 0x60FFFFFC, 0x1B, 0x23, 0x60010000),
+                  0x4000);
+  ExpectRoundTrip(AppCallGateSource(slots), 0x5000);
+  ExpectRoundTrip(TransferStubSource(0x60000000, 0x9B), 0x6000);
+  ExpectRoundTrip(AppServiceStubSource(0x08048100, 0x50001FF0), 0x7000);
+}
+
+}  // namespace
+}  // namespace palladium

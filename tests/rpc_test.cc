@@ -1,0 +1,68 @@
+// Local RPC model tests: marshalling round trips, cycle accounting, and the
+// calibration targets from Table 2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/rpc/rpc.h"
+
+namespace palladium {
+namespace {
+
+std::vector<u8> Bytes(const std::string& s) { return std::vector<u8>(s.begin(), s.end()); }
+
+TEST(Rpc, EchoRoundTrip) {
+  LocalRpcChannel ch;
+  ch.Bind("echo", [](const std::vector<u8>& req) { return req; });
+  auto reply = ch.Call("echo", Bytes("hello"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(std::string(reply->begin(), reply->end()), "hello");
+}
+
+TEST(Rpc, ReverseHandlerSeesMarshalledCopy) {
+  LocalRpcChannel ch;
+  ch.Bind("reverse", [](const std::vector<u8>& req) {
+    std::vector<u8> out(req.rbegin(), req.rend());
+    return out;
+  });
+  auto reply = ch.Call("reverse", Bytes("abcd"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(std::string(reply->begin(), reply->end()), "dcba");
+}
+
+TEST(Rpc, UnboundMethodFails) {
+  LocalRpcChannel ch;
+  EXPECT_FALSE(ch.Call("nope", {}).has_value());
+  EXPECT_EQ(ch.cycles(), 0u);
+}
+
+TEST(Rpc, CycleCostGrowsWithPayload) {
+  LocalRpcChannel ch;
+  ch.Bind("echo", [](const std::vector<u8>& req) { return req; });
+  ch.Call("echo", std::vector<u8>(32));
+  u64 small = ch.cycles();
+  ch.ResetCycles();
+  ch.Call("echo", std::vector<u8>(256));
+  u64 large = ch.cycles();
+  EXPECT_GT(large, small);
+  EXPECT_EQ(large - small, (256u - 32u) * 2 * ch.costs().per_byte_cycles);
+}
+
+TEST(Rpc, CalibrationMatchesTable2Anchors) {
+  // 32 B reverse ~ 349 us and 256 B ~ 423 us at 200 MHz (Table 2).
+  LocalRpcChannel ch;
+  ch.Bind("reverse", [](const std::vector<u8>& req) {
+    std::vector<u8> out(req.rbegin(), req.rend());
+    return out;
+  });
+  ch.Call("reverse", std::vector<u8>(32));
+  double us32 = static_cast<double>(ch.cycles()) / 200.0;
+  ch.ResetCycles();
+  ch.Call("reverse", std::vector<u8>(256));
+  double us256 = static_cast<double>(ch.cycles()) / 200.0;
+  EXPECT_NEAR(us32, 349.19, 15.0);
+  EXPECT_NEAR(us256, 423.33, 15.0);
+}
+
+}  // namespace
+}  // namespace palladium

@@ -1,0 +1,209 @@
+// SFI rewriter tests: instruction expansion, relocation/symbol remapping,
+// semantic preservation for in-sandbox code, and containment of hostile
+// out-of-sandbox accesses.
+#include <gtest/gtest.h>
+
+#include "src/asm/assembler.h"
+#include "src/hw/bare_machine.h"
+#include "src/sfi/sfi.h"
+
+namespace palladium {
+namespace {
+
+constexpr u32 kSandboxBase = 0x00400000;
+constexpr u32 kSandboxBits = 20;  // 1 MB
+
+ObjectFile MustAssemble(const std::string& src) {
+  AssembleError err;
+  auto obj = Assemble(src, &err);
+  EXPECT_TRUE(obj.has_value()) << err.ToString();
+  return obj.value_or(ObjectFile{});
+}
+
+SfiOptions DefaultOptions() {
+  SfiOptions opt;
+  opt.sandbox_base = kSandboxBase;
+  opt.sandbox_bits = kSandboxBits;
+  return opt;
+}
+
+TEST(SfiRewrite, ExpandsMemoryOps) {
+  ObjectFile obj = MustAssemble(R"(
+  mov $1, %eax
+  st %eax, 0(%ebx)
+  ld 4(%ebx), %ecx
+  ret
+)");
+  SfiStats stats;
+  std::string diag;
+  auto out = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  ASSERT_TRUE(out.has_value()) << diag;
+  EXPECT_EQ(stats.original_insns, 4u);
+  EXPECT_EQ(stats.sandboxed_memory_ops, 2u);
+  EXPECT_EQ(stats.rewritten_insns, 4u + 2 * 3);
+  EXPECT_GT(stats.Expansion(), 2.0);
+}
+
+TEST(SfiRewrite, WriteOnlyModeSkipsLoads) {
+  ObjectFile obj = MustAssemble(R"(
+  st %eax, 0(%ebx)
+  ld 4(%ebx), %ecx
+  ret
+)");
+  SfiOptions opt = DefaultOptions();
+  opt.protection = SfiProtection::kWriteOnly;
+  SfiStats stats;
+  std::string diag;
+  auto out = SfiRewrite(obj, opt, &stats, &diag);
+  ASSERT_TRUE(out.has_value()) << diag;
+  EXPECT_EQ(stats.sandboxed_memory_ops, 1u);
+  EXPECT_EQ(stats.rewritten_insns, 3u + 3);
+}
+
+TEST(SfiRewrite, RejectsScratchRegisterUse) {
+  ObjectFile obj = MustAssemble("  st %edx, 0(%ebx)\n  ret\n");
+  SfiStats stats;
+  std::string diag;
+  auto out = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_NE(diag.find("scratch"), std::string::npos);
+}
+
+TEST(SfiRewrite, RemapsSymbolsAndBranchTargets) {
+  ObjectFile obj = MustAssemble(R"(
+  .global entry
+entry:
+  st %eax, 0(%ebx)
+loop:
+  dec %ecx
+  cmp $0, %ecx
+  jne loop
+  ret
+)");
+  SfiStats stats;
+  std::string diag;
+  auto out = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  ASSERT_TRUE(out.has_value()) << diag;
+  // `loop` originally at insn 1; the store before it expanded to 4 insns.
+  const Symbol* loop = out->FindSymbol("loop");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->offset, 4 * kInsnSize);
+  // The jne's relocation still resolves to `loop` after linking.
+  LinkError lerr;
+  auto img = LinkImage(*out, kSandboxBase, {}, &lerr);
+  ASSERT_TRUE(img.has_value()) << lerr.message;
+}
+
+TEST(SfiExecution, InSandboxCodeBehavesIdentically) {
+  // Sum an array: run original and rewritten inside the sandbox; results
+  // must match (masking is the identity for in-sandbox addresses).
+  const std::string src = R"(
+  .global main
+main:
+  mov $data, %ebx
+  mov $4, %ecx
+  mov $0, %eax
+loop:
+  ld 0(%ebx), %esi
+  add %esi, %eax
+  add $4, %ebx
+  dec %ecx
+  cmp $0, %ecx
+  jne loop
+  hlt
+  .data
+data:
+  .long 3, 5, 7, 11
+)";
+  ObjectFile obj = MustAssemble(src);
+  SfiOptions opt = DefaultOptions();
+  opt.scratch = Reg::kEdi;  // %esi is used; pick a free scratch
+  SfiStats stats;
+  std::string diag;
+  auto rewritten = SfiRewrite(obj, opt, &stats, &diag);
+  ASSERT_TRUE(rewritten.has_value()) << diag;
+
+  auto run = [&](const ObjectFile& o) -> u32 {
+    BareMachine bm;
+    LinkError lerr;
+    auto img = LinkImage(o, kSandboxBase, {}, &lerr);
+    EXPECT_TRUE(img.has_value()) << lerr.message;
+    EXPECT_TRUE(bm.LoadImage(*img));
+    bm.Start(*img->Lookup("main"), 0, kSandboxBase + 0x80000);
+    StopInfo stop = bm.Run(1'000'000);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    return bm.cpu().reg(Reg::kEax);
+  };
+  EXPECT_EQ(run(obj), 26u);
+  EXPECT_EQ(run(*rewritten), 26u);
+}
+
+TEST(SfiExecution, HostileStoreIsConfined) {
+  // The canary lives outside the sandbox; the hostile store targets it, but
+  // masking redirects the write into the sandbox.
+  const u32 canary_addr = 0x00600000;  // outside [0x400000, 0x500000)
+  const std::string src = R"(
+  .global main
+main:
+  mov $0x00600000, %ebx
+  sti $0xDEAD, 0(%ebx)
+  hlt
+)";
+  ObjectFile obj = MustAssemble(src);
+  SfiStats stats;
+  std::string diag;
+  auto rewritten = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  ASSERT_TRUE(rewritten.has_value()) << diag;
+
+  BareMachine bm;
+  bm.pm().Write32(canary_addr, 0xCAFED00D);
+  LinkError lerr;
+  auto img = LinkImage(*rewritten, kSandboxBase, {}, &lerr);
+  ASSERT_TRUE(img.has_value()) << lerr.message;
+  ASSERT_TRUE(bm.LoadImage(*img));
+  bm.Start(*img->Lookup("main"), 0, kSandboxBase + 0x80000);
+  StopInfo stop = bm.Run(1'000'000);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  u32 canary = 0;
+  ASSERT_TRUE(bm.pm().Read32(canary_addr, &canary));
+  EXPECT_EQ(canary, 0xCAFED00Du) << "store must not escape the sandbox";
+  // The masked address received the value instead.
+  u32 redirected = 0;
+  ASSERT_TRUE(bm.pm().Read32(kSandboxBase | (canary_addr & ((1u << kSandboxBits) - 1)),
+                             &redirected));
+  EXPECT_EQ(redirected, 0xDEADu);
+}
+
+TEST(SfiExecution, IndirectJumpIsConfined) {
+  // An indirect jump whose target has poisoned high bits is masked back
+  // inside the sandbox and lands on the intended in-sandbox code.
+  ObjectFile obj = MustAssemble(R"(
+  .global main
+main:
+  mov $landing, %eax
+  or $0x00700000, %eax    ; poison the high bits
+  jmp *%eax
+  .global landing
+landing:
+  mov $1, %esi
+  hlt
+)");
+  SfiStats stats;
+  std::string diag;
+  auto rewritten = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  ASSERT_TRUE(rewritten.has_value()) << diag;
+  EXPECT_EQ(stats.sandboxed_indirect_jumps, 1u);
+
+  BareMachine bm;
+  LinkError lerr;
+  auto img = LinkImage(*rewritten, kSandboxBase, {}, &lerr);
+  ASSERT_TRUE(img.has_value()) << lerr.message;
+  ASSERT_TRUE(bm.LoadImage(*img));
+  bm.Start(*img->Lookup("main"), 0, kSandboxBase + 0x80000);
+  StopInfo stop = bm.Run(1'000'000);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEsi), 1u) << "jump must land on the masked in-sandbox target";
+}
+
+}  // namespace
+}  // namespace palladium

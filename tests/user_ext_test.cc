@@ -1,0 +1,805 @@
+// User-level extension mechanism tests (paper Sections 4.4–4.5): the full
+// Prepare/Transfer/AppCallGate protected call path, SIGSEGV containment of
+// corrupting extensions, the read-only GOT, application services through
+// call gates, xmalloc, syscall gating, and the extension time limit.
+#include <gtest/gtest.h>
+
+#include "src/core/user_ext.h"
+#include "src/hw/paging.h"
+#include "tests/kernel_test_util.h"
+
+namespace palladium {
+namespace {
+
+class UserExtFixture : public ::testing::Test {
+ protected:
+  UserExtFixture() : kernel_(machine_), dl_(kernel_), uext_(kernel_, dl_) {}
+
+  void RegisterExtension(const std::string& name, const std::string& source) {
+    AssembleError aerr;
+    auto obj = Assemble(AbiPrelude() + source, &aerr);
+    ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+    dl_.RegisterObject(name, *obj);
+  }
+
+  Pid LoadApp(const std::string& source, std::string* diag) {
+    auto img = AssembleAndLink(AbiPrelude() + source, kUserTextBase, {}, diag);
+    if (!img) return 0;
+    Pid pid = kernel_.CreateProcess();
+    if (pid == 0 || !kernel_.LoadUserImage(pid, *img, "main", diag)) return 0;
+    return pid;
+  }
+
+  Machine machine_;
+  Kernel kernel_;
+  DynamicLinker dl_;
+  UserExtensionRuntime uext_;
+};
+
+// The standard add-one extension used across tests.
+constexpr const char* kAddExt = R"(
+  .global add_one
+add_one:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  add $1, %eax
+  pop %ebp
+  ret
+)";
+
+// An application that loads `extname`, resolves `fnname`, calls it with 41
+// and exits with the result.
+constexpr const char* kCallerApp = R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi          ; handle
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi          ; Prepare pointer
+  push $41
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "ext"
+fnname:
+  .asciz "add_one"
+)";
+
+TEST_F(UserExtFixture, ProtectedCallReturnsResult) {
+  RegisterExtension("ext", kAddExt);
+  std::string diag;
+  Pid pid = LoadApp(kCallerApp, &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST_F(UserExtFixture, ProtectedCallPreservesCallerState) {
+  RegisterExtension("ext", kAddExt);
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  ; Seed callee-saved registers and stack, then call.
+  mov $0x1111, %ebx
+  mov %esp, %edx          ; remember ESP
+  push $7
+  call *%edi
+  pop %ecx
+  ; Verify ESP is balanced and EBX survived.
+  cmp %edx, %esp
+  jne bad
+  cmp $0x1111, %ebx
+  jne bad
+  mov %eax, %ebx          ; 8
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+bad:
+  mov $SYS_EXIT, %eax
+  mov $0xBAD, %ebx
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "ext"
+fnname:
+  .asciz "add_one"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 8);
+}
+
+TEST_F(UserExtFixture, ExtensionRunsAtSpl3) {
+  // The extension reads its CS selector and returns its RPL.
+  RegisterExtension("ext", R"(
+  .global whoami
+whoami:
+  mov %cs, %eax
+  and $3, %eax
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $0
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx          ; 3 == SPL 3
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "ext"
+fnname:
+  .asciz "whoami"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 3);
+}
+
+TEST_F(UserExtFixture, CorruptingExtensionGetsSigsegv) {
+  // The extension writes into the application's data (PPL 0): paging blocks
+  // it, and SIGSEGV is delivered to the extended application (Section 4.5.2).
+  RegisterExtension("evil", R"(
+  .global corrupt
+corrupt:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ebx        ; address of app data, passed by the app
+  sti $0xDEAD, 0(%ebx)
+  pop %ebp
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_SIGACTION, %eax
+  mov $11, %ebx
+  mov $handler, %ecx
+  int $INT_SYSCALL
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $secret            ; pass the address of our PPL 0 secret
+  call *%edi
+  pop %ecx
+  mov $SYS_EXIT, %eax     ; not reached: the extension faults
+  mov $1, %ebx
+  int $INT_SYSCALL
+handler:
+  ld secret, %ebx         ; prove the secret survived, exit with it
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+secret:
+  .long 777
+extname:
+  .asciz "evil"
+fnname:
+  .asciz "corrupt"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 777) << "application data must be intact";
+  EXPECT_EQ(kernel_.process(pid)->signals.last_signal, kSigSegv);
+}
+
+TEST_F(UserExtFixture, ExtensionCannotReadAppData) {
+  RegisterExtension("peek", R"(
+  .global spy
+spy:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ebx
+  ld 0(%ebx), %eax        ; read-protection too: PPL 0 blocks reads
+  pop %ebp
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_SIGACTION, %eax
+  mov $11, %ebx
+  mov $handler, %ecx
+  int $INT_SYSCALL
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $secret
+  call *%edi
+  pop %ecx
+  mov $SYS_EXIT, %eax
+  mov $1, %ebx
+  int $INT_SYSCALL
+handler:
+  mov $SYS_EXIT, %eax
+  mov $202, %ebx
+  int $INT_SYSCALL
+  .data
+secret:
+  .long 42
+extname:
+  .asciz "peek"
+fnname:
+  .asciz "spy"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 202);
+}
+
+TEST_F(UserExtFixture, SharedRangeIsAccessibleToExtension) {
+  // set_range exposes a buffer at PPL 1; the extension can then fill it.
+  RegisterExtension("filler", R"(
+  .global fill
+fill:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ebx
+  sti $0x5AFE, 0(%ebx)
+  pop %ebp
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_MMAP, %eax     ; a page to share
+  mov $0, %ebx
+  mov $0x1000, %ecx
+  mov $3, %edx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  sti $0, 0(%esi)         ; materialize (PPL 0 at first)
+  mov $SYS_SET_RANGE, %eax
+  mov %esi, %ebx
+  mov $0x1000, %ecx
+  mov $1, %edx
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %ebx
+  mov $SYS_SEG_DLSYM, %eax
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push %esi               ; share the buffer address with the extension
+  call *%edi
+  pop %ecx
+  ld 0(%esi), %ebx        ; read what the extension wrote
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "filler"
+fnname:
+  .asciz "fill"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 0x5AFE);
+}
+
+TEST_F(UserExtFixture, ExtensionCannotMakeSyscalls) {
+  // taskSPL gating (Section 4.5.2): INT 0x80 from SPL 3 returns EPERM.
+  RegisterExtension("sneaky", R"(
+  .global sneak
+sneak:
+  mov $SYS_GETPID, %eax
+  int $INT_SYSCALL
+  ret                     ; returns the syscall's return value
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $0
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx          ; expect -1 (EPERM)
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "sneaky"
+fnname:
+  .asciz "sneak"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, -1);
+}
+
+TEST_F(UserExtFixture, NonPalladiumProcessesStillMakeSyscalls) {
+  // Regression guard for the paper's compatibility requirement: processes
+  // that never call init_PL are unaffected by the gating.
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_GETPID, %eax
+  int $INT_SYSCALL
+  mov %eax, %ebx
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 10'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited);
+  EXPECT_GT(r.exit_code, 0);
+}
+
+TEST_F(UserExtFixture, XmallocAllocatesFromExtensionHeap) {
+  RegisterExtension("alloc", R"(
+  .extern xmalloc
+  .global use_heap
+use_heap:
+  push $64
+  call xmalloc
+  pop %ecx
+  cmp $0, %eax
+  je fail
+  sti $99, 0(%eax)        ; heap is inside the extension segment: writable
+  ld 0(%eax), %eax
+  ret
+fail:
+  mov $0, %eax
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $0
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx          ; 99
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "alloc"
+fnname:
+  .asciz "use_heap"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 99);
+}
+
+TEST_F(UserExtFixture, AppServiceCalledThroughGate) {
+  // The paper's encapsulation of buffering library functions: the extension
+  // calls an application service via lcall through a call gate; the service
+  // runs at SPL 2 on the extension's stack.
+  RegisterExtension("client", R"(
+  .extern gate_double
+  .global run
+run:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  push %eax
+  lcall $gate_double      ; app service: doubles its argument
+  pop %ecx
+  pop %ebp
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_EXPOSE_SERVICE, %eax
+  mov $svcname, %ebx
+  mov $double_fn, %ecx
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $21
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx          ; 42
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+double_fn:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  add %eax, %eax
+  pop %ebp
+  ret
+  .data
+svcname:
+  .asciz "double"
+extname:
+  .asciz "client"
+fnname:
+  .asciz "run"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 42);
+}
+
+TEST_F(UserExtFixture, ExtensionCallsSharedLibraryThroughGot) {
+  // A shared library mapped at PPL 1 (the non-buffering libc case); the
+  // extension reaches it through its read-only GOT.
+  AssembleError aerr;
+  auto lib = Assemble(R"(
+  .global lib_double
+lib_double:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  add %eax, %eax
+  pop %ebp
+  ret
+)",
+                      &aerr);
+  ASSERT_TRUE(lib.has_value()) << aerr.ToString();
+  dl_.RegisterObject("libdouble", *lib);
+
+  RegisterExtension("gotclient", R"(
+  .extern got_lib_double
+  .global run
+run:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  push %eax
+  ld got_lib_double, %ecx   ; load the target through the GOT slot
+  call *%ecx
+  pop %ecx
+  pop %ebp
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $33
+  call *%edi
+  pop %ecx
+  mov %eax, %ebx          ; 66
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "gotclient"
+fnname:
+  .asciz "run"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  // Host-level "ld.so": the library must be resident before seg_dlopen.
+  ASSERT_TRUE(dl_.LoadLibrary(pid, "libdouble", /*expose_ppl1=*/true, &diag)) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 66);
+}
+
+TEST_F(UserExtFixture, GotPageIsWriteProtected) {
+  AssembleError aerr;
+  auto lib = Assemble(".global lib_fn\nlib_fn:\n  ret\n", &aerr);
+  ASSERT_TRUE(lib.has_value());
+  dl_.RegisterObject("libtiny", *lib);
+  RegisterExtension("gotwriter", R"(
+  .extern got_lib_fn
+  .global smash
+smash:
+  mov $got_lib_fn, %ebx
+  sti $0xBAD, 0(%ebx)     ; write the read-only GOT page: page fault
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_SIGACTION, %eax
+  mov $11, %ebx
+  mov $handler, %ecx
+  int $INT_SYSCALL
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $0
+  call *%edi
+  pop %ecx
+  mov $SYS_EXIT, %eax
+  mov $1, %ebx
+  int $INT_SYSCALL
+handler:
+  mov $SYS_EXIT, %eax
+  mov $555, %ebx
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "gotwriter"
+fnname:
+  .asciz "smash"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  ASSERT_TRUE(dl_.LoadLibrary(pid, "libtiny", /*expose_ppl1=*/true, &diag)) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 555);
+  EXPECT_EQ(kernel_.process(pid)->signals.last_signal, kSigSegv);
+}
+
+TEST_F(UserExtFixture, RuntimeRequiresInitPl) {
+  RegisterExtension("ext", kAddExt);
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_SEG_DLOPEN, %eax   ; no init_PL first
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %ebx              ; expect -1 (EPERM)
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "ext"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 10'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited);
+  EXPECT_EQ(r.exit_code, -1);
+}
+
+TEST_F(UserExtFixture, TimeLimitedExtensionSignalsApp) {
+  // An extension that loops forever: the timer check fires SIGXCPU to the
+  // extended application (Section 4.5.2).
+  RegisterExtension("looper", R"(
+  .global spin
+spin:
+  jmp spin
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_SIGACTION, %eax
+  mov $24, %ebx           ; SIGXCPU
+  mov $handler, %ecx
+  int $INT_SYSCALL
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $0
+  call *%edi
+  pop %ecx
+  mov $SYS_EXIT, %eax
+  mov $1, %ebx
+  int $INT_SYSCALL
+handler:
+  mov $SYS_EXIT, %eax
+  mov $321, %ebx
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "looper"
+fnname:
+  .asciz "spin"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  Kernel::Config cfg;  // default extension limit is 5M cycles; plenty here
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 321);
+  EXPECT_EQ(kernel_.process(pid)->signals.last_signal, kSigXcpu);
+}
+
+TEST_F(UserExtFixture, SegDlcloseUnmapsExtension) {
+  RegisterExtension("ext", kAddExt);
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_SEG_DLOPEN, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_SEG_DLCLOSE, %eax
+  mov %esi, %ebx
+  int $INT_SYSCALL
+  mov %eax, %ebx          ; 0 on success
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "ext"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 0);
+  const auto* info = uext_.extension(pid, 1);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->closed);
+}
+
+TEST_F(UserExtFixture, UnprotectedDlopenRunsAtSpl2) {
+  // The baseline: plain dlopen maps the module as ordinary application code.
+  RegisterExtension("ext", R"(
+  .global whoami
+whoami:
+  mov %cs, %eax
+  and $3, %eax
+  ret
+)");
+  std::string diag;
+  Pid pid = LoadApp(R"(
+  .global main
+main:
+  mov $SYS_INIT_PL, %eax
+  int $INT_SYSCALL
+  mov $SYS_DLOPEN_UNPROT, %eax
+  mov $extname, %ebx
+  int $INT_SYSCALL
+  mov %eax, %esi
+  mov $SYS_DLSYM, %eax
+  mov %esi, %ebx
+  mov $fnname, %ecx
+  int $INT_SYSCALL
+  mov %eax, %edi
+  push $0
+  call *%edi              ; direct call: runs at the app's own SPL
+  pop %ecx
+  mov %eax, %ebx          ; 2 == SPL 2
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+  .data
+extname:
+  .asciz "ext"
+fnname:
+  .asciz "whoami"
+)",
+                    &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  RunResult r = kernel_.RunProcess(pid, 100'000'000);
+  EXPECT_EQ(r.outcome, RunOutcome::kExited) << r.kill_reason;
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+}  // namespace
+}  // namespace palladium

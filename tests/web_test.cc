@@ -1,0 +1,118 @@
+// HTTP handling and web-server model tests, including the qualitative
+// orderings Table 3 exhibits.
+#include <gtest/gtest.h>
+
+#include "src/web/http.h"
+#include "src/web/server_sim.h"
+
+namespace palladium {
+namespace {
+
+TEST(Http, ParseFormatRoundTrip) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/cgi-bin/render";
+  req.version = "HTTP/1.0";
+  req.headers["Host"] = "server";
+  req.headers["User-Agent"] = "ab/1.0";
+  auto parsed = HttpRequest::Parse(req.Format());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->path, "/cgi-bin/render");
+  EXPECT_TRUE(parsed->IsCgi());
+  EXPECT_EQ(parsed->headers.at("Host"), "server");
+}
+
+TEST(Http, ParseRejectsGarbage) {
+  EXPECT_FALSE(HttpRequest::Parse("").has_value());
+  EXPECT_FALSE(HttpRequest::Parse("GET\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::Parse("GET noslash HTTP/1.0\r\n\r\n").has_value());
+  EXPECT_FALSE(HttpRequest::Parse("GET / HTTP/1.0\r\nBadHeader\r\n\r\n").has_value());
+}
+
+TEST(Http, StaticPathIsNotCgi) {
+  auto req = HttpRequest::Parse("GET /index.html HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_FALSE(req->IsCgi());
+}
+
+TEST(Http, ResponseHeadIncludesContentLength) {
+  HttpResponse resp;
+  resp.body_bytes = 1024;
+  std::string head = resp.FormatHead();
+  EXPECT_NE(head.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 1024"), std::string::npos);
+}
+
+class WebModelTest : public ::testing::Test {
+ protected:
+  double Throughput(CgiModel model, u32 bytes) {
+    WebWorkload wl;
+    wl.file_bytes = bytes;
+    WebRunResult r = SimulateWebServer(model, wl, costs_);
+    EXPECT_EQ(r.parsed_requests, wl.total_requests);
+    return r.requests_per_sec;
+  }
+  WebServerCosts costs_;
+};
+
+TEST_F(WebModelTest, ModelOrderingAtSmallFiles) {
+  // Table 3's qualitative ordering at 28 bytes:
+  // static >= LibCGI > protected LibCGI > FastCGI > CGI.
+  double st = Throughput(CgiModel::kStatic, 28);
+  double lib = Throughput(CgiModel::kLibCgi, 28);
+  double prot = Throughput(CgiModel::kLibCgiProtected, 28);
+  double fast = Throughput(CgiModel::kFastCgi, 28);
+  double cgi = Throughput(CgiModel::kCgi, 28);
+  EXPECT_GE(st, lib);
+  EXPECT_GT(lib, prot);
+  EXPECT_GT(prot, fast);
+  EXPECT_GT(fast, cgi);
+  // Protected within a few percent of unprotected; at least 2x FastCGI.
+  EXPECT_GT(prot / lib, 0.94);
+  EXPECT_GT(prot / fast, 2.0);
+}
+
+TEST_F(WebModelTest, LargeFilesConvergeAcrossModels) {
+  // At 100 KB the per-byte cost dominates: CGI overheads wash out
+  // (LibCGI variants and static become indistinguishable, as in Table 3).
+  double st = Throughput(CgiModel::kStatic, 100 * 1024);
+  double lib = Throughput(CgiModel::kLibCgi, 100 * 1024);
+  double prot = Throughput(CgiModel::kLibCgiProtected, 100 * 1024);
+  EXPECT_NEAR(lib / st, 1.0, 0.02);
+  EXPECT_NEAR(prot / st, 1.0, 0.02);
+  double fast = Throughput(CgiModel::kFastCgi, 100 * 1024);
+  EXPECT_GT(fast / st, 0.80);
+}
+
+TEST_F(WebModelTest, ThroughputDecreasesWithFileSize) {
+  double t28 = Throughput(CgiModel::kStatic, 28);
+  double t1k = Throughput(CgiModel::kStatic, 1024);
+  double t10k = Throughput(CgiModel::kStatic, 10 * 1024);
+  double t100k = Throughput(CgiModel::kStatic, 100 * 1024);
+  EXPECT_GT(t28, t1k);
+  EXPECT_GT(t1k, t10k);
+  EXPECT_GT(t10k, t100k);
+}
+
+TEST_F(WebModelTest, CalibrationAnchorsNearPaper) {
+  // Within ~15% of the paper's absolute numbers for the static bound.
+  EXPECT_NEAR(Throughput(CgiModel::kStatic, 28), 460.0, 70.0);
+  EXPECT_NEAR(Throughput(CgiModel::kStatic, 100 * 1024), 57.0, 12.0);
+  EXPECT_NEAR(Throughput(CgiModel::kCgi, 28), 98.0, 25.0);
+  EXPECT_NEAR(Throughput(CgiModel::kFastCgi, 28), 193.0, 45.0);
+}
+
+TEST_F(WebModelTest, RequestCpuCyclesComposition) {
+  WebServerCosts c;
+  u64 st = RequestCpuCycles(CgiModel::kStatic, 1000, c);
+  u64 cgi = RequestCpuCycles(CgiModel::kCgi, 1000, c);
+  EXPECT_EQ(cgi - st, c.cgi_fork_exec_cycles + c.libcgi_script_cycles);
+  u64 prot = RequestCpuCycles(CgiModel::kLibCgiProtected, 1000, c);
+  u64 lib = RequestCpuCycles(CgiModel::kLibCgi, 1000, c);
+  EXPECT_EQ(prot - lib, c.libcgi_protected_call_cycles - c.libcgi_call_cycles +
+                            c.protected_per_request_cycles);
+}
+
+}  // namespace
+}  // namespace palladium
