@@ -13,8 +13,14 @@
 namespace palladium {
 namespace {
 
-void BM_SimulatorInstructionThroughput(benchmark::State& state) {
+// Steady-state simulated-instruction throughput. Runs twice: with the
+// decoded-page fetch fast path (the default) and with it disabled, which
+// recreates the pre-cache fetch loop (16 page-table translations plus a
+// fresh Insn::Decode per step). The ratio of the two sim_mips counters is
+// the decode-cache speedup.
+void RunThroughput(benchmark::State& state, bool decode_cache) {
   BareMachine bm;
+  bm.cpu().set_decode_cache_enabled(decode_cache);
   std::string diag;
   auto img = bm.LoadProgram(R"(
   .global main
@@ -37,14 +43,26 @@ loop:
   u64 insns = 0;
   for (auto _ : state) {
     bm.Start(*img->Lookup("main"), 0, 0x80000);
+    bm.cpu().set_cycles(0);  // Run()'s limit is on *cumulative* cycles
     u64 before = bm.cpu().instructions_retired();
     benchmark::DoNotOptimize(bm.Run(10'000'000));
     insns += bm.cpu().instructions_retired() - before;
   }
   state.counters["sim_insns_per_sec"] =
       benchmark::Counter(static_cast<double>(insns), benchmark::Counter::kIsRate);
+  state.counters["sim_mips"] = benchmark::Counter(
+      static_cast<double>(insns) / 1e6, benchmark::Counter::kIsRate);
+}
+
+void BM_SimulatorInstructionThroughput(benchmark::State& state) {
+  RunThroughput(state, /*decode_cache=*/true);
 }
 BENCHMARK(BM_SimulatorInstructionThroughput);
+
+void BM_SimulatorInstructionThroughputNoDecodeCache(benchmark::State& state) {
+  RunThroughput(state, /*decode_cache=*/false);
+}
+BENCHMARK(BM_SimulatorInstructionThroughputNoDecodeCache);
 
 void BM_AssembleFilter(benchmark::State& state) {
   std::string err;

@@ -40,7 +40,13 @@ Fault Ud(const char* detail) {
 }  // namespace
 
 Cpu::Cpu(PhysicalMemory& pm, DescriptorTable& gdt, DescriptorTable& idt, CycleModel model)
-    : pm_(pm), gdt_(gdt), idt_(idt), model_(model) {}
+    : pm_(pm), gdt_(gdt), idt_(idt), model_(model) {
+  // The decode cache must see every byte of physical memory change, whether
+  // it comes from a simulated store or from host-side kernel code.
+  pm_.set_write_observer(&dcache_);
+}
+
+Cpu::~Cpu() { pm_.set_write_observer(nullptr); }
 
 bool Cpu::LoadSegmentChecked(SegReg sr, Selector sel, Fault* fault) {
   LoadedSegment& target = segs_[static_cast<u8>(sr)];
@@ -130,7 +136,8 @@ void Cpu::RestoreContext(const CpuContext& ctx) {
   segs_ = ctx.segs;
 }
 
-bool Cpu::Translate(u32 linear, bool is_write, u32* phys, Fault* fault) {
+bool Cpu::Translate(u32 linear, bool is_write, u32* phys, Fault* fault, u32* flags_out,
+                    bool is_fetch) {
   const bool is_user = cpl_ == 3;
   u32 frame = 0, flags = 0;
   if (tlb_.Lookup(linear, &frame, &flags)) {
@@ -138,7 +145,8 @@ bool Cpu::Translate(u32 linear, bool is_write, u32* phys, Fault* fault) {
     if (is_user && !(flags & kPteUser)) {
       Fault f;
       f.vector = FaultVector::kPageFault;
-      f.error_code = kPfErrPresent | (is_write ? kPfErrWrite : 0) | kPfErrUser;
+      f.error_code = kPfErrPresent | (is_write ? kPfErrWrite : 0) | kPfErrUser |
+                     (is_fetch ? kPfErrFetch : 0);
       f.linear_address = linear;
       f.detail = "SPL 3 access to PPL 0 (supervisor) page";
       *fault = f;
@@ -154,7 +162,7 @@ bool Cpu::Translate(u32 linear, bool is_write, u32* phys, Fault* fault) {
       return false;
     }
   } else {
-    WalkResult wr = WalkPageTable(pm_, cr3_, linear, is_write, is_user);
+    WalkResult wr = WalkPageTable(pm_, cr3_, linear, is_write, is_user, is_fetch);
     cycles_ += model_.tlb_miss_penalty;
     if (!wr.ok) {
       *fault = wr.fault;
@@ -163,8 +171,10 @@ bool Cpu::Translate(u32 linear, bool is_write, u32* phys, Fault* fault) {
     SetAccessedDirty(pm_, cr3_, linear, is_write);
     tlb_.Insert(linear, wr.frame, wr.flags);
     frame = wr.frame;
+    flags = wr.flags;
   }
   *phys = frame | (linear & kPageMask);
+  if (flags_out != nullptr) *flags_out = flags;
   return true;
 }
 
@@ -270,18 +280,81 @@ LoadedSegment& Cpu::SegForOverride(SegOverride ov, bool base_is_stackish) {
   return segs_[static_cast<u8>(base_is_stackish ? SegReg::kSs : SegReg::kDs)];
 }
 
-bool Cpu::FetchInsn(Insn* insn, Fault* fault) {
+// An instruction fetch that reaches past the end of physical memory is a
+// translation-layer failure, not a protection violation: report it as a page
+// fault carrying the exact faulting linear address (the CR2 analogue), with
+// the present bit set so the kernel's demand-paging path does not try to map
+// it. The data path keeps its bus-error #GP. Like every fetch-induced page
+// fault (Translate is called with is_fetch), the error code carries the
+// I/D bit so handlers can tell instruction fetches from data accesses.
+Fault Cpu::FetchBusFault(u32 linear) const {
+  Fault f;
+  f.vector = FaultVector::kPageFault;
+  f.error_code = kPfErrPresent | (cpl_ == 3 ? kPfErrUser : 0) | kPfErrFetch;
+  f.linear_address = linear;
+  f.detail = "instruction fetch beyond physical memory";
+  return f;
+}
+
+bool Cpu::FetchFromSlot(u32 linear, const Insn** insn, Fault* fault) {
+  const DecodedInsn& slot = fetch_page_->slots[(linear & kPageMask) / kInsnSize];
+  switch (slot.state) {
+    case DecodedInsn::State::kDecoded:
+      *insn = &slot.insn;
+      return true;
+    case DecodedInsn::State::kUndecodable:
+      *fault = Ud("undecodable instruction");
+      return false;
+    case DecodedInsn::State::kBusError:
+      *fault = FetchBusFault(linear + slot.fault_offset);
+      return false;
+  }
+  *fault = Ud("undecodable instruction");
+  return false;
+}
+
+bool Cpu::FetchInsn(const Insn** insn, Fault* fault) {
   const LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
   if (!CheckSegmentAccess(cs, eip_, kInsnSize, /*is_write=*/false, /*is_stack=*/false, fault)) {
     return false;
   }
+  const u32 linear = cs.cache.base + eip_;
+
+  // Fast path: slot-aligned fetches (kInsnSize divides kPageSize, so they
+  // never cross a page) execute straight out of the decoded page image.
+  if (decode_cache_enabled_ && (linear & (kInsnSize - 1)) == 0) {
+    const u32 vpn = PageNumber(linear);
+    if (fetch_page_ != nullptr && vpn == fetch_vpn_ &&
+        fetch_tlb_change_ == tlb_.change_count() &&
+        fetch_dcache_gen_ == dcache_.generation() &&
+        !(cpl_ == 3 && !(fetch_flags_ & kPteUser))) {
+      return FetchFromSlot(linear, insn, fault);
+    }
+    // Refill: one translation pins the whole page. A fault here carries the
+    // instruction's linear address, which is also the first byte's.
+    u32 phys = 0, flags = 0;
+    if (!Translate(linear, /*is_write=*/false, &phys, fault, &flags, /*is_fetch=*/true)) {
+      return false;
+    }
+    fetch_page_ = dcache_.GetOrBuild(pm_, phys & ~kPageMask);
+    fetch_vpn_ = vpn;
+    fetch_flags_ = flags;
+    fetch_tlb_change_ = tlb_.change_count();
+    fetch_dcache_gen_ = dcache_.generation();
+    return FetchFromSlot(linear, insn, fault);
+  }
+
+  // Slow path: unaligned fetch (non-16-byte-aligned CS base), possibly
+  // crossing a page. Byte-at-a-time so a mid-instruction translation fault
+  // reports the exact faulting address.
   u8 raw[kInsnSize];
-  u32 linear = cs.cache.base + eip_;
   for (u32 i = 0; i < kInsnSize; ++i) {
     u32 phys = 0;
-    if (!Translate(linear + i, /*is_write=*/false, &phys, fault)) return false;
+    if (!Translate(linear + i, /*is_write=*/false, &phys, fault, nullptr, /*is_fetch=*/true)) {
+      return false;
+    }
     if (!pm_.Read8(phys, &raw[i])) {
-      *fault = Gp("instruction fetch beyond physical memory");
+      *fault = FetchBusFault(linear + i);
       return false;
     }
   }
@@ -290,7 +363,8 @@ bool Cpu::FetchInsn(Insn* insn, Fault* fault) {
     *fault = Ud("undecodable instruction");
     return false;
   }
-  *insn = *decoded;
+  fetch_scratch_ = *decoded;
+  *insn = &fetch_scratch_;
   return true;
 }
 
@@ -558,13 +632,17 @@ StopInfo Cpu::Run(u64 cycle_limit) {
 bool Cpu::StepOne(StopInfo* stop) {
   const u32 insn_eip = eip_;
   Fault fault;
-  Insn insn;
-  if (!FetchInsn(&insn, &fault)) {
+  const Insn* insn_p = nullptr;
+  if (!FetchInsn(&insn_p, &fault)) {
     eip_ = insn_eip;
     stop->reason = StopReason::kFault;
     stop->fault = fault;
     return false;
   }
+  // The storage behind insn_p (a decode-cache slot) outlives this
+  // instruction even if the instruction overwrites its own page: the cache
+  // retires invalidated pages and frees them only at the next fetch.
+  const Insn& insn = *insn_p;
   eip_ += kInsnSize;
   ++instructions_;
 

@@ -18,6 +18,7 @@
 #include "src/hw/segment.h"
 #include "src/hw/tlb.h"
 #include "src/hw/types.h"
+#include "src/isa/decode_cache.h"
 #include "src/isa/insn.h"
 
 namespace palladium {
@@ -114,6 +115,11 @@ class Cpu {
   u64 instructions_retired() const { return instructions_; }
   const Tlb::Stats& tlb_stats() const { return tlb_.stats(); }
   Tlb& tlb() { return tlb_; }
+  DecodeCache& decode_cache() { return dcache_; }
+  // Disables the decoded-page fetch fast path (every fetch translates all 16
+  // instruction bytes and re-decodes). Exists so benches can measure the
+  // pre-cache baseline; correctness is identical either way.
+  void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
   const CycleModel& cycle_model() const { return model_; }
   void set_cycle_model(const CycleModel& m) { model_ = m; }
 
@@ -136,6 +142,8 @@ class Cpu {
   bool ReadVirt(SegReg sr, u32 offset, u32 size, u32* out, Fault* fault);
   bool WriteVirt(SegReg sr, u32 offset, u32 size, u32 value, Fault* fault);
 
+  ~Cpu();
+
  private:
   friend class CpuTestPeer;
 
@@ -152,8 +160,11 @@ class Cpu {
   // One instruction. Returns false when execution must stop (*stop filled).
   bool StepOne(StopInfo* stop);
 
-  // Address translation: linear -> physical with paging + TLB.
-  bool Translate(u32 linear, bool is_write, u32* phys, Fault* fault);
+  // Address translation: linear -> physical with paging + TLB. `flags_out`
+  // (optional) receives the effective PTE flags of the translation;
+  // `is_fetch` marks instruction fetches so page faults carry the I/D bit.
+  bool Translate(u32 linear, bool is_write, u32* phys, Fault* fault,
+                 u32* flags_out = nullptr, bool is_fetch = false);
 
   // Segment-checked access path. `is_exec` marks instruction fetches.
   bool CheckSegmentAccess(const LoadedSegment& seg, u32 offset, u32 size, bool is_write,
@@ -173,7 +184,12 @@ class Cpu {
   bool DoInt(u8 vector, bool software, Fault* fault);
   bool DoIret(Fault* fault);
 
-  bool FetchInsn(Insn* insn, Fault* fault);
+  // Fetches the instruction at CS:EIP. On success *insn points at storage
+  // owned by the CPU (a decode-cache slot or fetch_scratch_) that stays
+  // valid for the duration of the current instruction.
+  bool FetchInsn(const Insn** insn, Fault* fault);
+  bool FetchFromSlot(u32 linear, const Insn** insn, Fault* fault);
+  Fault FetchBusFault(u32 linear) const;
 
   PhysicalMemory& pm_;
   DescriptorTable& gdt_;
@@ -193,6 +209,22 @@ class Cpu {
   u64 instructions_ = 0;
   u32 host_base_ = 0;
   u32 host_size_ = 0;
+
+  // --- Instruction fetch fast path -----------------------------------------
+  // Decoded pages keyed by physical frame, shared across address spaces.
+  DecodeCache dcache_;
+  bool decode_cache_enabled_ = true;
+  // One-entry fetch TLB pinning (linear page -> decoded physical page). An
+  // entry is live only while both generation tags still match; TLB flushes
+  // (CR3 load, INVLPG) and decode-cache invalidations (self-modifying code)
+  // each kill it in O(1) by bumping their counter.
+  u32 fetch_vpn_ = 0;
+  u32 fetch_flags_ = 0;
+  const DecodeCache::Page* fetch_page_ = nullptr;
+  u64 fetch_tlb_change_ = ~0ull;
+  u64 fetch_dcache_gen_ = ~0ull;
+  // Slow-path decode target (unaligned / page-crossing fetches).
+  Insn fetch_scratch_;
 };
 
 }  // namespace palladium

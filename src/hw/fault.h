@@ -25,6 +25,7 @@ enum class FaultVector : u8 {
 inline constexpr u32 kPfErrPresent = 1u << 0;  // 0: not-present page, 1: protection
 inline constexpr u32 kPfErrWrite = 1u << 1;    // access was a write
 inline constexpr u32 kPfErrUser = 1u << 2;     // access originated at CPL 3
+inline constexpr u32 kPfErrFetch = 1u << 4;    // instruction fetch (the I/D bit)
 
 struct Fault {
   FaultVector vector = FaultVector::kGeneralProtection;

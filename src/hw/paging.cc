@@ -4,11 +4,12 @@ namespace palladium {
 
 namespace {
 
-Fault MakePageFault(u32 linear, bool present, bool is_write, bool is_user, const char* detail) {
+Fault MakePageFault(u32 linear, bool present, bool is_write, bool is_user, bool is_fetch,
+                    const char* detail) {
   Fault f;
   f.vector = FaultVector::kPageFault;
   f.error_code = (present ? kPfErrPresent : 0) | (is_write ? kPfErrWrite : 0) |
-                 (is_user ? kPfErrUser : 0);
+                 (is_user ? kPfErrUser : 0) | (is_fetch ? kPfErrFetch : 0);
   f.linear_address = linear;
   f.detail = detail;
   return f;
@@ -17,39 +18,39 @@ Fault MakePageFault(u32 linear, bool present, bool is_write, bool is_user, const
 }  // namespace
 
 WalkResult WalkPageTable(const PhysicalMemory& pm, u32 cr3, u32 linear, bool is_write,
-                         bool is_user) {
+                         bool is_user, bool is_fetch) {
   WalkResult r;
   u32 pde = 0;
   r.accesses = 1;
   if (!pm.Read32(cr3 + PdeIndex(linear) * 4, &pde)) {
-    r.fault = MakePageFault(linear, false, is_write, is_user, "page directory out of range");
+    r.fault = MakePageFault(linear, false, is_write, is_user, is_fetch, "page directory out of range");
     return r;
   }
   if (!(pde & kPtePresent)) {
-    r.fault = MakePageFault(linear, false, is_write, is_user, "PDE not present");
+    r.fault = MakePageFault(linear, false, is_write, is_user, is_fetch, "PDE not present");
     return r;
   }
   u32 pte = 0;
   r.accesses = 2;
   if (!pm.Read32((pde & kPteFrameMask) + PteIndex(linear) * 4, &pte)) {
-    r.fault = MakePageFault(linear, false, is_write, is_user, "page table out of range");
+    r.fault = MakePageFault(linear, false, is_write, is_user, is_fetch, "page table out of range");
     return r;
   }
   if (!(pte & kPtePresent)) {
-    r.fault = MakePageFault(linear, false, is_write, is_user, "PTE not present");
+    r.fault = MakePageFault(linear, false, is_write, is_user, is_fetch, "PTE not present");
     return r;
   }
   // Effective permissions are the AND of PDE and PTE bits.
   u32 eff = pte & pde & (kPteWrite | kPteUser);
   if (is_user && !(eff & kPteUser)) {
-    r.fault = MakePageFault(linear, true, is_write, is_user,
+    r.fault = MakePageFault(linear, true, is_write, is_user, is_fetch,
                             "SPL 3 access to PPL 0 (supervisor) page");
     return r;
   }
   // No CR0.WP: supervisor writes ignore the R/W bit (386 / Linux 2.0 era),
   // which the paper's SPL 2 application relies on for its own pages.
   if (is_user && is_write && !(eff & kPteWrite)) {
-    r.fault = MakePageFault(linear, true, is_write, is_user, "write to read-only page");
+    r.fault = MakePageFault(linear, true, is_write, is_user, is_fetch, "write to read-only page");
     return r;
   }
   r.ok = true;
@@ -77,7 +78,9 @@ bool PageTableEditor::GetPte(u32 linear, u32* out) const {
 bool PageTableEditor::SetPte(u32 linear, u32 pte) {
   u32 pde = 0;
   if (!pm_.Read32(cr3_ + PdeIndex(linear) * 4, &pde) || !(pde & kPtePresent)) return false;
-  return pm_.Write32((pde & kPteFrameMask) + PteIndex(linear) * 4, pte);
+  if (!pm_.Write32((pde & kPteFrameMask) + PteIndex(linear) * 4, pte)) return false;
+  Invalidate(linear);
+  return true;
 }
 
 bool PageTableEditor::Unmap(u32 linear) { return SetPte(linear, 0); }

@@ -4,6 +4,9 @@
 #ifndef SRC_HW_PAGING_H_
 #define SRC_HW_PAGING_H_
 
+#include <functional>
+#include <utility>
+
 #include "src/hw/fault.h"
 #include "src/hw/physical_memory.h"
 #include "src/hw/types.h"
@@ -36,9 +39,10 @@ struct WalkResult {
 
 // Walks the two-level table rooted at `cr3`. `is_write` / `is_user` describe
 // the access being translated; `is_user` is true only for CPL 3, matching the
-// hardware rule that SPL 0–2 code accesses pages as supervisor.
+// hardware rule that SPL 0–2 code accesses pages as supervisor. `is_fetch`
+// marks instruction fetches so the fault's I/D bit is reported faithfully.
 WalkResult WalkPageTable(const PhysicalMemory& pm, u32 cr3, u32 linear, bool is_write,
-                         bool is_user);
+                         bool is_user, bool is_fetch = false);
 
 // Sets the Accessed/Dirty bits the way the MMU would. Returns false if the
 // mapping vanished (caller bug).
@@ -46,9 +50,17 @@ bool SetAccessedDirty(PhysicalMemory& pm, u32 cr3, u32 linear, bool dirty);
 
 // Host-side page-table editing helpers used by the kernel model. These are
 // "kernel software", not hardware, and charge no cycles themselves.
+//
+// An editor can carry an invalidation hook that fires with the linear
+// address of every mapping it changes — the kernel wires it to the CPU's
+// INVLPG analogue (Tlb::FlushPage), so no PTE edit can leave a stale entry
+// in either the data TLB or the instruction-fetch fast path.
 class PageTableEditor {
  public:
-  PageTableEditor(PhysicalMemory& pm, u32 cr3) : pm_(pm), cr3_(cr3) {}
+  using InvalidateFn = std::function<void(u32 linear)>;
+
+  PageTableEditor(PhysicalMemory& pm, u32 cr3, InvalidateFn invalidate = nullptr)
+      : pm_(pm), cr3_(cr3), invalidate_(std::move(invalidate)) {}
 
   // Reads the raw PTE for `linear`; returns false if no page table is present.
   bool GetPte(u32 linear, u32* out) const;
@@ -68,7 +80,11 @@ class PageTableEditor {
       pde = MakePte(table, kPtePresent | kPteWrite | kPteUser);
       if (!pm_.Write32(cr3_ + PdeIndex(linear) * 4, pde)) return false;
     }
-    return pm_.Write32((pde & kPteFrameMask) + PteIndex(linear) * 4, MakePte(frame, flags));
+    if (!pm_.Write32((pde & kPteFrameMask) + PteIndex(linear) * 4, MakePte(frame, flags))) {
+      return false;
+    }
+    Invalidate(linear);
+    return true;
   }
 
   bool Unmap(u32 linear);
@@ -77,8 +93,13 @@ class PageTableEditor {
   bool UpdateFlags(u32 linear, u32 set_bits, u32 clear_bits);
 
  private:
+  void Invalidate(u32 linear) {
+    if (invalidate_) invalidate_(linear);
+  }
+
   PhysicalMemory& pm_;
   u32 cr3_;
+  InvalidateFn invalidate_;
 };
 
 }  // namespace palladium

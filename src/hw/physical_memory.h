@@ -11,9 +11,21 @@ namespace palladium {
 
 class PhysicalMemory {
  public:
+  // Notified after every successful mutation of physical memory, with the
+  // first byte address and the length. The CPU's decode cache registers one
+  // so self-modifying code is caught no matter who performs the write:
+  // simulated stores, kernel copy-in, image loaders, or frame zeroing.
+  class WriteObserver {
+   public:
+    virtual ~WriteObserver() = default;
+    virtual void OnPhysicalWrite(u32 addr, u32 len) = 0;
+  };
+
   explicit PhysicalMemory(u32 size_bytes) : bytes_(size_bytes, 0) {}
 
   u32 size() const { return static_cast<u32>(bytes_.size()); }
+
+  void set_write_observer(WriteObserver* observer) { observer_ = observer; }
 
   bool Contains(u32 addr, u32 len) const {
     return addr < bytes_.size() && len <= bytes_.size() - addr;
@@ -40,16 +52,19 @@ class PhysicalMemory {
   bool Write8(u32 addr, u8 v) {
     if (!Contains(addr, 1)) return false;
     bytes_[addr] = v;
+    Notify(addr, 1);
     return true;
   }
   bool Write16(u32 addr, u16 v) {
     if (!Contains(addr, 2)) return false;
     std::memcpy(&bytes_[addr], &v, 2);
+    Notify(addr, 2);
     return true;
   }
   bool Write32(u32 addr, u32 v) {
     if (!Contains(addr, 4)) return false;
     std::memcpy(&bytes_[addr], &v, 4);
+    Notify(addr, 4);
     return true;
   }
 
@@ -62,16 +77,23 @@ class PhysicalMemory {
   bool WriteBlock(u32 addr, const void* src, u32 len) {
     if (!Contains(addr, len)) return false;
     std::memcpy(&bytes_[addr], src, len);
+    Notify(addr, len);
     return true;
   }
   bool Fill(u32 addr, u8 value, u32 len) {
     if (!Contains(addr, len)) return false;
     std::memset(&bytes_[addr], value, len);
+    Notify(addr, len);
     return true;
   }
 
  private:
+  void Notify(u32 addr, u32 len) {
+    if (observer_ != nullptr) observer_->OnPhysicalWrite(addr, len);
+  }
+
   std::vector<u8> bytes_;
+  WriteObserver* observer_ = nullptr;
 };
 
 }  // namespace palladium

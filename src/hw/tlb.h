@@ -1,5 +1,12 @@
 // A small direct-mapped TLB. Flushed on CR3 load, exactly like the hardware
 // the paper describes ("automatically flushed on task switch").
+//
+// Entries are validated against a flush generation instead of a per-entry
+// valid bit, so Flush() is O(1): it bumps the generation and every stale
+// entry misses on its next lookup. A separate change counter ticks on every
+// Flush *and* FlushPage; the CPU's one-entry fetch TLB revalidates against
+// it, which makes all the kernel's invalidation hooks (CR3 switch, PTE edit,
+// INVLPG analogue) propagate to the instruction fast path for free.
 #ifndef SRC_HW_TLB_H_
 #define SRC_HW_TLB_H_
 
@@ -14,7 +21,7 @@ class Tlb {
   static constexpr u32 kEntries = 64;
 
   struct Entry {
-    bool valid = false;
+    u64 gen = 0;    // valid iff gen == current flush generation (gen 0 = never)
     u32 vpn = 0;    // virtual page number
     u32 frame = 0;  // physical frame base
     u32 flags = 0;  // effective PTE flags
@@ -29,7 +36,7 @@ class Tlb {
   bool Lookup(u32 linear, u32* frame, u32* flags) {
     const u32 vpn = PageNumber(linear);
     Entry& e = entries_[vpn % kEntries];
-    if (e.valid && e.vpn == vpn) {
+    if (e.gen == gen_ && e.vpn == vpn) {
       ++stats_.hits;
       *frame = e.frame;
       *flags = e.flags;
@@ -41,11 +48,13 @@ class Tlb {
 
   void Insert(u32 linear, u32 frame, u32 flags) {
     const u32 vpn = PageNumber(linear);
-    entries_[vpn % kEntries] = Entry{true, vpn, frame, flags};
+    entries_[vpn % kEntries] = Entry{gen_, vpn, frame, flags};
   }
 
+  // O(1): stale entries are recognised by their generation tag.
   void Flush() {
-    for (Entry& e : entries_) e.valid = false;
+    ++gen_;
+    ++change_count_;
     ++stats_.flushes;
   }
 
@@ -53,13 +62,21 @@ class Tlb {
   void FlushPage(u32 linear) {
     const u32 vpn = PageNumber(linear);
     Entry& e = entries_[vpn % kEntries];
-    if (e.valid && e.vpn == vpn) e.valid = false;
+    if (e.gen == gen_ && e.vpn == vpn) e.gen = 0;
+    ++change_count_;
   }
+
+  // Monotonic counter covering every invalidation event (full flushes and
+  // single-page flushes alike). Consumers caching translations outside the
+  // TLB compare it to detect that their copy may be stale.
+  u64 change_count() const { return change_count_; }
 
   const Stats& stats() const { return stats_; }
 
  private:
   std::array<Entry, kEntries> entries_{};
+  u64 gen_ = 1;  // starts above the entries' default tag of 0
+  u64 change_count_ = 0;
   Stats stats_;
 };
 

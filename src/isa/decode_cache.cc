@@ -1,0 +1,77 @@
+#include "src/isa/decode_cache.h"
+
+#include <algorithm>
+
+namespace palladium {
+
+const DecodeCache::Page* DecodeCache::GetOrBuild(const PhysicalMemory& pm, u32 frame) {
+  // Safe point: no decoded instruction is mid-execution while the CPU is
+  // fetching, so pages retired by earlier invalidations can really be freed.
+  retired_.clear();
+
+  const u32 pfn = PageNumber(frame);
+  auto it = pages_.find(pfn);
+  if (it != pages_.end()) return it->second.get();
+
+  if (pages_.size() >= kMaxPages) {
+    for (auto& entry : pages_) {
+      retired_.push_back(std::move(entry.second));
+      ++stats_.evictions;
+    }
+    pages_.clear();
+    std::fill(has_code_.begin(), has_code_.end(), 0);
+    ++generation_;
+  }
+
+  auto page = std::make_unique<Page>();
+  for (u32 slot = 0; slot < kSlotsPerPage; ++slot) {
+    DecodedInsn& d = page->slots[slot];
+    const u32 phys = frame + slot * kInsnSize;
+    if (!pm.Contains(phys, kInsnSize)) {
+      d.state = DecodedInsn::State::kBusError;
+      d.fault_offset = static_cast<u8>(pm.size() > phys ? pm.size() - phys : 0);
+      continue;
+    }
+    u8 raw[kInsnSize];
+    pm.ReadBlock(phys, raw, kInsnSize);
+    auto decoded = Insn::Decode(raw);
+    if (decoded) {
+      d.state = DecodedInsn::State::kDecoded;
+      d.insn = *decoded;
+    } else {
+      d.state = DecodedInsn::State::kUndecodable;
+    }
+  }
+  ++stats_.builds;
+  if (has_code_.size() <= pfn) has_code_.resize(pfn + 1, 0);
+  has_code_[pfn] = 1;
+  const Page* raw_page = page.get();
+  pages_.emplace(pfn, std::move(page));
+  return raw_page;
+}
+
+void DecodeCache::Retire(u32 pfn) {
+  auto it = pages_.find(pfn);
+  if (it == pages_.end()) return;
+  retired_.push_back(std::move(it->second));
+  pages_.erase(it);
+  has_code_[pfn] = 0;
+  ++generation_;
+  ++stats_.write_invalidations;
+}
+
+void DecodeCache::OnPhysicalWrite(u32 addr, u32 len) {
+  if (len == 0) return;
+  const u32 first = PageNumber(addr);
+  const u32 last = PageNumber(addr + len - 1);
+  for (u32 pfn = first; pfn <= last; ++pfn) {
+    if (pfn < has_code_.size() && has_code_[pfn] != 0) Retire(pfn);
+  }
+}
+
+void DecodeCache::EvictFrame(u32 frame) {
+  const u32 pfn = PageNumber(frame);
+  if (pfn < has_code_.size() && has_code_[pfn] != 0) Retire(pfn);
+}
+
+}  // namespace palladium

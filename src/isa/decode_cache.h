@@ -1,0 +1,93 @@
+// Decoded-instruction cache: decode once per physical page, execute many
+// times. This is the standard ISS fast path (libriscv's decoder cache,
+// riscv-vp++'s DBB cache): instead of re-walking the page tables for all 16
+// instruction bytes and re-running Insn::Decode on every step, the CPU
+// translates CS:EIP once per page and indexes into a pre-decoded image of
+// that *physical* page.
+//
+// Keying by physical page means entries stay valid across CR3 switches (all
+// processes mapping the same text frame share one decoded image) and that
+// correctness reduces to one rule: whenever the bytes of a physical page
+// change, its decoded image dies. The cache learns about byte changes by
+// registering as the PhysicalMemory write observer, which covers simulated
+// stores (self-modifying code), kernel copy-in, loaders, and frame zeroing
+// on reallocation. Linear-mapping changes (PTE edits, CR3 loads) are the
+// TLB's problem; the CPU revalidates its fetch TLB against Tlb::change_count.
+#ifndef SRC_ISA_DECODE_CACHE_H_
+#define SRC_ISA_DECODE_CACHE_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/physical_memory.h"
+#include "src/hw/types.h"
+#include "src/isa/insn.h"
+
+namespace palladium {
+
+// One fetch-aligned 16-byte slot of a decoded page.
+struct DecodedInsn {
+  enum class State : u8 {
+    kDecoded,      // insn holds the decoded instruction
+    kUndecodable,  // bytes do not decode; executing here is #UD
+    kBusError,     // slot extends past physical memory; fault_offset is the
+                   // offset of the first out-of-range byte within the slot
+  };
+  State state = State::kUndecodable;
+  u8 fault_offset = 0;
+  Insn insn;
+};
+
+class DecodeCache : public PhysicalMemory::WriteObserver {
+ public:
+  static constexpr u32 kSlotsPerPage = kPageSize / kInsnSize;
+  // Above this many cached pages the whole cache is retired; a runaway
+  // working set (pathological for a 32-bit guest) cannot exhaust host memory.
+  static constexpr u32 kMaxPages = 1024;
+
+  struct Page {
+    std::array<DecodedInsn, kSlotsPerPage> slots;
+  };
+
+  struct Stats {
+    u64 builds = 0;              // pages decoded
+    u64 write_invalidations = 0; // pages killed by a write to their bytes
+    u64 evictions = 0;           // pages dropped by the capacity cap
+  };
+
+  // Returns the decoded image of the page at physical `frame` (page-aligned),
+  // building it on first use. The pointer stays valid until the *next* call
+  // to GetOrBuild — invalidated pages are retired, not freed, so an
+  // instruction that modifies its own page keeps a live decode of itself
+  // until the CPU fetches again.
+  const Page* GetOrBuild(const PhysicalMemory& pm, u32 frame);
+
+  // PhysicalMemory::WriteObserver: kills the decoded image of every page the
+  // write touches. O(1) per untracked page (a bitmap probe).
+  void OnPhysicalWrite(u32 addr, u32 len) override;
+
+  // Explicit eviction for a frame being repurposed (e.g. freed back to the
+  // kernel's frame allocator).
+  void EvictFrame(u32 frame);
+
+  // Bumped whenever any cached page dies; consumers holding a Page* compare
+  // generations before dereferencing.
+  u64 generation() const { return generation_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Retire(u32 pfn);
+
+  std::unordered_map<u32, std::unique_ptr<Page>> pages_;  // keyed by pfn
+  std::vector<std::unique_ptr<Page>> retired_;  // freed on next GetOrBuild
+  std::vector<u8> has_code_;                    // pfn -> has a live entry
+  u64 generation_ = 0;
+  Stats stats_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_ISA_DECODE_CACHE_H_

@@ -102,9 +102,18 @@ bool Kernel::BuildAddressSpace(Process& proc) {
   return true;
 }
 
+PageTableEditor Kernel::Editor(u32 cr3) {
+  return PageTableEditor(machine_.pm(), cr3,
+                         [this](u32 linear) { cpu().tlb().FlushPage(linear); });
+}
+
 void Kernel::ReleaseAddressSpace(Process& proc) {
-  // Frees user page tables and frames (kernel tables are shared).
+  // Frees user page tables and frames (kernel tables are shared). Freed
+  // frames are evicted from the decode cache so a stale decoded image
+  // cannot linger across frame reuse, and the fetch fast path is dropped
+  // with the address space.
   PhysicalMemory& pm = machine_.pm();
+  DecodeCache& dcache = cpu().decode_cache();
   for (u32 pde_idx = 0; pde_idx < PdeIndex(kKernelBase); ++pde_idx) {
     u32 pde = 0;
     pm.Read32(proc.cr3 + pde_idx * 4, &pde);
@@ -113,7 +122,10 @@ void Kernel::ReleaseAddressSpace(Process& proc) {
     for (u32 i = 0; i < kPtesPerTable; ++i) {
       u32 pte = 0;
       pm.Read32(table + i * 4, &pte);
-      if (pte & kPtePresent) frames_.Free(pte & kPteFrameMask);
+      if (pte & kPtePresent) {
+        dcache.EvictFrame(pte & kPteFrameMask);
+        frames_.Free(pte & kPteFrameMask);
+      }
     }
     frames_.Free(table);
     pm.Write32(proc.cr3 + pde_idx * 4, 0);
@@ -150,7 +162,7 @@ bool Kernel::MapUserPage(Process& proc, u32 linear, const VmArea& area) {
     ppl1 = false;
   }
   u32 flags = kPtePresent | (writable ? kPteWrite : 0) | (ppl1 ? kPteUser : 0);
-  PageTableEditor ed(machine_.pm(), proc.cr3);
+  PageTableEditor ed = Editor(proc.cr3);
   return ed.Map(linear, frame, flags, [this] { return frames_.Alloc(); });
 }
 
@@ -210,18 +222,14 @@ bool Kernel::CopyFromUser(Process& proc, u32 linear, void* dst, u32 len) {
 }
 
 bool Kernel::SetPageUserBit(Process& proc, u32 linear, bool user) {
-  PageTableEditor ed(machine_.pm(), proc.cr3);
-  bool ok = user ? ed.UpdateFlags(linear, kPteUser, 0) : ed.UpdateFlags(linear, 0, kPteUser);
-  if (ok) cpu().tlb().FlushPage(linear);
-  return ok;
+  // Invalidation rides on the editor hook.
+  PageTableEditor ed = Editor(proc.cr3);
+  return user ? ed.UpdateFlags(linear, kPteUser, 0) : ed.UpdateFlags(linear, 0, kPteUser);
 }
 
 bool Kernel::SetPageWritable(Process& proc, u32 linear, bool writable) {
-  PageTableEditor ed(machine_.pm(), proc.cr3);
-  bool ok =
-      writable ? ed.UpdateFlags(linear, kPteWrite, 0) : ed.UpdateFlags(linear, 0, kPteWrite);
-  if (ok) cpu().tlb().FlushPage(linear);
-  return ok;
+  PageTableEditor ed = Editor(proc.cr3);
+  return writable ? ed.UpdateFlags(linear, kPteWrite, 0) : ed.UpdateFlags(linear, 0, kPteWrite);
 }
 
 std::optional<u32> Kernel::GetPte(Process& proc, u32 linear) {
@@ -278,13 +286,12 @@ u32 Kernel::MapKernelPage(u32 linear, bool user_bit) {
   if (linear < kKernelBase) return 0;
   u32 frame = frames_.Alloc();
   if (frame == 0) return 0;
-  PageTableEditor ed(machine_.pm(), kernel_page_dir_template_);
+  PageTableEditor ed = Editor(kernel_page_dir_template_);
   u32 flags = kPtePresent | kPteWrite | (user_bit ? kPteUser : 0);
   if (!ed.Map(linear, frame, flags, [] { return 0u; })) {
     frames_.Free(frame);
     return 0;
   }
-  cpu().tlb().FlushPage(linear);
   return frame;
 }
 
@@ -662,7 +669,7 @@ void Kernel::HandleFault(const StopInfo& stop) {
     const bool want_write = (fault.error_code & kPfErrWrite) != 0;
     if (area != nullptr && (!want_write || (area->prot & kProtWrite) != 0)) {
       if (MapUserPage(proc, fault.linear_address, *area)) {
-        cpu().tlb().FlushPage(fault.linear_address);
+        // MapUserPage's editor hook already flushed the page's TLB entry.
         Charge(config_.costs.page_fault_service);
         return;  // retry the faulting instruction
       }
@@ -812,13 +819,13 @@ void Kernel::SysMmap(u32 addr, u32 len, u32 prot) {
 bool Kernel::UnmapArea(Process& proc, u32 start, u32 end) {
   for (auto it = proc.areas.begin(); it != proc.areas.end(); ++it) {
     if (it->start == start && it->end == end) {
-      PageTableEditor ed(machine_.pm(), proc.cr3);
+      PageTableEditor ed = Editor(proc.cr3);
       for (u32 a = start; a < end; a += kPageSize) {
         u32 pte = 0;
         if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
+          cpu().decode_cache().EvictFrame(pte & kPteFrameMask);
           frames_.Free(pte & kPteFrameMask);
           ed.Unmap(a);
-          cpu().tlb().FlushPage(a);
         }
       }
       proc.areas.erase(it);
@@ -854,7 +861,7 @@ void Kernel::SysMprotect(u32 addr, u32 len, u32 prot) {
     return;
   }
   area->prot = prot;
-  PageTableEditor ed(machine_.pm(), proc.cr3);
+  PageTableEditor ed = Editor(proc.cr3);
   for (u32 a = start; a < end; a += kPageSize) {
     u32 pte = 0;
     if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
@@ -863,7 +870,6 @@ void Kernel::SysMprotect(u32 addr, u32 len, u32 prot) {
       } else {
         ed.UpdateFlags(a, 0, kPteWrite);
       }
-      cpu().tlb().FlushPage(a);
     }
   }
   ReturnFromGate(0);
@@ -912,8 +918,8 @@ void Kernel::SysFork() {
   child.signals.handlers = parent.signals.handlers;
 
   PhysicalMemory& pm = machine_.pm();
-  PageTableEditor ped(pm, parent.cr3);
-  PageTableEditor ced(pm, child.cr3);
+  PageTableEditor ped(pm, parent.cr3);  // read-only walks, no hook needed
+  PageTableEditor ced = Editor(child.cr3);
   u32 copied_pages = 0;
   for (const VmArea& area : parent.areas) {
     for (u32 a = area.start; a < area.end; a += kPageSize) {
@@ -972,7 +978,7 @@ void Kernel::SysInitPL() {
 
   // Mark every already-mapped writable page PPL 0 (Section 4.4.1) and count
   // the work for the cycle model.
-  PageTableEditor ed(machine_.pm(), proc.cr3);
+  PageTableEditor ed = Editor(proc.cr3);
   u32 marked = 0;
   for (const VmArea& area : proc.areas) {
     if (!(area.prot & kProtWrite) || area.shared_ppl1) continue;

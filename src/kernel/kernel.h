@@ -16,6 +16,7 @@
 
 #include "src/asm/object_file.h"
 #include "src/hw/machine.h"
+#include "src/hw/paging.h"
 #include "src/kernel/abi.h"
 #include "src/kernel/page_alloc.h"
 #include "src/kernel/process.h"
@@ -186,6 +187,12 @@ class Kernel {
   void InstallSignalTrampoline(Process& proc);
   bool BuildAddressSpace(Process& proc);
   void ReleaseAddressSpace(Process& proc);
+
+  // Page-table editor wired to the CPU's invalidation hook: every mapping
+  // edit flushes that page's TLB entry, which also kills the instruction
+  // fetch fast path (Tlb::change_count). Use this, not a raw
+  // PageTableEditor, for any edit while the machine is live.
+  PageTableEditor Editor(u32 cr3);
 
   Machine& machine_;
   Config config_;

@@ -1,0 +1,217 @@
+// Decoded-instruction cache tests: self-modifying code through simulated
+// stores and host writes, kernel-style page remaps, fetch-fault fidelity,
+// and cache reuse. These pin down the invalidation contract of the fetch
+// fast path: stale decodes must never execute, and fetch faults must carry
+// the exact faulting linear address.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/asm/assembler.h"
+#include "src/hw/bare_machine.h"
+#include "src/hw/paging.h"
+
+namespace palladium {
+namespace {
+
+constexpr u32 kCodeBase = 0x10000;
+constexpr u32 kStackTop = 0x80000;
+
+StopInfo RunProgram(BareMachine& bm, const std::string& source, u8 cpl = 0,
+                    const char* entry = "main") {
+  std::string diag;
+  auto img = bm.LoadProgram(source, kCodeBase, &diag);
+  EXPECT_TRUE(img.has_value()) << diag;
+  if (!img) return StopInfo{};
+  auto addr = img->Lookup(entry);
+  EXPECT_TRUE(addr.has_value()) << "no symbol " << entry;
+  bm.Start(*addr, cpl, kStackTop);
+  return bm.Run(10'000'000);
+}
+
+// The four 32-bit little-endian words of an encoded instruction, as `sti`
+// immediates a simulated program can use to patch its own code.
+std::array<u32, 4> InsnWords(const Insn& insn) {
+  u8 raw[kInsnSize];
+  insn.EncodeTo(raw);
+  std::array<u32, 4> words{};
+  std::memcpy(words.data(), raw, kInsnSize);
+  return words;
+}
+
+// A program that executes its page (decoding it whole), then overwrites the
+// instruction at `target` with `mov $42, %eax` via plain data stores, then
+// falls through into the patched instruction. With a stale decode the run
+// ends with EAX = 1; with correct invalidation it ends with EAX = 42.
+TEST(DecodeCache, SelfModifyingStoreExecutesNewCode) {
+  Insn patch;
+  patch.opcode = Opcode::kMovRI;
+  patch.r1 = static_cast<u8>(Reg::kEax);
+  patch.imm = 42;
+  const auto w = InsnWords(patch);
+  // Layout: slots 0-4 are mov+4 stores, so `target` sits at slot 5.
+  const u32 target = kCodeBase + 5 * kInsnSize;
+  char src[512];
+  std::snprintf(src, sizeof(src), R"(
+  .global main
+main:
+  mov $0x%x, %%ebx
+  sti $0x%x, 0(%%ebx)
+  sti $0x%x, 4(%%ebx)
+  sti $0x%x, 8(%%ebx)
+  sti $0x%x, 12(%%ebx)
+target:
+  mov $1, %%eax
+  hlt
+)",
+                target, w[0], w[1], w[2], w[3]);
+
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, src);
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 42u);
+  const auto& stats = bm.cpu().decode_cache().stats();
+  EXPECT_GE(stats.write_invalidations, 1u);  // the stores killed the page
+  EXPECT_GE(stats.builds, 2u);               // ... and it was re-decoded
+}
+
+// Host-side writes (kernel copy-in, loaders) must invalidate too.
+TEST(DecodeCache, HostWriteInvalidatesDecodedPage) {
+  BareMachine bm;
+  std::string diag;
+  auto img = bm.LoadProgram(R"(
+  .global main
+main:
+  mov $1, %eax
+  hlt
+)",
+                            kCodeBase, &diag);
+  ASSERT_TRUE(img.has_value()) << diag;
+  const u32 main_addr = *img->Lookup("main");
+
+  bm.Start(main_addr, 0, kStackTop);
+  ASSERT_EQ(bm.Run(10'000'000).reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 1u);
+
+  Insn patch;
+  patch.opcode = Opcode::kMovRI;
+  patch.r1 = static_cast<u8>(Reg::kEax);
+  patch.imm = 2;
+  u8 raw[kInsnSize];
+  patch.EncodeTo(raw);
+  ASSERT_TRUE(bm.pm().WriteBlock(main_addr, raw, kInsnSize));
+
+  bm.Start(main_addr, 0, kStackTop);
+  ASSERT_EQ(bm.Run(10'000'000).reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 2u);
+}
+
+// Kernel-style page remap: the same linear page is re-pointed at a different
+// physical frame holding different code. The PTE edit (through the editor's
+// invalidation hook, the kernel's INVLPG analogue) must drop the pinned
+// fetch mapping; the decode of the *new* frame takes over.
+TEST(DecodeCache, KernelRemapExecutesNewCode) {
+  BareMachine bm;
+  StopInfo stop = RunProgram(bm, R"(
+  .global main
+main:
+  mov $1, %eax
+  hlt
+)");
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 1u);
+
+  // Build the replacement code, linked for linear kCodeBase but living in a
+  // different physical frame.
+  const u32 alt_frame = 0x30000;
+  std::string diag;
+  auto alt = AssembleAndLink(R"(
+  .global main
+main:
+  mov $2, %eax
+  hlt
+)",
+                             kCodeBase, {}, &diag);
+  ASSERT_TRUE(alt.has_value()) << diag;
+  ASSERT_TRUE(bm.pm().WriteBlock(alt_frame, alt->bytes.data(),
+                                 static_cast<u32>(alt->bytes.size())));
+
+  PageTableEditor ed(bm.pm(), bm.cpu().cr3(),
+                     [&](u32 linear) { bm.cpu().tlb().FlushPage(linear); });
+  ASSERT_TRUE(ed.SetPte(kCodeBase, MakePte(alt_frame, kPtePresent | kPteWrite | kPteUser)));
+
+  bm.Start(kCodeBase, 0, kStackTop);
+  ASSERT_EQ(bm.Run(10'000'000).reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 2u);
+}
+
+// A present PTE pointing past the end of physical memory: the fetch must
+// surface a page fault carrying the instruction's linear address and the
+// fetch (I/D) bit — not a detail-free #GP.
+TEST(DecodeCache, FetchBeyondPhysicalMemoryIsFaithfulFault) {
+  BareMachine bm;
+  const u32 bad_linear = 0x700000;
+  PageTableEditor ed(bm.pm(), bm.cpu().cr3(),
+                     [&](u32 linear) { bm.cpu().tlb().FlushPage(linear); });
+  ASSERT_TRUE(ed.SetPte(bad_linear, MakePte(bm.pm().size(), kPtePresent | kPteWrite)));
+
+  bm.Start(bad_linear, 0, kStackTop);
+  StopInfo stop = bm.Run(1000);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kPageFault);
+  EXPECT_EQ(stop.fault.linear_address, bad_linear);
+  EXPECT_TRUE(stop.fault.error_code & kPfErrFetch);
+  EXPECT_TRUE(stop.fault.error_code & kPfErrPresent);
+}
+
+// A fetch that crosses into an unmapped page (possible with an unaligned CS
+// base) must report the first unmapped byte as the faulting address.
+TEST(DecodeCache, CrossPageFetchFaultReportsFaultingByte) {
+  BareMachine bm;
+  const u32 boundary = 0x601000;  // first byte of the unmapped page
+  PageTableEditor ed(bm.pm(), bm.cpu().cr3(),
+                     [&](u32 linear) { bm.cpu().tlb().FlushPage(linear); });
+  ASSERT_TRUE(ed.Unmap(boundary));
+
+  // CS with base 8: linear fetches are misaligned, so the instruction at
+  // EIP = boundary - 16 spans [boundary - 8, boundary + 8).
+  bm.Start(0, 0, kStackTop);
+  bm.gdt().Set(BareMachine::kFirstFreeIdx, SegmentDescriptor::MakeCode(8, 0xFFFFFFFFu, 0));
+  ASSERT_TRUE(bm.cpu().ForceSegment(
+      SegReg::kCs, Selector::FromIndex(BareMachine::kFirstFreeIdx, 0)));
+  bm.cpu().set_eip(boundary - 16);
+
+  StopInfo stop = bm.Run(1000);
+  ASSERT_EQ(stop.reason, StopReason::kFault);
+  EXPECT_EQ(stop.fault.vector, FaultVector::kPageFault);
+  EXPECT_EQ(stop.fault.linear_address, boundary);
+  EXPECT_FALSE(stop.fault.error_code & kPfErrPresent);
+  EXPECT_TRUE(stop.fault.error_code & kPfErrFetch);  // I/D bit on walk faults too
+}
+
+// Steady-state execution decodes each text page exactly once.
+TEST(DecodeCache, DecodedPageReusedAcrossRuns) {
+  BareMachine bm;
+  const std::string src = R"(
+  .global main
+main:
+  mov $1000, %ecx
+loop:
+  dec %ecx
+  cmp $0, %ecx
+  jne loop
+  hlt
+)";
+  StopInfo stop = RunProgram(bm, src);
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  const u64 builds_after_first = bm.cpu().decode_cache().stats().builds;
+  EXPECT_GE(builds_after_first, 1u);
+
+  bm.Start(kCodeBase, 0, kStackTop);
+  ASSERT_EQ(bm.Run(10'000'000).reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().decode_cache().stats().builds, builds_after_first);
+}
+
+}  // namespace
+}  // namespace palladium
