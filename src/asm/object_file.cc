@@ -31,8 +31,14 @@ std::optional<LinkedImage> LinkImage(const ObjectFile& obj, u32 base,
   img.data_size = static_cast<u32>(obj.data.size()) + obj.bss_size;
 
   img.bytes.resize(img.data_start - base + obj.data.size(), 0);
-  std::memcpy(img.bytes.data(), obj.text.data(), obj.text.size());
-  std::memcpy(img.bytes.data() + (img.data_start - base), obj.data.data(), obj.data.size());
+  // Empty sections have a null data(); passing that to memcpy is UB even
+  // with a zero length.
+  if (!obj.text.empty()) {
+    std::memcpy(img.bytes.data(), obj.text.data(), obj.text.size());
+  }
+  if (!obj.data.empty()) {
+    std::memcpy(img.bytes.data() + (img.data_start - base), obj.data.data(), obj.data.size());
+  }
 
   auto section_base = [&](SectionId s) -> u32 {
     switch (s) {

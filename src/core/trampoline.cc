@@ -10,7 +10,10 @@ std::string PrepareStubSource(const TrampolineSlots& slots, u32 ext_arg_slot,
   std::ostringstream os;
   os << "  .global prepare\n"
      << "prepare:\n"
-     // pushl 0x4(%esp); popl ExtensionStack — copy the argument word.
+     // pushl 0x4(%esp); popl ExtensionStack — copy the argument word. This
+     // and the phantom-frame pushes below are ordinary data accesses, so the
+     // protection-domain crossing executes on the CPU's D-TLB fast path; the
+     // cost of the crossing is the lret privilege transition, not paging.
      << "  ld 4(%esp), %eax\n"
      << "  st %eax, " << ext_arg_slot << "\n"
      // movl %esp, SP2 ; movl %ebp, BP2

@@ -13,6 +13,7 @@
 #include <array>
 
 #include "src/hw/cycle_model.h"
+#include "src/hw/dtlb.h"
 #include "src/hw/fault.h"
 #include "src/hw/physical_memory.h"
 #include "src/hw/segment.h"
@@ -120,8 +121,28 @@ class Cpu {
   // instruction bytes and re-decodes). Exists so benches can measure the
   // pre-cache baseline; correctness is identical either way.
   void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
+  DTlb& dtlb() { return dtlb_; }
+  const DTlb::Stats& dtlb_stats() const { return dtlb_.stats(); }
+  // Disables the data-access fast path (every load/store/push/pop goes back
+  // to the per-byte translate loop). The slow path is the differential
+  // oracle: architectural state, memory image, cycle counts and fault
+  // streams are identical either way.
+  void set_dtlb_enabled(bool enabled) { dtlb_enabled_ = enabled; }
+  bool dtlb_enabled() const { return dtlb_enabled_; }
+
+  // Host-side (kernel) copies through the D-TLB: probe-only supervisor
+  // access to one page's worth of current-address-space memory. Never fills,
+  // never charges cycles, never faults — returns false on a miss (or when
+  // the span leaves the page / the fast path is disabled) and the caller
+  // falls back to its page-table walk. Writes fire the physical-memory
+  // write observer exactly like PhysicalMemory::WriteBlock.
+  bool DtlbHostRead(u32 linear, void* dst, u32 len);
+  bool DtlbHostWrite(u32 linear, const void* src, u32 len);
   const CycleModel& cycle_model() const { return model_; }
-  void set_cycle_model(const CycleModel& m) { model_ = m; }
+  void set_cycle_model(const CycleModel& m) {
+    model_ = m;
+    RebuildCostTable();
+  }
 
   // Host entry range: instruction fetches whose *linear* address lands in
   // [base, base+size) stop execution with kHostCall and
@@ -166,6 +187,21 @@ class Cpu {
   bool Translate(u32 linear, bool is_write, u32* phys, Fault* fault,
                  u32* flags_out = nullptr, bool is_fetch = false);
 
+  // Data-access fast path. Translates an access wholly inside one page
+  // through the D-TLB, filling it from Translate on a miss. Returns
+  //   +1 hit  — *host/*phys point at the access; writes must NotifyWrite
+  //    0 miss — not cacheable (disabled, partial frame): take the byte loop
+  //   -1 fault — *fault filled exactly as the per-byte path would
+  int DtlbTranslate(u32 linear, u32 size, bool is_write, u8** host, u32* phys, Fault* fault);
+
+  // The per-byte access loops (page-crossing semantics, bus errors). `start`
+  // lets a caller that already translated and consumed byte 0 — the D-TLB
+  // fill path whose frame turned out not host-mappable — resume at byte 1,
+  // keeping TLB statistics equal to a pure per-byte run. `*value` holds the
+  // accumulated low bytes on entry for reads.
+  bool ReadBytesSlow(u32 linear, u32 start, u32 size, u32* value, Fault* fault);
+  bool WriteBytesSlow(u32 linear, u32 start, u32 size, u32 value, Fault* fault);
+
   // Segment-checked access path. `is_exec` marks instruction fetches.
   bool CheckSegmentAccess(const LoadedSegment& seg, u32 offset, u32 size, bool is_write,
                           bool is_stack, Fault* fault);
@@ -191,10 +227,16 @@ class Cpu {
   bool FetchFromSlot(u32 linear, const Insn** insn, Fault* fault);
   Fault FetchBusFault(u32 linear) const;
 
+  // Per-opcode base costs, precomputed from model_ so the retire path is an
+  // array load instead of a cross-module call and switch per instruction.
+  void RebuildCostTable();
+
   PhysicalMemory& pm_;
   DescriptorTable& gdt_;
   DescriptorTable& idt_;
   CycleModel model_;
+  std::array<u32, static_cast<u16>(Opcode::kCount)> base_cost_{};
+  u32 taken_branch_cost_ = 0;
   Tlb tlb_;
 
   std::array<u32, kNumRegs> regs_{};
@@ -209,6 +251,12 @@ class Cpu {
   u64 instructions_ = 0;
   u32 host_base_ = 0;
   u32 host_size_ = 0;
+
+  // --- Data access fast path -------------------------------------------------
+  // Host-pointer pages keyed by linear page, validated against the TLB's
+  // change counter (see dtlb.h for the full invalidation contract).
+  DTlb dtlb_;
+  bool dtlb_enabled_ = true;
 
   // --- Instruction fetch fast path -----------------------------------------
   // Decoded pages keyed by physical frame, shared across address spaces.

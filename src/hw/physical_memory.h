@@ -26,6 +26,7 @@ class PhysicalMemory {
   u32 size() const { return static_cast<u32>(bytes_.size()); }
 
   void set_write_observer(WriteObserver* observer) { observer_ = observer; }
+  WriteObserver* write_observer() const { return observer_; }
 
   bool Contains(u32 addr, u32 len) const {
     return addr < bytes_.size() && len <= bytes_.size() - addr;
@@ -67,6 +68,21 @@ class PhysicalMemory {
     Notify(addr, 4);
     return true;
   }
+
+  // Host pointer to a whole page-sized frame, for translation caches that
+  // copy to/from guest memory without per-byte bounds checks. Returns
+  // nullptr when the frame is not entirely inside physical memory (the
+  // caller must then take a bounds-checked path). Any mutation through the
+  // pointer MUST be followed by NotifyWrite for the touched range, or the
+  // decode cache would miss self-modifying stores.
+  u8* FrameHostPtr(u32 frame) {
+    return Contains(frame, kPageSize) ? bytes_.data() + frame : nullptr;
+  }
+  // Read-only view of all of physical memory (diff harnesses, dumps).
+  const u8* HostData() const { return bytes_.data(); }
+
+  // Fires the write observer for bytes mutated through FrameHostPtr.
+  void NotifyWrite(u32 addr, u32 len) { Notify(addr, len); }
 
   // Bulk helpers for loaders and the kernel model (not charged cycles).
   bool ReadBlock(u32 addr, void* dst, u32 len) const {

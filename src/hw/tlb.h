@@ -19,6 +19,9 @@ namespace palladium {
 class Tlb {
  public:
   static constexpr u32 kEntries = 64;
+  // Insert's "nothing evicted" sentinel (no valid vpn is ~0: that linear
+  // range would sit beyond the 32-bit address space).
+  static constexpr u32 kNoVpn = ~0u;
 
   struct Entry {
     u64 gen = 0;    // valid iff gen == current flush generation (gen 0 = never)
@@ -46,10 +49,29 @@ class Tlb {
     return false;
   }
 
-  void Insert(u32 linear, u32 frame, u32 flags) {
+  // Returns the vpn of a *live* entry this insert displaced (kNoVpn
+  // otherwise), so caches validated against TLB residency — the CPU's D-TLB —
+  // can drop the victim and keep "D-TLB hit implies TLB hit" exact.
+  u32 Insert(u32 linear, u32 frame, u32 flags) {
     const u32 vpn = PageNumber(linear);
-    entries_[vpn % kEntries] = Entry{gen_, vpn, frame, flags};
+    Entry& e = entries_[vpn % kEntries];
+    const u32 evicted = (e.gen == gen_ && e.vpn != vpn) ? e.vpn : kNoVpn;
+    e = Entry{gen_, vpn, frame, flags};
+    return evicted;
   }
+
+  // Sets extra flag bits on a live entry (the MMU's dirty-bit bookkeeping:
+  // the first TLB-hit write marks the cached translation known-dirty).
+  void OrFlags(u32 linear, u32 bits) {
+    const u32 vpn = PageNumber(linear);
+    Entry& e = entries_[vpn % kEntries];
+    if (e.gen == gen_ && e.vpn == vpn) e.flags |= bits;
+  }
+
+  // Stat credit for lookups the D-TLB fast path answered. A D-TLB hit is by
+  // construction a set of would-be TLB hits (one per byte of the access), so
+  // hit-rate consumers keep seeing the same numbers with the fast path on.
+  void RecordFastPathHits(u64 n) { stats_.hits += n; }
 
   // O(1): stale entries are recognised by their generation tag.
   void Flush() {

@@ -60,15 +60,6 @@ void DecodeCache::Retire(u32 pfn) {
   ++stats_.write_invalidations;
 }
 
-void DecodeCache::OnPhysicalWrite(u32 addr, u32 len) {
-  if (len == 0) return;
-  const u32 first = PageNumber(addr);
-  const u32 last = PageNumber(addr + len - 1);
-  for (u32 pfn = first; pfn <= last; ++pfn) {
-    if (pfn < has_code_.size() && has_code_[pfn] != 0) Retire(pfn);
-  }
-}
-
 void DecodeCache::EvictFrame(u32 frame) {
   const u32 pfn = PageNumber(frame);
   if (pfn < has_code_.size() && has_code_[pfn] != 0) Retire(pfn);

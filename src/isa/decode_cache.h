@@ -65,8 +65,16 @@ class DecodeCache : public PhysicalMemory::WriteObserver {
   const Page* GetOrBuild(const PhysicalMemory& pm, u32 frame);
 
   // PhysicalMemory::WriteObserver: kills the decoded image of every page the
-  // write touches. O(1) per untracked page (a bitmap probe).
-  void OnPhysicalWrite(u32 addr, u32 len) override;
+  // write touches. O(1) per untracked page (a bitmap probe); inline so the
+  // CPU's store fast path pays only the probe, not a call, per store.
+  void OnPhysicalWrite(u32 addr, u32 len) override {
+    if (len == 0) return;
+    const u32 first = PageNumber(addr);
+    const u32 last = PageNumber(addr + len - 1);
+    for (u32 pfn = first; pfn <= last; ++pfn) {
+      if (pfn < has_code_.size() && has_code_[pfn] != 0) Retire(pfn);
+    }
+  }
 
   // Explicit eviction for a frame being repurposed (e.g. freed back to the
   // kernel's frame allocator).

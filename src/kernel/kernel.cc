@@ -179,8 +179,24 @@ bool Kernel::PopulateRange(Process& proc, u32 start, u32 end) {
 }
 
 bool Kernel::CopyToUser(Process& proc, u32 linear, const void* src, u32 len) {
+  // access_ok: user copies must stay inside the user half of the address
+  // space. Without this a syscall taking a user pointer (write, sigaction)
+  // would walk the shared kernel PDEs and read or clobber kernel memory.
+  if (linear >= kUserLimit || len > kUserLimit - linear) return false;
   const u8* p = static_cast<const u8*>(src);
+  const bool current_space = cpu().cr3() == proc.cr3;
   while (len > 0) {
+    u32 page_off = linear & kPageMask;
+    u32 chunk = std::min(len, kPageSize - page_off);
+    // Fast path: pages the simulated CPU touched recently sit in its D-TLB
+    // with a validated host pointer; a hit replaces the page-table walk.
+    // Only valid for the live address space (the D-TLB caches cpu.cr3()).
+    if (current_space && cpu().DtlbHostWrite(linear, p, chunk)) {
+      linear += chunk;
+      p += chunk;
+      len -= chunk;
+      continue;
+    }
     VmArea* area = proc.FindArea(linear);
     if (area == nullptr) return false;
     PageTableEditor ed(machine_.pm(), proc.cr3);
@@ -189,8 +205,6 @@ bool Kernel::CopyToUser(Process& proc, u32 linear, const void* src, u32 len) {
       if (!MapUserPage(proc, linear, *area)) return false;
       ed.GetPte(linear, &pte);
     }
-    u32 page_off = linear & kPageMask;
-    u32 chunk = std::min(len, kPageSize - page_off);
     if (!machine_.pm().WriteBlock((pte & kPteFrameMask) + page_off, p, chunk)) return false;
     linear += chunk;
     p += chunk;
@@ -200,8 +214,18 @@ bool Kernel::CopyToUser(Process& proc, u32 linear, const void* src, u32 len) {
 }
 
 bool Kernel::CopyFromUser(Process& proc, u32 linear, void* dst, u32 len) {
+  if (linear >= kUserLimit || len > kUserLimit - linear) return false;  // access_ok
   u8* p = static_cast<u8*>(dst);
+  const bool current_space = cpu().cr3() == proc.cr3;
   while (len > 0) {
+    u32 page_off = linear & kPageMask;
+    u32 chunk = std::min(len, kPageSize - page_off);
+    if (current_space && cpu().DtlbHostRead(linear, p, chunk)) {
+      linear += chunk;
+      p += chunk;
+      len -= chunk;
+      continue;
+    }
     PageTableEditor ed(machine_.pm(), proc.cr3);
     u32 pte = 0;
     if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) {
@@ -211,8 +235,6 @@ bool Kernel::CopyFromUser(Process& proc, u32 linear, void* dst, u32 len) {
       if (!MapUserPage(proc, linear, *area)) return false;
       ed.GetPte(linear, &pte);
     }
-    u32 page_off = linear & kPageMask;
-    u32 chunk = std::min(len, kPageSize - page_off);
     if (!machine_.pm().ReadBlock((pte & kPteFrameMask) + page_off, p, chunk)) return false;
     linear += chunk;
     p += chunk;
@@ -243,10 +265,21 @@ bool Kernel::WriteKernelVirt(u32 linear, const void* src, u32 len) {
   const u8* p = static_cast<const u8*>(src);
   PageTableEditor ed(machine_.pm(), kernel_page_dir_template_);
   while (len > 0) {
-    u32 pte = 0;
-    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
     u32 off = linear & kPageMask;
     u32 chunk = std::min(len, kPageSize - off);
+    // Kernel mappings are shared by every address space, so any live D-TLB
+    // entry for a kernel-range page (extension segments, trampoline argument
+    // slots the extension just touched) is valid here regardless of which
+    // CR3 primed it. User-range addresses must keep walking the template
+    // tables (where they are unmapped) — never the current process's.
+    if (linear >= kKernelBase && cpu().DtlbHostWrite(linear, p, chunk)) {
+      linear += chunk;
+      p += chunk;
+      len -= chunk;
+      continue;
+    }
+    u32 pte = 0;
+    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
     if (!machine_.pm().WriteBlock((pte & kPteFrameMask) + off, p, chunk)) return false;
     linear += chunk;
     p += chunk;
@@ -259,10 +292,16 @@ bool Kernel::ReadKernelVirt(u32 linear, void* dst, u32 len) {
   u8* p = static_cast<u8*>(dst);
   PageTableEditor ed(machine_.pm(), kernel_page_dir_template_);
   while (len > 0) {
-    u32 pte = 0;
-    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
     u32 off = linear & kPageMask;
     u32 chunk = std::min(len, kPageSize - off);
+    if (linear >= kKernelBase && cpu().DtlbHostRead(linear, p, chunk)) {
+      linear += chunk;
+      p += chunk;
+      len -= chunk;
+      continue;
+    }
+    u32 pte = 0;
+    if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
     if (!machine_.pm().ReadBlock((pte & kPteFrameMask) + off, p, chunk)) return false;
     linear += chunk;
     p += chunk;

@@ -3,7 +3,11 @@
 // memory round-trips must hold for every width and addressing form.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/hw/bare_machine.h"
+#include "src/hw/paging.h"
 
 namespace palladium {
 namespace {
@@ -213,6 +217,313 @@ main:
     bm.Start(*img->Lookup("main"), 0, kStackTop);
     ASSERT_EQ(bm.Run(10'000).reason, StopReason::kHalted);
     EXPECT_EQ(bm.cpu().reg(Reg::kEdx), 0x77u) << "scale " << scale;
+  }
+}
+
+// --- Fast/slow differential fuzz ---------------------------------------------
+// Randomized instruction sequences executed twice — D-TLB fast path on vs the
+// per-byte oracle — must produce identical architectural state, memory
+// images, cycle counts, TLB statistics and fault streams. Faulting
+// instructions are skipped and recorded so hostile page setups yield long
+// fault streams instead of stopping at the first one.
+
+struct FaultRecord {
+  u32 eip;
+  FaultVector vector;
+  u32 error_code;
+  u32 linear;
+
+  bool operator==(const FaultRecord& o) const {
+    return eip == o.eip && vector == o.vector && error_code == o.error_code &&
+           linear == o.linear;
+  }
+};
+
+struct DiffRun {
+  StopReason final_reason = StopReason::kHalted;
+  std::vector<FaultRecord> faults;
+  CpuContext ctx;
+  u64 cycles = 0;
+  u64 instructions = 0;
+  u64 tlb_hits = 0;
+  u64 tlb_misses = 0;
+  std::vector<u8> memory;
+};
+
+constexpr u32 kFuzzDataBase = 0x200000;
+constexpr u32 kFuzzDataSpan = 4 * 4096;
+constexpr u32 kFuzzMem = 8u << 20;
+
+// Hostile-page setups rotated across seeds: none, a read-only page and a
+// supervisor (PPL 0) page inside the data window.
+enum class FuzzMode : int { kPlainCpl0 = 0, kPlainCpl3, kHostileCpl3, kHostileCpl0, kCount };
+
+std::vector<Insn> BuildFuzzBody(u64* state, u32 body_base, u32 body_len) {
+  std::vector<Insn> body;
+  body.reserve(body_len);
+  // EAX/EBX/EDX/ESI/EDI/EBP are fair game; ECX is the loop counter and ESP
+  // the stack pointer (never a random destination, so iterations terminate).
+  const Reg scratch[] = {Reg::kEax, Reg::kEbx, Reg::kEdx, Reg::kEsi, Reg::kEdi, Reg::kEbp};
+  auto pick_reg = [&] { return static_cast<u8>(scratch[NextRand(state) % 6]); };
+  auto window_disp = [&] {
+    return static_cast<i32>(kFuzzDataBase + NextRand(state) % (kFuzzDataSpan - 8));
+  };
+  auto pick_size = [&] {
+    u32 r = NextRand(state) % 3;
+    return static_cast<u8>(r == 0 ? 1 : (r == 1 ? 2 : 4));
+  };
+  int depth = 0;
+  while (body.size() < body_len) {
+    const u32 remaining = body_len - static_cast<u32>(body.size());
+    // Reserve the tail for draining outstanding pushes (static balance; a
+    // forward branch may unbalance at runtime, which is fine — both runs
+    // see the identical drift).
+    if (remaining <= static_cast<u32>(depth)) {
+      Insn pop;
+      pop.opcode = Opcode::kPopR;
+      pop.r1 = pick_reg();
+      body.push_back(pop);
+      --depth;
+      continue;
+    }
+    Insn in;
+    switch (NextRand(state) % 16) {
+      case 0:
+        in.opcode = Opcode::kMovRI;
+        in.r1 = pick_reg();
+        in.imm = static_cast<i32>(NextRand(state));
+        break;
+      case 1:
+        in.opcode = Opcode::kMovRR;
+        in.r1 = pick_reg();
+        in.r2 = pick_reg();
+        break;
+      case 2:
+      case 3: {  // absolute load
+        in.opcode = Opcode::kLoad;
+        in.r1 = pick_reg();
+        in.r2 = kNoBaseReg;
+        in.size = pick_size();
+        in.disp = window_disp();
+        break;
+      }
+      case 4:
+      case 5: {  // absolute store
+        in.opcode = Opcode::kStore;
+        in.r1 = pick_reg();
+        in.r2 = kNoBaseReg;
+        in.size = pick_size();
+        in.disp = window_disp();
+        break;
+      }
+      case 6: {  // store immediate
+        in.opcode = Opcode::kStoreI;
+        in.r2 = kNoBaseReg;
+        in.size = pick_size();
+        in.imm = static_cast<i32>(NextRand(state));
+        in.disp = window_disp();
+        break;
+      }
+      case 7: {  // ALU r,r
+        const Opcode ops[] = {Opcode::kAddRR, Opcode::kSubRR, Opcode::kAndRR,
+                              Opcode::kOrRR,  Opcode::kXorRR, Opcode::kCmpRR};
+        in.opcode = ops[NextRand(state) % 6];
+        in.r1 = pick_reg();
+        in.r2 = pick_reg();
+        break;
+      }
+      case 8: {  // ALU r,imm
+        const Opcode ops[] = {Opcode::kAddRI, Opcode::kSubRI, Opcode::kAndRI,
+                              Opcode::kOrRI,  Opcode::kXorRI, Opcode::kCmpRI,
+                              Opcode::kTestRI};
+        in.opcode = ops[NextRand(state) % 7];
+        in.r1 = pick_reg();
+        in.imm = static_cast<i32>(NextRand(state));
+        break;
+      }
+      case 9: {
+        const Opcode ops[] = {Opcode::kShlRI, Opcode::kShrRI, Opcode::kSarRI};
+        in.opcode = ops[NextRand(state) % 3];
+        in.r1 = pick_reg();
+        in.imm = static_cast<i32>(NextRand(state) % 32);
+        break;
+      }
+      case 10: {
+        const Opcode ops[] = {Opcode::kIncR, Opcode::kDecR, Opcode::kNegR, Opcode::kNotR};
+        in.opcode = ops[NextRand(state) % 4];
+        in.r1 = pick_reg();
+        break;
+      }
+      case 11:  // push (bounded depth)
+        if (depth < 24) {
+          in.opcode = NextRand(state) % 2 ? Opcode::kPushR : Opcode::kPushI;
+          in.r1 = pick_reg();
+          in.imm = static_cast<i32>(NextRand(state));
+          ++depth;
+        } else {
+          in.opcode = Opcode::kPopR;
+          in.r1 = pick_reg();
+          --depth;
+        }
+        break;
+      case 12:  // reg-based memory op through a freshly anchored base
+        if (remaining >= static_cast<u32>(depth) + 2) {
+          Insn anchor;
+          anchor.opcode = Opcode::kMovRI;
+          anchor.r1 = static_cast<u8>(Reg::kEsi);
+          anchor.imm = window_disp();
+          body.push_back(anchor);
+          in.opcode = NextRand(state) % 2 ? Opcode::kLoad : Opcode::kStore;
+          in.r1 = pick_reg();
+          in.r2 = static_cast<u8>(Reg::kEsi);
+          in.size = pick_size();
+          in.disp = static_cast<i32>(NextRand(state) % 16) - 8;
+        } else {
+          in.opcode = Opcode::kNop;
+        }
+        break;
+      case 13: {  // conditional forward branch (targets stay inside the body,
+                  // before the drain tail, so the loop counter always runs)
+        const u32 lo = static_cast<u32>(body.size()) + 1;
+        const u32 hi = body_len - static_cast<u32>(depth);
+        if (hi <= lo) {
+          in.opcode = Opcode::kNop;
+          break;
+        }
+        const Opcode ops[] = {Opcode::kJe, Opcode::kJne, Opcode::kJb,  Opcode::kJae,
+                              Opcode::kJl, Opcode::kJge, Opcode::kJs,  Opcode::kJns};
+        in.opcode = ops[NextRand(state) % 8];
+        in.imm = static_cast<i32>(body_base + (lo + NextRand(state) % (hi - lo)) * kInsnSize);
+        break;
+      }
+      case 14:
+        in.opcode = Opcode::kLea;
+        in.r1 = pick_reg();
+        in.r2 = pick_reg();
+        in.scale = 0;
+        in.disp = static_cast<i32>(NextRand(state) % 256);
+        break;
+      default:
+        in.opcode = Opcode::kNop;
+        break;
+    }
+    body.push_back(in);
+  }
+  return body;
+}
+
+std::vector<u8> EncodeFuzzProgram(u64 seed, u32 iterations, u32 body_len) {
+  u64 state = seed * 0x9E3779B97F4A7C15ull + 1;
+  std::vector<Insn> program;
+  Insn init;
+  init.opcode = Opcode::kMovRI;
+  init.r1 = static_cast<u8>(Reg::kEcx);
+  init.imm = static_cast<i32>(iterations);
+  program.push_back(init);
+  const u32 body_base = kCodeBase + kInsnSize;  // after the counter init
+  std::vector<Insn> body = BuildFuzzBody(&state, body_base, body_len);
+  program.insert(program.end(), body.begin(), body.end());
+  Insn dec;
+  dec.opcode = Opcode::kDecR;
+  dec.r1 = static_cast<u8>(Reg::kEcx);
+  program.push_back(dec);
+  Insn cmp;
+  cmp.opcode = Opcode::kCmpRI;
+  cmp.r1 = static_cast<u8>(Reg::kEcx);
+  cmp.imm = 0;
+  program.push_back(cmp);
+  Insn jne;
+  jne.opcode = Opcode::kJne;
+  jne.imm = static_cast<i32>(body_base);
+  program.push_back(jne);
+  Insn hlt;
+  hlt.opcode = Opcode::kHlt;
+  program.push_back(hlt);
+
+  std::vector<u8> bytes(program.size() * kInsnSize);
+  for (size_t i = 0; i < program.size(); ++i) {
+    program[i].EncodeTo(bytes.data() + i * kInsnSize);
+  }
+  return bytes;
+}
+
+DiffRun RunDifferential(const std::vector<u8>& program, FuzzMode mode, bool dtlb) {
+  BareMachineConfig config;
+  config.physical_memory_bytes = kFuzzMem;
+  BareMachine bm(config);
+  bm.cpu().set_dtlb_enabled(dtlb);
+  EXPECT_TRUE(bm.pm().WriteBlock(kCodeBase, program.data(),
+                                 static_cast<u32>(program.size())));
+  const bool hostile = mode == FuzzMode::kHostileCpl3 || mode == FuzzMode::kHostileCpl0;
+  if (hostile) {
+    PageTableEditor ed(bm.pm(), bm.cpu().cr3(),
+                       [&](u32 linear) { bm.cpu().tlb().FlushPage(linear); });
+    EXPECT_TRUE(ed.UpdateFlags(kFuzzDataBase + kPageSize, 0, kPteWrite));   // read-only
+    EXPECT_TRUE(ed.UpdateFlags(kFuzzDataBase + 2 * kPageSize, 0, kPteUser));  // PPL 0
+  }
+  const u8 cpl =
+      (mode == FuzzMode::kPlainCpl3 || mode == FuzzMode::kHostileCpl3) ? 3 : 0;
+  bm.Start(kCodeBase, cpl, kStackTop);
+
+  DiffRun out;
+  for (;;) {
+    StopInfo stop = bm.Run(50'000'000);
+    if (stop.reason == StopReason::kFault && out.faults.size() < 4096) {
+      out.faults.push_back(FaultRecord{bm.cpu().eip(), stop.fault.vector,
+                                       stop.fault.error_code, stop.fault.linear_address});
+      // Skip the faulting instruction and keep going — the hostile pages
+      // produce a long fault stream, which both paths must reproduce.
+      bm.cpu().set_eip(bm.cpu().eip() + kInsnSize);
+      continue;
+    }
+    out.final_reason = stop.reason;
+    break;
+  }
+  out.ctx = bm.cpu().SaveContext();
+  out.cycles = bm.cpu().cycles();
+  out.instructions = bm.cpu().instructions_retired();
+  out.tlb_hits = bm.cpu().tlb_stats().hits;
+  out.tlb_misses = bm.cpu().tlb_stats().misses;
+  out.memory.assign(bm.pm().HostData(), bm.pm().HostData() + bm.pm().size());
+  return out;
+}
+
+TEST(DtlbDifferential, FastAndSlowPathsAgreeOnRandomPrograms) {
+  constexpr u32 kSeeds = 52;
+  constexpr u32 kIterations = 400;
+  constexpr u32 kBodyLen = 224;  // > 10k executed instructions per seed
+  for (u64 seed = 1; seed <= kSeeds; ++seed) {
+    const FuzzMode mode = static_cast<FuzzMode>(seed % static_cast<u64>(FuzzMode::kCount));
+    const std::vector<u8> program = EncodeFuzzProgram(seed, kIterations, kBodyLen);
+    DiffRun fast = RunDifferential(program, mode, /*dtlb=*/true);
+    DiffRun slow = RunDifferential(program, mode, /*dtlb=*/false);
+
+    SCOPED_TRACE("seed " + std::to_string(seed) + " mode " +
+                 std::to_string(static_cast<int>(mode)));
+    EXPECT_EQ(fast.final_reason, slow.final_reason);
+    EXPECT_GE(fast.instructions, 10'000u) << "fuzz body too small to be meaningful";
+    EXPECT_EQ(fast.instructions, slow.instructions);
+    EXPECT_EQ(fast.cycles, slow.cycles) << "cycle model diverged";
+    EXPECT_EQ(fast.tlb_hits, slow.tlb_hits) << "TLB hit accounting diverged";
+    EXPECT_EQ(fast.tlb_misses, slow.tlb_misses);
+
+    ASSERT_EQ(fast.faults.size(), slow.faults.size()) << "fault streams differ in length";
+    for (size_t i = 0; i < fast.faults.size(); ++i) {
+      EXPECT_TRUE(fast.faults[i] == slow.faults[i]) << "fault " << i << " diverged";
+    }
+
+    EXPECT_EQ(fast.ctx.eip, slow.ctx.eip);
+    EXPECT_EQ(fast.ctx.eflags, slow.ctx.eflags);
+    EXPECT_EQ(fast.ctx.cpl, slow.ctx.cpl);
+    for (u8 r = 0; r < kNumRegs; ++r) {
+      EXPECT_EQ(fast.ctx.regs[r], slow.ctx.regs[r]) << "reg " << static_cast<int>(r);
+    }
+    for (u8 s = 0; s < kNumSegRegs; ++s) {
+      EXPECT_EQ(fast.ctx.segs[s].selector.raw(), slow.ctx.segs[s].selector.raw());
+    }
+    ASSERT_EQ(fast.memory.size(), slow.memory.size());
+    EXPECT_EQ(std::memcmp(fast.memory.data(), slow.memory.data(), fast.memory.size()), 0)
+        << "memory images diverged";
   }
 }
 

@@ -76,6 +76,50 @@ target:
   EXPECT_GE(stats.builds, 2u);               // ... and it was re-decoded
 }
 
+// Self-modifying store through the D-TLB fast path: the first store warms
+// the D-TLB entry for the code page, so the patch stores execute on the
+// inline hit path (host-pointer memcpy + direct decode-cache notification).
+// The write observer must fire there too, or the stale decode of `target`
+// would execute. This is the regression test for the fast-path/decode-cache
+// coupling.
+TEST(DecodeCache, DtlbFastPathStoreInvalidatesDecodedPage) {
+  Insn patch;
+  patch.opcode = Opcode::kMovRI;
+  patch.r1 = static_cast<u8>(Reg::kEax);
+  patch.imm = 42;
+  const auto w = InsnWords(patch);
+  // Layout: slot 0 = mov, slot 1 = warm-up store, slots 2-5 = patch stores,
+  // so `target` sits at slot 6.
+  const u32 target = kCodeBase + 6 * kInsnSize;
+  char src[640];
+  std::snprintf(src, sizeof(src), R"(
+  .global main
+main:
+  mov $0x%x, %%ebx
+  sti $0, 0x700(%%ebx)   ; same code page: warms the D-TLB (and kills decode)
+  sti $0x%x, 0(%%ebx)
+  sti $0x%x, 4(%%ebx)
+  sti $0x%x, 8(%%ebx)
+  sti $0x%x, 12(%%ebx)
+target:
+  mov $1, %%eax
+  hlt
+)",
+                target, w[0], w[1], w[2], w[3]);
+
+  BareMachine bm;
+  bm.cpu().set_dtlb_enabled(true);  // the fast path is the subject here
+  StopInfo stop = RunProgram(bm, src);
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  EXPECT_EQ(bm.cpu().reg(Reg::kEax), 42u);
+  // The patch stores must have hit the warm D-TLB entry...
+  EXPECT_GE(bm.cpu().dtlb_stats().hits, 4u);
+  // ...and every one of them still killed the decoded page.
+  const auto& stats = bm.cpu().decode_cache().stats();
+  EXPECT_GE(stats.write_invalidations, 2u);
+  EXPECT_GE(stats.builds, 2u);
+}
+
 // Host-side writes (kernel copy-in, loaders) must invalidate too.
 TEST(DecodeCache, HostWriteInvalidatesDecodedPage) {
   BareMachine bm;

@@ -362,6 +362,87 @@ main:
   EXPECT_EQ(r.exit_code, 42);
 }
 
+TEST_F(KextFixture, SharedArgsSpanningPageBoundary) {
+  // Protection-domain crossing under the data fast path: the kernel stages
+  // an 8-byte argument pair positioned to straddle a page boundary of the
+  // extension segment (WriteShared chunks the copy at the boundary), and the
+  // SPL 1 extension reads it back across the same boundary through its
+  // segment-relative addressing.
+  MustLoad("spanner", R"(
+  .global sum_pair
+sum_pair:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %ebx      ; byte offset of the pair within pd_shared
+  mov $pd_shared, %esi
+  add %esi, %ebx
+  ld 0(%ebx), %eax
+  ld 4(%ebx), %edx
+  add %edx, %eax
+  pop %ebp
+  ret
+  .data
+  .global pd_shared
+pd_shared:
+  .space 8192
+)");
+  const KernelExtensionManager::ExtensionState* ext = kext_.extension(1);
+  ASSERT_NE(ext, nullptr);
+  ASSERT_TRUE(ext->shared_offset.has_value());
+  const u32 shared_lin = ext->linear_base + *ext->shared_offset;
+  // Place the pair so its two words sit on different pages.
+  const u32 to_boundary = kPageSize - (shared_lin & kPageMask);
+  const u32 off = to_boundary >= 4 ? to_boundary - 4 : to_boundary + kPageSize - 4;
+  ASSERT_LT(off + 8, 8192u);
+  const u32 pair[2] = {40, 2};
+  ASSERT_TRUE(kext_.WriteShared(1, off, pair, sizeof(pair)));
+  auto r = kext_.Invoke(Fn("sum_pair"), off);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 42u);
+  // And the kernel reads the straddling block back unchanged.
+  u32 readback[2] = {0, 0};
+  ASSERT_TRUE(kext_.ReadShared(1, off, readback, sizeof(readback)));
+  EXPECT_EQ(readback[0], 40u);
+  EXPECT_EQ(readback[1], 2u);
+}
+
+TEST(DtlbRevocation, StoreThroughStaleEntryAfterKernelRevokesPage) {
+  // The kernel revoking a page (munmap: PTE cleared through the editor hook,
+  // frame freed) must invalidate any D-TLB entry for it: the process's next
+  // store has to raise a page fault, never write the freed frame through a
+  // stale host pointer. Identical with the fast path on or off.
+  for (bool dtlb : {true, false}) {
+    KernelFixture fx;
+    fx.kernel().cpu().set_dtlb_enabled(dtlb);
+    std::string diag;
+    Pid pid = fx.LoadProgram(R"(
+  .global main
+main:
+  mov $SYS_MMAP, %eax
+  mov $0x500000, %ebx
+  mov $4096, %ecx
+  mov $3, %edx          ; PROT_READ | PROT_WRITE
+  int $INT_SYSCALL
+  mov %eax, %edi        ; mapped address
+  sti $0x1234, 0(%edi)  ; demand-map and warm the D-TLB entry
+  ld 0(%edi), %esi
+  mov $SYS_MUNMAP, %eax
+  mov %edi, %ebx
+  mov $4096, %ecx
+  int $INT_SYSCALL
+  sti $0x5678, 0(%edi)  ; stale store: the page was revoked
+  mov $SYS_EXIT, %eax
+  mov $0, %ebx
+  int $INT_SYSCALL
+)",
+                             &diag);
+    ASSERT_NE(pid, 0u) << diag;
+    RunResult r = fx.Run(pid);
+    EXPECT_EQ(r.outcome, RunOutcome::kKilled) << "dtlb=" << dtlb;
+    EXPECT_NE(r.kill_reason.find("#PF"), std::string::npos) << r.kill_reason;
+  }
+}
+
 TEST_F(KextFixture, AbortedExtensionDoesNotCorruptKernelState) {
   MustLoad("ok_ext", ".global good\ngood:\n  mov $1, %eax\n  ret\n");
   MustLoad("bad_ext", R"(

@@ -8,6 +8,35 @@
 namespace palladium {
 namespace {
 
+TEST(ProcessIsolation, UserCopyRejectsKernelRangePointers) {
+  // access_ok: a syscall handed a kernel-range pointer must fail with
+  // kErrFault rather than walking the shared kernel PDEs and leaking (or
+  // clobbering) kernel memory through copy_from/to_user — identically with
+  // the D-TLB fast path on or off.
+  for (bool dtlb : {true, false}) {
+    KernelFixture fx;
+    fx.kernel().cpu().set_dtlb_enabled(dtlb);
+    std::string diag;
+    Pid pid = fx.LoadProgram(R"(
+  .global main
+main:
+  mov $SYS_WRITE, %eax
+  mov $0xC0001000, %ebx  ; kernel direct-map address
+  mov $8, %ecx
+  int $INT_SYSCALL
+  mov %eax, %ebx         ; expect kErrFault (-14)
+  mov $SYS_EXIT, %eax
+  int $INT_SYSCALL
+)",
+                             &diag);
+    ASSERT_NE(pid, 0u) << diag;
+    RunResult r = fx.Run(pid);
+    EXPECT_EQ(r.outcome, RunOutcome::kExited) << "dtlb=" << dtlb;
+    EXPECT_EQ(r.exit_code, -14) << "dtlb=" << dtlb;
+    EXPECT_TRUE(fx.kernel().console().empty()) << "kernel memory leaked to console";
+  }
+}
+
 TEST(ProcessIsolation, SameVirtualAddressDifferentMemory) {
   KernelFixture fx;
   std::string diag;
