@@ -18,6 +18,11 @@
 namespace palladium {
 namespace {
 
+BenchJson& Json() {
+  static BenchJson json("ablation");
+  return json;
+}
+
 u64 RunBare(const ObjectFile& obj, u32 base, const char* entry, u32 arg) {
   BareMachine bm;
   LinkError lerr;
@@ -168,6 +173,9 @@ dst:
                 static_cast<unsigned long long>(base),
                 100.0 * (static_cast<double>(c_wo) - base) / base,
                 100.0 * (static_cast<double>(c_rw) - base) / base);
+    const std::string prefix = std::string("sfi_") + w.name + "_";
+    Json().Set(prefix + "overhead_wo_pct", 100.0 * (static_cast<double>(c_wo) - base) / base);
+    Json().Set(prefix + "overhead_rw_pct", 100.0 * (static_cast<double>(c_rw) - base) / base);
   }
   std::printf("  [paper, citing SFI literature: overheads range ~1%% to 220%%]\n\n");
 }
@@ -226,6 +234,8 @@ fnname:
   std::printf("   TSS variant total:                          %6llu cycles (%.1fx)\n\n",
               static_cast<unsigned long long>(protected_call + tss_syscall),
               static_cast<double>(protected_call + tss_syscall) / protected_call);
+  Json().Set("protected_call_cycles", protected_call);
+  Json().Set("tss_variant_cycles", protected_call + tss_syscall);
 }
 
 void BenchL4Comparison() {
@@ -279,6 +289,8 @@ fnname:
   std::printf("   L4-style IPC model:       %llu cycles, 4 domain crossings\n",
               static_cast<unsigned long long>(l4));
   std::printf("   [paper: Palladium 142 vs L4 best case 242 on a P166]\n\n");
+  Json().Set("ipc_palladium_cycles", palladium);
+  Json().Set("ipc_l4_model_cycles", l4);
 }
 
 void BenchGateParamCopy() {
@@ -320,6 +332,8 @@ target:
     bm.Run(1'000'000);
     std::printf("%-12u %14.1f\n", params,
                 static_cast<double>(bm.cpu().cycles() - before) / 100.0);
+    Json().Set("gate_params_" + std::to_string(params) + "_cycles",
+               static_cast<double>(bm.cpu().cycles() - before) / 100.0);
   }
   std::printf("  (Palladium passes one register argument + a shared data area,\n");
   std::printf("   so its gates copy zero parameters.)\n");
@@ -335,5 +349,6 @@ int main() {
   BenchTssVariant();
   BenchL4Comparison();
   BenchGateParamCopy();
+  std::printf("wrote %s\n", Json().Write().c_str());
   return 0;
 }

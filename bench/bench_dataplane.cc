@@ -1,0 +1,230 @@
+// Dataplane throughput: packets/sec through the protected-extension filter
+// path, interrupt-driven end to end (NIC RX IRQ -> SPL 1 compiled filter ->
+// per-process queue -> worker pkt_recv/pkt_send -> TX ring), versus the
+// run-to-completion baseline (the kernel invoking the same protected filter
+// in a tight loop with no devices, no scheduler, no context switches).
+// The difference is the asynchronous machinery's overhead; the absolute
+// number is the paper-machine (200 MHz) packet rate. Writes
+// BENCH_dataplane.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/filter/filter.h"
+#include "src/hw/nic.h"
+#include "src/kernel/sched.h"
+#include "src/net/dataplane.h"
+#include "src/net/packet.h"
+
+using namespace palladium;
+
+namespace {
+
+constexpr char kFilterText[] = "ip.proto == 6 && ip.src == 10.20.30.40 && tcp.dport == 8080";
+
+std::vector<u8> MatchingFrame() {
+  PacketSpec spec;
+  spec.proto = kIpProtoTcp;
+  spec.src_ip = 0x0A141E28;  // 10.20.30.40
+  spec.dst_port = 8080;
+  spec.payload_len = 64;
+  return BuildPacket(spec);
+}
+
+// Run-to-completion baseline: same protected filter, no interrupts.
+double BaselineCyclesPerPacket(u32 packets) {
+  Machine machine;
+  Kernel kernel(machine);
+  KernelExtensionManager kext(kernel);
+  std::string err;
+  auto expr = ParseFilter(kFilterText, &err);
+  if (!expr) {
+    std::fprintf(stderr, "parse filter: %s\n", err.c_str());
+    std::exit(1);
+  }
+  AssembleError aerr;
+  auto obj = Assemble(CompileFilterToAsm(*expr), &aerr);
+  if (!obj) {
+    std::fprintf(stderr, "assemble filter: %s\n", aerr.ToString().c_str());
+    std::exit(1);
+  }
+  std::string diag;
+  auto ext = kext.LoadExtension("filter", *obj, &diag);
+  auto fid = ext ? kext.FindFunction("filter:filter_run") : std::nullopt;
+  if (!ext || !fid) {
+    std::fprintf(stderr, "baseline setup failed: %s\n", diag.c_str());
+    std::exit(1);
+  }
+  auto frame = MatchingFrame();
+  const u32 len = static_cast<u32>(frame.size());
+  u64 cycles = 0;
+  for (u32 i = 0; i < packets; ++i) {
+    kext.WriteShared(*ext, 0, &len, 4);
+    kext.WriteShared(*ext, 4, frame.data(), len);
+    auto r = kext.Invoke(*fid, len);
+    if (!r.ok || r.value != 1) {
+      std::fprintf(stderr, "baseline invoke failed\n");
+      std::exit(1);
+    }
+    cycles += r.cycles;
+  }
+  return static_cast<double>(cycles) / packets;
+}
+
+struct DataplaneRun {
+  u64 served = 0;
+  u64 cycles = 0;
+  u64 nic_irqs = 0;
+  u64 timer_irqs = 0;
+  u64 preemptions = 0;
+  u64 context_switches = 0;
+  u64 rx_dropped = 0;
+  u64 queue_dropped = 0;
+  u64 filter_invocations = 0;
+  u64 idle_cycles = 0;
+  u32 workers_exited = 0;
+};
+
+DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival) {
+  Machine machine;
+  Kernel::Config kcfg;
+  kcfg.timer_period_cycles = 25'000;
+  Kernel kernel(machine, kcfg);
+  KernelExtensionManager kext(kernel);
+  Scheduler::Config scfg;
+  scfg.slice_cycles = 80'000;
+  Scheduler sched(kernel, scfg);
+
+  std::string diag;
+  auto img = AssembleAndLink(kPktEchoWorkerSource, kUserTextBase, {}, &diag);
+  if (!img) {
+    std::fprintf(stderr, "assemble worker: %s\n", diag.c_str());
+    std::exit(1);
+  }
+  std::vector<Pid> pids;
+  for (u32 w = 0; w < workers; ++w) {
+    Pid pid = kernel.CreateProcess();
+    if (pid == 0 || !kernel.LoadUserImage(pid, *img, "main", &diag)) {
+      std::fprintf(stderr, "load worker: %s\n", diag.c_str());
+      std::exit(1);
+    }
+    pids.push_back(pid);
+    sched.AddProcess(pid);
+  }
+
+  Nic nic(machine.pm(), kernel.pic(), kIrqNic);
+  PacketDataplane dataplane(kernel, kext, nic);
+  if (!dataplane.AddFlow("filter", kFilterText, pids, &diag)) {
+    std::fprintf(stderr, "flow: %s\n", diag.c_str());
+    std::exit(1);
+  }
+
+  auto frame = MatchingFrame();
+  u64 at = 5'000;
+  for (u32 i = 0; i < packets; ++i) {
+    nic.Inject(frame.data(), static_cast<u32>(frame.size()), at);
+    at += inter_arrival;
+  }
+  bool shutdown_issued = false;
+  sched.set_idle_hook([&]() {
+    if (shutdown_issued) return false;
+    shutdown_issued = true;
+    dataplane.Shutdown();
+    return true;
+  });
+
+  auto result = sched.RunAll(20'000'000'000ull);
+
+  DataplaneRun out;
+  out.served = dataplane.stats().tx_frames;
+  out.cycles = result.cycles;
+  out.nic_irqs = kernel.pic().delivered(kIrqNic);
+  out.timer_irqs = kernel.pic().delivered(kIrqTimer);
+  out.preemptions = sched.stats().preemptions;
+  out.context_switches = sched.stats().context_switches;
+  out.rx_dropped = nic.stats().rx_dropped;
+  out.queue_dropped = dataplane.stats().dropped_queue_full;
+  out.filter_invocations = dataplane.stats().filter_invocations;
+  out.idle_cycles = sched.stats().idle_cycles;
+  out.workers_exited = result.exited;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 packets = 20'000;
+  if (argc > 1) packets = static_cast<u32>(std::atoi(argv[1]));
+  const u32 kWorkers = 4;
+  const u64 kInterArrival = 1'500;  // offered load ~133k pps at 200 MHz
+
+  std::printf("filter: %s\n", kFilterText);
+  std::printf("baseline (run-to-completion, no interrupts): measuring...\n");
+  const double base_cpp = BaselineCyclesPerPacket(std::min(packets, 2'000u));
+  const double base_pps = kCpuMhz * 1e6 / base_cpp;
+
+  std::printf("dataplane (IRQ-driven, %u workers, %u packets): running...\n\n", kWorkers,
+              packets);
+  DataplaneRun run = RunInterruptDriven(packets, kWorkers, kInterArrival);
+  // Throughput over the busy period only (idle fast-forward cycles are the
+  // harness waiting for the wire, not work).
+  const u64 busy_cycles = run.cycles - run.idle_cycles;
+  const double dp_cpp = run.served > 0 ? static_cast<double>(busy_cycles) / run.served : 0;
+  const double dp_pps = dp_cpp > 0 ? kCpuMhz * 1e6 / dp_cpp : 0;
+
+  std::printf("%-44s %14s\n", "metric", "value");
+  std::printf("%-44s %14.1f\n", "baseline filter cycles/packet", base_cpp);
+  std::printf("%-44s %14.0f\n", "baseline packets/sec (200 MHz)", base_pps);
+  std::printf("%-44s %14llu\n", "dataplane packets served",
+              static_cast<unsigned long long>(run.served));
+  std::printf("%-44s %14.1f\n", "dataplane cycles/packet (busy)", dp_cpp);
+  std::printf("%-44s %14.0f\n", "dataplane packets/sec (200 MHz)", dp_pps);
+  std::printf("%-44s %14.1f\n", "async overhead cycles/packet", dp_cpp - base_cpp);
+  std::printf("%-44s %14llu\n", "NIC IRQs", static_cast<unsigned long long>(run.nic_irqs));
+  std::printf("%-44s %14llu\n", "timer IRQs", static_cast<unsigned long long>(run.timer_irqs));
+  std::printf("%-44s %14llu\n", "context switches",
+              static_cast<unsigned long long>(run.context_switches));
+  std::printf("%-44s %14llu\n", "preemptions",
+              static_cast<unsigned long long>(run.preemptions));
+  std::printf("%-44s %14llu\n", "RX ring drops",
+              static_cast<unsigned long long>(run.rx_dropped));
+  std::printf("%-44s %14llu\n", "queue-full drops",
+              static_cast<unsigned long long>(run.queue_dropped));
+
+  BenchJson json("dataplane");
+  json.Set("packets_offered", static_cast<u64>(packets));
+  json.Set("packets_served", run.served);
+  json.Set("baseline_cycles_per_packet", base_cpp);
+  json.Set("baseline_packets_per_sec", base_pps);
+  json.Set("dataplane_cycles_per_packet", dp_cpp);
+  json.Set("dataplane_packets_per_sec", dp_pps);
+  json.Set("async_overhead_cycles_per_packet", dp_cpp - base_cpp);
+  json.Set("nic_irqs", run.nic_irqs);
+  json.Set("timer_irqs", run.timer_irqs);
+  json.Set("context_switches", run.context_switches);
+  json.Set("preemptions", run.preemptions);
+  json.Set("rx_ring_drops", run.rx_dropped);
+  json.Set("queue_full_drops", run.queue_dropped);
+  json.Set("filter_invocations", run.filter_invocations);
+  json.Set("workers", kWorkers);
+  json.Set("workers_exited", static_cast<u64>(run.workers_exited));
+  json.Set("total_cycles", run.cycles);
+  json.Set("idle_cycles", run.idle_cycles);
+  const std::string path = json.Write();
+  std::printf("\nwrote %s\n", path.c_str());
+
+  const bool meaningful = packets >= 1'000;
+  if (meaningful && dp_pps < 10'000.0) {
+    std::fprintf(stderr, "FAIL: %0.f pps through the protected path (< 10k)\n", dp_pps);
+    return 1;
+  }
+  if (run.workers_exited != kWorkers) {
+    std::fprintf(stderr, "FAIL: only %u/%u workers exited\n", run.workers_exited, kWorkers);
+    return 1;
+  }
+  std::printf("protected-path throughput >= 10k packets/sec: %s\n",
+              dp_pps >= 10'000.0 ? "yes" : "(run too small to judge)");
+  return 0;
+}

@@ -134,6 +134,7 @@ int main() {
   std::printf("%-8s %18s %14s %8s\n", "Terms", "Palladium (cyc)", "BPF (cyc)", "BPF/Pd");
 
   auto pkt = BuildPacket(MatchingPacket());
+  BenchJson json("fig7");
   for (int terms = 0; terms <= 4; ++terms) {
     std::string err;
     auto expr = ParseFilter(kFilterSources[terms], &err);
@@ -151,9 +152,12 @@ int main() {
     }
     std::printf("%-8d %18llu %14llu %8.2f\n", terms, static_cast<unsigned long long>(pd),
                 static_cast<unsigned long long>(bpf), static_cast<double>(bpf) / pd);
+    json.Set("terms_" + std::to_string(terms) + "_palladium_cycles", pd);
+    json.Set("terms_" + std::to_string(terms) + "_bpf_cycles", bpf);
   }
   std::printf("\nPaper reference: BPF grows steeply with terms while the compiled\n");
   std::printf("Palladium filter is nearly flat; at 4 terms the extension-based filter\n");
   std::printf("is more than twice as fast as the interpreted one.\n");
+  std::printf("wrote %s\n", json.Write().c_str());
   return 0;
 }

@@ -12,6 +12,11 @@
 namespace palladium {
 namespace {
 
+BenchJson& Json() {
+  static BenchJson json("micro");
+  return json;
+}
+
 // dlopen vs seg_dlopen: measured around the syscalls from inside the app.
 void BenchLoadingCosts() {
   BenchSystem sys;
@@ -50,6 +55,8 @@ extname:
 )");
   u64 dlopen_c = sys.PairedDelta(1);
   u64 seg_dlopen_c = sys.PairedDelta(2);
+  Json().Set("dlopen_cycles", dlopen_c);
+  Json().Set("seg_dlopen_cycles", seg_dlopen_c);
   std::printf("Module loading:\n");
   std::printf("  dlopen:      %8llu cycles (%.1f us)   [paper: ~400 us]\n",
               static_cast<unsigned long long>(dlopen_c), CyclesToUs(dlopen_c));
@@ -160,6 +167,7 @@ fnname:
   // PairedDelta(1) spans: protected call entry + fault + delivery; the
   // dominant component is the fault-to-handler path.
   u64 span = sys.PairedDelta(1);
+  Json().Set("sigsegv_delivery_cycles", span);
   std::printf("\nSIGSEGV delivery (offending user extension):\n");
   std::printf("  violation-to-handler span: %llu cycles   [paper: 3,325]\n",
               static_cast<unsigned long long>(span));
@@ -183,6 +191,7 @@ escape:
   auto ext = kext.LoadExtension("bad", *obj, &diag);
   auto fid = kext.FindFunction("escape");
   auto r = kext.Invoke(*fid, 0);
+  Json().Set("kext_abort_cycles", r.cycles);
   std::printf("\nKernel-extension protection fault:\n");
   std::printf("  abort processing span: %llu cycles   [paper: 1,020 + exception]\n",
               static_cast<unsigned long long>(r.cycles));
@@ -216,6 +225,7 @@ loop:
   u64 before = bm.cpu().cycles();
   bm.Run(1'000'000);
   u64 total = bm.cpu().cycles() - before;
+  Json().Set("seg_load_loop_avg_cycles", static_cast<double>(total) / 100.0);
   // Subtract the loop bookkeeping (dec+cmp+jne+1 per iteration measured
   // separately would be cleaner; the loop body is 4 insns of which one is
   // the segment load).
@@ -236,5 +246,6 @@ int main() {
   BenchSigsegvDelivery();
   BenchKextAbort();
   BenchSegLoad();
+  std::printf("wrote %s\n", Json().Write().c_str());
   return 0;
 }

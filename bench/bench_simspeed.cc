@@ -4,6 +4,9 @@
 // repository (how fast experiments run), not paper results.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
+#include "bench/bench_util.h"
 #include "src/asm/assembler.h"
 #include "src/bpf/bpf.h"
 #include "src/filter/filter.h"
@@ -165,4 +168,26 @@ BENCHMARK(BM_PacketBuild)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace palladium
 
-BENCHMARK_MAIN();
+// Custom main: like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_simspeed.json in JSON format (BENCH_JSON_DIR overrides the
+// directory) so this binary emits machine-readable results like every other
+// bench_*. An explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=" + palladium::BenchJsonPath("simspeed");
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&args_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

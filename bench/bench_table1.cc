@@ -149,5 +149,14 @@ fnname:
               static_cast<long long>(inter_measured - intra_measured));
   std::printf("\nPaper reference: Inter 142 / Intra 10 / Hardware 89 (rows sum to 76;\n");
   std::printf("the discrepancy is in the original paper).\n");
+
+  BenchJson json("table1");
+  json.Set("inter_total_cycles", static_cast<u64>(inter.Total()));
+  json.Set("intra_total_cycles", static_cast<u64>(intra.Total()));
+  json.Set("hardware_total_cycles", static_cast<u64>(hw.Total()));
+  json.Set("protected_call_measured_cycles", inter_measured);
+  json.Set("unprotected_call_measured_cycles", intra_measured);
+  json.Set("protection_overhead_cycles", inter_measured - intra_measured);
+  std::printf("wrote %s\n", json.Write().c_str());
   return 0;
 }

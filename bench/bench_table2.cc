@@ -151,6 +151,7 @@ int main() {
               "Linux RPC");
   std::printf("%-16s %14s %14s %12s\n", "(Bytes)", "call", "call", "");
 
+  BenchJson json("table2");
   for (u32 size : {32u, 64u, 128u, 256u}) {
     CallCosts costs = MeasureCalls(size);
 
@@ -166,9 +167,14 @@ int main() {
 
     std::printf("%-16u %14.2f %14.2f %12.2f\n", size, CyclesToUs(costs.unprotected),
                 CyclesToUs(costs.palladium), CyclesToUs(rpc_cycles));
+    const std::string prefix = "size_" + std::to_string(size) + "_";
+    json.Set(prefix + "unprotected_us", CyclesToUs(costs.unprotected));
+    json.Set(prefix + "palladium_us", CyclesToUs(costs.palladium));
+    json.Set(prefix + "rpc_us", CyclesToUs(rpc_cycles));
   }
   std::printf("\nPaper reference (us): 32B: 2.20 / 2.79 / 349.19;  256B: 15.22 / 15.97 /\n");
   std::printf("423.33. The protected-vs-unprotected gap stays ~constant (~118-150\n");
   std::printf("cycles) while RPC is two orders of magnitude slower at small sizes.\n");
+  std::printf("wrote %s\n", json.Write().c_str());
   return 0;
 }

@@ -108,6 +108,9 @@ int main() {
 
   std::printf("%-12s %8s %9s %12s %14s %8s\n", "Size", "CGI", "FastCGI", "LibCGI(Prot)",
               "LibCGI(Unprot)", "Server");
+  BenchJson json("table3");
+  json.Set("libcgi_unprotected_call_cycles", calls.unprotected);
+  json.Set("libcgi_protected_call_cycles", calls.protected_call);
   for (int s = 0; s < 4; ++s) {
     WebWorkload wl;
     wl.file_bytes = sizes[s];
@@ -119,6 +122,8 @@ int main() {
                   model == CgiModel::kLibCgiProtected ? 12 :
                   model == CgiModel::kLibCgi ? 14 : 8,
                   r.requests_per_sec);
+      json.Set("bytes_" + std::to_string(sizes[s]) + "_" + CgiModelName(model) + "_rps",
+               r.requests_per_sec);
     }
     std::printf("\n");
   }
@@ -126,5 +131,6 @@ int main() {
   std::printf("LibCGI within ~5%% of the static bound, protected within ~4%% of\n");
   std::printf("unprotected, FastCGI ~2x slower below 10 KB, CGI slowest; all models\n");
   std::printf("converge at 100 KB where per-byte costs dominate.\n");
+  std::printf("wrote %s\n", json.Write().c_str());
   return 0;
 }

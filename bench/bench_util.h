@@ -8,7 +8,10 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/asm/assembler.h"
@@ -18,6 +21,52 @@
 #include "src/kernel/kernel.h"
 
 namespace palladium {
+
+// --- Machine-readable results -------------------------------------------------
+// Every bench binary writes BENCH_<name>.json (flat metrics object) next to
+// its human-readable table, so CI and trend tooling can consume the numbers
+// without scraping stdout. BENCH_JSON_DIR overrides the output directory
+// (default: the current working directory).
+
+inline std::string BenchJsonPath(const std::string& bench_name) {
+  const char* dir = std::getenv("BENCH_JSON_DIR");
+  return std::string(dir != nullptr ? dir : ".") + "/BENCH_" + bench_name + ".json";
+}
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    metrics_.emplace_back(key, buf);
+  }
+  void Set(const std::string& key, u64 value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+  void Set(const std::string& key, u32 value) { Set(key, static_cast<u64>(value)); }
+  void Set(const std::string& key, int value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+
+  // Writes {"bench": <name>, "metrics": {...}}; returns the path.
+  std::string Write() const {
+    const std::string path = BenchJsonPath(name_);
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {\n";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      out << "    \"" << metrics_[i].first << "\": " << metrics_[i].second
+          << (i + 1 < metrics_.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 inline constexpr u32 kSysBenchMark = 240;
 inline constexpr double kCpuMhz = 200.0;  // the paper's Pentium 200

@@ -1,16 +1,31 @@
-// Web-server example: the LibCGI scenario of Section 5.2 — a web server
-// invoking CGI scripts as protected local function calls instead of forked
-// processes. Sweeps response sizes across the five execution models and
-// reports throughput, CPU and link utilization.
+// Web-server example, two halves:
+//
+//  1. The Table-3 closed-form model (Section 5.2): CGI execution models
+//     compared on throughput/CPU/link utilization.
+//
+//  2. The interrupt-driven machine: many simulated clients' HTTP requests
+//     arrive as NIC frames, pass through a *protected* packet-filter kernel
+//     extension, land in per-worker delivery queues, and a preemptive
+//     round-robin scheduler multiplexes the worker processes that serve
+//     them. A deliberately runaway filter is loaded first to show the timer
+//     watchdog killing it asynchronously while service continues.
 #include <cstdio>
 
+#include "src/asm/assembler.h"
+#include "src/core/kernel_ext.h"
+#include "src/hw/nic.h"
+#include "src/kernel/sched.h"
+#include "src/net/dataplane.h"
+#include "src/net/packet.h"
 #include "src/web/server_sim.h"
 
 using namespace palladium;
 
-int main(int argc, char** argv) {
+namespace {
+
+void RunClosedFormModel(u32 total_requests) {
   WebWorkload workload;
-  if (argc > 1) workload.total_requests = static_cast<u32>(std::atoi(argv[1]));
+  workload.total_requests = total_requests;
   WebServerCosts costs;
 
   std::printf("Web server model: %u requests, concurrency %u, %.0f Mbps link,\n",
@@ -32,6 +47,94 @@ int main(int argc, char** argv) {
   }
   std::printf("Reading: protected LibCGI stays within a few percent of the\n");
   std::printf("unprotected variant; both nearly match the static-file bound, while\n");
-  std::printf("process-based CGI pays fork+exec on every request.\n");
+  std::printf("process-based CGI pays fork+exec on every request.\n\n");
+}
+
+// A looping "filter" that the timer watchdog must kill asynchronously.
+bool DemoWatchdogKill() {
+  Machine machine;
+  Kernel kernel(machine);
+  kernel.EnableTimerInterrupts();
+  KernelExtensionManager kext(kernel);
+
+  AssembleError aerr;
+  auto runaway = Assemble(R"(
+  .global filter_run
+filter_run:
+  mov $0, %eax
+forever:
+  add $1, %eax
+  jmp forever
+  .data
+  .global pd_shared
+pd_shared:
+  .space 64
+)",
+                          &aerr);
+  if (!runaway) {
+    std::fprintf(stderr, "assemble runaway: %s\n", aerr.ToString().c_str());
+    return false;
+  }
+  std::string diag;
+  KextOptions opts;
+  opts.cycle_limit = 500'000;
+  auto ext = kext.LoadExtension("runaway", *runaway, &diag, opts);
+  auto fid = ext ? kext.FindFunction("runaway:filter_run") : std::nullopt;
+  if (!ext || !fid) {
+    std::fprintf(stderr, "load runaway: %s\n", diag.c_str());
+    return false;
+  }
+  std::printf("--- timer watchdog vs a runaway kernel extension ---\n");
+  auto r = kext.Invoke(*fid, 0);
+  std::printf("invoke result: %s (after %llu cycles)\n",
+              r.ok ? "returned?!" : r.error.c_str(),
+              static_cast<unsigned long long>(r.cycles));
+  const bool killed_async = !r.ok && r.error.find("timer watchdog") != std::string::npos;
+  std::printf("asynchronously detected and killed by the timer interrupt: %s\n\n",
+              killed_async ? "yes" : "NO");
+  return killed_async;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 total_requests = 1000;
+  if (argc > 1) total_requests = static_cast<u32>(std::atoi(argv[1]));
+
+  RunClosedFormModel(total_requests);
+
+  if (!DemoWatchdogKill()) return 1;
+
+  // The interrupt-driven machine serving many concurrent clients.
+  MultiServerConfig cfg;
+  cfg.workers = 4;
+  cfg.clients = 16;
+  cfg.total_requests = 128;
+  std::printf("--- interrupt-driven multi-worker server ---\n");
+  std::printf("%u clients, %u requests, %u worker processes, timer slice %llu cycles\n",
+              cfg.clients, cfg.total_requests, cfg.workers,
+              static_cast<unsigned long long>(cfg.slice_cycles));
+  MultiServerResult r = RunMultiWorkerServer(cfg);
+  if (!r.ok) {
+    std::fprintf(stderr, "multi-worker server failed: %s\n", r.diag.c_str());
+    return 1;
+  }
+  std::printf("served %llu requests (%llu parsed by the HTTP layer) in %llu cycles\n",
+              static_cast<unsigned long long>(r.served),
+              static_cast<unsigned long long>(r.parsed_requests),
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("throughput: %.0f req/s at 200 MHz\n", r.requests_per_sec);
+  std::printf("IRQs: %llu NIC, %llu timer; %llu context switches (%llu preemptions)\n",
+              static_cast<unsigned long long>(r.nic_irqs),
+              static_cast<unsigned long long>(r.timer_irqs),
+              static_cast<unsigned long long>(r.context_switches),
+              static_cast<unsigned long long>(r.preemptions));
+  std::printf("protected filter invocations: %llu\n",
+              static_cast<unsigned long long>(r.filter_invocations));
+  std::printf("per-worker requests served:");
+  for (i32 s : r.per_worker_served) std::printf(" %d", s);
+  std::printf("\n\nEvery request crossed the NIC ring, a protected SPL 1 filter, a\n");
+  std::printf("per-process queue and two syscalls, under preemptive scheduling —\n");
+  std::printf("the asynchronous half of the paper's machine.\n");
   return 0;
 }

@@ -239,6 +239,11 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
   cpu.ForceSegment(SegReg::kDs, Selector(ext.data_selector));
   cpu.ForceSegment(SegReg::kEs, Selector(ext.data_selector));
   cpu.set_cpl(kSpl1);
+  // Extensions run with interrupts open (when the machine has a live timer):
+  // a runaway extension is detected and killed *asynchronously* by the timer
+  // watchdog — the paper's safe-termination claim — instead of by the
+  // cooperative run-loop deadline below.
+  if (kernel_.interrupts_enabled()) cpu.set_eflags(cpu.eflags() | kFlagIf);
   cpu.set_reg(Reg::kEsp, ext.stack_top - 4);
   u32 arg_le = arg;
   kernel_.WriteKernelVirt(ext.linear_base + ext.stack_top - 4, &arg_le, 4);
@@ -246,11 +251,29 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
   // Model the kernel-side sequence that stages the call (mirrors Prepare).
   kernel_.Charge(26);
 
-  const u64 deadline = cpu.cycles() + ext.cycle_limit;
+  // Cooperative deadline: the exact limit when the timer cannot interrupt,
+  // a generous backstop (timer granularity is the real detector) otherwise.
+  const u64 deadline = cpu.cycles() + (kernel_.interrupts_enabled() ? ext.cycle_limit * 16
+                                                                    : ext.cycle_limit);
   for (;;) {
     StopInfo stop = cpu.Run(deadline);
     switch (stop.reason) {
       case StopReason::kHostCall:
+        if (stop.host_call_id >= kHostEntryIrqBase &&
+            stop.host_call_id < kHostEntryIrqBase + kNumIrqVectors) {
+          const u32 irq = stop.host_call_id - kHostEntryIrqBase;
+          // Kernel context is not preemptible: service the device, then
+          // apply the extension watchdog on the timer line.
+          kernel_.HandleIrqFromGate(irq, /*in_kernel_context=*/true);
+          if (irq == kIrqTimer && cpu.cycles() - start_cycles > ext.cycle_limit) {
+            result = Abort(ext, "extension exceeded its CPU-time limit (timer watchdog)",
+                           kernel_.costs().kext_gp_processing);
+            result.cycles = cpu.cycles() - start_cycles;
+            restore();
+            return result;
+          }
+          continue;
+        }
         if (stop.host_call_id == kHostEntryKextReturn) {
           result.ok = true;
           result.value = cpu.reg(Reg::kEax);

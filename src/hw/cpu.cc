@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/hw/irq.h"
 #include "src/hw/paging.h"
 
 namespace palladium {
@@ -801,6 +802,9 @@ bool Cpu::DoInt(u8 vector, bool software, Fault* fault) {
   cs.cache = *target;
   cs.valid = true;
   eip_ = gate->gate_offset;
+  // Interrupt-gate semantics: further hardware interrupts are blocked until
+  // IRET (or an explicit host-side restore) brings the pushed flags back.
+  eflags_ &= ~kFlagIf;
   return true;
 }
 
@@ -862,6 +866,26 @@ StopInfo Cpu::Run(u64 cycle_limit) {
         stop.reason = StopReason::kHostCall;
         stop.host_call_id = (linear - host_base_) / kInsnSize;
         return stop;
+      }
+    }
+    // Hardware-interrupt check, strictly at retire boundaries and keyed off
+    // the cycle counter (identical fast-path or oracle), after the host-entry
+    // check so a pending gate into the kernel is taken before any IRQ. The
+    // common case is one load + compare.
+    if (irq_hub_ != nullptr && irq_hub_->attention_cycle() <= cycles_) {
+      const int vec = irq_hub_->Poll(cycles_, (eflags_ & kFlagIf) != 0);
+      if (vec >= 0) {
+        if (irq_trace_ != nullptr) {
+          irq_trace_->push_back(IrqEvent{static_cast<u8>(vec), cpl_, eip_, cycles_});
+        }
+        Fault fault;
+        if (!DoInt(static_cast<u8>(vec), /*software=*/false, &fault)) {
+          stop.reason = StopReason::kFault;
+          stop.fault = fault;
+          return stop;
+        }
+        cycles_ += model_.int_gate;
+        continue;  // the gate target may itself be a host entry
       }
     }
     if (!StepOne(&stop)) return stop;

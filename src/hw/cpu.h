@@ -11,6 +11,7 @@
 #define SRC_HW_CPU_H_
 
 #include <array>
+#include <vector>
 
 #include "src/hw/cycle_model.h"
 #include "src/hw/dtlb.h"
@@ -66,7 +67,10 @@ struct CpuContext {
 inline constexpr u32 kFlagCf = 1u << 0;
 inline constexpr u32 kFlagZf = 1u << 6;
 inline constexpr u32 kFlagSf = 1u << 7;
+inline constexpr u32 kFlagIf = 1u << 9;  // hardware-interrupt enable
 inline constexpr u32 kFlagOf = 1u << 11;
+
+class IrqHub;
 
 class Cpu {
  public:
@@ -143,6 +147,29 @@ class Cpu {
     model_ = m;
     RebuildCostTable();
   }
+
+  // --- Hardware interrupts ----------------------------------------------------
+  // Attaching a hub makes the CPU poll for pending IRQs at instruction-
+  // retire boundaries (and only there), keyed off the cycle counter — so
+  // delivery points are deterministic and identical with the decode-cache /
+  // D-TLB fast paths on or off. Delivery requires EFLAGS.IF; entering an
+  // interrupt gate clears IF and IRET restores it, as on the hardware.
+  void set_irq_hub(IrqHub* hub) { irq_hub_ = hub; }
+  IrqHub* irq_hub() const { return irq_hub_; }
+
+  // One record per delivered hardware interrupt, for differential harnesses
+  // (the "interrupt stream" analogue of the fault stream).
+  struct IrqEvent {
+    u8 vector = 0;
+    u8 cpl = 0;      // privilege level the interrupt arrived at
+    u32 eip = 0;     // EIP of the interrupted boundary
+    u64 cycle = 0;   // cycle counter at delivery
+    bool operator==(const IrqEvent& o) const {
+      return vector == o.vector && cpl == o.cpl && eip == o.eip && cycle == o.cycle;
+    }
+  };
+  // Enables tracing into caller-owned storage (nullptr disables).
+  void set_irq_trace(std::vector<IrqEvent>* trace) { irq_trace_ = trace; }
 
   // Host entry range: instruction fetches whose *linear* address lands in
   // [base, base+size) stop execution with kHostCall and
@@ -251,6 +278,10 @@ class Cpu {
   u64 instructions_ = 0;
   u32 host_base_ = 0;
   u32 host_size_ = 0;
+
+  // --- Hardware interrupt fabric (optional) ---------------------------------
+  IrqHub* irq_hub_ = nullptr;
+  std::vector<IrqEvent>* irq_trace_ = nullptr;
 
   // --- Data access fast path -------------------------------------------------
   // Host-pointer pages keyed by linear page, validated against the TLB's

@@ -1,0 +1,90 @@
+#include "src/hw/irq.h"
+
+namespace palladium {
+
+void InterruptController::Raise(u32 irq) {
+  irq &= kNumIrqs - 1;
+  pending_ |= static_cast<u16>(1u << irq);
+  ++raised_[irq];
+  if (hub_ != nullptr) hub_->Poke();
+}
+
+void InterruptController::SetMasked(u32 irq, bool masked) {
+  irq &= kNumIrqs - 1;
+  if (masked) {
+    mask_ |= static_cast<u16>(1u << irq);
+  } else {
+    mask_ &= static_cast<u16>(~(1u << irq));
+  }
+  if (hub_ != nullptr) hub_->Poke();
+}
+
+int InterruptController::DeliverableIrq() const {
+  const u16 candidates = pending_ & static_cast<u16>(~mask_);
+  if (candidates == 0) return kNoIrq;
+  const int irq = __builtin_ctz(candidates);
+  // Nesting rule: only lines strictly higher priority (lower number) than
+  // every in-service line may interrupt.
+  if (in_service_ != 0 && irq >= __builtin_ctz(in_service_)) return kNoIrq;
+  return irq;
+}
+
+int InterruptController::Acknowledge() {
+  const int irq = DeliverableIrq();
+  if (irq == kNoIrq) return kNoIrq;
+  pending_ &= static_cast<u16>(~(1u << irq));
+  if (!auto_eoi_) in_service_ |= static_cast<u16>(1u << irq);
+  ++delivered_[irq];
+  if (hub_ != nullptr) hub_->Poke();
+  return static_cast<int>(VectorFor(static_cast<u32>(irq)));
+}
+
+void InterruptController::Eoi() {
+  if (in_service_ == 0) return;
+  in_service_ &= static_cast<u16>(in_service_ - 1);  // clear lowest set bit
+  if (hub_ != nullptr) hub_->Poke();
+}
+
+int IrqHub::Poll(u64 now, bool allow_delivery) {
+  AdvanceDevices(now);
+  if (allow_delivery) {
+    const int vec = pic_.Acknowledge();
+    if (vec >= 0) {
+      Recompute(now);
+      return vec;
+    }
+  }
+  Recompute(now);
+  return InterruptController::kNoIrq;
+}
+
+void IrqHub::AdvanceDevices(u64 now) {
+  for (IrqDevice* d : devices_) {
+    if (d->next_event() <= now) d->Advance(now);
+  }
+}
+
+u64 IrqHub::NextDeviceEvent() const { return NextDeviceEventExcept(nullptr); }
+
+u64 IrqHub::NextDeviceEventExcept(const IrqDevice* skip) const {
+  u64 next = IrqDevice::kIdle;
+  for (const IrqDevice* d : devices_) {
+    if (d == skip) continue;
+    const u64 e = d->next_event();
+    if (e < next) next = e;
+  }
+  return next;
+}
+
+void IrqHub::Recompute(u64 now) {
+  // A deliverable-but-blocked line (IF clear, or priority-masked by an
+  // in-service handler) keeps attention at `now`: the CPU must re-ask at
+  // every boundary until it can take the interrupt.
+  if (pic_.HasDeliverable()) {
+    attention_ = now;
+    return;
+  }
+  attention_ = NextDeviceEvent();
+}
+
+}  // namespace palladium

@@ -1,0 +1,73 @@
+#include "src/hw/nic.h"
+
+#include <algorithm>
+
+namespace palladium {
+
+void Nic::Inject(const u8* frame, u32 len, u64 at_cycle) {
+  if (at_cycle < last_arrival_) at_cycle = last_arrival_;
+  last_arrival_ = at_cycle;
+  Arrival a;
+  a.cycle = at_cycle;
+  a.frame.assign(frame, frame + len);
+  arrivals_.push_back(std::move(a));
+  NotifyHub();  // the hub's cached attention cycle must see the new arrival
+}
+
+bool Nic::DmaRxFrame(const std::vector<u8>& frame) {
+  if (rx_.count == 0) return false;
+  const u32 desc = rx_.desc_phys + rx_head_ * kNicDescBytes;
+  u32 status = 0, buf = 0;
+  if (!pm_.Read32(desc + kNicDescStatus, &status) || status != kDescOwn) return false;
+  if (!pm_.Read32(desc + kNicDescBuf, &buf)) return false;
+  const u32 len = std::min<u32>(static_cast<u32>(frame.size()), rx_.buf_stride);
+  if (!pm_.WriteBlock(buf, frame.data(), len)) return false;
+  pm_.Write32(desc + kNicDescLen, len);
+  pm_.Write32(desc + kNicDescStatus, kDescDone);
+  rx_head_ = (rx_head_ + 1) % rx_.count;
+  ++stats_.rx_frames;
+  stats_.rx_bytes += len;
+  return true;
+}
+
+void Nic::Advance(u64 now) {
+  while (!arrivals_.empty() && arrivals_.front().cycle <= now) {
+    // Oversize frames never land truncated-but-"complete": the wire drops
+    // them (no jumbo support), the same as a ring with no free descriptor.
+    if (arrivals_.front().frame.size() > rx_.buf_stride) {
+      ++stats_.rx_dropped;
+    } else if (DmaRxFrame(arrivals_.front().frame)) {
+      pic_.Raise(irq_);
+    } else {
+      // No free descriptor (or a misconfigured ring): the wire does not
+      // wait — the frame is dropped, silently from the driver's view.
+      ++stats_.rx_dropped;
+    }
+    arrivals_.pop_front();
+  }
+}
+
+u32 Nic::TxKick() {
+  u32 sent = 0;
+  if (tx_.count == 0) return 0;
+  for (u32 i = 0; i < tx_.count; ++i) {
+    const u32 desc = tx_.desc_phys + tx_head_ * kNicDescBytes;
+    u32 status = 0, len = 0, buf = 0;
+    if (!pm_.Read32(desc + kNicDescStatus, &status) || status != kDescOwn) break;
+    pm_.Read32(desc + kNicDescLen, &len);
+    pm_.Read32(desc + kNicDescBuf, &buf);
+    len = std::min(len, tx_.buf_stride);
+    std::vector<u8> frame(len);
+    if (!pm_.ReadBlock(buf, frame.data(), len)) break;
+    tx_log_.push_back(std::move(frame));
+    if (tx_log_.size() > kTxLogCap) tx_log_.pop_front();
+    pm_.Write32(desc + kNicDescStatus, kDescDone);
+    tx_head_ = (tx_head_ + 1) % tx_.count;
+    ++stats_.tx_frames;
+    stats_.tx_bytes += len;
+    ++sent;
+  }
+  return sent;
+}
+
+}  // namespace palladium

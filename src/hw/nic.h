@@ -1,0 +1,110 @@
+// A simple bus-mastering NIC model: RX and TX descriptor rings living in
+// simulated physical memory, DMA through PhysicalMemory (so every DMA write
+// fires the write observer and the decode cache stays coherent), and one
+// interrupt line. Frames are injected by the host harness with an explicit
+// arrival cycle, which keeps the whole device a pure function of the
+// simulated clock.
+//
+// Descriptor layout (16 bytes, little-endian):
+//   word0  status — kDescOwn: owned by the NIC (RX: slot free for hardware;
+//                   TX: frame ready to send); kDescDone: hardware finished
+//                   (RX: frame landed; TX: frame sent)
+//   word1  frame length in bytes
+//   word2  physical address of this descriptor's buffer (driver-provided;
+//          buffers need not be contiguous — they are ordinary frames)
+//   word3  reserved
+// A buffer holds at most buf_stride bytes.
+#ifndef SRC_HW_NIC_H_
+#define SRC_HW_NIC_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/hw/irq.h"
+#include "src/hw/physical_memory.h"
+#include "src/hw/types.h"
+
+namespace palladium {
+
+struct NicRing {
+  u32 desc_phys = 0;    // base of `count` 16-byte descriptors
+  u32 count = 0;
+  u32 buf_stride = 2048;  // capacity of each descriptor's buffer
+};
+
+inline constexpr u32 kDescOwn = 1;
+inline constexpr u32 kDescDone = 2;
+inline constexpr u32 kNicDescBytes = 16;
+inline constexpr u32 kNicDescStatus = 0;
+inline constexpr u32 kNicDescLen = 4;
+inline constexpr u32 kNicDescBuf = 8;
+
+class Nic : public IrqDevice {
+ public:
+  struct Stats {
+    u64 rx_frames = 0;    // DMA'd into the ring
+    u64 rx_dropped = 0;   // arrived with no free descriptor
+    u64 rx_bytes = 0;
+    u64 tx_frames = 0;
+    u64 tx_bytes = 0;
+  };
+
+  Nic(PhysicalMemory& pm, InterruptController& pic, u32 irq) : pm_(pm), pic_(pic), irq_(irq) {}
+
+  void ConfigureRx(const NicRing& ring) {
+    rx_ = ring;
+    rx_head_ = 0;
+  }
+  void ConfigureTx(const NicRing& ring) {
+    tx_ = ring;
+    tx_head_ = 0;
+  }
+
+  // Host harness: a frame arrives on the wire at `at_cycle` (clamped to be
+  // non-decreasing so the arrival sequence is a valid timeline).
+  void Inject(const u8* frame, u32 len, u64 at_cycle);
+
+  u64 next_event() const override {
+    return arrivals_.empty() ? kIdle : arrivals_.front().cycle;
+  }
+  void Advance(u64 now) override;
+
+  // Kernel driver doorbell: transmit every ready descriptor in ring order.
+  // Returns the number of frames sent; sent frames are captured in
+  // tx_frames() for harness inspection ("the wire" — bounded to the most
+  // recent kTxLogCap frames so soak runs don't grow host memory without
+  // bound; stats() keeps the full counts).
+  u32 TxKick();
+  static constexpr size_t kTxLogCap = 4096;
+
+  u32 irq() const { return irq_; }
+  const Stats& stats() const { return stats_; }
+  const std::deque<std::vector<u8>>& tx_frames() const { return tx_log_; }
+  const NicRing& rx_ring() const { return rx_; }
+  const NicRing& tx_ring() const { return tx_; }
+  u32 rx_head() const { return rx_head_; }
+
+ private:
+  struct Arrival {
+    u64 cycle;
+    std::vector<u8> frame;
+  };
+
+  bool DmaRxFrame(const std::vector<u8>& frame);
+
+  PhysicalMemory& pm_;
+  InterruptController& pic_;
+  u32 irq_;
+  NicRing rx_;
+  NicRing tx_;
+  u32 rx_head_ = 0;
+  u32 tx_head_ = 0;
+  u64 last_arrival_ = 0;
+  std::deque<Arrival> arrivals_;
+  std::deque<std::vector<u8>> tx_log_;
+  Stats stats_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_NIC_H_

@@ -38,6 +38,11 @@ inline constexpr Selector kKernelReturnGateSel = Selector::FromIndex(kGdtKernelR
 // --- Interrupt vectors ------------------------------------------------------
 inline constexpr u8 kVecSyscall = 0x80;        // user / app system calls (gate DPL 3)
 inline constexpr u8 kVecKernelService = 0x81;  // kernel-extension services (gate DPL 1)
+// Hardware IRQs are remapped to 0x20..0x2F (the Linux-on-x86 convention).
+inline constexpr u8 kVecIrqBase = 0x20;
+inline constexpr u32 kNumIrqVectors = 16;
+inline constexpr u32 kIrqTimer = 0;  // interval timer (scheduler + watchdog)
+inline constexpr u32 kIrqNic = 5;    // network interface
 
 // --- Host entry ids (offsets into the host-call range) ----------------------
 inline constexpr u32 kHostEntrySyscall = 0;
@@ -45,6 +50,9 @@ inline constexpr u32 kHostEntryKernelService = 1;
 inline constexpr u32 kHostEntryKextReturn = 2;
 inline constexpr u32 kHostEntryFaultRelay = 3;
 inline constexpr u32 kHostEntryFirstFree = 8;
+// IRQ gate targets occupy the top of the 256-entry host page, well clear of
+// AllocateHostCallId's growth upward from kHostEntryFirstFree.
+inline constexpr u32 kHostEntryIrqBase = 224;
 
 // --- System call numbers (Linux-2.0-flavoured + Palladium additions) --------
 inline constexpr u32 kSysExit = 1;
@@ -71,6 +79,10 @@ inline constexpr u32 kSysDlsym = 214;        // ebx=handle ecx=name -> raw data 
 inline constexpr u32 kSysSegDlclose = 215;   // ebx=handle
 inline constexpr u32 kSysDlopenUnprot = 216; // unprotected dlopen (baseline)
 inline constexpr u32 kSysExposeService = 217; // ebx=name ecx=fn -> gate selector
+// Packet dataplane (NIC RX -> protected filter -> per-process queues):
+inline constexpr u32 kSysPktRecv = 220;  // ebx=buf ecx=cap edx=flags(1=nonblock) -> len
+inline constexpr u32 kSysPktSend = 221;  // ebx=buf ecx=len -> len (via the NIC TX ring)
+inline constexpr u32 kSysYield = 222;    // voluntarily end the scheduling slice
 
 // Errno-style return values (negative in EAX, as in Linux).
 inline constexpr u32 kErrPerm = static_cast<u32>(-1);
@@ -78,6 +90,8 @@ inline constexpr u32 kErrNoEnt = static_cast<u32>(-2);
 inline constexpr u32 kErrFault = static_cast<u32>(-14);
 inline constexpr u32 kErrInval = static_cast<u32>(-22);
 inline constexpr u32 kErrNoMem = static_cast<u32>(-12);
+inline constexpr u32 kErrAgain = static_cast<u32>(-11);     // pkt_recv: queue empty (nonblock)
+inline constexpr u32 kErrShutdown = static_cast<u32>(-108); // pkt_recv: dataplane drained
 
 // --- Signals ---------------------------------------------------------------
 inline constexpr u32 kSigSegv = 11;
@@ -121,6 +135,12 @@ struct KernelCosts {
   u32 fork_base = 20000;
   u32 exec_base = 40000;
   u32 context_switch = 500;
+  // Interrupt path: kernel-side IRQ prologue/epilogue around the handler
+  // (the gate and IRET themselves are charged by the hardware model).
+  u32 irq_dispatch = 290;
+  // Packet syscalls: fixed dispatch work plus the copy loop.
+  u32 pkt_syscall_base = 380;
+  u32 pkt_copy_per_byte = 1;
 };
 
 }  // namespace palladium

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/hw/paging.h"
+#include "src/kernel/sched.h"
 
 namespace palladium {
 
@@ -27,6 +28,8 @@ Kernel::Kernel(Machine& machine) : Kernel(machine, Config{}) {}
 Kernel::Kernel(Machine& machine, const Config& config)
     : machine_(machine), config_(config), frames_(machine.pm(), kPageSize) {
   SetupGdtIdt();
+  hub_.AddDevice(&timer_);
+  if (config_.timer_interrupts) EnableTimerInterrupts();
 
   // Kernel page-directory template: one page directory whose kernel half
   // (PDEs for >= 3 GB) is copied into every process. All 256 kernel page
@@ -67,6 +70,26 @@ void Kernel::SetupGdtIdt() {
   idt.Set(kVecKernelService,
           SegmentDescriptor::MakeInterruptGate(kKernelCsSel.raw(),
                                                HostEntryOffset(kHostEntryKernelService), 1));
+  // Hardware IRQ vectors: DPL 0 gates (hardware delivery ignores gate DPL;
+  // the DPL keeps simulated code from raising them with `int`).
+  for (u32 irq = 0; irq < kNumIrqVectors; ++irq) {
+    idt.Set(static_cast<u16>(kVecIrqBase + irq),
+            SegmentDescriptor::MakeInterruptGate(
+                kKernelCsSel.raw(), HostEntryOffset(kHostEntryIrqBase + irq), 0));
+  }
+}
+
+void Kernel::EnableTimerInterrupts() {
+  if (interrupts_enabled_) return;
+  interrupts_enabled_ = true;
+  cpu().set_irq_hub(&hub_);
+  const u64 period =
+      config_.timer_period_cycles != 0 ? config_.timer_period_cycles : config_.timer_slice_cycles;
+  timer_.Program(period, cpu().cycles());
+}
+
+void Kernel::RegisterIrqHandler(u32 irq, IrqHandler handler) {
+  irq_handlers_[irq] = std::move(handler);
 }
 
 // --- Process lifecycle -------------------------------------------------------
@@ -396,6 +419,10 @@ bool Kernel::LoadUserImage(Pid pid, const LinkedImage& image, const std::string&
   CpuContext& ctx = proc->context;
   ctx = CpuContext{};
   ctx.eip = *entry;
+  // Processes run with hardware interrupts enabled once the machine has a
+  // live timer; without one the bit is meaningless and stays clear so
+  // cooperative-mode memory images are untouched.
+  ctx.eflags = interrupts_enabled_ ? kFlagIf : 0;
   ctx.cpl = 3;
   ctx.regs[static_cast<u8>(Reg::kEsp)] = kUserStackTop - 16;
   const DescriptorTable& gdt = machine_.gdt();
@@ -435,12 +462,113 @@ void Kernel::SwitchTo(Process& proc) {
   tss.ss[2] = kAppDsSel.raw();
   tss.esp[2] = proc.pl2_stack_top;
   cpu().RestoreContext(proc.context);
+  // Kernel policy, as on Linux: process context always runs with hardware
+  // interrupts open once the machine has a live timer. Applying it here (not
+  // only at image load) means processes loaded before EnableTimerInterrupts
+  // or the Scheduler existed are still preemptible and watchdog-covered.
+  if (interrupts_enabled_) cpu().set_eflags(cpu().eflags() | kFlagIf);
   current_ = &proc;
   Charge(config_.costs.context_switch);
 }
 
 void Kernel::SaveCurrent() {
   if (current_ != nullptr) current_->context = cpu().SaveContext();
+}
+
+void Kernel::ExtensionWatchdogTick(Process& proc) {
+  // The extension CPU-time limit (Section 4.5.2). Interrupt-driven (called
+  // from the timer IRQ after the interrupted context was restored) or from
+  // the cooperative slice check — identical logic either way.
+  if (proc.task_spl == 2 && cpu().cpl() == 3) {
+    if (!proc.in_extension) {
+      proc.in_extension = true;
+      proc.ext_cycle_start = cpu().cycles();
+    } else if (cpu().cycles() - proc.ext_cycle_start > config_.extension_cycle_limit) {
+      proc.in_extension = false;
+      if (time_limit_hook_) {
+        time_limit_hook_(*this, proc);
+      } else {
+        DeliverSignal(proc, kSigXcpu);
+      }
+    }
+  } else {
+    proc.in_extension = false;
+  }
+}
+
+bool Kernel::HandleIrqFromGate(u32 irq, bool in_kernel_context) {
+  Charge(config_.costs.irq_dispatch);
+  pic_.Eoi();
+  // Hardware interrupts are transparent: restore the interrupted context
+  // before any kernel work, so handlers (which are host code) see the
+  // machine exactly as the interrupt found it.
+  ReturnFromInterrupt();
+  bool preempt = false;
+  if (irq == kIrqTimer && !in_kernel_context) {
+    if (current_ != nullptr) ExtensionWatchdogTick(*current_);
+    if (sched_ != nullptr && sched_->OnTimerTick()) preempt = true;
+  }
+  auto it = irq_handlers_.find(irq);
+  if (it != irq_handlers_.end()) it->second(*this);
+  return preempt;
+}
+
+void Kernel::ServicePendingIrqsHostSide() {
+  hub_.AdvanceDevices(cpu().cycles());
+  for (;;) {
+    const int vec = pic_.Acknowledge();
+    if (vec < 0) break;
+    const u32 irq = static_cast<u32>(vec) - kVecIrqBase;
+    pic_.Eoi();
+    // No watchdog/preemption while idle (there is no current process), but
+    // user-registered handlers — including one on the timer line — still
+    // run, matching the gate path.
+    auto it = irq_handlers_.find(irq);
+    if (it != irq_handlers_.end()) it->second(*this);
+  }
+}
+
+StopAction Kernel::DispatchStop(const StopInfo& stop) {
+  bool preempt = false;
+  switch (stop.reason) {
+    case StopReason::kHostCall:
+      if (stop.host_call_id >= kHostEntryIrqBase &&
+          stop.host_call_id < kHostEntryIrqBase + kNumIrqVectors) {
+        preempt = HandleIrqFromGate(stop.host_call_id - kHostEntryIrqBase,
+                                    /*in_kernel_context=*/false);
+      } else if (stop.host_call_id == kHostEntrySyscall) {
+        HandleSyscall();
+      } else {
+        auto it = host_calls_.find(stop.host_call_id);
+        if (it != host_calls_.end()) {
+          it->second(*this);
+        } else {
+          KillCurrent("jump into unregistered kernel entry");
+        }
+      }
+      break;
+    case StopReason::kFault:
+      HandleFault(stop);
+      break;
+    case StopReason::kHalted:
+      KillCurrent("unexpected hlt from process context");
+      break;
+    case StopReason::kCycleLimit:
+      break;  // the run loop owns deadline semantics
+  }
+  if (preempt_pending_) {
+    preempt_pending_ = false;
+    preempt = true;
+  }
+  if (current_ == nullptr) return StopAction::kTerminated;
+  switch (current_->state) {
+    case ProcessState::kRunnable:
+      return preempt ? StopAction::kPreempt : StopAction::kContinue;
+    case ProcessState::kBlocked:
+      return StopAction::kBlocked;
+    default:
+      return StopAction::kTerminated;
+  }
 }
 
 RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
@@ -456,54 +584,36 @@ RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
       cycle_budget == ~0ull ? ~0ull : cpu().cycles() + cycle_budget;
 
   while (proc->state == ProcessState::kRunnable) {
-    u64 slice_end = cpu().cycles() + config_.timer_slice_cycles;
-    if (slice_end > deadline) slice_end = deadline;
-    StopInfo stop = cpu().Run(slice_end);
-    switch (stop.reason) {
-      case StopReason::kCycleLimit: {
-        if (cpu().cycles() >= deadline) {
-          SaveCurrent();
-          result.outcome = RunOutcome::kCycleLimit;
-          return result;
-        }
-        // Timer tick: enforce the extension CPU-time limit (Section 4.5.2).
-        if (proc->task_spl == 2 && cpu().cpl() == 3) {
-          if (!proc->in_extension) {
-            proc->in_extension = true;
-            proc->ext_cycle_start = cpu().cycles();
-          } else if (cpu().cycles() - proc->ext_cycle_start > config_.extension_cycle_limit) {
-            proc->in_extension = false;
-            if (time_limit_hook_) {
-              time_limit_hook_(*this, *proc);
-            } else {
-              DeliverSignal(*proc, kSigXcpu);
-            }
-          }
-        } else {
-          proc->in_extension = false;
-        }
-        break;
-      }
-      case StopReason::kHostCall: {
-        if (stop.host_call_id == kHostEntrySyscall) {
-          HandleSyscall();
-        } else {
-          auto it = host_calls_.find(stop.host_call_id);
-          if (it != host_calls_.end()) {
-            it->second(*this);
-          } else {
-            KillCurrent("jump into unregistered kernel entry");
-          }
-        }
-        break;
-      }
-      case StopReason::kFault:
-        HandleFault(stop);
-        break;
-      case StopReason::kHalted:
-        KillCurrent("unexpected hlt from process context");
-        break;
+    // With hardware timer interrupts the watchdog rides the IRQ path and the
+    // CPU runs straight to the caller's deadline; without them, chop the run
+    // into slices and tick the watchdog cooperatively (the legacy behavior,
+    // observable-identical for existing callers).
+    u64 slice_end = deadline;
+    if (!interrupts_enabled_) {
+      slice_end = cpu().cycles() + config_.timer_slice_cycles;
+      if (slice_end > deadline) slice_end = deadline;
     }
+    StopInfo stop = cpu().Run(slice_end);
+    if (stop.reason == StopReason::kCycleLimit) {
+      if (cpu().cycles() >= deadline) {
+        SaveCurrent();
+        result.outcome = RunOutcome::kCycleLimit;
+        return result;
+      }
+      ExtensionWatchdogTick(*proc);
+      continue;
+    }
+    const StopAction action = DispatchStop(stop);
+    if (action == StopAction::kBlocked) {
+      // RunProcess has no other process to switch to; the process stays
+      // parked (state kBlocked) and a Scheduler — or a WakeProcess plus a
+      // second RunProcess — can resume it.
+      current_ = nullptr;
+      result.outcome = RunOutcome::kBlocked;
+      return result;
+    }
+    // kContinue / kPreempt (meaningless without a scheduler) / kTerminated:
+    // the loop condition sorts them out.
   }
 
   current_ = nullptr;
@@ -515,6 +625,37 @@ RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
     result.kill_reason = proc->kill_reason;
   }
   return result;
+}
+
+void Kernel::BlockCurrentForRestart() {
+  Process& proc = *current_;
+  GateFrame frame;
+  if (!PeekGateFrame(&frame) || !frame.has_outer_stack) {
+    KillCurrent("cannot block: unreadable gate frame");
+    return;
+  }
+  // Park the process with a context that re-executes the trapping `int`
+  // instruction on wakeup (restart semantics): registers still hold the
+  // system-call arguments, so the retry re-evaluates the wait condition.
+  CpuContext ctx = cpu().SaveContext();
+  const DescriptorTable& gdt = machine_.gdt();
+  Selector cs_sel(static_cast<u16>(frame.cs));
+  Selector ss_sel(static_cast<u16>(frame.ss));
+  ctx.eip = frame.eip - kInsnSize;
+  ctx.eflags = frame.eflags;
+  ctx.cpl = cs_sel.rpl();
+  ctx.regs[static_cast<u8>(Reg::kEsp)] = frame.esp;
+  ctx.segs[static_cast<u8>(SegReg::kCs)] = MakeLoaded(gdt, cs_sel);
+  ctx.segs[static_cast<u8>(SegReg::kSs)] = MakeLoaded(gdt, ss_sel);
+  proc.context = ctx;
+  proc.state = ProcessState::kBlocked;
+}
+
+void Kernel::WakeProcess(Process& proc) {
+  if (proc.state != ProcessState::kBlocked) return;
+  proc.state = ProcessState::kRunnable;
+  proc.waiting_packet = false;
+  if (sched_ != nullptr) sched_->OnWake(proc.pid);
 }
 
 void Kernel::KillCurrent(const std::string& reason) {
@@ -559,6 +700,14 @@ bool Kernel::PatchGateFrameSelectors(Selector cs, Selector ss) {
 
 void Kernel::ReturnFromGate(u32 eax_value) {
   cpu().set_reg(Reg::kEax, eax_value);
+  ResumeFromGateFrame();
+}
+
+// IRET for hardware interrupts: identical to a syscall return except every
+// register — EAX included — must come back untouched.
+void Kernel::ReturnFromInterrupt() { ResumeFromGateFrame(); }
+
+void Kernel::ResumeFromGateFrame() {
   Fault f;
   u32 eip = 0, cs = 0, eflags = 0;
   if (!cpu().Pop32(&eip, &f) || !cpu().Pop32(&cs, &f) || !cpu().Pop32(&eflags, &f)) {
@@ -671,6 +820,13 @@ void Kernel::HandleSyscall() {
       return;
     case kSysSetCallGate:
       SysSetCallGate(ebx);
+      return;
+    case kSysYield:
+      ReturnFromGate(0);
+      if (sched_ != nullptr) {
+        preempt_pending_ = true;
+        sched_->OnYield();
+      }
       return;
     case kSysInvokeKext: {
       if (!kext_invoker_) {

@@ -15,19 +15,24 @@
 #include <vector>
 
 #include "src/asm/object_file.h"
+#include "src/hw/irq.h"
 #include "src/hw/machine.h"
 #include "src/hw/paging.h"
+#include "src/hw/timer.h"
 #include "src/kernel/abi.h"
 #include "src/kernel/page_alloc.h"
 #include "src/kernel/process.h"
 
 namespace palladium {
 
+class Scheduler;
+
 // Outcome of RunProcess.
 enum class RunOutcome : u8 {
   kExited,       // process called exit
   kKilled,       // unrecoverable fault
   kCycleLimit,   // budget exhausted while still runnable
+  kBlocked,      // parked in a blocking syscall; resumable via WakeProcess
 };
 
 struct RunResult {
@@ -36,11 +41,25 @@ struct RunResult {
   std::string kill_reason;
 };
 
+// What a dispatched CPU stop means for the run loop that observed it.
+enum class StopAction : u8 {
+  kContinue,    // handled; keep running the current process
+  kPreempt,     // scheduler requested a context switch (slice expiry, yield)
+  kBlocked,     // current process went to sleep; its context is saved
+  kTerminated,  // current process exited or was killed
+};
+
 class Kernel {
  public:
   struct Config {
     u64 extension_cycle_limit = 5'000'000;  // per-invocation CPU-time cap
     u64 timer_slice_cycles = 50'000;        // granularity of the limit check
+    // Hardware-timer interrupt delivery. Off by default: the cooperative
+    // slice check in RunProcess then performs the same watchdog duties, so
+    // existing single-process callers observe byte-identical behavior.
+    // Attaching a Scheduler enables it (preemption needs a timer).
+    bool timer_interrupts = false;
+    u64 timer_period_cycles = 0;  // 0 = timer_slice_cycles
     KernelCosts costs;
   };
 
@@ -123,6 +142,54 @@ class Kernel {
   using TimeLimitHook = std::function<void(Kernel&, Process&)>;
   void SetTimeLimitHook(TimeLimitHook hook) { time_limit_hook_ = std::move(hook); }
 
+  // --- Interrupts --------------------------------------------------------------
+  // The kernel owns the interrupt fabric: PIC, hub and the interval timer
+  // (IRQ 0). IDT gates for vectors 0x20..0x2F are always installed; delivery
+  // begins when EnableTimerInterrupts() attaches the hub to the CPU and arms
+  // the timer. From then on the extension watchdog runs off the timer
+  // interrupt instead of the cooperative RunProcess slice check.
+  void EnableTimerInterrupts();
+  bool interrupts_enabled() const { return interrupts_enabled_; }
+  InterruptController& pic() { return pic_; }
+  IrqHub& irq_hub() { return hub_; }
+  IntervalTimer& timer() { return timer_; }
+
+  // Handler for a device IRQ (NIC, ...), run host-side after the interrupted
+  // context has been restored. The timer IRQ is the kernel's own.
+  using IrqHandler = std::function<void(Kernel&)>;
+  void RegisterIrqHandler(u32 irq, IrqHandler handler);
+  void UnregisterIrqHandler(u32 irq) { irq_handlers_.erase(irq); }
+  void UnregisterSyscall(u32 number) { extra_syscalls_.erase(number); }
+
+  // IRET from the current interrupt-gate frame preserving every register
+  // (hardware interrupts must be transparent to the interrupted code).
+  void ReturnFromInterrupt();
+
+  // Full IRQ service from a live gate frame: charge, EOI, resume the
+  // interrupted context, then run watchdog/scheduler bookkeeping (skipped
+  // in_kernel_context, e.g. during a kernel-extension invocation) and the
+  // registered device handler. Returns true if the scheduler asked to
+  // preempt the current process.
+  bool HandleIrqFromGate(u32 irq, bool in_kernel_context);
+
+  // Idle-loop IRQ service: advances devices to the current cycle counter and
+  // dispatches handlers directly (there is no simulated context to interrupt).
+  void ServicePendingIrqsHostSide();
+
+  // Dispatches one CPU stop (host call / fault / halt) and reports what the
+  // run loop should do next. Shared by RunProcess and the Scheduler.
+  StopAction DispatchStop(const StopInfo& stop);
+
+  // --- Blocking / wakeup -------------------------------------------------------
+  // Parks the current process mid-syscall: the saved context re-executes the
+  // `int $0x80` on wakeup (restart semantics, as Linux does for interrupted
+  // slow syscalls). The caller must not ReturnFromGate afterwards.
+  void BlockCurrentForRestart();
+  void WakeProcess(Process& proc);
+
+  void set_scheduler(Scheduler* sched) { sched_ = sched; }
+  Scheduler* scheduler() { return sched_; }
+
   // --- Syscall/gate plumbing ---------------------------------------------------
   // Emulates IRET from the current interrupt-gate frame, placing `eax_value`
   // in EAX. Used by every syscall handler.
@@ -162,6 +229,8 @@ class Kernel {
   void RegisterSyscall(u32 number, SyscallHandler handler);
 
  private:
+  friend class Scheduler;
+
   void SetupGdtIdt();
   void SwitchTo(Process& proc);
   void SaveCurrent();
@@ -169,6 +238,13 @@ class Kernel {
   void HandleSyscall();
   void HandleFault(const StopInfo& stop);
   void KillCurrent(const std::string& reason);
+
+  // One watchdog tick for the user-extension CPU-time limit (Section 4.5.2).
+  // Interrupt-driven from the timer IRQ when interrupts are enabled, or from
+  // the cooperative slice check otherwise — same logic either way.
+  void ExtensionWatchdogTick(Process& proc);
+  // Shared IRET body of ReturnFromGate / ReturnFromInterrupt.
+  void ResumeFromGateFrame();
 
   // Built-in syscall implementations.
   void SysExit(u32 code);
@@ -198,6 +274,15 @@ class Kernel {
   Config config_;
   FrameAllocator frames_;
   u32 kernel_page_dir_template_ = 0;  // PDEs >= 3GB shared by all processes
+
+  // Interrupt fabric.
+  InterruptController pic_{kVecIrqBase};
+  IrqHub hub_{pic_};
+  IntervalTimer timer_{pic_, kIrqTimer};
+  bool interrupts_enabled_ = false;
+  std::map<u32, IrqHandler> irq_handlers_;
+  Scheduler* sched_ = nullptr;
+  bool preempt_pending_ = false;
 
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_ = 1;

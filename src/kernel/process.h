@@ -4,6 +4,7 @@
 #define SRC_KERNEL_PROCESS_H_
 
 #include <array>
+#include <deque>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,7 +16,7 @@ namespace palladium {
 
 using Pid = u32;
 
-enum class ProcessState : u8 { kRunnable, kExited, kKilled };
+enum class ProcessState : u8 { kRunnable, kBlocked, kExited, kKilled };
 
 // One mapped region of the user address space.
 struct VmArea {
@@ -68,6 +69,15 @@ struct Process {
   // at SPL 3 while task_spl == 2 (i.e. inside a user extension).
   u64 ext_cycle_start = 0;
   bool in_extension = false;
+
+  // Packet delivery queue (filled by the dataplane from NIC RX interrupts,
+  // drained by sys_pkt_recv). waiting_packet marks a process blocked in
+  // pkt_recv so a delivery wakes exactly the right sleeper.
+  std::deque<std::vector<u8>> pkt_queue;
+  u32 pkt_queue_limit = 64;
+  bool waiting_packet = false;
+  u64 pkts_delivered = 0;
+  u64 pkts_dropped = 0;
 
   VmArea* FindArea(u32 addr) {
     for (VmArea& a : areas) {

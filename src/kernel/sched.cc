@@ -1,0 +1,158 @@
+#include "src/kernel/sched.h"
+
+namespace palladium {
+
+Scheduler::Scheduler(Kernel& kernel) : Scheduler(kernel, Config{}) {}
+
+Scheduler::Scheduler(Kernel& kernel, const Config& config) : kernel_(kernel), config_(config) {
+  kernel_.set_scheduler(this);
+  kernel_.EnableTimerInterrupts();
+}
+
+Scheduler::~Scheduler() {
+  if (kernel_.scheduler() == this) kernel_.set_scheduler(nullptr);
+}
+
+void Scheduler::AddProcess(Pid pid) { ready_.push_back(pid); }
+
+bool Scheduler::OnTimerTick() {
+  ++stats_.timer_ticks;
+  return kernel_.cpu().cycles() - slice_start_ >= config_.slice_cycles && !ready_.empty();
+}
+
+void Scheduler::OnWake(Pid pid) { ready_.push_back(pid); }
+
+Pid Scheduler::PickNext() {
+  while (!ready_.empty()) {
+    const Pid pid = ready_.front();
+    ready_.pop_front();
+    Process* proc = kernel_.process(pid);
+    if (proc != nullptr && proc->state == ProcessState::kRunnable) return pid;
+    // Exited, killed, or a stale duplicate entry: drop it.
+  }
+  return 0;
+}
+
+Scheduler::RunAllResult Scheduler::RunAll(u64 cycle_budget) {
+  Cpu& cpu = kernel_.cpu();
+  const u64 start_cycles = cpu.cycles();
+  const u64 deadline = cycle_budget == ~0ull ? ~0ull : start_cycles + cycle_budget;
+  RunAllResult result;
+
+  for (;;) {
+    if (cpu.cycles() >= deadline) {
+      result.budget_exhausted = true;
+      break;
+    }
+    const Pid pid = PickNext();
+    if (pid == 0) {
+      // Nobody runnable. If anyone is blocked, idle until the next device
+      // event can wake them; otherwise everything has finished.
+      bool any_blocked = false;
+      for (const auto& [p, proc] : kernel_.processes_) {
+        if (proc->state == ProcessState::kBlocked) any_blocked = true;
+        if (proc->state == ProcessState::kRunnable) {
+          // A process someone woke outside AddProcess/OnWake: adopt it.
+          ready_.push_back(p);
+        }
+      }
+      if (!ready_.empty()) continue;
+      if (!any_blocked) break;
+      // An IRQ already latched in the PIC is a wakeup source too (a handler
+      // or syscall may have raised a line just before the last process
+      // blocked): service it before looking at future device events.
+      if (kernel_.pic().HasDeliverable()) {
+        kernel_.ServicePendingIrqsHostSide();
+        continue;
+      }
+      // The kernel's own free-running timer cannot wake a blocked process;
+      // only real device events (NIC arrivals, ...) count as wakeup sources.
+      const u64 event = kernel_.irq_hub().NextDeviceEventExcept(&kernel_.timer());
+      if (event == IrqDevice::kIdle) {
+        if (idle_hook_ && idle_hook_()) continue;
+        result.deadlocked = true;
+        break;
+      }
+      if (event >= deadline) {
+        result.budget_exhausted = true;
+        break;
+      }
+      if (event > cpu.cycles()) {
+        stats_.idle_cycles += event - cpu.cycles();
+        cpu.set_cycles(event);
+        ++stats_.idle_jumps;
+      }
+      kernel_.ServicePendingIrqsHostSide();
+      continue;
+    }
+
+    Process* proc = kernel_.process(pid);
+    kernel_.SwitchTo(*proc);
+    ++stats_.context_switches;
+    slice_start_ = cpu.cycles();
+
+    StopAction action = StopAction::kContinue;
+    bool hit_deadline = false;
+    for (;;) {
+      StopInfo stop = cpu.Run(deadline);
+      if (stop.reason == StopReason::kCycleLimit) {
+        hit_deadline = true;
+        break;
+      }
+      action = kernel_.DispatchStop(stop);
+      if (action != StopAction::kContinue) break;
+    }
+
+    if (hit_deadline) {
+      kernel_.SaveCurrent();
+      kernel_.current_ = nullptr;
+      ready_.push_front(pid);  // resumes first if the caller runs again
+      result.budget_exhausted = true;
+      break;
+    }
+    switch (action) {
+      case StopAction::kPreempt:
+        kernel_.SaveCurrent();
+        ready_.push_back(pid);
+        // Distinguish a voluntary sys_yield from an involuntary slice-expiry
+        // preemption in the stats (both arrive here as kPreempt).
+        if (yield_pending_) {
+          yield_pending_ = false;
+          ++stats_.yields_or_blocks;
+        } else {
+          ++stats_.preemptions;
+        }
+        break;
+      case StopAction::kBlocked:
+        // Context was saved by BlockCurrentForRestart; a wake re-queues it.
+        ++stats_.yields_or_blocks;
+        break;
+      case StopAction::kTerminated:
+        break;
+      case StopAction::kContinue:
+        break;  // unreachable
+    }
+    kernel_.current_ = nullptr;
+  }
+
+  for (const auto& [p, proc] : kernel_.processes_) {
+    (void)p;
+    switch (proc->state) {
+      case ProcessState::kExited:
+        ++result.exited;
+        break;
+      case ProcessState::kKilled:
+        ++result.killed;
+        break;
+      case ProcessState::kBlocked:
+        ++result.blocked;
+        break;
+      case ProcessState::kRunnable:
+        break;
+    }
+  }
+  result.cycles = cpu.cycles() - start_cycles;
+  return result;
+}
+
+}  // namespace palladium

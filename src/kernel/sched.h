@@ -1,0 +1,85 @@
+// Round-robin preemptive scheduler over the kernel's processes, driven by
+// the hardware interval timer: a timer IRQ whose slice has expired context-
+// switches to the next runnable process, blocking syscalls park the current
+// process until a device interrupt wakes it, and an idle loop fast-forwards
+// the cycle counter to the next device event when everything sleeps.
+//
+// Constructing a Scheduler enables hardware timer interrupts on the kernel
+// (preemption needs a timer) and registers itself as the kernel's scheduler.
+#ifndef SRC_KERNEL_SCHED_H_
+#define SRC_KERNEL_SCHED_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/kernel/kernel.h"
+
+namespace palladium {
+
+class Scheduler {
+ public:
+  struct Config {
+    // A process runs at most this many cycles per slice before a timer tick
+    // rotates it to the back of the ready queue (if anyone else is waiting).
+    u64 slice_cycles = 200'000;
+  };
+
+  struct Stats {
+    u64 context_switches = 0;  // times a process was put on the CPU
+    u64 preemptions = 0;       // involuntary slice-expiry switches
+    u64 yields_or_blocks = 0;  // voluntary departures (yield, blocking syscall)
+    u64 timer_ticks = 0;       // timer IRQs observed while scheduling
+    u64 idle_jumps = 0;        // idle fast-forwards to the next device event
+    u64 idle_cycles = 0;       // simulated cycles skipped while idle
+  };
+
+  struct RunAllResult {
+    u32 exited = 0;
+    u32 killed = 0;
+    u32 blocked = 0;           // still parked when RunAll returned
+    bool budget_exhausted = false;
+    bool deadlocked = false;   // everyone blocked, no device event, no idle-hook progress
+    u64 cycles = 0;            // simulated cycles consumed by this RunAll
+  };
+
+  explicit Scheduler(Kernel& kernel);
+  Scheduler(Kernel& kernel, const Config& config);
+  ~Scheduler();
+
+  // Adds a runnable process to the ready queue.
+  void AddProcess(Pid pid);
+
+  // Runs every managed process to completion (exit/kill), or until the cycle
+  // budget is exhausted, or until the system deadlocks (every live process
+  // blocked with no wakeup source in sight).
+  RunAllResult RunAll(u64 cycle_budget = ~0ull);
+
+  // Kernel callbacks.
+  bool OnTimerTick();    // true => preempt the current process
+  void OnWake(Pid pid);  // a blocked process became runnable
+  void OnYield() { yield_pending_ = true; }  // sys_yield: voluntary departure
+
+  // Consulted when every process is blocked and no device has a scheduled
+  // event: return true after creating new work (e.g. the harness decides the
+  // packet source is drained and shuts the dataplane down, waking sleepers).
+  using IdleHook = std::function<bool()>;
+  void set_idle_hook(IdleHook hook) { idle_hook_ = std::move(hook); }
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Pid PickNext();
+
+  Kernel& kernel_;
+  Config config_;
+  std::deque<Pid> ready_;
+  u64 slice_start_ = 0;
+  bool yield_pending_ = false;
+  Stats stats_;
+  IdleHook idle_hook_;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_KERNEL_SCHED_H_

@@ -1,0 +1,263 @@
+#include "src/net/dataplane.h"
+
+#include <algorithm>
+
+#include "src/asm/assembler.h"
+#include "src/filter/filter.h"
+
+namespace palladium {
+
+PacketDataplane::PacketDataplane(Kernel& kernel, KernelExtensionManager& kext, Nic& nic)
+    : PacketDataplane(kernel, kext, nic, Config{}) {}
+
+PacketDataplane::PacketDataplane(Kernel& kernel, KernelExtensionManager& kext, Nic& nic,
+                                 const Config& config)
+    : kernel_(kernel), kext_(kext), nic_(nic), config_(config) {
+  // Rings: one descriptor page per direction, one buffer frame per
+  // descriptor (frames need not be contiguous — descriptors carry their
+  // buffer's physical address, as on real hardware).
+  PhysicalMemory& pm = kernel_.machine().pm();
+  auto build_ring = [&](u32 entries, bool hw_owned) {
+    NicRing ring;
+    ring.desc_phys = kernel_.frames().Alloc();
+    if (ring.desc_phys == 0) return ring;  // out of frames: empty ring, NIC drops
+    ring.count = std::min(entries, kPageSize / kNicDescBytes);
+    ring.buf_stride = std::min(config_.buf_stride, kPageSize);
+    for (u32 i = 0; i < ring.count; ++i) {
+      const u32 buf = kernel_.frames().Alloc();
+      if (buf == 0) {
+        // Frame exhaustion mid-build: truncate to the descriptors that got
+        // real buffers rather than DMA-ing into physical page 0.
+        ring.count = i;
+        break;
+      }
+      const u32 desc = ring.desc_phys + i * kNicDescBytes;
+      pm.Write32(desc + kNicDescStatus, hw_owned ? kDescOwn : 0);
+      pm.Write32(desc + kNicDescLen, 0);
+      pm.Write32(desc + kNicDescBuf, buf);
+    }
+    return ring;
+  };
+  nic_.ConfigureRx(build_ring(config_.rx_ring_entries, /*hw_owned=*/true));
+  nic_.ConfigureTx(build_ring(config_.tx_ring_entries, /*hw_owned=*/false));
+
+  kernel_.irq_hub().AddDevice(&nic_);
+  kernel_.RegisterIrqHandler(nic_.irq(), [this](Kernel&) { ServiceRx(); });
+  kernel_.RegisterSyscall(kSysPktRecv, [this](Kernel&, u32 ebx, u32 ecx, u32 edx) {
+    SysPktRecv(ebx, ecx, edx);
+  });
+  kernel_.RegisterSyscall(kSysPktSend, [this](Kernel&, u32 ebx, u32 ecx, u32) {
+    SysPktSend(ebx, ecx);
+  });
+}
+
+PacketDataplane::~PacketDataplane() {
+  kernel_.UnregisterIrqHandler(nic_.irq());
+  kernel_.UnregisterSyscall(kSysPktRecv);
+  kernel_.UnregisterSyscall(kSysPktSend);
+  kernel_.irq_hub().RemoveDevice(&nic_);
+}
+
+bool PacketDataplane::AddFlow(const std::string& name, const std::string& filter_text,
+                              std::vector<Pid> dests, std::string* diag) {
+  std::string err;
+  auto expr = ParseFilter(filter_text, &err);
+  if (!expr) {
+    if (diag != nullptr) *diag = "parse: " + err;
+    return false;
+  }
+  AssembleError aerr;
+  auto obj = Assemble(CompileFilterToAsm(*expr, config_.buf_stride + 16), &aerr);
+  if (!obj) {
+    if (diag != nullptr) *diag = "assemble: " + aerr.ToString();
+    return false;
+  }
+  auto ext = kext_.LoadExtension(name, *obj, diag);
+  if (!ext) return false;
+  auto fid = kext_.FindFunction(name + ":filter_run");
+  if (!fid) {
+    if (diag != nullptr) *diag = "compiled filter exports no filter_run";
+    return false;
+  }
+  return AddFlowFunction(name, *ext, *fid, std::move(dests));
+}
+
+bool PacketDataplane::AddFlowFunction(const std::string& name, u32 ext_id, u32 function_id,
+                                      std::vector<Pid> dests) {
+  FlowInfo flow;
+  flow.name = name;
+  flow.ext_id = ext_id;
+  flow.function_id = function_id;
+  flow.dests = std::move(dests);
+  flows_.push_back(std::move(flow));
+  for (Pid pid : flows_.back().dests) all_dests_.push_back(pid);
+  return true;
+}
+
+bool PacketDataplane::Deliver(FlowInfo& flow, const std::vector<u8>& frame) {
+  Process* first_full = nullptr;
+  for (u32 attempt = 0; attempt < flow.dests.size(); ++attempt) {
+    const Pid pid = flow.dests[flow.next_dest];
+    flow.next_dest = (flow.next_dest + 1) % static_cast<u32>(flow.dests.size());
+    Process* proc = kernel_.process(pid);
+    if (proc == nullptr ||
+        (proc->state != ProcessState::kRunnable && proc->state != ProcessState::kBlocked)) {
+      continue;  // round-robin past dead workers
+    }
+    if (proc->pkt_queue.size() >= proc->pkt_queue_limit) {
+      // A stalled worker must not sink the frame while siblings have room:
+      // keep probing; the drop is charged only if every destination is full.
+      if (first_full == nullptr) first_full = proc;
+      continue;
+    }
+    proc->pkt_queue.push_back(frame);
+    ++proc->pkts_delivered;
+    ++stats_.delivered;
+    if (proc->state == ProcessState::kBlocked && proc->waiting_packet) {
+      kernel_.WakeProcess(*proc);
+    }
+    return true;
+  }
+  if (first_full != nullptr) {
+    ++stats_.dropped_queue_full;
+    ++first_full->pkts_dropped;
+  } else {
+    ++stats_.dropped_dead_dest;
+  }
+  return false;
+}
+
+void PacketDataplane::Classify(const std::vector<u8>& frame) {
+  const u32 len = static_cast<u32>(frame.size());
+  for (FlowInfo& flow : flows_) {
+    if (flow.dead) continue;
+    // Stage the frame in the filter's shared area (Section 4.3's pd_shared
+    // exchange: no copy through a syscall boundary) and invoke the protected
+    // filter. The filter runs at SPL 1 behind its segment limit; the timer
+    // watchdog bounds its CPU time.
+    if (!kext_.WriteShared(flow.ext_id, 0, &len, 4) ||
+        !kext_.WriteShared(flow.ext_id, 4, frame.data(), len)) {
+      flow.dead = true;
+      continue;
+    }
+    ++stats_.filter_invocations;
+    auto r = kext_.Invoke(flow.function_id, len);
+    if (!r.ok) {
+      ++stats_.filter_aborts;
+      flow.dead = true;  // aborted extensions stay dead; the flow is disabled
+      continue;
+    }
+    if (r.value == 1) {
+      ++stats_.matched;
+      ++flow.matched;
+      Deliver(flow, frame);
+      return;
+    }
+  }
+  ++stats_.dropped_no_match;
+}
+
+void PacketDataplane::ServiceRx() {
+  ++stats_.nic_irqs;
+  if (in_service_) return;  // nested NIC IRQ during a filter run: outer loop drains
+  in_service_ = true;
+  PhysicalMemory& pm = kernel_.machine().pm();
+  const NicRing& ring = nic_.rx_ring();
+  for (;;) {
+    const u32 desc = ring.desc_phys + rx_consume_ * kNicDescBytes;
+    u32 status = 0, len = 0, buf = 0;
+    if (!pm.Read32(desc + kNicDescStatus, &status) || status != kDescDone) break;
+    pm.Read32(desc + kNicDescLen, &len);
+    pm.Read32(desc + kNicDescBuf, &buf);
+    len = std::min(len, ring.buf_stride);
+    std::vector<u8> frame(len);
+    pm.ReadBlock(buf, frame.data(), len);
+    // Return the descriptor to the hardware before classifying so a burst
+    // arriving mid-filter still finds room.
+    pm.Write32(desc + kNicDescStatus, kDescOwn);
+    rx_consume_ = (rx_consume_ + 1) % ring.count;
+    ++stats_.rx_frames;
+    Classify(frame);
+  }
+  in_service_ = false;
+}
+
+bool PacketDataplane::Transmit(const std::vector<u8>& frame) {
+  PhysicalMemory& pm = kernel_.machine().pm();
+  const NicRing& ring = nic_.tx_ring();
+  if (ring.count == 0) return false;
+  const u32 desc = ring.desc_phys + tx_produce_ * kNicDescBytes;
+  u32 status = 0, buf = 0;
+  pm.Read32(desc + kNicDescStatus, &status);
+  if (status == kDescOwn) return false;  // ring full
+  pm.Read32(desc + kNicDescBuf, &buf);
+  const u32 len = std::min<u32>(static_cast<u32>(frame.size()), ring.buf_stride);
+  pm.WriteBlock(buf, frame.data(), len);
+  pm.Write32(desc + kNicDescLen, len);
+  pm.Write32(desc + kNicDescStatus, kDescOwn);
+  tx_produce_ = (tx_produce_ + 1) % ring.count;
+  nic_.TxKick();
+  ++stats_.tx_frames;
+  return true;
+}
+
+void PacketDataplane::SysPktRecv(u32 buf, u32 cap, u32 flags) {
+  Process& proc = *kernel_.current();
+  kernel_.Charge(kernel_.costs().pkt_syscall_base);
+  if (proc.pkt_queue.empty()) {
+    if (shutdown_) {
+      kernel_.ReturnFromGate(kErrShutdown);
+      return;
+    }
+    if (flags & 1) {
+      kernel_.ReturnFromGate(kErrAgain);
+      return;
+    }
+    proc.waiting_packet = true;
+    kernel_.BlockCurrentForRestart();
+    return;
+  }
+  const std::vector<u8>& pkt = proc.pkt_queue.front();
+  const u32 n = std::min(cap, static_cast<u32>(pkt.size()));
+  if (!kernel_.CopyToUser(proc, buf, pkt.data(), n)) {
+    proc.pkt_queue.pop_front();
+    kernel_.ReturnFromGate(kErrFault);
+    return;
+  }
+  kernel_.Charge(n * kernel_.costs().pkt_copy_per_byte);
+  proc.pkt_queue.pop_front();
+  kernel_.ReturnFromGate(n);
+}
+
+void PacketDataplane::SysPktSend(u32 buf, u32 len) {
+  Process& proc = *kernel_.current();
+  kernel_.Charge(kernel_.costs().pkt_syscall_base);
+  if (len == 0 || len > nic_.tx_ring().buf_stride) {
+    kernel_.ReturnFromGate(kErrInval);
+    return;
+  }
+  std::vector<u8> frame(len);
+  if (!kernel_.CopyFromUser(proc, buf, frame.data(), len)) {
+    kernel_.ReturnFromGate(kErrFault);
+    return;
+  }
+  kernel_.Charge(len * kernel_.costs().pkt_copy_per_byte);
+  if (tx_hook_) frame = tx_hook_(kernel_, proc, frame);
+  if (!Transmit(frame)) {
+    kernel_.ReturnFromGate(kErrAgain);
+    return;
+  }
+  kernel_.ReturnFromGate(len);
+}
+
+void PacketDataplane::Shutdown() {
+  shutdown_ = true;
+  for (Pid pid : all_dests_) {
+    Process* proc = kernel_.process(pid);
+    if (proc != nullptr && proc->state == ProcessState::kBlocked && proc->waiting_packet) {
+      kernel_.WakeProcess(*proc);
+    }
+  }
+}
+
+}  // namespace palladium

@@ -1,0 +1,160 @@
+// The protected-extension packet dataplane: NIC RX interrupts feed frames
+// through packet filters running as Palladium kernel extensions (SPL 1,
+// segment-confined — the paper's "compiled packet filter" deployed for
+// real), and matching frames land in per-process delivery queues drained by
+// the pkt_recv syscall. TX goes back out through the NIC's descriptor ring.
+//
+// The kernel driver half (ring management, classify loop, queue delivery)
+// is host code, like the rest of the kernel model; every filter decision is
+// made by simulated code behind the simulated protection hardware, so a
+// buggy or hostile filter can stall or crash only itself — the timer
+// watchdog aborts it and the dataplane keeps forwarding on other flows.
+#ifndef SRC_NET_DATAPLANE_H_
+#define SRC_NET_DATAPLANE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/kernel_ext.h"
+#include "src/hw/nic.h"
+#include "src/kernel/kernel.h"
+
+namespace palladium {
+
+// The canonical packet-echo worker (simulated assembly, numeric syscall
+// numbers so it composes with any prelude): mmap a buffer, then
+// pkt_recv -> pkt_send until the dataplane shuts down; exit code = frames
+// served. Shared by benches and tests so the worker and the syscall ABI
+// cannot drift apart.
+inline constexpr char kPktEchoWorkerSource[] = R"(
+  .global main
+main:
+  mov $90, %eax           ; SYS_MMAP
+  mov $0, %ebx
+  mov $4096, %ecx
+  mov $3, %edx            ; PROT_READ|PROT_WRITE
+  int $0x80
+  mov %eax, %esi          ; packet buffer
+  mov $0, %edi            ; served counter
+loop:
+  mov $220, %eax          ; SYS_PKT_RECV
+  mov %esi, %ebx
+  mov $2048, %ecx
+  mov $0, %edx
+  int $0x80
+  cmp $0, %eax
+  jl done                 ; negative => dataplane shut down
+  mov %eax, %ecx
+  mov $221, %eax          ; SYS_PKT_SEND
+  mov %esi, %ebx
+  int $0x80
+  inc %edi
+  jmp loop
+done:
+  mov $1, %eax            ; SYS_EXIT
+  mov %edi, %ebx
+  int $0x80
+)";
+
+class PacketDataplane {
+ public:
+  struct Config {
+    u32 rx_ring_entries = 32;
+    u32 tx_ring_entries = 32;
+    u32 buf_stride = 2048;  // one frame per buffer; must be <= kPageSize
+  };
+
+  struct Stats {
+    u64 rx_frames = 0;           // consumed off the RX ring
+    u64 filter_invocations = 0;  // protected kext calls made
+    u64 filter_aborts = 0;       // filters killed (fault or watchdog)
+    u64 matched = 0;
+    u64 delivered = 0;           // enqueued to a process
+    u64 dropped_no_match = 0;
+    u64 dropped_queue_full = 0;
+    u64 dropped_dead_dest = 0;   // destination exited/was killed
+    u64 tx_frames = 0;
+    u64 nic_irqs = 0;            // ServiceRx activations
+  };
+
+  struct FlowInfo {
+    std::string name;
+    u32 ext_id = 0;
+    u32 function_id = 0;
+    bool dead = false;  // filter aborted; flow no longer matches
+    std::vector<Pid> dests;
+    u32 next_dest = 0;  // round-robin cursor
+    u64 matched = 0;
+  };
+
+  // Builds the rings (frames from the kernel allocator), attaches the NIC to
+  // the kernel's IRQ hub, and registers the pkt_recv/pkt_send syscalls and
+  // the NIC IRQ handler.
+  PacketDataplane(Kernel& kernel, KernelExtensionManager& kext, Nic& nic);
+  PacketDataplane(Kernel& kernel, KernelExtensionManager& kext, Nic& nic, const Config& config);
+  // Unhooks everything registered in the constructor (IRQ handler, syscalls,
+  // the NIC's hub membership) so a dataplane — and the caller-owned NIC —
+  // may die before the kernel without leaving dangling callbacks behind.
+  ~PacketDataplane();
+
+  // Compiles `filter_text` (src/filter syntax) to simulated code, loads it
+  // as a protected kernel extension named `name`, and routes matching frames
+  // round-robin across `dests`. Flows are evaluated in registration order;
+  // the first match consumes the frame.
+  bool AddFlow(const std::string& name, const std::string& filter_text, std::vector<Pid> dests,
+               std::string* diag);
+
+  // Registers a flow classified by an arbitrary Extension Function Table
+  // entry (any loaded kext exporting the filter_run/pd_shared convention) —
+  // the hook for hand-written or deliberately hostile filters.
+  bool AddFlowFunction(const std::string& name, u32 ext_id, u32 function_id,
+                       std::vector<Pid> dests);
+
+  // NIC IRQ handler body: drain the RX ring, classify each frame through the
+  // protected filters, deliver + wake. Re-entrancy safe (a nested NIC IRQ
+  // during a filter invocation defers to the outer drain loop).
+  void ServiceRx();
+
+  // Declares the packet source drained: every sleeper in pkt_recv wakes and
+  // gets kErrShutdown, now and on any later call.
+  void Shutdown();
+  bool shutdown() const { return shutdown_; }
+
+  // Optional transform applied to frames a process sends with pkt_send; the
+  // returned bytes are what actually enters the TX ring (the web server uses
+  // this to run request parsing/response formatting on the way out).
+  using TxHook = std::function<std::vector<u8>(Kernel&, Process&, const std::vector<u8>&)>;
+  void set_tx_hook(TxHook hook) { tx_hook_ = std::move(hook); }
+
+  // Sends a frame from kernel context through the TX ring (also the backend
+  // of pkt_send). Returns false when the ring is full.
+  bool Transmit(const std::vector<u8>& frame);
+
+  const Stats& stats() const { return stats_; }
+  const std::vector<FlowInfo>& flows() const { return flows_; }
+  Nic& nic() { return nic_; }
+
+ private:
+  void SysPktRecv(u32 buf, u32 cap, u32 flags);
+  void SysPktSend(u32 buf, u32 len);
+  void Classify(const std::vector<u8>& frame);
+  bool Deliver(FlowInfo& flow, const std::vector<u8>& frame);
+
+  Kernel& kernel_;
+  KernelExtensionManager& kext_;
+  Nic& nic_;
+  Config config_;
+  Stats stats_;
+  std::vector<FlowInfo> flows_;
+  std::vector<Pid> all_dests_;
+  TxHook tx_hook_;
+  u32 rx_consume_ = 0;  // next RX descriptor to inspect
+  u32 tx_produce_ = 0;  // next TX descriptor to fill
+  bool in_service_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_NET_DATAPLANE_H_

@@ -1,5 +1,7 @@
 #include "src/net/packet.h"
 
+#include <cstring>
+
 namespace palladium {
 
 u16 ReadBe16(const u8* p) { return static_cast<u16>((p[0] << 8) | p[1]); }
@@ -19,6 +21,20 @@ void WriteBe32(u8* p, u32 v) {
   p[1] = static_cast<u8>(v >> 16);
   p[2] = static_cast<u8>(v >> 8);
   p[3] = static_cast<u8>(v);
+}
+
+u32 PayloadOffset(u8 proto) {
+  return kEthHeaderLen + kIpHeaderLen + (proto == kIpProtoTcp ? kTcpHeaderLen : kUdpHeaderLen);
+}
+
+std::vector<u8> BuildPacketWithPayload(const PacketSpec& spec, const void* payload, u32 len) {
+  PacketSpec s = spec;
+  s.payload_len = static_cast<u16>(len);
+  std::vector<u8> pkt = BuildPacket(s);
+  if (len != 0) {
+    std::memcpy(pkt.data() + PayloadOffset(spec.proto), payload, len);
+  }
+  return pkt;
 }
 
 std::vector<u8> BuildPacket(const PacketSpec& spec) {

@@ -40,6 +40,14 @@ struct PacketSpec {
 // Builds a wire-format frame (headers big-endian, zeroed payload).
 std::vector<u8> BuildPacket(const PacketSpec& spec);
 
+// Same, with an explicit payload (spec.payload_len is ignored; the payload
+// length comes from `len`). Used by the web dataplane to carry HTTP request
+// text inside TCP frames.
+std::vector<u8> BuildPacketWithPayload(const PacketSpec& spec, const void* payload, u32 len);
+
+// Offset of the L4 payload within a frame built from `spec`.
+u32 PayloadOffset(u8 proto);
+
 // Wire-order field accessors.
 u16 ReadBe16(const u8* p);
 u32 ReadBe32(const u8* p);

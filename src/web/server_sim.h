@@ -9,10 +9,16 @@
 // charged from the calibrated cycle costs below. The two LibCGI invocation
 // costs are intended to be *measured from the simulator* by the benchmark
 // (bench_table3 overrides the defaults with live measurements).
+// The interrupt-driven variant (RunMultiWorkerServer below) replaces the
+// closed-form model with the real machine: NIC RX interrupts feed client
+// requests through a protected packet-filter extension into per-process
+// queues, a preemptive round-robin scheduler multiplexes worker processes,
+// and responses leave through the NIC TX ring.
 #ifndef SRC_WEB_SERVER_SIM_H_
 #define SRC_WEB_SERVER_SIM_H_
 
 #include <string>
+#include <vector>
 
 #include "src/hw/types.h"
 
@@ -69,6 +75,45 @@ u64 RequestCpuCycles(CgiModel model, u32 file_bytes, const WebServerCosts& costs
 
 WebRunResult SimulateWebServer(CgiModel model, const WebWorkload& workload,
                                const WebServerCosts& costs);
+
+// --- Interrupt-driven multi-worker server ------------------------------------
+
+struct MultiServerConfig {
+  u32 workers = 4;
+  u32 clients = 8;             // distinct simulated clients (src IP/port)
+  u32 total_requests = 64;
+  u32 response_body_bytes = 256;
+  u64 inter_arrival_cycles = 4'000;  // wire gap between client requests
+  u64 first_arrival_cycle = 10'000;
+  u64 timer_period_cycles = 20'000;  // hardware timer (scheduler + watchdog)
+  u64 slice_cycles = 60'000;         // round-robin quantum
+  u64 cycle_budget = 2'000'000'000ull;
+  // HTTP work charged per request on the send path (parse + format).
+  u64 http_service_cycles = 2'000;
+};
+
+struct MultiServerResult {
+  bool ok = false;
+  std::string diag;
+  u64 served = 0;            // responses that reached the wire
+  u64 parsed_requests = 0;   // requests parsed by the HTTP layer
+  u64 cycles = 0;            // simulated cycles for the whole run
+  double requests_per_sec = 0;  // at the paper's 200 MHz
+  u64 timer_irqs = 0;
+  u64 nic_irqs = 0;
+  u64 preemptions = 0;
+  u64 context_switches = 0;
+  u64 filter_invocations = 0;
+  u64 idle_cycles = 0;
+  std::vector<i32> per_worker_served;  // worker exit codes
+};
+
+// Serves `total_requests` HTTP requests from `clients` simulated clients
+// across `workers` worker processes: NIC RX IRQ -> protected filter kext ->
+// per-worker queues -> pkt_recv; workers checksum the request bytes in
+// simulated code and send the response via pkt_send, where the HTTP layer
+// parses the request and formats the reply onto the TX ring.
+MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config);
 
 }  // namespace palladium
 

@@ -8,6 +8,7 @@
 
 #include "src/hw/bare_machine.h"
 #include "src/hw/paging.h"
+#include "src/hw/timer.h"
 
 namespace palladium {
 namespace {
@@ -525,6 +526,209 @@ TEST(DtlbDifferential, FastAndSlowPathsAgreeOnRandomPrograms) {
     EXPECT_EQ(std::memcmp(fast.memory.data(), slow.memory.data(), fast.memory.size()), 0)
         << "memory images diverged";
   }
+}
+
+// --- Async-interrupt differential fuzz ----------------------------------------
+// The same random-program harness with a hardware timer and a scripted
+// second device injecting IRQs at pseudo-random cycle counts. Delivery is
+// keyed off the cycle counter at retire boundaries, so ALL architectural
+// effects — registers, memory (ISR counters, interrupt frames), cycles,
+// fault stream AND interrupt stream — must be identical in the four
+// fetch/data configurations: (decode cache on/off) x (D-TLB on/off).
+
+class ScriptedIrqDevice : public IrqDevice {
+ public:
+  ScriptedIrqDevice(InterruptController& pic, u32 irq, std::vector<u64> times)
+      : pic_(pic), irq_(irq), times_(std::move(times)) {}
+  u64 next_event() const override { return next_ < times_.size() ? times_[next_] : kIdle; }
+  void Advance(u64 now) override {
+    while (next_ < times_.size() && times_[next_] <= now) {
+      pic_.Raise(irq_);
+      ++next_;
+    }
+  }
+
+ private:
+  InterruptController& pic_;
+  u32 irq_;
+  std::vector<u64> times_;
+  size_t next_ = 0;
+};
+
+constexpr u32 kIsrBase = 0x8000;       // one ISR per IRQ, 0x100 apart
+constexpr u32 kIsrCounters = 0x9000;   // ISR hit counters (outside the fuzz window)
+
+// push %eax ; eax <- [counter] ; inc ; [counter] <- eax ; pop %eax ; iret
+std::vector<u8> EncodeCounterIsr(u32 counter_addr) {
+  std::vector<Insn> insns(6);
+  insns[0].opcode = Opcode::kPushR;
+  insns[0].r1 = static_cast<u8>(Reg::kEax);
+  insns[1].opcode = Opcode::kLoad;
+  insns[1].r1 = static_cast<u8>(Reg::kEax);
+  insns[1].r2 = kNoBaseReg;
+  insns[1].size = 4;
+  insns[1].disp = static_cast<i32>(counter_addr);
+  insns[2].opcode = Opcode::kIncR;
+  insns[2].r1 = static_cast<u8>(Reg::kEax);
+  insns[3].opcode = Opcode::kStore;
+  insns[3].r1 = static_cast<u8>(Reg::kEax);
+  insns[3].r2 = kNoBaseReg;
+  insns[3].size = 4;
+  insns[3].disp = static_cast<i32>(counter_addr);
+  insns[4].opcode = Opcode::kPopR;
+  insns[4].r1 = static_cast<u8>(Reg::kEax);
+  insns[5].opcode = Opcode::kIret;
+  std::vector<u8> bytes(insns.size() * kInsnSize);
+  for (size_t i = 0; i < insns.size(); ++i) insns[i].EncodeTo(bytes.data() + i * kInsnSize);
+  return bytes;
+}
+
+struct IrqDiffRun {
+  StopReason final_reason = StopReason::kHalted;
+  std::vector<FaultRecord> faults;
+  std::vector<Cpu::IrqEvent> irqs;
+  CpuContext ctx;
+  u64 cycles = 0;
+  u64 instructions = 0;
+  u64 tlb_hits = 0;
+  u64 tlb_misses = 0;
+  std::vector<u8> memory;
+};
+
+IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, bool decode_cache,
+                              bool dtlb, u64 timer_period, const std::vector<u64>& nic_times) {
+  BareMachineConfig config;
+  config.physical_memory_bytes = kFuzzMem;
+  BareMachine bm(config);
+  bm.cpu().set_decode_cache_enabled(decode_cache);
+  bm.cpu().set_dtlb_enabled(dtlb);
+  EXPECT_TRUE(bm.pm().WriteBlock(kCodeBase, program.data(), static_cast<u32>(program.size())));
+  auto isr0 = EncodeCounterIsr(kIsrCounters + 0);
+  auto isr5 = EncodeCounterIsr(kIsrCounters + 4);
+  EXPECT_TRUE(bm.pm().WriteBlock(kIsrBase, isr0.data(), static_cast<u32>(isr0.size())));
+  EXPECT_TRUE(bm.pm().WriteBlock(kIsrBase + 0x100, isr5.data(), static_cast<u32>(isr5.size())));
+  bm.idt().Set(0x20, SegmentDescriptor::MakeInterruptGate(BareMachine::CodeSelector(0).raw(),
+                                                          kIsrBase, 0));
+  bm.idt().Set(0x25, SegmentDescriptor::MakeInterruptGate(BareMachine::CodeSelector(0).raw(),
+                                                          kIsrBase + 0x100, 0));
+
+  const bool hostile = mode == FuzzMode::kHostileCpl3 || mode == FuzzMode::kHostileCpl0;
+  if (hostile) {
+    PageTableEditor ed(bm.pm(), bm.cpu().cr3(),
+                       [&](u32 linear) { bm.cpu().tlb().FlushPage(linear); });
+    EXPECT_TRUE(ed.UpdateFlags(kFuzzDataBase + kPageSize, 0, kPteWrite));
+    EXPECT_TRUE(ed.UpdateFlags(kFuzzDataBase + 2 * kPageSize, 0, kPteUser));
+  }
+  const u8 cpl = (mode == FuzzMode::kPlainCpl3 || mode == FuzzMode::kHostileCpl3) ? 3 : 0;
+  bm.Start(kCodeBase, cpl, kStackTop);
+  bm.cpu().set_eflags(kFlagIf);
+
+  InterruptController pic;
+  pic.set_auto_eoi(true);  // simulated ISRs have no EOI channel
+  IrqHub hub(pic);
+  IntervalTimer timer(pic, 0);
+  ScriptedIrqDevice nic(pic, 5, nic_times);
+  hub.AddDevice(&timer);
+  hub.AddDevice(&nic);
+  timer.Program(timer_period, 0);
+  bm.cpu().set_irq_hub(&hub);
+
+  IrqDiffRun out;
+  bm.cpu().set_irq_trace(&out.irqs);
+  for (;;) {
+    StopInfo stop = bm.Run(30'000'000);
+    if (stop.reason == StopReason::kFault && out.faults.size() < 4096) {
+      out.faults.push_back(FaultRecord{bm.cpu().eip(), stop.fault.vector,
+                                       stop.fault.error_code, stop.fault.linear_address});
+      bm.cpu().set_eip(bm.cpu().eip() + kInsnSize);
+      continue;
+    }
+    out.final_reason = stop.reason;
+    break;
+  }
+  bm.cpu().set_irq_trace(nullptr);
+  out.ctx = bm.cpu().SaveContext();
+  out.cycles = bm.cpu().cycles();
+  out.instructions = bm.cpu().instructions_retired();
+  out.tlb_hits = bm.cpu().tlb_stats().hits;
+  out.tlb_misses = bm.cpu().tlb_stats().misses;
+  out.memory.assign(bm.pm().HostData(), bm.pm().HostData() + bm.pm().size());
+  return out;
+}
+
+TEST(IrqDifferential, AllFourModesAgreeUnderRandomInterrupts) {
+  constexpr u32 kSeeds = 16;
+  constexpr u32 kIterations = 300;
+  constexpr u32 kBodyLen = 160;
+  u64 total_irqs = 0;
+  for (u64 seed = 1; seed <= kSeeds; ++seed) {
+    const FuzzMode mode = static_cast<FuzzMode>(seed % static_cast<u64>(FuzzMode::kCount));
+    const std::vector<u8> program = EncodeFuzzProgram(seed * 31 + 7, kIterations, kBodyLen);
+    const u64 timer_period = 2'000 + (seed * 977) % 9'000;
+    // Scripted second device: IRQ 5 at pseudo-random cycle counts.
+    std::vector<u64> nic_times;
+    u64 st = seed * 0xA24BAED4963EE407ull + 3;
+    u64 t = 1'000;
+    for (int i = 0; i < 40; ++i) {
+      t += 500 + NextRand(&st) % 120'000;
+      nic_times.push_back(t);
+    }
+
+    struct ModeSpec {
+      bool decode, dtlb;
+      const char* name;
+    };
+    const ModeSpec specs[] = {{true, true, "fast/fast"},
+                              {true, false, "fast/oracle"},
+                              {false, true, "oracle/fast"},
+                              {false, false, "oracle/oracle"}};
+    IrqDiffRun ref;
+    for (int s = 0; s < 4; ++s) {
+      IrqDiffRun run = RunDifferentialIrq(program, mode, specs[s].decode, specs[s].dtlb,
+                                          timer_period, nic_times);
+      SCOPED_TRACE("seed " + std::to_string(seed) + " config " + specs[s].name);
+      if (s == 0) {
+        ref = std::move(run);
+        // Forward branches can shorten a seed's run; at least one delivery
+        // per seed plus a healthy aggregate (checked below) keeps the fuzz
+        // honest about interrupts actually firing.
+        EXPECT_GE(ref.irqs.size(), 1u) << "interrupts must actually have fired";
+        total_irqs += ref.irqs.size();
+        continue;
+      }
+      EXPECT_EQ(run.final_reason, ref.final_reason);
+      EXPECT_EQ(run.instructions, ref.instructions);
+      EXPECT_EQ(run.cycles, ref.cycles) << "cycle model diverged";
+      ASSERT_EQ(run.faults.size(), ref.faults.size());
+      for (size_t i = 0; i < run.faults.size(); ++i) {
+        EXPECT_TRUE(run.faults[i] == ref.faults[i]) << "fault " << i << " diverged";
+      }
+      ASSERT_EQ(run.irqs.size(), ref.irqs.size()) << "interrupt streams differ in length";
+      for (size_t i = 0; i < run.irqs.size(); ++i) {
+        EXPECT_TRUE(run.irqs[i] == ref.irqs[i])
+            << "irq " << i << " diverged: vector " << static_cast<int>(run.irqs[i].vector)
+            << " at cycle " << run.irqs[i].cycle << " vs " << ref.irqs[i].cycle;
+      }
+      EXPECT_EQ(run.ctx.eip, ref.ctx.eip);
+      EXPECT_EQ(run.ctx.eflags, ref.ctx.eflags);
+      EXPECT_EQ(run.ctx.cpl, ref.ctx.cpl);
+      for (u8 r = 0; r < kNumRegs; ++r) {
+        EXPECT_EQ(run.ctx.regs[r], ref.ctx.regs[r]) << "reg " << static_cast<int>(r);
+      }
+      // TLB statistics are an implementation counter of the *fetch* path:
+      // they match whenever the decode-cache setting matches (the D-TLB
+      // keeps them exact by construction); across decode settings only the
+      // miss count is comparable.
+      if (specs[s].decode == specs[0].decode) {
+        EXPECT_EQ(run.tlb_hits, ref.tlb_hits);
+      }
+      EXPECT_EQ(run.tlb_misses, ref.tlb_misses);
+      ASSERT_EQ(run.memory.size(), ref.memory.size());
+      EXPECT_EQ(std::memcmp(run.memory.data(), ref.memory.data(), run.memory.size()), 0)
+          << "memory images diverged";
+    }
+  }
+  EXPECT_GT(total_irqs, 60u) << "the interrupt fuzz barely interrupted anything";
 }
 
 TEST(Flags, EflagsSurviveInterruptRoundTrip) {

@@ -1,0 +1,248 @@
+// Dataplane tests: NIC RX interrupt -> protected filter extension ->
+// per-process queue -> blocking pkt_recv -> pkt_send TX, cross-checked
+// against host-side filter evaluation; queue overflow accounting; a runaway
+// filter asynchronously killed by the timer watchdog while traffic keeps
+// flowing on other flows; and the interrupt-driven multi-worker web server.
+#include <gtest/gtest.h>
+
+#include "src/core/kernel_ext.h"
+#include "src/filter/filter.h"
+#include "src/hw/nic.h"
+#include "src/kernel/sched.h"
+#include "src/net/dataplane.h"
+#include "src/net/packet.h"
+#include "src/web/server_sim.h"
+#include "tests/kernel_test_util.h"
+
+namespace palladium {
+namespace {
+
+struct DataplaneFixture {
+  KernelFixture f;
+  Scheduler sched;
+  KernelExtensionManager kext;
+  Nic nic;
+  PacketDataplane dataplane;
+  bool shutdown_issued = false;
+
+  DataplaneFixture()
+      : sched(f.kernel()),
+        kext(f.kernel()),
+        nic(f.machine().pm(), f.kernel().pic(), kIrqNic),
+        dataplane(f.kernel(), kext, nic) {
+    sched.set_idle_hook([this]() {
+      if (shutdown_issued) return false;
+      shutdown_issued = true;
+      dataplane.Shutdown();
+      return true;
+    });
+  }
+
+  // The canonical echo worker from dataplane.h — shared with bench_dataplane.
+  Pid SpawnEchoWorker(std::string* diag) {
+    Pid pid = f.LoadProgram(kPktEchoWorkerSource, diag);
+    if (pid != 0) sched.AddProcess(pid);
+    return pid;
+  }
+};
+
+TEST(Dataplane, EndToEndFilteredDeliveryMatchesHostGroundTruth) {
+  DataplaneFixture fx;
+  std::string diag;
+  Pid w1 = fx.SpawnEchoWorker(&diag);
+  ASSERT_NE(w1, 0u) << diag;
+  Pid w2 = fx.SpawnEchoWorker(&diag);
+  ASSERT_NE(w2, 0u) << diag;
+
+  const std::string filter_text = "ip.proto == 6 && tcp.dport == 7777";
+  ASSERT_TRUE(fx.dataplane.AddFlow("f7777", filter_text, {w1, w2}, &diag)) << diag;
+  auto expr = ParseFilter(filter_text, &diag);
+  ASSERT_TRUE(expr.has_value());
+
+  // A deterministic mixed trace; count host-side ground truth as we inject.
+  PacketSpec match;
+  match.proto = kIpProtoTcp;
+  match.dst_port = 7777;
+  TraceGenerator gen(99, match, 0.4);
+  u32 expected_matches = 0;
+  const u32 kTotal = 40;
+  u64 at = 5'000;
+  for (u32 i = 0; i < kTotal; ++i) {
+    bool unused = false;
+    auto frame = BuildPacket(gen.Next(&unused));
+    if (EvalFilterHost(*expr, frame.data(), static_cast<u32>(frame.size()))) {
+      ++expected_matches;
+    }
+    fx.nic.Inject(frame.data(), static_cast<u32>(frame.size()), at);
+    at += 3'000;
+  }
+  ASSERT_GT(expected_matches, 0u);
+  ASSERT_LT(expected_matches, kTotal);
+
+  auto result = fx.sched.RunAll(2'000'000'000ull);
+  EXPECT_EQ(result.exited, 2u) << "both workers must drain and exit";
+
+  const auto& stats = fx.dataplane.stats();
+  EXPECT_EQ(stats.rx_frames, kTotal);
+  EXPECT_EQ(stats.matched, expected_matches) << "protected filter agrees with host eval";
+  EXPECT_EQ(stats.delivered, expected_matches);
+  EXPECT_EQ(stats.dropped_no_match, kTotal - expected_matches);
+  EXPECT_EQ(stats.tx_frames, expected_matches) << "every delivered frame was echoed to TX";
+  EXPECT_EQ(fx.nic.tx_frames().size(), expected_matches);
+
+  // Round-robin across workers: both served some share.
+  const i32 s1 = fx.f.kernel().process(w1)->exit_code;
+  const i32 s2 = fx.f.kernel().process(w2)->exit_code;
+  EXPECT_EQ(static_cast<u32>(s1 + s2), expected_matches);
+  EXPECT_GT(s1, 0);
+  EXPECT_GT(s2, 0);
+  EXPECT_GT(fx.f.kernel().pic().delivered(kIrqNic), 0u);
+}
+
+TEST(Dataplane, QueueOverflowDropsAndAccounts) {
+  DataplaneFixture fx;
+  std::string diag;
+  Pid w = fx.SpawnEchoWorker(&diag);
+  ASSERT_NE(w, 0u) << diag;
+  fx.f.kernel().process(w)->pkt_queue_limit = 2;
+  ASSERT_TRUE(fx.dataplane.AddFlow("all", "ether.type == 0x0800", {w}, &diag)) << diag;
+
+  PacketSpec spec;
+  auto frame = BuildPacket(spec);
+  // A burst landing in one ServiceRx drain: only queue_limit fit.
+  for (u32 i = 0; i < 8; ++i) {
+    fx.nic.Inject(frame.data(), static_cast<u32>(frame.size()), 1'000);
+  }
+  auto result = fx.sched.RunAll(1'000'000'000ull);
+  EXPECT_EQ(result.exited, 1u);
+  const auto& stats = fx.dataplane.stats();
+  EXPECT_EQ(stats.matched, 8u);
+  EXPECT_EQ(stats.delivered + stats.dropped_queue_full, 8u);
+  EXPECT_GT(stats.dropped_queue_full, 0u);
+  EXPECT_EQ(fx.f.kernel().process(w)->pkts_dropped, stats.dropped_queue_full);
+  EXPECT_EQ(static_cast<u64>(fx.f.kernel().process(w)->exit_code), stats.delivered);
+}
+
+// The acceptance demo: a deliberately looping filter extension on flow 0 is
+// asynchronously killed by the timer watchdog; the flow dies, classification
+// falls through to the healthy flow, and the workers keep serving traffic.
+TEST(Dataplane, RunawayFilterKilledByWatchdogWhileTrafficContinues) {
+  DataplaneFixture fx;
+  std::string diag;
+  Pid w = fx.SpawnEchoWorker(&diag);
+  ASSERT_NE(w, 0u) << diag;
+
+  AssembleError aerr;
+  auto runaway = Assemble(R"(
+  .global filter_run
+filter_run:
+  mov $1, %eax
+forever:
+  add $1, %eax
+  jmp forever
+  .data
+  .global pd_shared
+pd_shared:
+  .space 2064
+)",
+                          &aerr);
+  ASSERT_TRUE(runaway.has_value()) << aerr.ToString();
+  KextOptions opts;
+  opts.cycle_limit = 150'000;
+  auto ext = fx.kext.LoadExtension("runaway", *runaway, &diag, opts);
+  ASSERT_TRUE(ext.has_value()) << diag;
+  auto fid = fx.kext.FindFunction("runaway:filter_run");
+  ASSERT_TRUE(fid.has_value());
+  ASSERT_TRUE(fx.dataplane.AddFlowFunction("runaway", *ext, *fid, {w}));
+  ASSERT_TRUE(fx.dataplane.AddFlow("all", "ether.type == 0x0800", {w}, &diag)) << diag;
+
+  PacketSpec spec;
+  auto frame = BuildPacket(spec);
+  const u32 kTotal = 6;
+  for (u32 i = 0; i < kTotal; ++i) {
+    fx.nic.Inject(frame.data(), static_cast<u32>(frame.size()), 2'000 + i * 2'000);
+  }
+  auto result = fx.sched.RunAll(2'000'000'000ull);
+  EXPECT_EQ(result.exited, 1u);
+
+  const auto& stats = fx.dataplane.stats();
+  EXPECT_EQ(stats.filter_aborts, 1u) << "the runaway filter died exactly once";
+  ASSERT_EQ(fx.dataplane.flows().size(), 2u);
+  EXPECT_TRUE(fx.dataplane.flows()[0].dead);
+  EXPECT_FALSE(fx.dataplane.flows()[1].dead);
+  EXPECT_EQ(stats.delivered, kTotal) << "every frame reached the worker via the healthy flow";
+  EXPECT_EQ(static_cast<u32>(fx.f.kernel().process(w)->exit_code), kTotal);
+  // The kext manager recorded the watchdog abort.
+  EXPECT_TRUE(fx.kext.extension(*ext)->aborted);
+}
+
+// Regression: an IRQ latched in the PIC right before the last runnable
+// process blocks is a wakeup source — the scheduler's idle path must service
+// it (host-side) instead of declaring deadlock.
+TEST(Dataplane, LatchedIrqBeforeBlockIsNotADeadlock) {
+  DataplaneFixture fx;
+  std::string diag;
+  // Syscall 234: on first entry it latches the NIC line *and blocks in the
+  // same gate entry* (so the IRQ can never be delivered to a running
+  // context — only the scheduler's idle path can service it); the restarted
+  // call returns 42.
+  Pid w = fx.f.LoadProgram(R"(
+  .global main
+main:
+  mov $234, %eax
+  int $0x80
+  mov %eax, %ebx          ; exit code = syscall result (42 after the wake)
+  mov $SYS_EXIT, %eax
+  int $0x80
+)",
+                           &diag);
+  ASSERT_NE(w, 0u) << diag;
+  fx.sched.AddProcess(w);
+  bool raised_once = false;
+  fx.f.kernel().RegisterSyscall(234, [&](Kernel& k, u32, u32, u32) {
+    if (!raised_once) {
+      raised_once = true;
+      k.pic().Raise(kIrqNic);
+      k.BlockCurrentForRestart();
+      return;
+    }
+    k.ReturnFromGate(42);
+  });
+  // Replace the dataplane's NIC handler: wake the blocked worker.
+  bool handler_ran = false;
+  fx.f.kernel().RegisterIrqHandler(kIrqNic, [&](Kernel& k) {
+    handler_ran = true;
+    Process* proc = k.process(w);
+    if (proc != nullptr && proc->state == ProcessState::kBlocked) k.WakeProcess(*proc);
+  });
+  auto result = fx.sched.RunAll(1'000'000'000ull);
+  EXPECT_TRUE(handler_ran) << "the latched IRQ must be serviced from the idle path";
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.exited, 1u);
+  EXPECT_EQ(fx.f.kernel().process(w)->exit_code, 42);
+}
+
+TEST(Dataplane, MultiWorkerWebServerServesAllClients) {
+  MultiServerConfig cfg;
+  cfg.workers = 3;
+  cfg.clients = 5;
+  cfg.total_requests = 30;
+  MultiServerResult r = RunMultiWorkerServer(cfg);
+  EXPECT_TRUE(r.ok) << r.diag;
+  EXPECT_EQ(r.served, cfg.total_requests);
+  EXPECT_EQ(r.parsed_requests, cfg.total_requests) << "every request went through HTTP parse";
+  EXPECT_EQ(r.filter_invocations, cfg.total_requests);
+  EXPECT_GT(r.nic_irqs, 0u);
+  EXPECT_GT(r.timer_irqs, 0u);
+  EXPECT_GT(r.requests_per_sec, 0.0);
+  ASSERT_EQ(r.per_worker_served.size(), cfg.workers);
+  i64 sum = 0;
+  for (i32 s : r.per_worker_served) {
+    EXPECT_GE(s, 0) << "every worker exited cleanly";
+    sum += s;
+  }
+  EXPECT_EQ(static_cast<u64>(sum), r.served);
+}
+
+}  // namespace
+}  // namespace palladium
