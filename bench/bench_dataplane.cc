@@ -6,8 +6,18 @@
 // The difference is the asynchronous machinery's overhead; the absolute
 // number is the paper-machine (200 MHz) packet rate. Writes
 // BENCH_dataplane.json.
+//
+// `--smp N` runs the same pipeline on an N-vCPU machine (NIC + filter
+// classification on vCPU 0, workers spread across cores by the SMP
+// scheduler) against a saturating arrival rate, compares it with the
+// identical-load 1-vCPU run, and enforces the scaling acceptance gate
+// (>= 1.6x filtered pps at N=4; PALLADIUM_BENCH_MIN_SMP_SCALE overrides).
+// The absolute-pps gate reads PALLADIUM_BENCH_MIN_PPS (default 10000)
+// so loaded CI runners can relax it without patching the binary; the JSON
+// carries the threshold and the margin either way.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -35,7 +45,9 @@ std::vector<u8> MatchingFrame() {
 
 // Run-to-completion baseline: same protected filter, no interrupts.
 double BaselineCyclesPerPacket(u32 packets) {
-  Machine machine;
+  MachineConfig mcfg;
+  mcfg.num_cpus = 1;
+  Machine machine(mcfg);
   Kernel kernel(machine);
   KernelExtensionManager kext(kernel);
   std::string err;
@@ -76,6 +88,8 @@ double BaselineCyclesPerPacket(u32 packets) {
 struct DataplaneRun {
   u64 served = 0;
   u64 cycles = 0;
+  u64 busy_cycles = 0;
+  double pps = 0;
   u64 nic_irqs = 0;
   u64 timer_irqs = 0;
   u64 preemptions = 0;
@@ -84,11 +98,17 @@ struct DataplaneRun {
   u64 queue_dropped = 0;
   u64 filter_invocations = 0;
   u64 idle_cycles = 0;
+  u64 steals = 0;
+  u64 shootdown_ipis = 0;
+  u64 backlog_dropped = 0;
   u32 workers_exited = 0;
 };
 
-DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival) {
-  Machine machine;
+DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32 num_cpus,
+                                bool rps) {
+  MachineConfig mcfg;
+  mcfg.num_cpus = num_cpus;  // explicit, so the comparison ignores PALLADIUM_SMP
+  Machine machine(mcfg);
   Kernel::Config kcfg;
   kcfg.timer_period_cycles = 25'000;
   Kernel kernel(machine, kcfg);
@@ -115,7 +135,9 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival) {
   }
 
   Nic nic(machine.pm(), kernel.pic(), kIrqNic);
-  PacketDataplane dataplane(kernel, kext, nic);
+  PacketDataplane::Config dcfg;
+  dcfg.rps = rps;
+  PacketDataplane dataplane(kernel, kext, nic, dcfg);
   if (!dataplane.AddFlow("filter", kFilterText, pids, &diag)) {
     std::fprintf(stderr, "flow: %s\n", diag.c_str());
     std::exit(1);
@@ -140,39 +162,90 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival) {
   DataplaneRun out;
   out.served = dataplane.stats().tx_frames;
   out.cycles = result.cycles;
+  out.idle_cycles = sched.stats().idle_cycles;
+  // Throughput over the busy period only (machine-idle fast-forward cycles
+  // are the harness waiting for the wire, not work).
+  out.busy_cycles = result.cycles - sched.stats().idle_cycles;
+  const double cpp =
+      out.served > 0 ? static_cast<double>(out.busy_cycles) / out.served : 0;
+  out.pps = cpp > 0 ? kCpuMhz * 1e6 / cpp : 0;
   out.nic_irqs = kernel.pic().delivered(kIrqNic);
-  out.timer_irqs = kernel.pic().delivered(kIrqTimer);
+  for (u32 c = 0; c < machine.num_cpus(); ++c) {
+    out.timer_irqs += kernel.pic(c).delivered(kIrqTimer);
+  }
   out.preemptions = sched.stats().preemptions;
   out.context_switches = sched.stats().context_switches;
   out.rx_dropped = nic.stats().rx_dropped;
   out.queue_dropped = dataplane.stats().dropped_queue_full;
   out.filter_invocations = dataplane.stats().filter_invocations;
-  out.idle_cycles = sched.stats().idle_cycles;
+  out.steals = sched.stats().steals;
+  out.shootdown_ipis = kernel.smp_stats().shootdown_ipis;
+  out.backlog_dropped = dataplane.stats().dropped_backlog_full;
   out.workers_exited = result.exited;
   return out;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   u32 packets = 20'000;
-  if (argc > 1) packets = static_cast<u32>(std::atoi(argv[1]));
-  const u32 kWorkers = 4;
-  const u64 kInterArrival = 1'500;  // offered load ~133k pps at 200 MHz
+  u32 smp = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smp") == 0) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "usage: %s [packets] [--smp N]\n", argv[0]);
+        return 2;
+      }
+      smp = static_cast<u32>(std::atoi(argv[++i]));
+      if (smp > kMaxCpus) {
+        // The Machine clamps to kMaxCpus; refusing here keeps the printed
+        // configuration and the JSON honest about what actually ran.
+        std::fprintf(stderr, "--smp %u exceeds the machine maximum of %u vCPUs\n", smp,
+                     kMaxCpus);
+        return 2;
+      }
+    } else if (std::atoi(argv[i]) > 0) {
+      packets = static_cast<u32>(std::atoi(argv[i]));
+    } else {
+      // A typo must not silently become packets=0 and disarm both gates.
+      std::fprintf(stderr, "unrecognized argument '%s'; usage: %s [packets] [--smp N]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
+  const u32 kWorkers = smp > 1 ? 2 * smp : 4;
+  // Default mode offers ~133k pps at 200 MHz. SMP mode offers ~200k pps:
+  // comfortably above one core's sustainable rate (so the 1-vCPU reference
+  // is saturated and measures its capacity) yet inside the 4-core capacity
+  // (so the SMP run is not throttled into receive livelock on vCPU 0).
+  const u64 inter_arrival = smp > 1 ? 1'000 : 1'500;
+  const double min_pps = EnvDouble("PALLADIUM_BENCH_MIN_PPS", 10'000.0);
 
   std::printf("filter: %s\n", kFilterText);
   std::printf("baseline (run-to-completion, no interrupts): measuring...\n");
   const double base_cpp = BaselineCyclesPerPacket(std::min(packets, 2'000u));
   const double base_pps = kCpuMhz * 1e6 / base_cpp;
 
-  std::printf("dataplane (IRQ-driven, %u workers, %u packets): running...\n\n", kWorkers,
-              packets);
-  DataplaneRun run = RunInterruptDriven(packets, kWorkers, kInterArrival);
-  // Throughput over the busy period only (idle fast-forward cycles are the
-  // harness waiting for the wire, not work).
-  const u64 busy_cycles = run.cycles - run.idle_cycles;
-  const double dp_cpp = run.served > 0 ? static_cast<double>(busy_cycles) / run.served : 0;
-  const double dp_pps = dp_cpp > 0 ? kCpuMhz * 1e6 / dp_cpp : 0;
+  std::printf("dataplane (IRQ-driven, %u vCPU(s), %u workers, %u packets): running...\n\n",
+              smp, kWorkers, packets);
+  // SMP mode turns on RPS (classification on the consuming worker's vCPU) in
+  // BOTH runs, so the scaling ratio isolates the core count.
+  DataplaneRun run = RunInterruptDriven(packets, kWorkers, inter_arrival, smp, smp > 1);
+  DataplaneRun uni;  // same offered load on one vCPU (the scaling denominator)
+  double scaling = 1.0;
+  if (smp > 1) {
+    std::printf("reference run (same load, 1 vCPU): running...\n");
+    uni = RunInterruptDriven(packets, kWorkers, inter_arrival, 1, /*rps=*/true);
+    scaling = uni.pps > 0 ? run.pps / uni.pps : 0;
+  }
+  const double dp_cpp = run.served > 0
+                            ? static_cast<double>(run.busy_cycles) / run.served
+                            : 0;
 
   std::printf("%-44s %14s\n", "metric", "value");
   std::printf("%-44s %14.1f\n", "baseline filter cycles/packet", base_cpp);
@@ -180,7 +253,7 @@ int main(int argc, char** argv) {
   std::printf("%-44s %14llu\n", "dataplane packets served",
               static_cast<unsigned long long>(run.served));
   std::printf("%-44s %14.1f\n", "dataplane cycles/packet (busy)", dp_cpp);
-  std::printf("%-44s %14.0f\n", "dataplane packets/sec (200 MHz)", dp_pps);
+  std::printf("%-44s %14.0f\n", "dataplane packets/sec (200 MHz)", run.pps);
   std::printf("%-44s %14.1f\n", "async overhead cycles/packet", dp_cpp - base_cpp);
   std::printf("%-44s %14llu\n", "NIC IRQs", static_cast<unsigned long long>(run.nic_irqs));
   std::printf("%-44s %14llu\n", "timer IRQs", static_cast<unsigned long long>(run.timer_irqs));
@@ -192,14 +265,35 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(run.rx_dropped));
   std::printf("%-44s %14llu\n", "queue-full drops",
               static_cast<unsigned long long>(run.queue_dropped));
+  if (smp > 1) {
+    std::printf("%-44s %14llu\n", "work steals", static_cast<unsigned long long>(run.steals));
+    std::printf("%-44s %14llu\n", "shootdown IPIs",
+                static_cast<unsigned long long>(run.shootdown_ipis));
+    std::printf("%-44s %14llu\n", "backlog drops (cheap, pre-filter)",
+                static_cast<unsigned long long>(run.backlog_dropped));
+    std::printf("%-44s %14.0f\n", "1-vCPU packets/sec (same load)", uni.pps);
+    std::printf("%-44s %14llu\n", "1-vCPU packets served",
+                static_cast<unsigned long long>(uni.served));
+    std::printf("%-44s %14llu\n", "1-vCPU total cycles",
+                static_cast<unsigned long long>(uni.cycles));
+    std::printf("%-44s %14llu\n", "1-vCPU idle cycles",
+                static_cast<unsigned long long>(uni.idle_cycles));
+    std::printf("%-44s %14llu\n", "1-vCPU backlog drops",
+                static_cast<unsigned long long>(uni.backlog_dropped));
+    std::printf("%-44s %14llu\n", "1-vCPU queue drops",
+                static_cast<unsigned long long>(uni.queue_dropped));
+    std::printf("%-44s %14llu\n", "1-vCPU context switches",
+                static_cast<unsigned long long>(uni.context_switches));
+    std::printf("%-44s %14.2f\n", "SMP scaling (pps vs 1 vCPU)", scaling);
+  }
 
-  BenchJson json("dataplane");
+  BenchJson json(smp > 1 ? "dataplane_smp" + std::to_string(smp) : "dataplane");
   json.Set("packets_offered", static_cast<u64>(packets));
   json.Set("packets_served", run.served);
   json.Set("baseline_cycles_per_packet", base_cpp);
   json.Set("baseline_packets_per_sec", base_pps);
   json.Set("dataplane_cycles_per_packet", dp_cpp);
-  json.Set("dataplane_packets_per_sec", dp_pps);
+  json.Set("dataplane_packets_per_sec", run.pps);
   json.Set("async_overhead_cycles_per_packet", dp_cpp - base_cpp);
   json.Set("nic_irqs", run.nic_irqs);
   json.Set("timer_irqs", run.timer_irqs);
@@ -212,19 +306,42 @@ int main(int argc, char** argv) {
   json.Set("workers_exited", static_cast<u64>(run.workers_exited));
   json.Set("total_cycles", run.cycles);
   json.Set("idle_cycles", run.idle_cycles);
+  json.Set("min_pps", min_pps);
+  json.Set("pps_margin", run.pps - min_pps);
+  json.Set("smp_cpus", smp);
+  if (smp > 1) {
+    json.Set("uni_packets_per_sec", uni.pps);
+    json.Set("smp_scaling", scaling);
+    json.Set("work_steals", run.steals);
+    json.Set("shootdown_ipis", run.shootdown_ipis);
+  }
   const std::string path = json.Write();
   std::printf("\nwrote %s\n", path.c_str());
 
   const bool meaningful = packets >= 1'000;
-  if (meaningful && dp_pps < 10'000.0) {
-    std::fprintf(stderr, "FAIL: %0.f pps through the protected path (< 10k)\n", dp_pps);
+  if (meaningful && run.pps < min_pps) {
+    std::fprintf(stderr, "FAIL: %.0f pps through the protected path (< %.0f)\n", run.pps,
+                 min_pps);
     return 1;
   }
   if (run.workers_exited != kWorkers) {
     std::fprintf(stderr, "FAIL: only %u/%u workers exited\n", run.workers_exited, kWorkers);
     return 1;
   }
-  std::printf("protected-path throughput >= 10k packets/sec: %s\n",
-              dp_pps >= 10'000.0 ? "yes" : "(run too small to judge)");
+  if (smp > 1 && meaningful) {
+    // The SMP acceptance gate: N=4 must sustain >= 1.6x the 1-vCPU filtered
+    // rate under identical offered load (smaller N prorates the bar).
+    const double min_scale =
+        EnvDouble("PALLADIUM_BENCH_MIN_SMP_SCALE", smp >= 4 ? 1.6 : 1.2);
+    if (scaling < min_scale) {
+      std::fprintf(stderr, "FAIL: SMP scaling %.2fx at %u vCPUs (< %.2fx)\n", scaling, smp,
+                   min_scale);
+      return 1;
+    }
+    std::printf("SMP scaling gate (>= %.2fx at %u vCPUs): %.2fx ok\n", min_scale, smp,
+                scaling);
+  }
+  std::printf("protected-path throughput >= %.0f packets/sec: %s\n", min_pps,
+              meaningful && run.pps >= min_pps ? "yes" : "(run too small to judge)");
   return 0;
 }

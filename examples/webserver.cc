@@ -10,6 +10,8 @@
 //     them. A deliberately runaway filter is loaded first to show the timer
 //     watchdog killing it asynchronously while service continues.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/asm/assembler.h"
 #include "src/core/kernel_ext.h"
@@ -99,7 +101,22 @@ pd_shared:
 
 int main(int argc, char** argv) {
   u32 total_requests = 1000;
-  if (argc > 1) total_requests = static_cast<u32>(std::atoi(argv[1]));
+  u32 smp = 0;  // 0 = PALLADIUM_SMP env (default 1)
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smp") == 0) {
+      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
+        std::fprintf(stderr, "usage: %s [requests] [--smp N]\n", argv[0]);
+        return 2;
+      }
+      smp = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (std::atoi(argv[i]) > 0) {
+      total_requests = static_cast<u32>(std::atoi(argv[i]));
+    } else {
+      std::fprintf(stderr, "unrecognized argument '%s'; usage: %s [requests] [--smp N]\n",
+                   argv[i], argv[0]);
+      return 2;
+    }
+  }
 
   RunClosedFormModel(total_requests);
 
@@ -110,6 +127,11 @@ int main(int argc, char** argv) {
   cfg.workers = 4;
   cfg.clients = 16;
   cfg.total_requests = 128;
+  cfg.smp = smp;
+  // Under SMP — whether from --smp or PALLADIUM_SMP — RSS flow steering
+  // pins each client's flow to one worker (and so to one core); on one
+  // vCPU keep the PR 3 balanced round-robin.
+  if (ResolveNumCpus(smp) > 1) cfg.steering = FlowSteering::kFlowHash;
   std::printf("--- interrupt-driven multi-worker server ---\n");
   std::printf("%u clients, %u requests, %u worker processes, timer slice %llu cycles\n",
               cfg.clients, cfg.total_requests, cfg.workers,
@@ -119,10 +141,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "multi-worker server failed: %s\n", r.diag.c_str());
     return 1;
   }
-  std::printf("served %llu requests (%llu parsed by the HTTP layer) in %llu cycles\n",
+  std::printf("served %llu requests (%llu parsed by the HTTP layer) in %llu cycles on %u vCPU(s)\n",
               static_cast<unsigned long long>(r.served),
               static_cast<unsigned long long>(r.parsed_requests),
-              static_cast<unsigned long long>(r.cycles));
+              static_cast<unsigned long long>(r.cycles), r.cpus);
+  if (r.cpus > 1) {
+    std::printf("SMP: %llu work steals, %llu shootdown IPIs\n",
+                static_cast<unsigned long long>(r.steals),
+                static_cast<unsigned long long>(r.shootdown_ipis));
+  }
   std::printf("throughput: %.0f req/s at 200 MHz\n", r.requests_per_sec);
   std::printf("IRQs: %llu NIC, %llu timer; %llu context switches (%llu preemptions)\n",
               static_cast<unsigned long long>(r.nic_irqs),

@@ -6,7 +6,8 @@
 namespace palladium {
 
 BareMachine::BareMachine(const BareMachineConfig& config)
-    : machine_(Machine::Config{config.physical_memory_bytes, config.cycle_model}),
+    : machine_(Machine::Config{config.physical_memory_bytes, config.cycle_model,
+                               config.num_cpus}),
       bump_next_(config.physical_memory_bytes) {
   BuildIdentityPageTables(config.user_pages);
   BuildGdt();
@@ -38,7 +39,8 @@ void BareMachine::BuildIdentityPageTables(bool user_pages) {
     const u32 f = is_pt_area ? (kPtePresent | kPteWrite) : flags;
     pm.Write32((pde & kPteFrameMask) + PteIndex(linear) * 4, MakePte(linear, f));
   }
-  machine_.cpu().LoadCr3(cr3);
+  // Every vCPU boots on the shared identity tables.
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) machine_.cpu(c).LoadCr3(cr3);
 }
 
 void BareMachine::BuildGdt() {
@@ -52,15 +54,19 @@ void BareMachine::BuildGdt() {
   gdt.Set(kData1Idx, SegmentDescriptor::MakeData(0, kFlatLimit, 1));
   gdt.Set(kCode2Idx, SegmentDescriptor::MakeCode(0, kFlatLimit, 2));
   gdt.Set(kData2Idx, SegmentDescriptor::MakeData(0, kFlatLimit, 2));
-  // Inner stacks for privilege transitions: one page each at PL0..PL2,
-  // described by flat data segments at the matching DPL.
+  // Inner stacks for privilege transitions: one page each at PL0..PL2 *per
+  // vCPU* (concurrent privilege transitions on different cores must not
+  // share a transition stack), described by flat data segments at the
+  // matching DPL.
   for (u8 level = 0; level < 3; ++level) {
-    u32 frame = AllocFrame();
-    tss_stack_top_[level] = frame + kPageSize;
     gdt.Set(kTssStackBase + level, SegmentDescriptor::MakeData(0, 0xFFFFFFFFu, level));
-    machine_.cpu().tss().ss[level] =
-        Selector::FromIndex(kTssStackBase + level, level).raw();
-    machine_.cpu().tss().esp[level] = tss_stack_top_[level];
+    for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+      u32 frame = AllocFrame();
+      if (c == 0) tss_stack_top_[level] = frame + kPageSize;
+      machine_.cpu(c).tss().ss[level] =
+          Selector::FromIndex(kTssStackBase + level, level).raw();
+      machine_.cpu(c).tss().esp[level] = frame + kPageSize;
+    }
   }
 }
 
@@ -95,8 +101,8 @@ bool BareMachine::LoadImage(const LinkedImage& image) {
                                   static_cast<u32>(image.bytes.size()));
 }
 
-void BareMachine::Start(u32 entry, u8 cpl, u32 stack_top) {
-  Cpu& cpu = machine_.cpu();
+void BareMachine::StartCpu(u32 cpu_index, u32 entry, u8 cpl, u32 stack_top) {
+  Cpu& cpu = machine_.cpu(cpu_index);
   cpu.ForceSegment(SegReg::kCs, CodeSelector(cpl));
   cpu.ForceSegment(SegReg::kSs, DataSelector(cpl));
   cpu.ForceSegment(SegReg::kDs, DataSelector(cpl));

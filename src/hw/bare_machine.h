@@ -14,6 +14,9 @@ struct BareMachineConfig {
   u32 physical_memory_bytes = 16u << 20;
   bool user_pages = true;  // identity map with PTE U-bit set (PPL 1)
   CycleModel cycle_model = CycleModel::Measured();
+  // vCPU count (0 = PALLADIUM_SMP env, default 1). All vCPUs share the
+  // identity page tables and the GDT; each gets its own TSS inner stacks.
+  u32 num_cpus = 0;
 };
 
 class BareMachine {
@@ -45,7 +48,10 @@ class BareMachine {
 
   // Points the CPU at `entry` with flat segments of the given privilege
   // level and the stack at `stack_top`.
-  void Start(u32 entry, u8 cpl, u32 stack_top);
+  void Start(u32 entry, u8 cpl, u32 stack_top) { StartCpu(0, entry, cpl, stack_top); }
+  // SMP bring-up: same, for an arbitrary vCPU (callers give each vCPU its
+  // own entry point and stack; memory and page tables are shared).
+  void StartCpu(u32 cpu_index, u32 entry, u8 cpl, u32 stack_top);
 
   StopInfo Run(u64 cycle_limit = ~0ull) { return cpu().Run(cycle_limit); }
 
@@ -68,7 +74,7 @@ class BareMachine {
 
   Machine machine_;
   u32 bump_next_;  // grows downward from the top of physical memory
-  u32 tss_stack_top_[3] = {0, 0, 0};
+  u32 tss_stack_top_[3] = {0, 0, 0};  // vCPU 0's (compat accessor)
 };
 
 }  // namespace palladium

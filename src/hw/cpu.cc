@@ -46,8 +46,9 @@ Fault Ud(const char* detail) {
 Cpu::Cpu(PhysicalMemory& pm, DescriptorTable& gdt, DescriptorTable& idt, CycleModel model)
     : pm_(pm), gdt_(gdt), idt_(idt), model_(model) {
   // The decode cache must see every byte of physical memory change, whether
-  // it comes from a simulated store or from host-side kernel code.
-  pm_.set_write_observer(&dcache_);
+  // it comes from a simulated store (on any vCPU), host-side kernel code, or
+  // device DMA. Each vCPU registers its own cache; writes fan out to all.
+  pm_.AddWriteObserver(&dcache_);
   // Global oracle switch: PALLADIUM_NO_DTLB=1 runs every CPU on the per-byte
   // data path, so any bench or example can be diffed against the fast path
   // without code changes (outputs must be byte-identical).
@@ -64,7 +65,7 @@ void Cpu::RebuildCostTable() {
   taken_branch_cost_ = model_.BaseCost(Opcode::kJe, /*branch_taken=*/true);
 }
 
-Cpu::~Cpu() { pm_.set_write_observer(nullptr); }
+Cpu::~Cpu() { pm_.RemoveWriteObserver(&dcache_); }
 
 bool Cpu::LoadSegmentChecked(SegReg sr, Selector sel, Fault* fault) {
   LoadedSegment& target = segs_[static_cast<u8>(sr)];
@@ -438,12 +439,13 @@ bool Cpu::MemWrite(const LoadedSegment& seg, u32 offset, u32 size, bool is_stack
           break;
       }
       // The write observer must see D-TLB-path stores too, or a store into
-      // a decoded code page would execute stale instructions. The observer
-      // is the CPU's own decode cache (wired in the constructor); calling it
-      // directly keeps the probe inlinable. Fall back to the virtual
-      // dispatch if a test installed its own observer.
+      // a decoded code page would execute stale instructions. On a
+      // uniprocessor the sole observer is this CPU's own decode cache;
+      // calling it directly keeps the probe inlinable. With multiple vCPUs
+      // (or an extra test observer) the store must fan out to every core's
+      // decode cache through the notify loop.
       const u32 phys = e->frame + off;
-      if (pm_.write_observer() == &dcache_) {
+      if (pm_.sole_write_observer() == &dcache_) {
         dcache_.OnPhysicalWrite(phys, size);
       } else {
         pm_.NotifyWrite(phys, size);

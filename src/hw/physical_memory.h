@@ -12,9 +12,13 @@ namespace palladium {
 class PhysicalMemory {
  public:
   // Notified after every successful mutation of physical memory, with the
-  // first byte address and the length. The CPU's decode cache registers one
+  // first byte address and the length. Every CPU's decode cache registers one
   // so self-modifying code is caught no matter who performs the write:
-  // simulated stores, kernel copy-in, image loaders, or frame zeroing.
+  // simulated stores from any vCPU, kernel copy-in, image loaders, device
+  // DMA, or frame zeroing. With N vCPUs there are N observers (one decode
+  // cache per core); a write fans out to all of them, which is exactly the
+  // SMP coherence rule "a store to a physical page kills every core's
+  // decoded image of it".
   class WriteObserver {
    public:
     virtual ~WriteObserver() = default;
@@ -25,8 +29,21 @@ class PhysicalMemory {
 
   u32 size() const { return static_cast<u32>(bytes_.size()); }
 
-  void set_write_observer(WriteObserver* observer) { observer_ = observer; }
-  WriteObserver* write_observer() const { return observer_; }
+  void AddWriteObserver(WriteObserver* observer) { observers_.push_back(observer); }
+  void RemoveWriteObserver(WriteObserver* observer) {
+    for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+      if (*it == observer) {
+        observers_.erase(it);
+        return;
+      }
+    }
+  }
+  // The uniprocessor devirtualization hook: when exactly one observer is
+  // registered the CPU's store fast path calls it directly instead of going
+  // through the notify loop. nullptr whenever that shortcut is invalid.
+  WriteObserver* sole_write_observer() const {
+    return observers_.size() == 1 ? observers_[0] : nullptr;
+  }
 
   bool Contains(u32 addr, u32 len) const {
     return addr < bytes_.size() && len <= bytes_.size() - addr;
@@ -105,11 +122,11 @@ class PhysicalMemory {
 
  private:
   void Notify(u32 addr, u32 len) {
-    if (observer_ != nullptr) observer_->OnPhysicalWrite(addr, len);
+    for (WriteObserver* o : observers_) o->OnPhysicalWrite(addr, len);
   }
 
   std::vector<u8> bytes_;
-  WriteObserver* observer_ = nullptr;
+  std::vector<WriteObserver*> observers_;
 };
 
 }  // namespace palladium

@@ -1,0 +1,75 @@
+#include "src/hw/smp.h"
+
+#include <algorithm>
+
+namespace palladium {
+
+SmpInterleaver::SmpInterleaver(Machine& machine)
+    : machine_(machine), parked_(machine.num_cpus(), false) {}
+
+void SmpInterleaver::AddEvent(u64 cycle, EventFn fn) {
+  events_.push_back(Event{cycle, next_seq_++, std::move(fn), false});
+  std::stable_sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+  });
+}
+
+u64 SmpInterleaver::Frontier() const {
+  u64 frontier = ~0ull;
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    if (!parked_[c]) frontier = std::min(frontier, machine_.cpu(c).cycles());
+  }
+  return frontier;
+}
+
+void SmpInterleaver::Run(u64 cycle_limit, const StopHandler& on_stop) {
+  const u32 n = machine_.num_cpus();
+  for (;;) {
+    // Pick the frontier vCPU: minimum counter, lowest index on ties.
+    u32 c = n;
+    u64 min_cycles = ~0ull;
+    u64 second = ~0ull;
+    for (u32 i = 0; i < n; ++i) {
+      if (parked_[i]) continue;
+      const u64 cy = machine_.cpu(i).cycles();
+      if (c == n || cy < min_cycles) {
+        second = min_cycles;
+        min_cycles = cy;
+        c = i;
+      } else {
+        second = std::min(second, cy);
+      }
+    }
+    if (c == n) return;  // everyone parked
+    if (min_cycles >= cycle_limit) return;
+
+    machine_.set_current_cpu(c);
+
+    // Fire due host-side events at the frontier, before any further retire.
+    u64 next_event = ~0ull;
+    for (Event& e : events_) {
+      if (e.fired) continue;
+      if (e.cycle <= min_cycles) {
+        e.fired = true;
+        e.fn();
+      } else {
+        next_event = e.cycle;
+        break;
+      }
+    }
+
+    // Run the frontier vCPU only until it stops being the minimum (or hits
+    // the global limit / the next scripted event). `+1` guarantees at least
+    // one retired instruction on exact ties, keeping the round-robin strict.
+    u64 stop_at = cycle_limit;
+    if (second != ~0ull) stop_at = std::min(stop_at, second + 1);
+    if (next_event != ~0ull) stop_at = std::min(stop_at, next_event);
+    if (stop_at <= min_cycles) stop_at = min_cycles + 1;
+
+    StopInfo stop = machine_.cpu(c).Run(stop_at);
+    if (stop.reason == StopReason::kCycleLimit) continue;  // slice boundary
+    if (!on_stop(c, stop)) parked_[c] = true;
+  }
+}
+
+}  // namespace palladium

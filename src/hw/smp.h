@@ -1,0 +1,76 @@
+// SMP interleaver: deterministic execution of N vCPUs over one shared
+// Machine.
+//
+// Model: each vCPU carries its own cycle counter; the interleaver always
+// steps the vCPU with the *smallest* counter (ties broken by lowest index)
+// and lets it run only until it is no longer the minimum. Because Cpu::Run
+// honours its cycle limit strictly at instruction-retire boundaries, the
+// resulting schedule is a deterministic retire-boundary interleave: a pure
+// function of program + initial state, independent of host timing, and —
+// because the decode-cache and D-TLB fast paths keep per-CPU cycle counters
+// byte-identical to the per-byte oracle — identical in every
+// fast-path/oracle combination. That is what makes SMP runs
+// differential-testable with the same oracle discipline as the uniprocessor
+// (tests/cpu_property_test.cc, tests/smp_test.cc).
+//
+// Host-side events (scripted PTE edits with cross-CPU shootdown, fault
+// injection, ...) register against a *global* cycle threshold and fire the
+// first time the frontier — the minimum counter over live vCPUs — reaches
+// it, again a deterministic point.
+//
+// The kernel's Scheduler implements this same min-cycle discipline itself
+// (it needs scheduling decisions interleaved with the stepping); this class
+// is the bare-machine harness used by fuzzers, tests and benches.
+#ifndef SRC_HW_SMP_H_
+#define SRC_HW_SMP_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/hw/machine.h"
+
+namespace palladium {
+
+class SmpInterleaver {
+ public:
+  // Return value of the stop handler: keep stepping this vCPU or park it.
+  // A parked vCPU no longer advances and no longer holds back the frontier.
+  using StopHandler = std::function<bool(u32 cpu_index, const StopInfo& stop)>;
+  using EventFn = std::function<void()>;
+
+  explicit SmpInterleaver(Machine& machine);
+
+  // Registers a host-side action fired once, when the frontier first
+  // reaches `cycle`. Events fire in cycle order (ties: registration order),
+  // with the machine's current vCPU set to the frontier vCPU.
+  void AddEvent(u64 cycle, EventFn fn);
+
+  void Park(u32 cpu_index) { parked_[cpu_index] = true; }
+  void Unpark(u32 cpu_index) { parked_[cpu_index] = false; }
+  bool parked(u32 cpu_index) const { return parked_[cpu_index]; }
+
+  // Runs until every vCPU is parked or every live vCPU's counter has
+  // reached `cycle_limit`. `on_stop` is invoked for every CPU stop that is
+  // not the interleaver's own slice boundary (faults, HLT, host calls).
+  void Run(u64 cycle_limit, const StopHandler& on_stop);
+
+  // Frontier: smallest cycle counter over live vCPUs (~0 when all parked).
+  u64 Frontier() const;
+
+ private:
+  struct Event {
+    u64 cycle;
+    u64 seq;  // registration order for stable tie-break
+    EventFn fn;
+    bool fired = false;
+  };
+
+  Machine& machine_;
+  std::vector<bool> parked_;
+  std::vector<Event> events_;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace palladium
+
+#endif  // SRC_HW_SMP_H_

@@ -41,8 +41,14 @@ inline constexpr u8 kVecKernelService = 0x81;  // kernel-extension services (gat
 // Hardware IRQs are remapped to 0x20..0x2F (the Linux-on-x86 convention).
 inline constexpr u8 kVecIrqBase = 0x20;
 inline constexpr u32 kNumIrqVectors = 16;
-inline constexpr u32 kIrqTimer = 0;  // interval timer (scheduler + watchdog)
-inline constexpr u32 kIrqNic = 5;    // network interface
+inline constexpr u32 kIrqTimer = 0;  // interval timer (scheduler + watchdog), per CPU
+// IPI lines (SMP): raised on the *target* CPU's local PIC. They sit just
+// below the timer in priority and above every device line, matching the
+// "IPIs outrank device interrupts" convention: a pending TLB shootdown must
+// not wait behind NIC servicing on the target core.
+inline constexpr u32 kIrqIpiShootdown = 1;  // TLB/D-TLB shootdown ack (vector 0x21)
+inline constexpr u32 kIrqIpiResched = 2;    // reschedule kick (vector 0x22)
+inline constexpr u32 kIrqNic = 5;    // network interface (routed to CPU 0)
 
 // --- Host entry ids (offsets into the host-call range) ----------------------
 inline constexpr u32 kHostEntrySyscall = 0;

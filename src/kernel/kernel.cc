@@ -28,7 +28,13 @@ Kernel::Kernel(Machine& machine) : Kernel(machine, Config{}) {}
 Kernel::Kernel(Machine& machine, const Config& config)
     : machine_(machine), config_(config), frames_(machine.pm(), kPageSize) {
   SetupGdtIdt();
-  hub_.AddDevice(&timer_);
+  // One interrupt fabric (PIC + hub + local timer) and one `current` slot
+  // per vCPU. Devices attach to vCPU 0's hub; IPIs target any core's PIC.
+  current_.resize(machine_.num_cpus(), nullptr);
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    fabric_.push_back(std::make_unique<CpuIrqFabric>());
+    fabric_.back()->hub.AddDevice(&fabric_.back()->timer);
+  }
   if (config_.timer_interrupts) EnableTimerInterrupts();
 
   // Kernel page-directory template: one page directory whose kernel half
@@ -49,7 +55,9 @@ Kernel::Kernel(Machine& machine, const Config& config)
     ed.Map(kKernelBase + phys, phys, kPtePresent | kPteWrite, [] { return 0u; });
   }
 
-  cpu().SetHostCallRange(kHostCallLinearBase, kPageSize);
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    machine_.cpu(c).SetHostCallRange(kHostCallLinearBase, kPageSize);
+  }
 }
 
 void Kernel::SetupGdtIdt() {
@@ -82,10 +90,62 @@ void Kernel::SetupGdtIdt() {
 void Kernel::EnableTimerInterrupts() {
   if (interrupts_enabled_) return;
   interrupts_enabled_ = true;
-  cpu().set_irq_hub(&hub_);
   const u64 period =
       config_.timer_period_cycles != 0 ? config_.timer_period_cycles : config_.timer_slice_cycles;
-  timer_.Program(period, cpu().cycles());
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    machine_.cpu(c).set_irq_hub(&fabric_[c]->hub);
+    fabric_[c]->timer.Program(period, machine_.cpu(c).cycles());
+  }
+}
+
+void Kernel::SendIpi(u32 target_cpu, u32 ipi_irq) {
+  if (target_cpu >= machine_.num_cpus()) return;
+  fabric_[target_cpu]->pic.Raise(ipi_irq);
+}
+
+void Kernel::ShootdownPage(u32 cr3, u32 linear) {
+  // Local INVLPG, exactly the uniprocessor behavior (flushing the TLB page
+  // bumps change_count, killing the D-TLB and fetch fast path).
+  const u32 cur_cpu = machine_.current_cpu_index();
+  machine_.cpu(cur_cpu).tlb().FlushPage(linear);
+  if (machine_.num_cpus() == 1) return;
+  // Remote shootdown. Only cores that can actually cache the translation
+  // are targeted (the cpu_vm_mask optimization): a core running another
+  // CR3 flushed everything on its last address-space switch, so only cores
+  // on the edited CR3 — or every core, for shared kernel-range mappings —
+  // can hold a stale entry. The initiator "spins for acks": the remote
+  // invalidation is applied synchronously here, and the IPI charges the
+  // target core's interrupt cost at its next retire boundary.
+  const bool kernel_range = linear >= kKernelBase || cr3 == kernel_page_dir_template_;
+  bool any_remote = false;
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    if (c == cur_cpu) continue;
+    if (!kernel_range && machine_.cpu(c).cr3() != cr3) continue;
+    machine_.cpu(c).tlb().FlushPage(linear);
+    any_remote = true;
+    if (interrupts_enabled_) {
+      SendIpi(c, kIrqIpiShootdown);
+      ++smp_stats_.shootdown_ipis;
+    }
+  }
+  if (any_remote) ++smp_stats_.shootdown_pages;
+}
+
+void Kernel::FlushAddressSpace(u32 cr3) {
+  const u32 cur_cpu = machine_.current_cpu_index();
+  machine_.cpu(cur_cpu).tlb().Flush();
+  if (machine_.num_cpus() == 1) return;
+  bool any_remote = false;
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    if (c == cur_cpu || machine_.cpu(c).cr3() != cr3) continue;
+    machine_.cpu(c).tlb().Flush();
+    any_remote = true;
+    if (interrupts_enabled_) {
+      SendIpi(c, kIrqIpiShootdown);
+      ++smp_stats_.shootdown_ipis;
+    }
+  }
+  if (any_remote) ++smp_stats_.full_flushes;
 }
 
 void Kernel::RegisterIrqHandler(u32 irq, IrqHandler handler) {
@@ -125,18 +185,25 @@ bool Kernel::BuildAddressSpace(Process& proc) {
   return true;
 }
 
+void Kernel::EvictFrameEverywhere(u32 frame) {
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    machine_.cpu(c).decode_cache().EvictFrame(frame);
+  }
+}
+
 PageTableEditor Kernel::Editor(u32 cr3) {
+  // Every live-machine PTE edit goes through the shootdown protocol: local
+  // INVLPG plus exact cross-CPU invalidation with IPI cost modelling.
   return PageTableEditor(machine_.pm(), cr3,
-                         [this](u32 linear) { cpu().tlb().FlushPage(linear); });
+                         [this, cr3](u32 linear) { ShootdownPage(cr3, linear); });
 }
 
 void Kernel::ReleaseAddressSpace(Process& proc) {
   // Frees user page tables and frames (kernel tables are shared). Freed
-  // frames are evicted from the decode cache so a stale decoded image
-  // cannot linger across frame reuse, and the fetch fast path is dropped
-  // with the address space.
+  // frames are evicted from *every* vCPU's decode cache so a stale decoded
+  // image cannot linger across frame reuse on any core, and the fetch fast
+  // path is dropped with the address space.
   PhysicalMemory& pm = machine_.pm();
-  DecodeCache& dcache = cpu().decode_cache();
   for (u32 pde_idx = 0; pde_idx < PdeIndex(kKernelBase); ++pde_idx) {
     u32 pde = 0;
     pm.Read32(proc.cr3 + pde_idx * 4, &pde);
@@ -146,7 +213,7 @@ void Kernel::ReleaseAddressSpace(Process& proc) {
       u32 pte = 0;
       pm.Read32(table + i * 4, &pte);
       if (pte & kPtePresent) {
-        dcache.EvictFrame(pte & kPteFrameMask);
+        EvictFrameEverywhere(pte & kPteFrameMask);
         frames_.Free(pte & kPteFrameMask);
       }
     }
@@ -441,7 +508,7 @@ bool Kernel::ExecImage(Pid pid, const LinkedImage& image, const std::string& ent
     return false;
   }
   ReleaseAddressSpace(*proc);
-  cpu().tlb().Flush();
+  FlushAddressSpace(proc->cr3);
   // Privilege levels are not inherited across exec (Section 4.5.2).
   proc->task_spl = 3;
   proc->ppl_policy = false;
@@ -467,12 +534,12 @@ void Kernel::SwitchTo(Process& proc) {
   // only at image load) means processes loaded before EnableTimerInterrupts
   // or the Scheduler existed are still preemptible and watchdog-covered.
   if (interrupts_enabled_) cpu().set_eflags(cpu().eflags() | kFlagIf);
-  current_ = &proc;
+  cur() = &proc;
   Charge(config_.costs.context_switch);
 }
 
 void Kernel::SaveCurrent() {
-  if (current_ != nullptr) current_->context = cpu().SaveContext();
+  if (cur() != nullptr) cur()->context = cpu().SaveContext();
 }
 
 void Kernel::ExtensionWatchdogTick(Process& proc) {
@@ -497,16 +564,24 @@ void Kernel::ExtensionWatchdogTick(Process& proc) {
 }
 
 bool Kernel::HandleIrqFromGate(u32 irq, bool in_kernel_context) {
+  const u32 cur_cpu = machine_.current_cpu_index();
   Charge(config_.costs.irq_dispatch);
-  pic_.Eoi();
+  fabric_[cur_cpu]->pic.Eoi();
   // Hardware interrupts are transparent: restore the interrupted context
   // before any kernel work, so handlers (which are host code) see the
   // machine exactly as the interrupt found it.
   ReturnFromInterrupt();
   bool preempt = false;
   if (irq == kIrqTimer && !in_kernel_context) {
-    if (current_ != nullptr) ExtensionWatchdogTick(*current_);
+    if (cur() != nullptr) ExtensionWatchdogTick(*cur());
     if (sched_ != nullptr && sched_->OnTimerTick()) preempt = true;
+  } else if (irq == kIrqIpiShootdown) {
+    // The invalidation itself was applied synchronously by the initiator
+    // (it spins for acks); what the target pays here is the interrupt cost.
+    ++smp_stats_.ipis_received;
+  } else if (irq == kIrqIpiResched) {
+    ++smp_stats_.ipis_received;
+    if (sched_ != nullptr && !in_kernel_context) preempt = true;
   }
   auto it = irq_handlers_.find(irq);
   if (it != irq_handlers_.end()) it->second(*this);
@@ -514,12 +589,17 @@ bool Kernel::HandleIrqFromGate(u32 irq, bool in_kernel_context) {
 }
 
 void Kernel::ServicePendingIrqsHostSide() {
-  hub_.AdvanceDevices(cpu().cycles());
+  // Services the *current* vCPU's fabric (the scheduler walks the cores,
+  // setting the machine's current index, when several sit idle).
+  const u32 cur_cpu = machine_.current_cpu_index();
+  InterruptController& pic = fabric_[cur_cpu]->pic;
+  fabric_[cur_cpu]->hub.AdvanceDevices(cpu().cycles());
   for (;;) {
-    const int vec = pic_.Acknowledge();
+    const int vec = pic.Acknowledge();
     if (vec < 0) break;
     const u32 irq = static_cast<u32>(vec) - kVecIrqBase;
-    pic_.Eoi();
+    pic.Eoi();
+    if (irq == kIrqIpiShootdown || irq == kIrqIpiResched) ++smp_stats_.ipis_received;
     // No watchdog/preemption while idle (there is no current process), but
     // user-registered handlers — including one on the timer line — still
     // run, matching the gate path.
@@ -560,8 +640,8 @@ StopAction Kernel::DispatchStop(const StopInfo& stop) {
     preempt_pending_ = false;
     preempt = true;
   }
-  if (current_ == nullptr) return StopAction::kTerminated;
-  switch (current_->state) {
+  if (cur() == nullptr) return StopAction::kTerminated;
+  switch (cur()->state) {
     case ProcessState::kRunnable:
       return preempt ? StopAction::kPreempt : StopAction::kContinue;
     case ProcessState::kBlocked:
@@ -608,7 +688,7 @@ RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
       // RunProcess has no other process to switch to; the process stays
       // parked (state kBlocked) and a Scheduler — or a WakeProcess plus a
       // second RunProcess — can resume it.
-      current_ = nullptr;
+      cur() = nullptr;
       result.outcome = RunOutcome::kBlocked;
       return result;
     }
@@ -616,7 +696,7 @@ RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
     // the loop condition sorts them out.
   }
 
-  current_ = nullptr;
+  cur() = nullptr;
   if (proc->state == ProcessState::kExited) {
     result.outcome = RunOutcome::kExited;
     result.exit_code = proc->exit_code;
@@ -628,7 +708,7 @@ RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
 }
 
 void Kernel::BlockCurrentForRestart() {
-  Process& proc = *current_;
+  Process& proc = *cur();
   GateFrame frame;
   if (!PeekGateFrame(&frame) || !frame.has_outer_stack) {
     KillCurrent("cannot block: unreadable gate frame");
@@ -659,9 +739,9 @@ void Kernel::WakeProcess(Process& proc) {
 }
 
 void Kernel::KillCurrent(const std::string& reason) {
-  if (current_ == nullptr) return;
-  current_->state = ProcessState::kKilled;
-  current_->kill_reason = reason;
+  if (cur() == nullptr) return;
+  cur()->state = ProcessState::kKilled;
+  cur()->kill_reason = reason;
 }
 
 // --- Gate frame helpers --------------------------------------------------------
@@ -749,7 +829,7 @@ void Kernel::RegisterSyscall(u32 number, SyscallHandler handler) {
 }
 
 void Kernel::HandleSyscall() {
-  Process& proc = *current_;
+  Process& proc = *cur();
   Charge(config_.costs.syscall_dispatch);
   const u32 nr = cpu().reg(Reg::kEax);
   const u32 ebx = cpu().reg(Reg::kEbx);
@@ -835,7 +915,7 @@ void Kernel::HandleSyscall() {
       }
       bool ok = true;
       u32 result = kext_invoker_(*this, ebx, ecx, &ok);
-      if (current_ == nullptr || current_->state != ProcessState::kRunnable) return;
+      if (cur() == nullptr || cur()->state != ProcessState::kRunnable) return;
       ReturnFromGate(ok ? result : kErrFault);
       return;
     }
@@ -854,7 +934,7 @@ void Kernel::HandleSyscall() {
 // --- Fault handling ------------------------------------------------------------
 
 void Kernel::HandleFault(const StopInfo& stop) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   const Fault& fault = stop.fault;
   const u8 cpl = cpu().cpl();
 
@@ -943,8 +1023,8 @@ void Kernel::DeliverSignal(Process& proc, u32 signo) {
 // --- System call implementations ------------------------------------------------
 
 void Kernel::SysExit(u32 code) {
-  current_->state = ProcessState::kExited;
-  current_->exit_code = static_cast<i32>(code);
+  cur()->state = ProcessState::kExited;
+  cur()->exit_code = static_cast<i32>(code);
 }
 
 void Kernel::SysWrite(u32 ptr, u32 len) {
@@ -953,7 +1033,7 @@ void Kernel::SysWrite(u32 ptr, u32 len) {
     return;
   }
   std::string buf(len, '\0');
-  if (!CopyFromUser(*current_, ptr, buf.data(), len)) {
+  if (!CopyFromUser(*cur(), ptr, buf.data(), len)) {
     ReturnFromGate(kErrFault);
     return;
   }
@@ -962,7 +1042,7 @@ void Kernel::SysWrite(u32 ptr, u32 len) {
 }
 
 void Kernel::SysBrk(u32 new_brk) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   if (new_brk == 0) {
     ReturnFromGate(proc.brk);
     return;
@@ -991,7 +1071,7 @@ void Kernel::SysBrk(u32 new_brk) {
 }
 
 void Kernel::SysMmap(u32 addr, u32 len, u32 prot) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   if (len == 0) {
     ReturnFromGate(kErrInval);
     return;
@@ -1018,7 +1098,7 @@ bool Kernel::UnmapArea(Process& proc, u32 start, u32 end) {
       for (u32 a = start; a < end; a += kPageSize) {
         u32 pte = 0;
         if (ed.GetPte(a, &pte) && (pte & kPtePresent)) {
-          cpu().decode_cache().EvictFrame(pte & kPteFrameMask);
+          EvictFrameEverywhere(pte & kPteFrameMask);
           frames_.Free(pte & kPteFrameMask);
           ed.Unmap(a);
         }
@@ -1031,14 +1111,14 @@ bool Kernel::UnmapArea(Process& proc, u32 start, u32 end) {
 }
 
 void Kernel::SysMunmap(u32 addr, u32 len) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   const u32 start = PageAlignDown(addr);
   const u32 end = PageAlignUp(addr + len);
   ReturnFromGate(UnmapArea(proc, start, end) ? 0 : kErrInval);
 }
 
 void Kernel::SysMprotect(u32 addr, u32 len, u32 prot) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   // The Palladium mprotect hardening is subsumed by taskSPL gating: an SPL 3
   // extension cannot reach this syscall at all in an SPL 2 process. The
   // explicit check remains for defense in depth.
@@ -1075,12 +1155,12 @@ void Kernel::SysSigaction(u32 signo, u32 handler) {
     ReturnFromGate(kErrInval);
     return;
   }
-  current_->signals.handlers[signo] = handler;
+  cur()->signals.handlers[signo] = handler;
   ReturnFromGate(0);
 }
 
 void Kernel::SysSigreturn() {
-  Process& proc = *current_;
+  Process& proc = *cur();
   if (!proc.signals.in_handler) {
     ReturnFromGate(kErrInval);
     return;
@@ -1090,7 +1170,7 @@ void Kernel::SysSigreturn() {
 }
 
 void Kernel::SysFork() {
-  Process& parent = *current_;
+  Process& parent = *cur();
   Pid child_pid = CreateProcess();
   if (child_pid == 0) {
     ReturnFromGate(kErrNoMem);
@@ -1158,7 +1238,7 @@ void Kernel::SysFork() {
 }
 
 void Kernel::SysInitPL() {
-  Process& proc = *current_;
+  Process& proc = *cur();
   if (proc.task_spl != 3) {
     ReturnFromGate(kErrPerm);
     return;
@@ -1212,7 +1292,7 @@ void Kernel::SysInitPL() {
 }
 
 void Kernel::SysSetRange(u32 addr, u32 len, u32 ppl) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   if (proc.task_spl != 2) {
     ReturnFromGate(kErrPerm);
     return;
@@ -1245,7 +1325,7 @@ void Kernel::SysSetRange(u32 addr, u32 len, u32 ppl) {
 }
 
 void Kernel::SysSetCallGate(u32 function) {
-  Process& proc = *current_;
+  Process& proc = *cur();
   if (proc.task_spl != 2) {
     ReturnFromGate(kErrPerm);
     return;

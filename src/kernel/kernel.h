@@ -143,16 +143,55 @@ class Kernel {
   void SetTimeLimitHook(TimeLimitHook hook) { time_limit_hook_ = std::move(hook); }
 
   // --- Interrupts --------------------------------------------------------------
-  // The kernel owns the interrupt fabric: PIC, hub and the interval timer
-  // (IRQ 0). IDT gates for vectors 0x20..0x2F are always installed; delivery
-  // begins when EnableTimerInterrupts() attaches the hub to the CPU and arms
-  // the timer. From then on the extension watchdog runs off the timer
+  // The kernel owns the interrupt fabric: one PIC + hub + local interval
+  // timer *per vCPU* (the 8259/APIC-timer analogue). Shared devices (NIC,
+  // ...) attach to vCPU 0's hub — I/O interrupts route to the boot CPU, the
+  // classic pre-IO-APIC model — while every core's local timer drives its
+  // own preemption slice and extension watchdog, and the IPI lines
+  // (kIrqIpiShootdown / kIrqIpiResched) carry cross-CPU kicks. IDT gates for
+  // vectors 0x20..0x2F are always installed; delivery begins when
+  // EnableTimerInterrupts() attaches each hub to its CPU and arms the
+  // timers. From then on the extension watchdog runs off the timer
   // interrupt instead of the cooperative RunProcess slice check.
   void EnableTimerInterrupts();
   bool interrupts_enabled() const { return interrupts_enabled_; }
-  InterruptController& pic() { return pic_; }
-  IrqHub& irq_hub() { return hub_; }
-  IntervalTimer& timer() { return timer_; }
+  // The I/O fabric (vCPU 0's): where devices raise their lines.
+  InterruptController& pic() { return fabric_[0]->pic; }
+  IrqHub& irq_hub() { return fabric_[0]->hub; }
+  IntervalTimer& timer() { return fabric_[0]->timer; }
+  // Per-CPU fabric.
+  InterruptController& pic(u32 cpu_index) { return fabric_[cpu_index]->pic; }
+  IrqHub& irq_hub(u32 cpu_index) { return fabric_[cpu_index]->hub; }
+  IntervalTimer& timer(u32 cpu_index) { return fabric_[cpu_index]->timer; }
+  u32 num_cpus() const { return machine_.num_cpus(); }
+
+  // --- SMP ---------------------------------------------------------------------
+  // Cross-CPU coherence. The shootdown protocol rides the page-table editor
+  // hook: every PTE edit flushes the edited page on the initiating CPU
+  // (INVLPG), and — exactly like a real kernel's flush_tlb_others with the
+  // initiator spinning for acks — synchronously invalidates the page on
+  // every remote CPU that could cache the translation (same CR3, or any CPU
+  // for shared kernel-range mappings) before the edit returns. The remote
+  // cost is modelled by a shootdown IPI raised on each such CPU's local
+  // PIC: the target core takes the interrupt at its next retire boundary
+  // and pays gate + dispatch cycles. Flushing the hardware TLB page bumps
+  // Tlb::change_count(), which kills the target's D-TLB and decoded-page
+  // fetch TLB in O(1) — so no stale data or instruction fast path survives
+  // a remote PTE edit, with or without the fast paths enabled.
+  struct SmpStats {
+    u64 shootdown_pages = 0;  // PTE edits that broadcast remote invalidations
+    u64 shootdown_ipis = 0;   // shootdown IPIs raised on remote cores
+    u64 full_flushes = 0;     // address-space-wide flush broadcasts
+    u64 ipis_received = 0;    // IPI vectors delivered on any core
+  };
+  const SmpStats& smp_stats() const { return smp_stats_; }
+  // Raises an IPI line on the target CPU's local PIC.
+  void SendIpi(u32 target_cpu, u32 ipi_irq);
+  // The editor-hook body: local INVLPG + remote shootdown (see above).
+  void ShootdownPage(u32 cr3, u32 linear);
+  // Full-flush analogue for address-space-wide permission changes
+  // (exec, init_PL): flushes every CPU running `cr3`.
+  void FlushAddressSpace(u32 cr3);
 
   // Handler for a device IRQ (NIC, ...), run host-side after the interrupted
   // context has been restored. The timer IRQ is the kernel's own.
@@ -216,7 +255,10 @@ class Kernel {
   const std::string& console() const { return console_; }
   void ClearConsole() { console_.clear(); }
 
-  Process* current() { return current_; }
+  // The process running on the *current* vCPU (the one whose trap the
+  // kernel is servicing), and per-CPU lookup for schedulers/harnesses.
+  Process* current() { return current_[machine_.current_cpu_index()]; }
+  Process* current(u32 cpu_index) { return current_[cpu_index]; }
   DescriptorTable& gdt() { return machine_.gdt(); }
 
   // The paper's Extension Function Table lives in the kernel (Figure 4);
@@ -234,6 +276,9 @@ class Kernel {
   void SetupGdtIdt();
   void SwitchTo(Process& proc);
   void SaveCurrent();
+  // A frame returning to the allocator must leave no decoded image on any
+  // core (SMP: every vCPU has its own decode cache).
+  void EvictFrameEverywhere(u32 frame);
 
   void HandleSyscall();
   void HandleFault(const StopInfo& stop);
@@ -270,23 +315,31 @@ class Kernel {
   // PageTableEditor, for any edit while the machine is live.
   PageTableEditor Editor(u32 cr3);
 
+  // The process slot of the current vCPU (most kernel code runs "on" the
+  // trapping core; this is its `current` in the Linux sense).
+  Process*& cur() { return current_[machine_.current_cpu_index()]; }
+
   Machine& machine_;
   Config config_;
   FrameAllocator frames_;
   u32 kernel_page_dir_template_ = 0;  // PDEs >= 3GB shared by all processes
 
-  // Interrupt fabric.
-  InterruptController pic_{kVecIrqBase};
-  IrqHub hub_{pic_};
-  IntervalTimer timer_{pic_, kIrqTimer};
+  // Interrupt fabric, one per vCPU (see the Interrupts section above).
+  struct CpuIrqFabric {
+    InterruptController pic{kVecIrqBase};
+    IrqHub hub{pic};
+    IntervalTimer timer{pic, kIrqTimer};
+  };
+  std::vector<std::unique_ptr<CpuIrqFabric>> fabric_;
   bool interrupts_enabled_ = false;
   std::map<u32, IrqHandler> irq_handlers_;
   Scheduler* sched_ = nullptr;
   bool preempt_pending_ = false;
+  SmpStats smp_stats_;
 
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_ = 1;
-  Process* current_ = nullptr;
+  std::vector<Process*> current_;  // one slot per vCPU
 
   std::map<u32, HostCallHandler> host_calls_;
   u32 next_host_call_id_ = kHostEntryFirstFree;

@@ -62,6 +62,12 @@ struct Process {
   u32 kernel_stack_frame = 0;
   u32 esp0 = 0;
 
+  // Scheduler bookkeeping (SMP): the vCPU whose run queue owns this process
+  // (wakeups go home; stealing migrates it), and whether it currently sits
+  // in a ready queue (guards against double-enqueue).
+  u32 home_cpu = 0;
+  bool sched_queued = false;
+
   CpuContext context;  // saved user context while not running
   SignalState signals;
 

@@ -4,8 +4,33 @@
 
 #include "src/asm/assembler.h"
 #include "src/filter/filter.h"
+#include "src/net/packet.h"
 
 namespace palladium {
+
+u32 PacketDataplane::FlowHash(const std::vector<u8>& frame) {
+  // FNV-1a over the 5-tuple fields that exist; frames too short for a field
+  // simply skip it (hash stays a pure function of the bytes present).
+  u32 h = 2166136261u;
+  auto mix = [&h](const u8* p, u32 len) {
+    for (u32 i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 16777619u;
+    }
+  };
+  if (frame.size() >= kOffIpSrc + 8) mix(&frame[kOffIpSrc], 8);  // src+dst ip
+  if (frame.size() > kOffIpProto) mix(&frame[kOffIpProto], 1);
+  if (frame.size() >= kOffSrcPort + 4) mix(&frame[kOffSrcPort], 4);  // both ports
+  // Final avalanche (murmur3 fmix32): adjacent tuples (client n, port
+  // 1024+n) must not collapse onto the same residue class mod small worker
+  // counts.
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35u;
+  h ^= h >> 16;
+  return h;
+}
 
 PacketDataplane::PacketDataplane(Kernel& kernel, KernelExtensionManager& kext, Nic& nic)
     : PacketDataplane(kernel, kext, nic, Config{}) {}
@@ -96,6 +121,11 @@ bool PacketDataplane::AddFlowFunction(const std::string& name, u32 ext_id, u32 f
 
 bool PacketDataplane::Deliver(FlowInfo& flow, const std::vector<u8>& frame) {
   Process* first_full = nullptr;
+  // RSS steering anchors the probe sequence at the flow-hash slot so a wire
+  // flow sticks to one worker; round-robin rotates the anchor every frame.
+  if (config_.steering == FlowSteering::kFlowHash && !flow.dests.empty()) {
+    flow.next_dest = FlowHash(frame) % static_cast<u32>(flow.dests.size());
+  }
   for (u32 attempt = 0; attempt < flow.dests.size(); ++attempt) {
     const Pid pid = flow.dests[flow.next_dest];
     flow.next_dest = (flow.next_dest + 1) % static_cast<u32>(flow.dests.size());
@@ -157,6 +187,21 @@ void PacketDataplane::Classify(const std::vector<u8>& frame) {
   ++stats_.dropped_no_match;
 }
 
+void PacketDataplane::WakeOneWaiter() {
+  // Round-robin over every registered destination: wake one worker blocked
+  // in pkt_recv so somebody comes and classifies the backlog.
+  if (all_dests_.empty()) return;
+  for (u32 attempt = 0; attempt < all_dests_.size(); ++attempt) {
+    const Pid pid = all_dests_[wake_cursor_];
+    wake_cursor_ = (wake_cursor_ + 1) % static_cast<u32>(all_dests_.size());
+    Process* proc = kernel_.process(pid);
+    if (proc != nullptr && proc->state == ProcessState::kBlocked && proc->waiting_packet) {
+      kernel_.WakeProcess(*proc);
+      return;
+    }
+  }
+}
+
 void PacketDataplane::ServiceRx() {
   ++stats_.nic_irqs;
   if (in_service_) return;  // nested NIC IRQ during a filter run: outer loop drains
@@ -177,9 +222,37 @@ void PacketDataplane::ServiceRx() {
     pm.Write32(desc + kNicDescStatus, kDescOwn);
     rx_consume_ = (rx_consume_ + 1) % ring.count;
     ++stats_.rx_frames;
-    Classify(frame);
+    if (config_.rps) {
+      // RPS: the interrupt core only queues the raw frame; a worker's
+      // pkt_recv runs the protected filter on its own vCPU.
+      if (backlog_.size() >= config_.backlog_limit) {
+        ++stats_.dropped_backlog_full;
+      } else {
+        backlog_.push_back(std::move(frame));
+        WakeOneWaiter();
+      }
+    } else {
+      Classify(frame);
+    }
   }
   in_service_ = false;
+}
+
+void PacketDataplane::DrainBacklog(bool drain_all) {
+  if (in_classify_) return;  // a nested pkt_recv from filter context must not recurse
+  in_classify_ = true;
+  // Classify on the calling vCPU until the caller's queue has a frame (the
+  // caller is always kernel_.current()) or the backlog runs dry. Deliveries
+  // to other workers wake them; they drain their own share on their cores.
+  // `drain_all` (shutdown) classifies everything regardless of the caller.
+  Process* me = kernel_.current();
+  while (!backlog_.empty() && (drain_all || me == nullptr || me->pkt_queue.empty())) {
+    std::vector<u8> frame = std::move(backlog_.front());
+    backlog_.pop_front();
+    ++stats_.rps_deferred;
+    Classify(frame);
+  }
+  in_classify_ = false;
 }
 
 bool PacketDataplane::Transmit(const std::vector<u8>& frame) {
@@ -204,6 +277,9 @@ bool PacketDataplane::Transmit(const std::vector<u8>& frame) {
 void PacketDataplane::SysPktRecv(u32 buf, u32 cap, u32 flags) {
   Process& proc = *kernel_.current();
   kernel_.Charge(kernel_.costs().pkt_syscall_base);
+  // RPS: raw frames queued by the interrupt core get classified here, on
+  // the consuming worker's vCPU — the filter cost lands on this core.
+  if (config_.rps && proc.pkt_queue.empty() && !backlog_.empty()) DrainBacklog();
   if (proc.pkt_queue.empty()) {
     if (shutdown_) {
       kernel_.ReturnFromGate(kErrShutdown);
@@ -252,6 +328,10 @@ void PacketDataplane::SysPktSend(u32 buf, u32 len) {
 
 void PacketDataplane::Shutdown() {
   shutdown_ = true;
+  // RPS: flush the raw backlog (classified on the vCPU declaring shutdown)
+  // so every frame that reached the host is accounted for before sleepers
+  // are released.
+  DrainBacklog(/*drain_all=*/true);
   for (Pid pid : all_dests_) {
     Process* proc = kernel_.process(pid);
     if (proc != nullptr && proc->state == ProcessState::kBlocked && proc->waiting_packet) {

@@ -12,6 +12,7 @@
 #ifndef SRC_NET_DATAPLANE_H_
 #define SRC_NET_DATAPLANE_H_
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -57,12 +58,33 @@ done:
   int $0x80
 )";
 
+// How a flow spreads matched frames across its destination processes.
+enum class FlowSteering : u8 {
+  kRoundRobin,  // strict rotation (uniform load, no affinity)
+  // RSS-style: hash the frame's 5-tuple and pick dests[hash % n], so every
+  // wire flow sticks to one worker — and, with workers homed on different
+  // vCPUs by the SMP scheduler, to one core. Full queues/dead workers fall
+  // back to probing the remaining dests round-robin.
+  kFlowHash,
+};
+
 class PacketDataplane {
  public:
   struct Config {
     u32 rx_ring_entries = 32;
     u32 tx_ring_entries = 32;
     u32 buf_stride = 2048;  // one frame per buffer; must be <= kPageSize
+    FlowSteering steering = FlowSteering::kRoundRobin;
+    // Receive packet steering (the Linux RPS idea, adapted): when set, the
+    // NIC IRQ on vCPU 0 only drains descriptors into a raw backlog and
+    // wakes a sleeping worker; the protected-filter classification runs
+    // later, inside the consuming worker's pkt_recv — i.e. on the worker's
+    // own vCPU, charged to its cycle counter. That takes the filter off the
+    // interrupt core's critical path, so classification and queue draining
+    // scale across cores instead of serializing on vCPU 0. Off by default:
+    // classification then happens in the IRQ handler exactly as before.
+    bool rps = false;
+    u32 backlog_limit = 512;  // raw frames queued ahead of classification
   };
 
   struct Stats {
@@ -74,6 +96,8 @@ class PacketDataplane {
     u64 dropped_no_match = 0;
     u64 dropped_queue_full = 0;
     u64 dropped_dead_dest = 0;   // destination exited/was killed
+    u64 dropped_backlog_full = 0;  // RPS backlog overflow (cheap drop)
+    u64 rps_deferred = 0;        // frames classified in worker context
     u64 tx_frames = 0;
     u64 nic_irqs = 0;            // ServiceRx activations
   };
@@ -131,6 +155,10 @@ class PacketDataplane {
   // of pkt_send). Returns false when the ring is full.
   bool Transmit(const std::vector<u8>& frame);
 
+  // The RSS hash: a stable function of (src ip, dst ip, proto, src port,
+  // dst port). Exposed so tests can predict kFlowHash placement.
+  static u32 FlowHash(const std::vector<u8>& frame);
+
   const Stats& stats() const { return stats_; }
   const std::vector<FlowInfo>& flows() const { return flows_; }
   Nic& nic() { return nic_; }
@@ -140,6 +168,10 @@ class PacketDataplane {
   void SysPktSend(u32 buf, u32 len);
   void Classify(const std::vector<u8>& frame);
   bool Deliver(FlowInfo& flow, const std::vector<u8>& frame);
+  void WakeOneWaiter();
+  // Classifies queued raw frames on the current vCPU; stops once the
+  // calling process has a frame unless `drain_all` (shutdown flush).
+  void DrainBacklog(bool drain_all = false);
 
   Kernel& kernel_;
   KernelExtensionManager& kext_;
@@ -153,6 +185,9 @@ class PacketDataplane {
   u32 tx_produce_ = 0;  // next TX descriptor to fill
   bool in_service_ = false;
   bool shutdown_ = false;
+  std::deque<std::vector<u8>> backlog_;  // RPS: raw frames awaiting classification
+  u32 wake_cursor_ = 0;                  // round-robin over all_dests_ for RPS wakes
+  bool in_classify_ = false;             // guards re-entrant backlog draining
 };
 
 }  // namespace palladium

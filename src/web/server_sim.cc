@@ -172,7 +172,9 @@ done:
 MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   MultiServerResult result;
 
-  Machine machine;
+  MachineConfig mcfg;
+  mcfg.num_cpus = config.smp;
+  Machine machine(mcfg);
   Kernel::Config kcfg;
   kcfg.timer_period_cycles = config.timer_period_cycles;
   Kernel kernel(machine, kcfg);
@@ -199,7 +201,9 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   }
 
   Nic nic(machine.pm(), kernel.pic(), kIrqNic);
-  PacketDataplane dataplane(kernel, kext, nic);
+  PacketDataplane::Config dcfg;
+  dcfg.steering = config.steering;
+  PacketDataplane dataplane(kernel, kext, nic, dcfg);
   if (!dataplane.AddFlow("http", "ip.proto == 6 && tcp.dport == 80", workers, &diag)) {
     result.diag = "flow: " + diag;
     return result;
@@ -275,12 +279,17 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   const u64 busy_cycles = run.cycles - sched.stats().idle_cycles;
   result.requests_per_sec =
       busy_cycles > 0 ? static_cast<double>(result.served) * 200e6 / busy_cycles : 0;
-  result.timer_irqs = kernel.pic().delivered(kIrqTimer);
+  result.cpus = machine.num_cpus();
+  for (u32 c = 0; c < machine.num_cpus(); ++c) {
+    result.timer_irqs += kernel.pic(c).delivered(kIrqTimer);
+  }
   result.nic_irqs = kernel.pic().delivered(kIrqNic);
   result.preemptions = sched.stats().preemptions;
   result.context_switches = sched.stats().context_switches;
   result.filter_invocations = dataplane.stats().filter_invocations;
   result.idle_cycles = sched.stats().idle_cycles;
+  result.steals = sched.stats().steals;
+  result.shootdown_ipis = kernel.smp_stats().shootdown_ipis;
   u64 worker_total = 0;
   for (Pid pid : workers) {
     Process* proc = kernel.process(pid);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/hw/types.h"
+#include "src/net/dataplane.h"
 
 namespace palladium {
 
@@ -90,6 +91,14 @@ struct MultiServerConfig {
   u64 cycle_budget = 2'000'000'000ull;
   // HTTP work charged per request on the send path (parse + format).
   u64 http_service_cycles = 2'000;
+  // vCPUs for the machine (0 = PALLADIUM_SMP env, default 1). Workers are
+  // homed round-robin across cores; NIC RX and filter classification run on
+  // vCPU 0; queues drain wherever their worker runs (the `--smp N` mode).
+  u32 smp = 0;
+  // RSS-style flow steering pins each client's flow to one worker (and so,
+  // under SMP, to one core). Round-robin keeps the PR 3 balanced-load
+  // behavior that the example and tests assert.
+  FlowSteering steering = FlowSteering::kRoundRobin;
 };
 
 struct MultiServerResult {
@@ -99,12 +108,15 @@ struct MultiServerResult {
   u64 parsed_requests = 0;   // requests parsed by the HTTP layer
   u64 cycles = 0;            // simulated cycles for the whole run
   double requests_per_sec = 0;  // at the paper's 200 MHz
-  u64 timer_irqs = 0;
+  u64 timer_irqs = 0;        // summed over every vCPU's local timer
   u64 nic_irqs = 0;
   u64 preemptions = 0;
   u64 context_switches = 0;
   u64 filter_invocations = 0;
   u64 idle_cycles = 0;
+  u32 cpus = 1;              // vCPUs the machine actually ran with
+  u64 steals = 0;            // scheduler work-steals
+  u64 shootdown_ipis = 0;    // cross-CPU TLB shootdown IPIs
   std::vector<i32> per_worker_served;  // worker exit codes
 };
 

@@ -8,6 +8,7 @@
 
 #include "src/hw/bare_machine.h"
 #include "src/hw/paging.h"
+#include "src/hw/smp.h"
 #include "src/hw/timer.h"
 
 namespace palladium {
@@ -729,6 +730,229 @@ TEST(IrqDifferential, AllFourModesAgreeUnderRandomInterrupts) {
     }
   }
   EXPECT_GT(total_irqs, 60u) << "the interrupt fuzz barely interrupted anything";
+}
+
+// --- SMP differential fuzz -----------------------------------------------------
+// N vCPUs share physical memory, the identity page tables and the fuzz data
+// window; the deterministic min-cycle interleaver (src/hw/smp.h) steps them
+// at instruction-retire boundaries, and scripted cross-CPU shootdowns flip a
+// window page's W bit at pseudo-random global cycles, flushing the page on
+// every core (the kernel shootdown protocol, driven by hand). Because per-CPU
+// cycle counters are byte-identical with the fast paths on or off, the whole
+// interleave — and therefore every per-vCPU register file, fault stream,
+// cycle count and the shared memory image — must be identical in all four
+// (decode cache × D-TLB) configurations, for N ∈ {1, 2, 4}.
+
+constexpr u32 kSmpCodeStride = 0x8000;  // per-vCPU program base spacing
+// Per-vCPU stacks, one page each. Geometry rule: no page a *data* access
+// can touch may share a direct-mapped TLB set with a code page (sets
+// 16/24/32/40 here). The decoded-page fetch path performs fewer TLB
+// lookups than the per-byte oracle (that is what makes it fast), so a
+// code/data set conflict would make TLB miss counts — and thus cycle
+// counts — legitimately mode-dependent. Note the "data" set includes pages
+// *above* each stack top: a runtime-unbalanced forward branch can pop more
+// than was pushed, reading past the initial ESP. The uniprocessor fuzz
+// obeys the same rule implicitly (stack pages land in sets 63/0).
+constexpr u32 kSmpStackTop = 0x80000;
+constexpr u32 kSmpStackStride = 0x2000;
+
+struct SmpCpuResult {
+  StopReason final_reason = StopReason::kHalted;
+  std::vector<FaultRecord> faults;
+  std::vector<u64> fault_cycles;
+  CpuContext ctx;
+  u64 cycles = 0;
+  u64 instructions = 0;
+};
+
+struct SmpDiffRun {
+  std::vector<SmpCpuResult> cpus;
+  std::vector<u8> memory;
+};
+
+SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, FuzzMode mode,
+                              bool decode_cache, bool dtlb,
+                              const std::vector<u64>& shootdown_cycles) {
+  const u32 n = static_cast<u32>(programs.size());
+  BareMachineConfig config;
+  config.physical_memory_bytes = kFuzzMem;
+  config.num_cpus = n;
+  BareMachine bm(config);
+  Machine& m = bm.machine();
+  EXPECT_EQ(m.num_cpus(), n);
+  for (u32 c = 0; c < n; ++c) {
+    m.cpu(c).set_decode_cache_enabled(decode_cache);
+    m.cpu(c).set_dtlb_enabled(dtlb);
+  }
+  for (u32 c = 0; c < n; ++c) {
+    const u32 base = kCodeBase + c * kSmpCodeStride;
+    EXPECT_TRUE(bm.pm().WriteBlock(base, programs[c].data(),
+                                   static_cast<u32>(programs[c].size())));
+  }
+  const bool hostile = mode == FuzzMode::kHostileCpl3 || mode == FuzzMode::kHostileCpl0;
+  const u32 cr3 = m.cpu(0).cr3();
+  auto flush_all = [&m, n](u32 linear) {
+    for (u32 c = 0; c < n; ++c) m.cpu(c).tlb().FlushPage(linear);
+  };
+  if (hostile) {
+    PageTableEditor ed(bm.pm(), cr3, flush_all);
+    EXPECT_TRUE(ed.UpdateFlags(kFuzzDataBase + kPageSize, 0, kPteWrite));   // read-only
+    EXPECT_TRUE(ed.UpdateFlags(kFuzzDataBase + 2 * kPageSize, 0, kPteUser));  // PPL 0
+  }
+  const u8 cpl = (mode == FuzzMode::kPlainCpl3 || mode == FuzzMode::kHostileCpl3) ? 3 : 0;
+  for (u32 c = 0; c < n; ++c) {
+    bm.StartCpu(c, kCodeBase + c * kSmpCodeStride, cpl, kSmpStackTop - c * kSmpStackStride);
+  }
+
+  SmpInterleaver il(m);
+  // Scripted cross-CPU shootdowns: toggle the W bit of window page 3 at the
+  // given global cycles, flushing the page on every core exactly as the
+  // kernel's editor-hook shootdown would.
+  bool write_protected = false;
+  for (u64 cy : shootdown_cycles) {
+    il.AddEvent(cy, [&bm, &m, cr3, &flush_all, &write_protected] {
+      PageTableEditor ed(bm.pm(), cr3, flush_all);
+      if (write_protected) {
+        ed.UpdateFlags(kFuzzDataBase + 3 * kPageSize, kPteWrite, 0);
+      } else {
+        ed.UpdateFlags(kFuzzDataBase + 3 * kPageSize, 0, kPteWrite);
+      }
+      write_protected = !write_protected;
+      (void)m;
+    });
+  }
+
+  SmpDiffRun out;
+  out.cpus.resize(n);
+  il.Run(80'000'000, [&](u32 c, const StopInfo& stop) {
+    if (stop.reason == StopReason::kFault && out.cpus[c].faults.size() < 4096) {
+      out.cpus[c].faults.push_back(FaultRecord{m.cpu(c).eip(), stop.fault.vector,
+                                               stop.fault.error_code,
+                                               stop.fault.linear_address});
+      out.cpus[c].fault_cycles.push_back(m.cpu(c).cycles());
+      m.cpu(c).set_eip(m.cpu(c).eip() + kInsnSize);
+      return true;  // keep running past the faulting instruction
+    }
+    out.cpus[c].final_reason = stop.reason;
+    return false;  // halted (or fault overflow): park this vCPU
+  });
+  for (u32 c = 0; c < n; ++c) {
+    out.cpus[c].ctx = m.cpu(c).SaveContext();
+    out.cpus[c].cycles = m.cpu(c).cycles();
+    out.cpus[c].instructions = m.cpu(c).instructions_retired();
+  }
+  out.memory.assign(bm.pm().HostData(), bm.pm().HostData() + bm.pm().size());
+  return out;
+}
+
+TEST(SmpDifferential, AllModesAgreePerVcpuUnderSharedMemoryAndShootdowns) {
+  constexpr u32 kSeeds = 6;
+  constexpr u32 kIterations = 150;
+  constexpr u32 kBodyLen = 160;
+  for (u64 seed = 1; seed <= kSeeds; ++seed) {
+    const FuzzMode mode = static_cast<FuzzMode>(seed % static_cast<u64>(FuzzMode::kCount));
+    // Scripted shootdown points: pseudo-random global cycles early enough to
+    // land inside the run.
+    std::vector<u64> shootdowns;
+    u64 st = seed * 0x9E3779B97F4A7C15ull + 11;
+    u64 t = 1'200;
+    for (int i = 0; i < 6; ++i) {
+      t += 400 + NextRand(&st) % 4'000;
+      shootdowns.push_back(t);
+    }
+    for (u32 n : {1u, 2u, 4u}) {
+      std::vector<std::vector<u8>> programs;
+      for (u32 c = 0; c < n; ++c) {
+        // Each vCPU gets its own random body, branch targets rebased to its
+        // code window.
+        u64 pseed = seed * 101 + c * 17 + 3;
+        u64 pstate = pseed * 0x9E3779B97F4A7C15ull + 1;
+        std::vector<Insn> program;
+        Insn init;
+        init.opcode = Opcode::kMovRI;
+        init.r1 = static_cast<u8>(Reg::kEcx);
+        init.imm = static_cast<i32>(kIterations);
+        program.push_back(init);
+        const u32 body_base = kCodeBase + c * kSmpCodeStride + kInsnSize;
+        std::vector<Insn> body = BuildFuzzBody(&pstate, body_base, kBodyLen);
+        program.insert(program.end(), body.begin(), body.end());
+        Insn dec;
+        dec.opcode = Opcode::kDecR;
+        dec.r1 = static_cast<u8>(Reg::kEcx);
+        program.push_back(dec);
+        Insn cmp;
+        cmp.opcode = Opcode::kCmpRI;
+        cmp.r1 = static_cast<u8>(Reg::kEcx);
+        cmp.imm = 0;
+        program.push_back(cmp);
+        Insn jne;
+        jne.opcode = Opcode::kJne;
+        jne.imm = static_cast<i32>(body_base);
+        program.push_back(jne);
+        Insn hlt;
+        hlt.opcode = Opcode::kHlt;
+        program.push_back(hlt);
+        std::vector<u8> bytes(program.size() * kInsnSize);
+        for (size_t i = 0; i < program.size(); ++i) {
+          program[i].EncodeTo(bytes.data() + i * kInsnSize);
+        }
+        programs.push_back(std::move(bytes));
+      }
+
+      struct ModeSpec {
+        bool decode, dtlb;
+        const char* name;
+      };
+      const ModeSpec specs[] = {{true, true, "fast/fast"},
+                                {true, false, "fast/oracle"},
+                                {false, true, "oracle/fast"},
+                                {false, false, "oracle/oracle"}};
+      SmpDiffRun ref;
+      for (int s = 0; s < 4; ++s) {
+        SmpDiffRun run = RunSmpDifferential(programs, mode, specs[s].decode, specs[s].dtlb,
+                                            shootdowns);
+        SCOPED_TRACE("seed " + std::to_string(seed) + " n " + std::to_string(n) +
+                     " config " + specs[s].name);
+        if (s == 0) {
+          ref = std::move(run);
+          for (u32 c = 0; c < n; ++c) {
+            EXPECT_GE(ref.cpus[c].instructions, 1'000u)
+                << "vCPU " << c << " barely executed — fuzz not meaningful";
+          }
+          continue;
+        }
+        ASSERT_EQ(run.cpus.size(), ref.cpus.size());
+        for (u32 c = 0; c < n; ++c) {
+          SCOPED_TRACE("vcpu " + std::to_string(c));
+          const SmpCpuResult& a = run.cpus[c];
+          const SmpCpuResult& b = ref.cpus[c];
+          EXPECT_EQ(a.final_reason, b.final_reason);
+          EXPECT_EQ(a.instructions, b.instructions);
+          EXPECT_EQ(a.cycles, b.cycles) << "cycle model diverged";
+          ASSERT_EQ(a.faults.size(), b.faults.size()) << "fault streams differ in length";
+          for (size_t i = 0; i < a.faults.size(); ++i) {
+            EXPECT_TRUE(a.faults[i] == b.faults[i])
+                << "fault " << i << " diverged: eip " << std::hex << a.faults[i].eip
+                << " vs " << b.faults[i].eip << ", err " << a.faults[i].error_code << " vs "
+                << b.faults[i].error_code << ", linear " << a.faults[i].linear << " vs "
+                << b.faults[i].linear << std::dec << ", vector "
+                << static_cast<int>(a.faults[i].vector) << " vs "
+                << static_cast<int>(b.faults[i].vector) << ", at cycle "
+                << a.fault_cycles[i] << " vs " << b.fault_cycles[i];
+          }
+          EXPECT_EQ(a.ctx.eip, b.ctx.eip);
+          EXPECT_EQ(a.ctx.eflags, b.ctx.eflags);
+          EXPECT_EQ(a.ctx.cpl, b.ctx.cpl);
+          for (u8 r = 0; r < kNumRegs; ++r) {
+            EXPECT_EQ(a.ctx.regs[r], b.ctx.regs[r]) << "reg " << static_cast<int>(r);
+          }
+        }
+        ASSERT_EQ(run.memory.size(), ref.memory.size());
+        EXPECT_EQ(std::memcmp(run.memory.data(), ref.memory.data(), run.memory.size()), 0)
+            << "shared memory images diverged";
+      }
+    }
+  }
 }
 
 TEST(Flags, EflagsSurviveInterruptRoundTrip) {

@@ -43,7 +43,13 @@ inline std::string AbiPrelude() {
 
 class KernelFixture {
  public:
-  KernelFixture() : kernel_(machine_) {}
+  // Default: vCPU count from PALLADIUM_SMP (1 when unset) — the CI matrix
+  // runs the whole suite SMP this way. Tests pinning *uniprocessor*
+  // scheduling order pass an explicit 1; SMP-specific tests pass 2/4.
+  KernelFixture() : KernelFixture(0) {}
+  explicit KernelFixture(u32 num_cpus)
+      : machine_(MachineConfig{64u << 20, CycleModel::Measured(), num_cpus}),
+        kernel_(machine_) {}
 
   // Assembles `source` (with the ABI prelude prepended), loads it into a new
   // process, and returns the pid (0 on failure, with *diag set).

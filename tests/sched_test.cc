@@ -35,7 +35,9 @@ spin:
 }
 
 TEST(Sched, RoundRobinInterleavesTwoCpuBoundProcesses) {
-  KernelFixture f;
+  // Pinned to one vCPU: the assertion is uniprocessor time-slicing (on an
+  // SMP machine each process gets its own core and nobody is preempted).
+  KernelFixture f(/*num_cpus=*/1);
   Scheduler::Config scfg;
   scfg.slice_cycles = 30'000;
   Scheduler sched(f.kernel(), scfg);
@@ -72,7 +74,8 @@ TEST(Sched, RoundRobinInterleavesTwoCpuBoundProcesses) {
 }
 
 TEST(Sched, YieldRotatesWithoutWaitingForSliceExpiry) {
-  KernelFixture f;
+  // Pinned to one vCPU: strict A/B rotation is a uniprocessor property.
+  KernelFixture f(/*num_cpus=*/1);
   Scheduler::Config scfg;
   scfg.slice_cycles = 100'000'000;  // slices never expire on their own
   Scheduler sched(f.kernel(), scfg);
