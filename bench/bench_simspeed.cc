@@ -2,9 +2,23 @@
 // google-benchmark: simulator instruction throughput, assembler speed, and
 // the host BPF reference interpreter. These are engineering metrics for the
 // repository (how fast experiments run), not paper results.
+//
+// The simulator throughput benches run the same workload under each
+// execution engine so speedups are measured in-binary, paired, on the same
+// machine:
+//   block   superblock engine (decoded basic-block runs, threaded dispatch,
+//           block chaining) + D-TLB — the default configuration
+//   insn    PR 2 per-instruction fast path (decode cache + D-TLB,
+//           dispatched one instruction at a time; PALLADIUM_NO_BLOCKS=1)
+//   oracle  everything off: per-byte fetch + per-byte data path
+// All three appear in one BENCH_simspeed.json; `--engine {block,insn,oracle}`
+// restricts the run to a single engine. Architectural results are identical
+// across engines — only the wall-clock rate moves.
 #include <benchmark/benchmark.h>
 
-#include <fstream>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/asm/assembler.h"
@@ -16,16 +30,30 @@
 namespace palladium {
 namespace {
 
-// Steady-state simulated-instruction throughput. Runs twice: with the
-// decoded-page fetch fast path (the default) and with it disabled, which
-// recreates the pre-cache fetch loop (16 page-table translations plus a
-// fresh Insn::Decode per step). The ratio of the two sim_mips counters is
-// the decode-cache speedup.
-void RunThroughput(benchmark::State& state, bool decode_cache) {
-  BareMachine bm;
-  bm.cpu().set_decode_cache_enabled(decode_cache);
-  std::string diag;
-  auto img = bm.LoadProgram(R"(
+enum class Engine { kBlock, kInsn, kOracle };
+
+void ConfigureEngine(Cpu& cpu, Engine engine) {
+  switch (engine) {
+    case Engine::kBlock:
+      cpu.set_block_engine_enabled(true);
+      cpu.set_decode_cache_enabled(true);
+      cpu.set_dtlb_enabled(true);
+      break;
+    case Engine::kInsn:
+      cpu.set_block_engine_enabled(false);
+      cpu.set_decode_cache_enabled(true);
+      cpu.set_dtlb_enabled(true);
+      break;
+    case Engine::kOracle:
+      cpu.set_block_engine_enabled(false);
+      cpu.set_decode_cache_enabled(false);
+      cpu.set_dtlb_enabled(false);
+      break;
+  }
+}
+
+// ALU-heavy steady state: register ops plus one load, a tight loop.
+constexpr const char* kAluWorkload = R"(
   .global main
 main:
   mov $1000, %ecx
@@ -37,46 +65,11 @@ loop:
   cmp $0, %ecx
   jne loop
   hlt
-)",
-                            0x10000, &diag);
-  if (!img) {
-    state.SkipWithError(diag.c_str());
-    return;
-  }
-  u64 insns = 0;
-  for (auto _ : state) {
-    bm.Start(*img->Lookup("main"), 0, 0x80000);
-    bm.cpu().set_cycles(0);  // Run()'s limit is on *cumulative* cycles
-    u64 before = bm.cpu().instructions_retired();
-    benchmark::DoNotOptimize(bm.Run(10'000'000));
-    insns += bm.cpu().instructions_retired() - before;
-  }
-  state.counters["sim_insns_per_sec"] =
-      benchmark::Counter(static_cast<double>(insns), benchmark::Counter::kIsRate);
-  state.counters["sim_mips"] = benchmark::Counter(
-      static_cast<double>(insns) / 1e6, benchmark::Counter::kIsRate);
-}
+)";
 
-void BM_SimulatorInstructionThroughput(benchmark::State& state) {
-  RunThroughput(state, /*decode_cache=*/true);
-}
-BENCHMARK(BM_SimulatorInstructionThroughput);
-
-void BM_SimulatorInstructionThroughputNoDecodeCache(benchmark::State& state) {
-  RunThroughput(state, /*decode_cache=*/false);
-}
-BENCHMARK(BM_SimulatorInstructionThroughputNoDecodeCache);
-
-// Memory-heavy steady state: nearly every instruction is a load, store, push
-// or pop. Runs with the software D-TLB (the default) and with it disabled
-// (the PR-1 per-byte translate loop); the sim_mips ratio is the D-TLB
-// speedup on the data path. Results are identical either way — only the
-// wall-clock rate moves.
-void RunMemoryThroughput(benchmark::State& state, bool dtlb) {
-  BareMachine bm;
-  bm.cpu().set_dtlb_enabled(dtlb);
-  std::string diag;
-  auto img = bm.LoadProgram(R"(
+// Memory-heavy steady state: nearly every instruction is a load, store,
+// push or pop.
+constexpr const char* kMemWorkload = R"(
   .global main
 main:
   mov $1000, %ecx
@@ -99,8 +92,13 @@ loop:
   cmp $0, %ecx
   jne loop
   hlt
-)",
-                            0x10000, &diag);
+)";
+
+void RunThroughput(benchmark::State& state, const char* workload, Engine engine) {
+  BareMachine bm;
+  ConfigureEngine(bm.cpu(), engine);
+  std::string diag;
+  auto img = bm.LoadProgram(workload, 0x10000, &diag);
   if (!img) {
     state.SkipWithError(diag.c_str());
     return;
@@ -108,7 +106,7 @@ loop:
   u64 insns = 0;
   for (auto _ : state) {
     bm.Start(*img->Lookup("main"), 0, 0x80000);
-    bm.cpu().set_cycles(0);
+    bm.cpu().set_cycles(0);  // Run()'s limit is on *cumulative* cycles
     u64 before = bm.cpu().instructions_retired();
     benchmark::DoNotOptimize(bm.Run(10'000'000));
     insns += bm.cpu().instructions_retired() - before;
@@ -117,17 +115,12 @@ loop:
       benchmark::Counter(static_cast<double>(insns), benchmark::Counter::kIsRate);
   state.counters["sim_mips"] = benchmark::Counter(
       static_cast<double>(insns) / 1e6, benchmark::Counter::kIsRate);
+  if (engine == Engine::kBlock) {
+    const auto& bs = bm.cpu().block_stats();
+    state.counters["block_chains"] = benchmark::Counter(static_cast<double>(bs.chains));
+    state.counters["block_entries"] = benchmark::Counter(static_cast<double>(bs.entries));
+  }
 }
-
-void BM_SimulatorMemoryThroughput(benchmark::State& state) {
-  RunMemoryThroughput(state, /*dtlb=*/true);
-}
-BENCHMARK(BM_SimulatorMemoryThroughput);
-
-void BM_SimulatorMemoryThroughputNoDtlb(benchmark::State& state) {
-  RunMemoryThroughput(state, /*dtlb=*/false);
-}
-BENCHMARK(BM_SimulatorMemoryThroughputNoDtlb);
 
 void BM_AssembleFilter(benchmark::State& state) {
   std::string err;
@@ -165,19 +158,67 @@ void BM_PacketBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketBuild)->Arg(64)->Arg(512);
 
+struct EngineSpec {
+  Engine engine;
+  const char* name;
+};
+constexpr EngineSpec kEngines[] = {
+    {Engine::kBlock, "block"},
+    {Engine::kInsn, "insn"},
+    {Engine::kOracle, "oracle"},
+};
+
+void RegisterSimBenches(const std::string& engine_filter) {
+  for (const EngineSpec& spec : kEngines) {
+    if (!engine_filter.empty() && engine_filter != spec.name) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_SimAluThroughput_") + spec.name).c_str(),
+        [engine = spec.engine](benchmark::State& st) {
+          RunThroughput(st, kAluWorkload, engine);
+        });
+    benchmark::RegisterBenchmark(
+        (std::string("BM_SimMemThroughput_") + spec.name).c_str(),
+        [engine = spec.engine](benchmark::State& st) {
+          RunThroughput(st, kMemWorkload, engine);
+        });
+  }
+}
+
 }  // namespace
 }  // namespace palladium
 
-// Custom main: like BENCHMARK_MAIN(), but defaults --benchmark_out to
-// BENCH_simspeed.json in JSON format (BENCH_JSON_DIR overrides the
-// directory) so this binary emits machine-readable results like every other
-// bench_*. An explicit --benchmark_out on the command line wins.
+// Custom main: like BENCHMARK_MAIN(), but (a) strips the repo's own
+// --engine {block,insn,oracle} flag, which restricts the simulator
+// throughput benches to one engine (default: all three, reported in one
+// JSON), and (b) defaults --benchmark_out to BENCH_simspeed.json in JSON
+// format (BENCH_JSON_DIR overrides the directory) so this binary emits
+// machine-readable results like every other bench_*. An explicit
+// --benchmark_out on the command line wins.
 int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
+  std::vector<char*> args;
+  std::string engine_filter;
   bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg(argv[i]);
+    if (i > 0 && arg.rfind("--engine=", 0) == 0) {
+      engine_filter = arg.substr(strlen("--engine="));
+      continue;
+    }
+    if (i > 0 && arg == "--engine" && i + 1 < argc) {
+      engine_filter = argv[++i];
+      continue;
+    }
+    if (i > 0 && arg.rfind("--benchmark_out=", 0) == 0) has_out = true;
+    args.push_back(argv[i]);
   }
+  if (!engine_filter.empty() && engine_filter != "block" && engine_filter != "insn" &&
+      engine_filter != "oracle") {
+    fprintf(stderr, "--engine must be one of block, insn, oracle (got '%s')\n",
+            engine_filter.c_str());
+    return 1;
+  }
+  palladium::RegisterSimBenches(engine_filter);
+
   std::string out_flag = "--benchmark_out=" + palladium::BenchJsonPath("simspeed");
   std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {

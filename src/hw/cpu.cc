@@ -43,26 +43,46 @@ Fault Ud(const char* detail) {
 
 }  // namespace
 
+// The opcode X-macro drives both dispatch paths; its order must mirror the
+// enum so a dispatch index IS the opcode value.
+namespace {
+constexpr Opcode kOpcodeOrder[] = {
+#define PALLADIUM_X(name) Opcode::name,
+    PALLADIUM_FOR_EACH_OPCODE(PALLADIUM_X)
+#undef PALLADIUM_X
+};
+constexpr bool OpcodeOrderMatches() {
+  if (sizeof(kOpcodeOrder) / sizeof(kOpcodeOrder[0]) != kNumOpcodes) return false;
+  for (u16 i = 0; i < kNumOpcodes; ++i) {
+    if (kOpcodeOrder[i] != static_cast<Opcode>(i)) return false;
+  }
+  return true;
+}
+static_assert(OpcodeOrderMatches(),
+              "PALLADIUM_FOR_EACH_OPCODE must list every opcode in enum order");
+}  // namespace
+
 Cpu::Cpu(PhysicalMemory& pm, DescriptorTable& gdt, DescriptorTable& idt, CycleModel model)
     : pm_(pm), gdt_(gdt), idt_(idt), model_(model) {
   // The decode cache must see every byte of physical memory change, whether
   // it comes from a simulated store (on any vCPU), host-side kernel code, or
   // device DMA. Each vCPU registers its own cache; writes fan out to all.
   pm_.AddWriteObserver(&dcache_);
-  // Global oracle switch: PALLADIUM_NO_DTLB=1 runs every CPU on the per-byte
-  // data path, so any bench or example can be diffed against the fast path
-  // without code changes (outputs must be byte-identical).
+  // Global oracle switches: PALLADIUM_NO_DTLB=1 runs every CPU on the
+  // per-byte data path, PALLADIUM_NO_BLOCKS=1 on the per-instruction
+  // dispatch loop — so any bench or example can be diffed against the fast
+  // paths without code changes (outputs must be byte-identical).
   if (std::getenv("PALLADIUM_NO_DTLB") != nullptr) dtlb_enabled_ = false;
+  if (std::getenv("PALLADIUM_NO_BLOCKS") != nullptr) block_engine_enabled_ = false;
+  dcache_.set_cost_table(&cost_);
   RebuildCostTable();
 }
 
 void Cpu::RebuildCostTable() {
-  for (u16 op = 0; op < static_cast<u16>(Opcode::kCount); ++op) {
-    base_cost_[op] = model_.BaseCost(static_cast<Opcode>(op), /*branch_taken=*/false);
-  }
-  // `taken` is only ever true for conditional branches, which all share one
-  // taken cost.
-  taken_branch_cost_ = model_.BaseCost(Opcode::kJe, /*branch_taken=*/true);
+  cost_ = model_.BuildCostTable();
+  // Decoded slots are annotated with per-slot costs from the previous table;
+  // they must be rebuilt against the new one.
+  dcache_.InvalidateAll();
 }
 
 Cpu::~Cpu() { pm_.RemoveWriteObserver(&dcache_); }
@@ -506,22 +526,6 @@ bool Cpu::Pop32(u32* v, Fault* fault) {
   return true;
 }
 
-LoadedSegment& Cpu::SegForOverride(SegOverride ov, bool base_is_stackish) {
-  switch (ov) {
-    case SegOverride::kCs:
-      return segs_[static_cast<u8>(SegReg::kCs)];
-    case SegOverride::kSs:
-      return segs_[static_cast<u8>(SegReg::kSs)];
-    case SegOverride::kDs:
-      return segs_[static_cast<u8>(SegReg::kDs)];
-    case SegOverride::kEs:
-      return segs_[static_cast<u8>(SegReg::kEs)];
-    case SegOverride::kNone:
-      break;
-  }
-  return segs_[static_cast<u8>(base_is_stackish ? SegReg::kSs : SegReg::kDs)];
-}
-
 // An instruction fetch that reaches past the end of physical memory is a
 // translation-layer failure, not a protection violation: report it as a page
 // fault carrying the exact faulting linear address (the CR2 analogue), with
@@ -538,11 +542,11 @@ Fault Cpu::FetchBusFault(u32 linear) const {
   return f;
 }
 
-bool Cpu::FetchFromSlot(u32 linear, const Insn** insn, Fault* fault) {
+bool Cpu::FetchFromSlot(u32 linear, const DecodedInsn** insn, Fault* fault) {
   const DecodedInsn& slot = fetch_page_->slots[(linear & kPageMask) / kInsnSize];
   switch (slot.state) {
     case DecodedInsn::State::kDecoded:
-      *insn = &slot.insn;
+      *insn = &slot;
       return true;
     case DecodedInsn::State::kUndecodable:
       *fault = Ud("undecodable instruction");
@@ -555,7 +559,7 @@ bool Cpu::FetchFromSlot(u32 linear, const Insn** insn, Fault* fault) {
   return false;
 }
 
-bool Cpu::FetchInsn(const Insn** insn, Fault* fault) {
+bool Cpu::FetchInsn(const DecodedInsn** insn, Fault* fault) {
   const LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
   if (!CheckSegmentAccess(cs, eip_, kInsnSize, /*is_write=*/false, /*is_stack=*/false, fault)) {
     return false;
@@ -605,7 +609,9 @@ bool Cpu::FetchInsn(const Insn** insn, Fault* fault) {
     *fault = Ud("undecodable instruction");
     return false;
   }
-  fetch_scratch_ = *decoded;
+  fetch_scratch_.state = DecodedInsn::State::kDecoded;
+  fetch_scratch_.insn = *decoded;
+  FillExecInfo(fetch_scratch_, cost_);
   *insn = &fetch_scratch_;
   return true;
 }
@@ -890,330 +896,597 @@ StopInfo Cpu::Run(u64 cycle_limit) {
         continue;  // the gate target may itself be a host entry
       }
     }
+    // Superblock engine: execute decoded basic-block runs until something
+    // needs the outer boundary checks again. Falls back to a single
+    // interpreted step where block dispatch cannot start (unaligned CS
+    // base, host-entry page, fetch outside the segment limit) — or where it
+    // could not run more than one instruction anyway because a pending but
+    // masked IRQ pins the hub's attention cycle to "now" (every boundary
+    // must poll, so block entry would be pure overhead).
+    if (block_engine_enabled_ && decode_cache_enabled_ &&
+        (irq_hub_ == nullptr || irq_hub_->attention_cycle() > cycles_)) {
+      const BlockExit be = RunBlock(cycle_limit, &stop);
+      if (be == BlockExit::kStopped) return stop;
+      if (be == BlockExit::kYield) continue;
+    }
     if (!StepOne(&stop)) return stop;
   }
 }
 
-// The interpreter's inner loop: flatten the whole fetch/translate/access
-// machinery into one body so the per-instruction cost is branches, not call
-// frames. (Measured: ~25% steady-state sim-MIPS on memory-heavy workloads.)
+namespace {
+
+// Effective address of a memory operand: disp [+ base] [+ index*scale].
+inline u32 EffectiveAddr(const std::array<u32, kNumRegs>& regs, const Insn& insn) {
+  u32 a = static_cast<u32>(insn.disp);
+  if (insn.r2 != kNoBaseReg) a += regs[insn.r2];
+  if (insn.scale != 0) a += regs[insn.r3] * insn.scale;
+  return a;
+}
+
+}  // namespace
+
+// The one per-opcode execution core. Each instantiation is the semantics of
+// exactly one opcode (the if-constexpr chain collapses at compile time), and
+// both dispatch loops — StepOne's switch and RunBlock's threaded dispatch —
+// expand to calls of these, so the per-instruction oracle and the block
+// engine cannot diverge on what an instruction *does*; only the boundary
+// machinery around the core differs, and that is what the differential fuzz
+// pins down.
+template <Opcode kOp>
+inline Cpu::ExecStatus Cpu::ExecOp(Cpu& c, const DecodedInsn& d, ExecCtx& ctx) {
+  using ES = ExecStatus;
+  const Insn& insn = d.insn;
+  (void)insn;
+  (void)ctx;
+
+  if constexpr (kOp == Opcode::kNop) {
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kHlt) {
+    if (c.cpl_ != 0) {
+      ctx.fault = Gp("hlt at CPL > 0");
+      return ES::kFault;
+    }
+    return ES::kHalt;
+
+  } else if constexpr (kOp == Opcode::kMovRR) {
+    c.regs_[insn.r1] = c.regs_[insn.r2];
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kMovRI) {
+    c.regs_[insn.r1] = static_cast<u32>(insn.imm);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kLoad) {
+    u32 v = 0;
+    if (!c.MemRead(c.segs_[d.seg_idx], EffectiveAddr(c.regs_, insn), insn.size, d.is_stack,
+                   &v, &ctx.fault)) {
+      return ES::kFault;
+    }
+    c.regs_[insn.r1] = v;
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kStore) {
+    if (!c.MemWrite(c.segs_[d.seg_idx], EffectiveAddr(c.regs_, insn), insn.size, d.is_stack,
+                    c.regs_[insn.r1], &ctx.fault)) {
+      return ES::kFault;
+    }
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kStoreI) {
+    if (!c.MemWrite(c.segs_[d.seg_idx], EffectiveAddr(c.regs_, insn), insn.size, d.is_stack,
+                    static_cast<u32>(insn.imm), &ctx.fault)) {
+      return ES::kFault;
+    }
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kLea) {
+    c.regs_[insn.r1] = EffectiveAddr(c.regs_, insn);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kPushR) {
+    return c.Push32(c.regs_[insn.r1], &ctx.fault) ? ES::kNext : ES::kFault;
+
+  } else if constexpr (kOp == Opcode::kPushI) {
+    return c.Push32(static_cast<u32>(insn.imm), &ctx.fault) ? ES::kNext : ES::kFault;
+
+  } else if constexpr (kOp == Opcode::kPopR) {
+    u32 v = 0;
+    if (!c.Pop32(&v, &ctx.fault)) return ES::kFault;
+    c.regs_[insn.r1] = v;
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kPushSeg) {
+    if (insn.r1 >= kNumSegRegs) {
+      ctx.fault = Ud("bad segment register");
+      return ES::kFault;
+    }
+    return c.Push32(c.segs_[insn.r1].selector.raw(), &ctx.fault) ? ES::kNext : ES::kFault;
+
+  } else if constexpr (kOp == Opcode::kPopSeg) {
+    if (insn.r1 >= kNumSegRegs) {
+      ctx.fault = Ud("bad segment register");
+      return ES::kFault;
+    }
+    u32 v = 0;
+    if (!c.Pop32(&v, &ctx.fault)) return ES::kFault;
+    if (!c.LoadSegmentChecked(static_cast<SegReg>(insn.r1), Selector(static_cast<u16>(v)),
+                              &ctx.fault)) {
+      return ES::kFault;  // note: ESP stays popped, as on the hardware model
+    }
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kMovSegR) {
+    if (insn.r1 >= kNumSegRegs) {
+      ctx.fault = Ud("bad segment register");
+      return ES::kFault;
+    }
+    if (!c.LoadSegmentChecked(static_cast<SegReg>(insn.r1),
+                              Selector(static_cast<u16>(c.regs_[insn.r2])), &ctx.fault)) {
+      return ES::kFault;
+    }
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kMovRSeg) {
+    if (insn.r2 >= kNumSegRegs) {
+      ctx.fault = Ud("bad segment register");
+      return ES::kFault;
+    }
+    c.regs_[insn.r1] = c.segs_[insn.r2].selector.raw();
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kAddRR || kOp == Opcode::kAddRI) {
+    const u32 a = c.regs_[insn.r1];
+    const u32 b = kOp == Opcode::kAddRR ? c.regs_[insn.r2] : static_cast<u32>(insn.imm);
+    const u32 r = a + b;
+    c.regs_[insn.r1] = r;
+    c.SetFlags(r < a, r == 0, (r >> 31) & 1, ((~(a ^ b)) & (a ^ r) & 0x80000000u) != 0);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kSubRR || kOp == Opcode::kSubRI ||
+                       kOp == Opcode::kCmpRR || kOp == Opcode::kCmpRI) {
+    const u32 a = c.regs_[insn.r1];
+    const u32 b = (kOp == Opcode::kSubRR || kOp == Opcode::kCmpRR)
+                      ? c.regs_[insn.r2]
+                      : static_cast<u32>(insn.imm);
+    const u32 r = a - b;
+    if constexpr (kOp == Opcode::kSubRR || kOp == Opcode::kSubRI) c.regs_[insn.r1] = r;
+    c.SetFlags(a < b, r == 0, (r >> 31) & 1, (((a ^ b) & (a ^ r)) & 0x80000000u) != 0);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kAndRR || kOp == Opcode::kAndRI ||
+                       kOp == Opcode::kTestRR || kOp == Opcode::kTestRI) {
+    const u32 b = (kOp == Opcode::kAndRR || kOp == Opcode::kTestRR)
+                      ? c.regs_[insn.r2]
+                      : static_cast<u32>(insn.imm);
+    const u32 r = c.regs_[insn.r1] & b;
+    if constexpr (kOp == Opcode::kAndRR || kOp == Opcode::kAndRI) c.regs_[insn.r1] = r;
+    c.SetLogicFlags(r);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kOrRR || kOp == Opcode::kOrRI) {
+    const u32 b = kOp == Opcode::kOrRR ? c.regs_[insn.r2] : static_cast<u32>(insn.imm);
+    const u32 r = c.regs_[insn.r1] | b;
+    c.regs_[insn.r1] = r;
+    c.SetLogicFlags(r);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kXorRR || kOp == Opcode::kXorRI) {
+    const u32 b = kOp == Opcode::kXorRR ? c.regs_[insn.r2] : static_cast<u32>(insn.imm);
+    const u32 r = c.regs_[insn.r1] ^ b;
+    c.regs_[insn.r1] = r;
+    c.SetLogicFlags(r);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kShlRI) {
+    const u32 s = static_cast<u32>(insn.imm) & 31;
+    const u32 r = c.regs_[insn.r1] << s;
+    c.regs_[insn.r1] = r;
+    c.SetLogicFlags(r);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kShrRI) {
+    const u32 s = static_cast<u32>(insn.imm) & 31;
+    const u32 r = c.regs_[insn.r1] >> s;
+    c.regs_[insn.r1] = r;
+    c.SetLogicFlags(r);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kSarRI) {
+    const u32 s = static_cast<u32>(insn.imm) & 31;
+    const u32 r = static_cast<u32>(static_cast<i32>(c.regs_[insn.r1]) >> s);
+    c.regs_[insn.r1] = r;
+    c.SetLogicFlags(r);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kImulRR || kOp == Opcode::kImulRI) {
+    const i64 a = static_cast<i32>(c.regs_[insn.r1]);
+    const i64 b =
+        kOp == Opcode::kImulRR ? static_cast<i64>(static_cast<i32>(c.regs_[insn.r2]))
+                               : static_cast<i64>(insn.imm);
+    const i64 r = a * b;
+    c.regs_[insn.r1] = static_cast<u32>(r);
+    const bool overflow = r != static_cast<i32>(r);
+    c.SetFlags(overflow, static_cast<u32>(r) == 0, (static_cast<u32>(r) >> 31) & 1, overflow);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kUdivRR) {
+    const u32 b = c.regs_[insn.r2];
+    if (b == 0) {
+      Fault f;
+      f.vector = FaultVector::kDivideError;
+      f.detail = "division by zero";
+      ctx.fault = f;
+      return ES::kFault;
+    }
+    c.regs_[insn.r1] = c.regs_[insn.r1] / b;
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kNegR) {
+    const u32 a = c.regs_[insn.r1];
+    const u32 r = 0 - a;
+    c.SetFlags(a != 0, r == 0, (r >> 31) & 1, a == 0x80000000u);
+    c.regs_[insn.r1] = r;
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kNotR) {
+    c.regs_[insn.r1] = ~c.regs_[insn.r1];
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kIncR) {
+    const u32 a = c.regs_[insn.r1];
+    const u32 r = a + 1;
+    c.regs_[insn.r1] = r;
+    c.SetFlags(c.cf(), r == 0, (r >> 31) & 1, a == 0x7FFFFFFFu);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kDecR) {
+    const u32 a = c.regs_[insn.r1];
+    const u32 r = a - 1;
+    c.regs_[insn.r1] = r;
+    c.SetFlags(c.cf(), r == 0, (r >> 31) & 1, a == 0x80000000u);
+    return ES::kNext;
+
+  } else if constexpr (kOp == Opcode::kJmp) {
+    c.eip_ = static_cast<u32>(insn.imm);
+    return ES::kJump;
+
+  } else if constexpr (kOp == Opcode::kJmpR) {
+    c.eip_ = c.regs_[insn.r1];
+    return ES::kJump;
+
+  } else if constexpr (IsJcc(kOp)) {
+    bool taken = false;
+    if constexpr (kOp == Opcode::kJe) taken = c.zf();
+    else if constexpr (kOp == Opcode::kJne) taken = !c.zf();
+    else if constexpr (kOp == Opcode::kJb) taken = c.cf();
+    else if constexpr (kOp == Opcode::kJae) taken = !c.cf();
+    else if constexpr (kOp == Opcode::kJbe) taken = c.cf() || c.zf();
+    else if constexpr (kOp == Opcode::kJa) taken = !c.cf() && !c.zf();
+    else if constexpr (kOp == Opcode::kJl) taken = c.sf() != c.of();
+    else if constexpr (kOp == Opcode::kJge) taken = c.sf() == c.of();
+    else if constexpr (kOp == Opcode::kJle) taken = c.zf() || c.sf() != c.of();
+    else if constexpr (kOp == Opcode::kJg) taken = !c.zf() && c.sf() == c.of();
+    else if constexpr (kOp == Opcode::kJs) taken = c.sf();
+    else taken = !c.sf();  // kJns
+    ctx.taken = taken;
+    if (!taken) return ES::kNext;
+    c.eip_ = static_cast<u32>(insn.imm);
+    return ES::kJump;
+
+  } else if constexpr (kOp == Opcode::kCall) {
+    if (!c.Push32(c.eip_, &ctx.fault)) return ES::kFault;
+    c.eip_ = static_cast<u32>(insn.imm);
+    return ES::kJump;
+
+  } else if constexpr (kOp == Opcode::kCallR) {
+    if (!c.Push32(c.eip_, &ctx.fault)) return ES::kFault;
+    c.eip_ = c.regs_[insn.r1];
+    return ES::kJump;
+
+  } else if constexpr (kOp == Opcode::kRet) {
+    u32 v = 0;
+    if (!c.Pop32(&v, &ctx.fault)) return ES::kFault;
+    c.eip_ = v;
+    return ES::kJump;
+
+  } else if constexpr (kOp == Opcode::kRetN) {
+    u32 v = 0;
+    if (!c.Pop32(&v, &ctx.fault)) return ES::kFault;
+    c.eip_ = v;
+    c.set_reg(Reg::kEsp, c.reg(Reg::kEsp) + static_cast<u32>(insn.imm));
+    return ES::kJump;
+
+  } else if constexpr (kOp == Opcode::kLcall) {
+    return c.DoLcall(insn, &ctx.fault, &ctx.extra_cycles) ? ES::kFar : ES::kFault;
+
+  } else if constexpr (kOp == Opcode::kLret) {
+    return c.DoLret(static_cast<u32>(insn.imm), &ctx.fault, &ctx.extra_cycles) ? ES::kFar
+                                                                               : ES::kFault;
+
+  } else if constexpr (kOp == Opcode::kInt) {
+    return c.DoInt(static_cast<u8>(insn.imm), /*software=*/true, &ctx.fault) ? ES::kFar
+                                                                             : ES::kFault;
+
+  } else /* kOp == Opcode::kIret */ {
+    static_assert(kOp == Opcode::kIret, "unhandled opcode in ExecOp");
+    return c.DoIret(&ctx.fault) ? ES::kFar : ES::kFault;
+  }
+}
+
+// The per-instruction interpreter step: fetch, dispatch through the shared
+// execution core, account cycles. This is the PR 2 fast path, kept intact as
+// the block engine's in-binary oracle (PALLADIUM_NO_BLOCKS=1, bench engine
+// `insn`). Flattened so the per-instruction cost is branches, not call
+// frames.
 __attribute__((flatten)) bool Cpu::StepOne(StopInfo* stop) {
   const u32 insn_eip = eip_;
   Fault fault;
-  const Insn* insn_p = nullptr;
-  if (!FetchInsn(&insn_p, &fault)) {
+  const DecodedInsn* dp = nullptr;
+  if (!FetchInsn(&dp, &fault)) {
     eip_ = insn_eip;
     stop->reason = StopReason::kFault;
     stop->fault = fault;
     return false;
   }
-  // The storage behind insn_p (a decode-cache slot) outlives this
-  // instruction even if the instruction overwrites its own page: the cache
-  // retires invalidated pages and frees them only at the next fetch.
-  const Insn& insn = *insn_p;
+  // The storage behind dp (a decode-cache slot) outlives this instruction
+  // even if the instruction overwrites its own page: the cache retires
+  // invalidated pages and frees them only at the next fetch.
+  const DecodedInsn& d = *dp;
   eip_ += kInsnSize;
   ++instructions_;
 
-  bool taken = false;
-  u32 extra_cycles = 0;
-  bool ok = true;
-
-  auto addr_of = [&](const Insn& in) {
-    u32 a = static_cast<u32>(in.disp);
-    if (in.r2 != kNoBaseReg) a += regs_[in.r2];
-    if (in.scale != 0) a += regs_[in.r3] * in.scale;
-    return a;
-  };
-  auto base_is_stackish = [&](const Insn& in) {
-    return in.r2 != kNoBaseReg &&
-           (static_cast<Reg>(in.r2) == Reg::kEsp || static_cast<Reg>(in.r2) == Reg::kEbp);
-  };
-
-  switch (insn.opcode) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kHlt:
-      if (cpl_ != 0) {
-        ok = false;
-        fault = Gp("hlt at CPL > 0");
-        break;
-      }
-      cycles_ += model_.BaseCost(insn.opcode, false);
-      stop->reason = StopReason::kHalted;
-      return false;
-    case Opcode::kMovRR:
-      regs_[insn.r1] = regs_[insn.r2];
-      break;
-    case Opcode::kMovRI:
-      regs_[insn.r1] = static_cast<u32>(insn.imm);
-      break;
-    case Opcode::kLoad: {
-      LoadedSegment& seg = SegForOverride(insn.seg, base_is_stackish(insn));
-      u32 v = 0;
-      ok = MemRead(seg, addr_of(insn), insn.size, &seg == &segs_[1], &v, &fault);
-      if (ok) regs_[insn.r1] = v;
-      break;
-    }
-    case Opcode::kStore: {
-      LoadedSegment& seg = SegForOverride(insn.seg, base_is_stackish(insn));
-      ok = MemWrite(seg, addr_of(insn), insn.size, &seg == &segs_[1], regs_[insn.r1], &fault);
-      break;
-    }
-    case Opcode::kStoreI: {
-      LoadedSegment& seg = SegForOverride(insn.seg, base_is_stackish(insn));
-      ok = MemWrite(seg, addr_of(insn), insn.size, &seg == &segs_[1],
-                    static_cast<u32>(insn.imm), &fault);
-      break;
-    }
-    case Opcode::kLea:
-      regs_[insn.r1] = addr_of(insn);
-      break;
-    case Opcode::kPushR:
-      ok = Push32(regs_[insn.r1], &fault);
-      break;
-    case Opcode::kPushI:
-      ok = Push32(static_cast<u32>(insn.imm), &fault);
-      break;
-    case Opcode::kPopR: {
-      u32 v = 0;
-      ok = Pop32(&v, &fault);
-      if (ok) regs_[insn.r1] = v;
-      break;
-    }
-    case Opcode::kPushSeg: {
-      if (insn.r1 >= kNumSegRegs) {
-        ok = false;
-        fault = Ud("bad segment register");
-        break;
-      }
-      ok = Push32(segs_[insn.r1].selector.raw(), &fault);
-      break;
-    }
-    case Opcode::kPopSeg: {
-      if (insn.r1 >= kNumSegRegs) {
-        ok = false;
-        fault = Ud("bad segment register");
-        break;
-      }
-      u32 v = 0;
-      ok = Pop32(&v, &fault);
-      if (ok) ok = LoadSegmentChecked(static_cast<SegReg>(insn.r1), Selector(static_cast<u16>(v)),
-                                      &fault);
-      break;
-    }
-    case Opcode::kMovSegR: {
-      if (insn.r1 >= kNumSegRegs) {
-        ok = false;
-        fault = Ud("bad segment register");
-        break;
-      }
-      ok = LoadSegmentChecked(static_cast<SegReg>(insn.r1),
-                              Selector(static_cast<u16>(regs_[insn.r2])), &fault);
-      break;
-    }
-    case Opcode::kMovRSeg: {
-      if (insn.r2 >= kNumSegRegs) {
-        ok = false;
-        fault = Ud("bad segment register");
-        break;
-      }
-      regs_[insn.r1] = segs_[insn.r2].selector.raw();
-      break;
-    }
-
-    case Opcode::kAddRR:
-    case Opcode::kAddRI: {
-      u32 a = regs_[insn.r1];
-      u32 b = insn.opcode == Opcode::kAddRR ? regs_[insn.r2] : static_cast<u32>(insn.imm);
-      u32 r = a + b;
-      regs_[insn.r1] = r;
-      SetFlags(r < a, r == 0, (r >> 31) & 1,
-               ((~(a ^ b)) & (a ^ r) & 0x80000000u) != 0);
-      break;
-    }
-    case Opcode::kSubRR:
-    case Opcode::kSubRI:
-    case Opcode::kCmpRR:
-    case Opcode::kCmpRI: {
-      u32 a = regs_[insn.r1];
-      u32 b = (insn.opcode == Opcode::kSubRR || insn.opcode == Opcode::kCmpRR)
-                  ? regs_[insn.r2]
-                  : static_cast<u32>(insn.imm);
-      u32 r = a - b;
-      if (insn.opcode == Opcode::kSubRR || insn.opcode == Opcode::kSubRI) regs_[insn.r1] = r;
-      SetFlags(a < b, r == 0, (r >> 31) & 1, (((a ^ b) & (a ^ r)) & 0x80000000u) != 0);
-      break;
-    }
-    case Opcode::kAndRR:
-    case Opcode::kAndRI:
-    case Opcode::kTestRR:
-    case Opcode::kTestRI: {
-      u32 b = (insn.opcode == Opcode::kAndRR || insn.opcode == Opcode::kTestRR)
-                  ? regs_[insn.r2]
-                  : static_cast<u32>(insn.imm);
-      u32 r = regs_[insn.r1] & b;
-      if (insn.opcode == Opcode::kAndRR || insn.opcode == Opcode::kAndRI) regs_[insn.r1] = r;
-      SetLogicFlags(r);
-      break;
-    }
-    case Opcode::kOrRR:
-    case Opcode::kOrRI: {
-      u32 b = insn.opcode == Opcode::kOrRR ? regs_[insn.r2] : static_cast<u32>(insn.imm);
-      u32 r = regs_[insn.r1] | b;
-      regs_[insn.r1] = r;
-      SetLogicFlags(r);
-      break;
-    }
-    case Opcode::kXorRR:
-    case Opcode::kXorRI: {
-      u32 b = insn.opcode == Opcode::kXorRR ? regs_[insn.r2] : static_cast<u32>(insn.imm);
-      u32 r = regs_[insn.r1] ^ b;
-      regs_[insn.r1] = r;
-      SetLogicFlags(r);
-      break;
-    }
-    case Opcode::kShlRI: {
-      u32 s = static_cast<u32>(insn.imm) & 31;
-      u32 r = regs_[insn.r1] << s;
-      regs_[insn.r1] = r;
-      SetLogicFlags(r);
-      break;
-    }
-    case Opcode::kShrRI: {
-      u32 s = static_cast<u32>(insn.imm) & 31;
-      u32 r = regs_[insn.r1] >> s;
-      regs_[insn.r1] = r;
-      SetLogicFlags(r);
-      break;
-    }
-    case Opcode::kSarRI: {
-      u32 s = static_cast<u32>(insn.imm) & 31;
-      u32 r = static_cast<u32>(static_cast<i32>(regs_[insn.r1]) >> s);
-      regs_[insn.r1] = r;
-      SetLogicFlags(r);
-      break;
-    }
-    case Opcode::kImulRR:
-    case Opcode::kImulRI: {
-      i64 a = static_cast<i32>(regs_[insn.r1]);
-      i64 b = insn.opcode == Opcode::kImulRR ? static_cast<i32>(regs_[insn.r2]) : insn.imm;
-      i64 r = a * b;
-      regs_[insn.r1] = static_cast<u32>(r);
-      bool overflow = r != static_cast<i32>(r);
-      SetFlags(overflow, static_cast<u32>(r) == 0, (static_cast<u32>(r) >> 31) & 1, overflow);
-      break;
-    }
-    case Opcode::kUdivRR: {
-      u32 b = regs_[insn.r2];
-      if (b == 0) {
-        ok = false;
-        Fault f;
-        f.vector = FaultVector::kDivideError;
-        f.detail = "division by zero";
-        fault = f;
-        break;
-      }
-      regs_[insn.r1] = regs_[insn.r1] / b;
-      break;
-    }
-    case Opcode::kNegR: {
-      u32 r = 0 - regs_[insn.r1];
-      SetFlags(regs_[insn.r1] != 0, r == 0, (r >> 31) & 1, regs_[insn.r1] == 0x80000000u);
-      regs_[insn.r1] = r;
-      break;
-    }
-    case Opcode::kNotR:
-      regs_[insn.r1] = ~regs_[insn.r1];
-      break;
-    case Opcode::kIncR: {
-      u32 a = regs_[insn.r1];
-      u32 r = a + 1;
-      regs_[insn.r1] = r;
-      SetFlags(cf(), r == 0, (r >> 31) & 1, a == 0x7FFFFFFFu);
-      break;
-    }
-    case Opcode::kDecR: {
-      u32 a = regs_[insn.r1];
-      u32 r = a - 1;
-      regs_[insn.r1] = r;
-      SetFlags(cf(), r == 0, (r >> 31) & 1, a == 0x80000000u);
-      break;
-    }
-
-    case Opcode::kJmp:
-      eip_ = static_cast<u32>(insn.imm);
-      break;
-    case Opcode::kJmpR:
-      eip_ = regs_[insn.r1];
-      break;
-    case Opcode::kJe: taken = zf(); goto branch;
-    case Opcode::kJne: taken = !zf(); goto branch;
-    case Opcode::kJb: taken = cf(); goto branch;
-    case Opcode::kJae: taken = !cf(); goto branch;
-    case Opcode::kJbe: taken = cf() || zf(); goto branch;
-    case Opcode::kJa: taken = !cf() && !zf(); goto branch;
-    case Opcode::kJl: taken = sf() != of(); goto branch;
-    case Opcode::kJge: taken = sf() == of(); goto branch;
-    case Opcode::kJle: taken = zf() || sf() != of(); goto branch;
-    case Opcode::kJg: taken = !zf() && sf() == of(); goto branch;
-    case Opcode::kJs: taken = sf(); goto branch;
-    case Opcode::kJns: taken = !sf(); goto branch;
-    branch:
-      if (taken) eip_ = static_cast<u32>(insn.imm);
-      break;
-
-    case Opcode::kCall:
-      ok = Push32(eip_, &fault);
-      if (ok) eip_ = static_cast<u32>(insn.imm);
-      break;
-    case Opcode::kCallR:
-      ok = Push32(eip_, &fault);
-      if (ok) eip_ = regs_[insn.r1];
-      break;
-    case Opcode::kRet: {
-      u32 v = 0;
-      ok = Pop32(&v, &fault);
-      if (ok) eip_ = v;
-      break;
-    }
-    case Opcode::kRetN: {
-      u32 v = 0;
-      ok = Pop32(&v, &fault);
-      if (ok) {
-        eip_ = v;
-        set_reg(Reg::kEsp, reg(Reg::kEsp) + static_cast<u32>(insn.imm));
-      }
-      break;
-    }
-
-    case Opcode::kLcall:
-      ok = DoLcall(insn, &fault, &extra_cycles);
-      break;
-    case Opcode::kLret:
-      ok = DoLret(static_cast<u32>(insn.imm), &fault, &extra_cycles);
-      break;
-    case Opcode::kInt:
-      ok = DoInt(static_cast<u8>(insn.imm), /*software=*/true, &fault);
-      break;
-    case Opcode::kIret:
-      ok = DoIret(&fault);
-      break;
-
+  ExecCtx ctx;
+  ExecStatus st = ExecStatus::kNext;
+  switch (d.insn.opcode) {
+#define PALLADIUM_X(name)                       \
+  case Opcode::name:                            \
+    st = ExecOp<Opcode::name>(*this, d, ctx);   \
+    break;
+    PALLADIUM_FOR_EACH_OPCODE(PALLADIUM_X)
+#undef PALLADIUM_X
     case Opcode::kCount:
-      ok = false;
-      fault = Ud("invalid opcode");
+      ctx.fault = Ud("invalid opcode");
+      st = ExecStatus::kFault;
       break;
   }
 
-  if (!ok) {
+  if (st == ExecStatus::kFault) {
     eip_ = insn_eip;  // faulting EIP points at the faulting instruction
     stop->reason = StopReason::kFault;
-    stop->fault = fault;
+    stop->fault = ctx.fault;
     return false;
   }
-  cycles_ +=
-      (taken ? taken_branch_cost_ : base_cost_[static_cast<u16>(insn.opcode)]) + extra_cycles;
+  if (st == ExecStatus::kHalt) {
+    cycles_ += d.cost;
+    stop->reason = StopReason::kHalted;
+    return false;
+  }
+  cycles_ += (ctx.taken ? cost_.taken_branch : d.cost) + ctx.extra_cycles;
   return true;
+}
+
+// The superblock engine. Executes decoded basic-block runs out of the pinned
+// decoded page with computed-goto threaded dispatch: one indirect jump per
+// instruction straight to that opcode's handler, no per-instruction fetch
+// machinery, no host-entry scan, and — when the block's pre-summed worst-case
+// cost proves every interior retire boundary stays below the cycle-limit/IRQ
+// frontier — no per-retire checks either. Retire-boundary semantics are
+// preserved *exactly*:
+//
+//  * cycles are charged per instruction with the same table as StepOne, so
+//    every boundary has the same cycle value either way;
+//  * the frontier (`until` = min(cycle limit, IRQ attention)) is re-checked
+//    at every boundary the pre-summed bound cannot clear, and runs always
+//    end on a checked edge (run boundary, chain, yield), so IRQ delivery
+//    points and SMP interleave slices land on identical boundaries;
+//  * memory-touching instructions re-check the decode-cache generation at
+//    retire, so a store into the *currently executing* block (or a page walk
+//    setting A/D bits inside a decoded page) finishes the current
+//    instruction and then forces a re-fetch — the per-instruction rule;
+//  * faults restore EIP to the faulting instruction with all prior
+//    instructions (and any partial far-transfer state) committed, exactly
+//    like StepOne;
+//  * pages overlapping the host-entry range, unaligned CS bases and
+//    fetch-limit violations fall back to StepOne (kNoBlock), which owns
+//    those semantics.
+//
+// Taken near transfers whose target is a slot-aligned address in the same
+// decoded page chain directly to the target block without leaving the loop;
+// everything else yields to Run's outer boundary checks. The fetch-TLB pins
+// (fetch_page_/fetch_vpn_/generation tags) are shared with FetchInsn, so
+// mixing block dispatch and single steps keeps one coherent view and one
+// architectural Translate per (page change or invalidation) — the same
+// points at which the per-instruction path translates, which is what keeps
+// TLB statistics and cycle counts byte-identical between the two engines.
+__attribute__((flatten)) Cpu::BlockExit Cpu::RunBlock(u64 cycle_limit, StopInfo* stop) {
+  static const void* const kLabels[kNumDispatch] = {
+#define PALLADIUM_X(name) &&lbl_##name,
+      PALLADIUM_FOR_EACH_OPCODE(PALLADIUM_X)
+#undef PALLADIUM_X
+      &&lbl_undecodable,  // kDispatchUndecodable (== Opcode::kCount, never decoded)
+      &&lbl_bus_error,    // kDispatchBusError
+  };
+
+  const LoadedSegment& cs = segs_[static_cast<u8>(SegReg::kCs)];
+  {
+    Fault precheck;
+    if (!CheckSegmentAccess(cs, eip_, kInsnSize, /*is_write=*/false, /*is_stack=*/false,
+                            &precheck)) {
+      return BlockExit::kNoBlock;  // StepOne raises the identical fault
+    }
+  }
+  const u32 base = cs.cache.base;
+  const u32 entry_linear = base + eip_;
+  if ((entry_linear & (kInsnSize - 1)) != 0) return BlockExit::kNoBlock;
+  const u32 page_linear = entry_linear & ~kPageMask;
+  // Pages overlapping the host-entry range run per-instruction so the outer
+  // loop's host-call detection happens at every retire boundary.
+  if (host_size_ != 0 &&
+      static_cast<u64>(page_linear) < static_cast<u64>(host_base_) + host_size_ &&
+      static_cast<u64>(host_base_) < static_cast<u64>(page_linear) + kPageSize) {
+    return BlockExit::kNoBlock;
+  }
+
+  // Revalidate or refill the pinned decoded page — the same discipline, and
+  // the same single architectural Translate, as FetchInsn's fast path.
+  const u32 vpn = PageNumber(entry_linear);
+  if (!(fetch_page_ != nullptr && vpn == fetch_vpn_ &&
+        fetch_tlb_change_ == tlb_.change_count() &&
+        fetch_dcache_gen_ == dcache_.generation() &&
+        !(cpl_ == 3 && !(fetch_flags_ & kPteUser)))) {
+    u32 phys = 0, flags = 0;
+    Fault fault;
+    if (!Translate(entry_linear, /*is_write=*/false, &phys, &fault, &flags,
+                   /*is_fetch=*/true)) {
+      stop->reason = StopReason::kFault;
+      stop->fault = fault;
+      return BlockExit::kStopped;
+    }
+    fetch_page_ = dcache_.GetOrBuild(pm_, phys & ~kPageMask);
+    fetch_vpn_ = vpn;
+    fetch_flags_ = flags;
+    fetch_tlb_change_ = tlb_.change_count();
+    fetch_dcache_gen_ = dcache_.generation();
+  }
+
+  const DecodeCache::Page* const page = fetch_page_;
+  const u64 gen0 = dcache_.generation();
+  const u32 limit = cs.cache.limit;
+  // The frontier no interior retire boundary may cross. The IRQ hub's
+  // attention cycle cannot move while we are in here (devices only advance
+  // inside Poll, which only the outer loop calls), and neither can
+  // Tlb::change_count (CR3 loads, INVLPG and PTE edits are host-side, and
+  // the host only runs between Run slices) — which is why neither is
+  // re-read per instruction.
+  u64 until = cycle_limit;
+  if (irq_hub_ != nullptr) {
+    const u64 attention = irq_hub_->attention_cycle();
+    if (attention < until) until = attention;
+  }
+  ++block_stats_.entries;
+  const u64 insns0 = instructions_;
+
+  const DecodedInsn* d = &page->slots[(entry_linear & kPageMask) / kInsnSize];
+  ExecCtx ctx;
+  ExecStatus st;
+  u32 n;
+
+#define PALLADIUM_BLOCK_EXIT(result)              \
+  do {                                            \
+    block_stats_.insns += instructions_ - insns0; \
+    return (result);                              \
+  } while (0)
+
+run_start:
+  // Page-end is bounded by run_len construction; the CS limit can cut a run
+  // shorter (the outer fetch then raises the exact #GP at the exact slot).
+  if (eip_ > limit || limit - eip_ < kInsnSize) goto yield;
+  n = d->run_len;
+  {
+    const u32 by_limit = (limit - eip_ - kInsnSize) / kInsnSize + 1;
+    if (n > by_limit) n = by_limit;
+  }
+  // Pre-summed bound: if the whole run provably retires below the frontier,
+  // its interior boundaries need no checks; otherwise degrade to
+  // one-instruction runs with a checked boundary after each — exactly the
+  // per-instruction discipline.
+  if (cycles_ + d->run_cost_max >= until) n = 1;
+  goto *kLabels[d->dispatch];
+
+run_boundary:
+  if (cycles_ >= until) goto yield;
+  if (static_cast<u32>(d - page->slots.data()) >= DecodeCache::kSlotsPerPage) {
+    goto yield;  // sequential flow off the page end: refetch through the TLB
+  }
+  goto run_start;
+
+chain:
+  // A near transfer retired. Chain straight to the target block when the
+  // target is a slot-aligned address in the same decoded page and nothing
+  // was invalidated; otherwise yield so the outer loop re-translates — at
+  // exactly the points the per-instruction fetch path would.
+  if (cycles_ >= until) goto yield;
+  if (dcache_.generation() != gen0) goto yield;
+  {
+    const u32 target = base + eip_;
+    if ((target & (kInsnSize - 1)) != 0 || PageNumber(target) != vpn) goto yield;
+    d = &page->slots[(target & kPageMask) / kInsnSize];
+  }
+  ++block_stats_.chains;
+  goto run_start;
+
+#define PALLADIUM_DEF_LABEL(name)                                       \
+  lbl_##name : {                                                        \
+    constexpr Opcode kOp = Opcode::name;                                \
+    eip_ += kInsnSize;                                                  \
+    ++instructions_;                                                    \
+    if constexpr (IsFarTransfer(kOp)) ctx.extra_cycles = 0;             \
+    st = ExecOp<kOp>(*this, *d, ctx);                                   \
+    if (st == ExecStatus::kFault) goto fault_exit;                      \
+    if constexpr (kOp == Opcode::kHlt) {                                \
+      cycles_ += d->cost;                                               \
+      stop->reason = StopReason::kHalted;                               \
+      PALLADIUM_BLOCK_EXIT(BlockExit::kStopped);                        \
+    } else if constexpr (IsFarTransfer(kOp)) {                          \
+      cycles_ += d->cost + ctx.extra_cycles;                            \
+      goto yield; /* CS/CPL/IF may have changed: outer checks decide */ \
+    } else if constexpr (IsJcc(kOp)) {                                  \
+      if (st == ExecStatus::kNext) { /* not taken: sequential */        \
+        cycles_ += d->cost;                                             \
+        ++d;                                                            \
+        goto run_boundary;                                              \
+      }                                                                 \
+      cycles_ += cost_.taken_branch;                                    \
+      goto chain;                                                       \
+    } else if constexpr (IsNearJump(kOp)) {                             \
+      cycles_ += d->cost;                                               \
+      goto chain;                                                       \
+    } else if constexpr (TouchesMemSeq(kOp)) {                          \
+      cycles_ += d->cost;                                               \
+      if (dcache_.generation() != gen0) {                               \
+        goto yield; /* the access retired decoded code: refetch */      \
+      }                                                                 \
+      if (--n == 0) {                                                   \
+        ++d;                                                            \
+        goto run_boundary;                                              \
+      }                                                                 \
+      ++d;                                                              \
+      goto *kLabels[d->dispatch];                                       \
+    } else {                                                            \
+      cycles_ += d->cost;                                               \
+      if (--n == 0) {                                                   \
+        ++d;                                                            \
+        goto run_boundary;                                              \
+      }                                                                 \
+      ++d;                                                              \
+      goto *kLabels[d->dispatch];                                       \
+    }                                                                   \
+  }
+
+  PALLADIUM_FOR_EACH_OPCODE(PALLADIUM_DEF_LABEL)
+#undef PALLADIUM_DEF_LABEL
+
+lbl_undecodable:
+  // Mirrors FetchInsn's #UD: EIP still points at the slot, nothing retired.
+  stop->reason = StopReason::kFault;
+  stop->fault = Ud("undecodable instruction");
+  PALLADIUM_BLOCK_EXIT(BlockExit::kStopped);
+
+lbl_bus_error:
+  stop->reason = StopReason::kFault;
+  stop->fault = FetchBusFault(base + eip_ + d->fault_offset);
+  PALLADIUM_BLOCK_EXIT(BlockExit::kStopped);
+
+fault_exit:
+  eip_ -= kInsnSize;  // faulting EIP points at the faulting instruction
+  stop->reason = StopReason::kFault;
+  stop->fault = ctx.fault;
+  PALLADIUM_BLOCK_EXIT(BlockExit::kStopped);
+
+yield:
+  PALLADIUM_BLOCK_EXIT(BlockExit::kYield);
+#undef PALLADIUM_BLOCK_EXIT
 }
 
 }  // namespace palladium

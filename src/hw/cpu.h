@@ -123,8 +123,27 @@ class Cpu {
   DecodeCache& decode_cache() { return dcache_; }
   // Disables the decoded-page fetch fast path (every fetch translates all 16
   // instruction bytes and re-decodes). Exists so benches can measure the
-  // pre-cache baseline; correctness is identical either way.
+  // pre-cache baseline; correctness is identical either way. Implies the
+  // block engine is off too (blocks execute out of decoded pages).
   void set_decode_cache_enabled(bool enabled) { decode_cache_enabled_ = enabled; }
+  // Disables the superblock engine: Run falls back to the PR 2
+  // per-instruction fast path (decode cache + D-TLB, dispatched one
+  // instruction at a time). The per-instruction path is the block engine's
+  // differential oracle — registers, memory, cycle counts, TLB stats, fault
+  // and interrupt streams are byte-identical either way. Env analogue:
+  // PALLADIUM_NO_BLOCKS=1.
+  void set_block_engine_enabled(bool enabled) { block_engine_enabled_ = enabled; }
+  bool block_engine_enabled() const { return block_engine_enabled_; }
+
+  // Block-engine observability: how often Run entered block dispatch, how
+  // many instructions retired inside it, and how many taken branches chained
+  // directly block-to-block without leaving the dispatch loop.
+  struct BlockStats {
+    u64 entries = 0;  // block dispatch activations from the outer loop
+    u64 insns = 0;    // instructions retired inside block dispatch
+    u64 chains = 0;   // direct block->block transfers (same-page branches)
+  };
+  const BlockStats& block_stats() const { return block_stats_; }
   DTlb& dtlb() { return dtlb_; }
   const DTlb::Stats& dtlb_stats() const { return dtlb_.stats(); }
   // Disables the data-access fast path (every load/store/push/pop goes back
@@ -195,6 +214,27 @@ class Cpu {
  private:
   friend class CpuTestPeer;
 
+  // --- Shared per-opcode execution core --------------------------------------
+  // What an instruction handler reports back to its dispatch loop.
+  enum class ExecStatus : u8 {
+    kNext,   // sequential: EIP already advanced past the instruction
+    kJump,   // near transfer retired: EIP holds the target, CS unchanged
+    kFar,    // far transfer retired: CS/CPL/EFLAGS.IF may have changed
+    kFault,  // ctx.fault filled; caller restores EIP and stops
+    kHalt,   // HLT retired at CPL 0
+  };
+  struct ExecCtx {
+    Fault fault;
+    u32 extra_cycles = 0;  // far-transfer privilege premium
+    bool taken = false;    // conditional branch taken (picks the taken cost)
+  };
+  // The ONE implementation of every opcode's semantics, specialized per
+  // opcode at compile time. StepOne's switch and RunBlock's threaded
+  // dispatch both expand to calls of these, so the per-instruction oracle
+  // and the block engine cannot diverge semantically by construction.
+  template <Opcode kOp>
+  static ExecStatus ExecOp(Cpu& c, const DecodedInsn& d, ExecCtx& ctx);
+
   bool cf() const { return eflags_ & kFlagCf; }
   bool zf() const { return eflags_ & kFlagZf; }
   bool sf() const { return eflags_ & kFlagSf; }
@@ -207,6 +247,16 @@ class Cpu {
 
   // One instruction. Returns false when execution must stop (*stop filled).
   bool StepOne(StopInfo* stop);
+
+  // The superblock engine: executes decoded basic-block runs with threaded
+  // dispatch and direct block->block chaining, preserving per-instruction
+  // retire-boundary semantics exactly (see cpu.cc).
+  enum class BlockExit : u8 {
+    kNoBlock,  // could not enter block dispatch here; caller single-steps
+    kYield,    // retired >= 0 instructions; re-run the outer boundary checks
+    kStopped,  // *stop filled (fault / halt)
+  };
+  BlockExit RunBlock(u64 cycle_limit, StopInfo* stop);
 
   // Address translation: linear -> physical with paging + TLB. `flags_out`
   // (optional) receives the effective PTE flags of the translation;
@@ -237,8 +287,6 @@ class Cpu {
   bool MemWrite(const LoadedSegment& seg, u32 offset, u32 size, bool is_stack, u32 value,
                 Fault* fault);
 
-  LoadedSegment& SegForOverride(SegOverride ov, bool base_is_stackish);
-
   // Far-transfer implementations.
   bool DoLcall(const Insn& insn, Fault* fault, u32* extra_cycles);
   // `release_bytes` implements `lret $n`: parameters copied by the gate are
@@ -250,20 +298,22 @@ class Cpu {
   // Fetches the instruction at CS:EIP. On success *insn points at storage
   // owned by the CPU (a decode-cache slot or fetch_scratch_) that stays
   // valid for the duration of the current instruction.
-  bool FetchInsn(const Insn** insn, Fault* fault);
-  bool FetchFromSlot(u32 linear, const Insn** insn, Fault* fault);
+  bool FetchInsn(const DecodedInsn** insn, Fault* fault);
+  bool FetchFromSlot(u32 linear, const DecodedInsn** insn, Fault* fault);
   Fault FetchBusFault(u32 linear) const;
 
-  // Per-opcode base costs, precomputed from model_ so the retire path is an
-  // array load instead of a cross-module call and switch per instruction.
+  // Rebuilds the shared retire-cost table (CycleModel::BuildCostTable) and
+  // drops decoded pages whose per-slot cost annotations became stale.
   void RebuildCostTable();
 
   PhysicalMemory& pm_;
   DescriptorTable& gdt_;
   DescriptorTable& idt_;
   CycleModel model_;
-  std::array<u32, static_cast<u16>(Opcode::kCount)> base_cost_{};
-  u32 taken_branch_cost_ = 0;
+  // The one per-opcode retire-cost table (see CycleModel::CostTable): the
+  // interpreter's retire path, the decode cache's slot annotations and the
+  // block pre-summer all read this instance.
+  CycleModel::CostTable cost_{};
   Tlb tlb_;
 
   std::array<u32, kNumRegs> regs_{};
@@ -293,6 +343,10 @@ class Cpu {
   // Decoded pages keyed by physical frame, shared across address spaces.
   DecodeCache dcache_;
   bool decode_cache_enabled_ = true;
+  // Superblock engine switch (see set_block_engine_enabled). Effective only
+  // while the decode cache is enabled.
+  bool block_engine_enabled_ = true;
+  BlockStats block_stats_;
   // One-entry fetch TLB pinning (linear page -> decoded physical page). An
   // entry is live only while both generation tags still match; TLB flushes
   // (CR3 load, INVLPG) and decode-cache invalidations (self-modifying code)
@@ -302,8 +356,9 @@ class Cpu {
   const DecodeCache::Page* fetch_page_ = nullptr;
   u64 fetch_tlb_change_ = ~0ull;
   u64 fetch_dcache_gen_ = ~0ull;
-  // Slow-path decode target (unaligned / page-crossing fetches).
-  Insn fetch_scratch_;
+  // Slow-path decode target (unaligned / page-crossing fetches), annotated
+  // exactly like a cache slot so the execution core sees one shape.
+  DecodedInsn fetch_scratch_;
 };
 
 }  // namespace palladium

@@ -2,77 +2,6 @@
 
 namespace palladium {
 
-u32 CycleModel::BaseCost(Opcode op, bool branch_taken) const {
-  switch (op) {
-    case Opcode::kNop:
-    case Opcode::kHlt:
-      return 1;
-    case Opcode::kMovRR:
-    case Opcode::kMovRI:
-    case Opcode::kMovRSeg:
-      return mov;
-    case Opcode::kLea:
-      return lea;
-    case Opcode::kLoad:
-      return load;
-    case Opcode::kStore:
-    case Opcode::kStoreI:
-      return store;
-    case Opcode::kPushR:
-    case Opcode::kPushSeg:
-      return push_reg;
-    case Opcode::kPushI:
-      return push_imm;
-    case Opcode::kPopR:
-      return pop_reg;
-    case Opcode::kPopSeg:
-    case Opcode::kMovSegR:
-      return seg_load;
-    case Opcode::kAddRR: case Opcode::kAddRI:
-    case Opcode::kSubRR: case Opcode::kSubRI:
-    case Opcode::kAndRR: case Opcode::kAndRI:
-    case Opcode::kOrRR: case Opcode::kOrRI:
-    case Opcode::kXorRR: case Opcode::kXorRI:
-    case Opcode::kShlRI: case Opcode::kShrRI: case Opcode::kSarRI:
-    case Opcode::kCmpRR: case Opcode::kCmpRI:
-    case Opcode::kTestRR: case Opcode::kTestRI:
-    case Opcode::kNegR: case Opcode::kNotR:
-    case Opcode::kIncR: case Opcode::kDecR:
-      return alu;
-    case Opcode::kImulRR:
-    case Opcode::kImulRI:
-      return 10;  // Pentium IMUL latency
-    case Opcode::kUdivRR:
-      return 25;
-    case Opcode::kJmp:
-    case Opcode::kJmpR:
-      return jmp;
-    case Opcode::kJe: case Opcode::kJne: case Opcode::kJb: case Opcode::kJae:
-    case Opcode::kJbe: case Opcode::kJa: case Opcode::kJl: case Opcode::kJge:
-    case Opcode::kJle: case Opcode::kJg: case Opcode::kJs: case Opcode::kJns:
-      return branch_taken ? jcc_taken : jcc_not_taken;
-    case Opcode::kCall:
-    case Opcode::kCallR:
-      return call_near;
-    case Opcode::kRet:
-    case Opcode::kRetN:
-      return ret_near;
-    // Far transfers: return the same-privilege cost; the CPU adds the
-    // inter-privilege premium when a privilege change actually happens.
-    case Opcode::kLcall:
-      return lcall_same;
-    case Opcode::kLret:
-      return lret_same;
-    case Opcode::kInt:
-      return int_gate;
-    case Opcode::kIret:
-      return iret_inter;
-    case Opcode::kCount:
-      break;
-  }
-  return 1;
-}
-
 CycleModel CycleModel::Measured() { return CycleModel{}; }
 
 CycleModel CycleModel::TheoryPentium() {

@@ -13,6 +13,8 @@
 #ifndef SRC_HW_CYCLE_MODEL_H_
 #define SRC_HW_CYCLE_MODEL_H_
 
+#include <array>
+
 #include "src/isa/insn.h"
 #include "src/hw/types.h"
 
@@ -23,6 +25,8 @@ struct CycleModel {
   u32 alu = 1;
   u32 mov = 1;
   u32 lea = 1;
+  u32 imul = 10;  // Pentium IMUL latency
+  u32 udiv = 25;
 
   // Memory traffic.
   u32 load = 2;
@@ -54,7 +58,103 @@ struct CycleModel {
 
   // Cost of one instruction, excluding TLB-miss penalties and the
   // privilege-change premium for far transfers (the CPU adds those).
-  u32 BaseCost(Opcode op, bool branch_taken) const;
+  // Constexpr and header-inline: this switch is the ONE opcode -> cost
+  // mapping in the repo; everything else (the CPU's retire path, the decode
+  // cache's block pre-summer) consumes the table built from it below.
+  constexpr u32 BaseCost(Opcode op, bool branch_taken) const {
+    switch (op) {
+      case Opcode::kNop:
+      case Opcode::kHlt:
+        return 1;
+      case Opcode::kMovRR:
+      case Opcode::kMovRI:
+      case Opcode::kMovRSeg:
+        return mov;
+      case Opcode::kLea:
+        return lea;
+      case Opcode::kLoad:
+        return load;
+      case Opcode::kStore:
+      case Opcode::kStoreI:
+        return store;
+      case Opcode::kPushR:
+      case Opcode::kPushSeg:
+        return push_reg;
+      case Opcode::kPushI:
+        return push_imm;
+      case Opcode::kPopR:
+        return pop_reg;
+      case Opcode::kPopSeg:
+      case Opcode::kMovSegR:
+        return seg_load;
+      case Opcode::kAddRR: case Opcode::kAddRI:
+      case Opcode::kSubRR: case Opcode::kSubRI:
+      case Opcode::kAndRR: case Opcode::kAndRI:
+      case Opcode::kOrRR: case Opcode::kOrRI:
+      case Opcode::kXorRR: case Opcode::kXorRI:
+      case Opcode::kShlRI: case Opcode::kShrRI: case Opcode::kSarRI:
+      case Opcode::kCmpRR: case Opcode::kCmpRI:
+      case Opcode::kTestRR: case Opcode::kTestRI:
+      case Opcode::kNegR: case Opcode::kNotR:
+      case Opcode::kIncR: case Opcode::kDecR:
+        return alu;
+      case Opcode::kImulRR:
+      case Opcode::kImulRI:
+        return imul;
+      case Opcode::kUdivRR:
+        return udiv;
+      case Opcode::kJmp:
+      case Opcode::kJmpR:
+        return jmp;
+      case Opcode::kJe: case Opcode::kJne: case Opcode::kJb: case Opcode::kJae:
+      case Opcode::kJbe: case Opcode::kJa: case Opcode::kJl: case Opcode::kJge:
+      case Opcode::kJle: case Opcode::kJg: case Opcode::kJs: case Opcode::kJns:
+        return branch_taken ? jcc_taken : jcc_not_taken;
+      case Opcode::kCall:
+      case Opcode::kCallR:
+        return call_near;
+      case Opcode::kRet:
+      case Opcode::kRetN:
+        return ret_near;
+      // Far transfers: return the same-privilege cost; the CPU adds the
+      // inter-privilege premium when a privilege change actually happens.
+      case Opcode::kLcall:
+        return lcall_same;
+      case Opcode::kLret:
+        return lret_same;
+      case Opcode::kInt:
+        return int_gate;
+      case Opcode::kIret:
+        return iret_inter;
+      case Opcode::kCount:
+        break;
+    }
+    return 1;
+  }
+
+  // The precomputed retire-cost table: one array load per retired
+  // instruction instead of a switch. Built once per model (CPU construction,
+  // set_cycle_model) and shared by the per-instruction path, the decoded-slot
+  // cost annotations, and the superblock pre-summer — the single successor to
+  // the per-opcode copy the CPU used to keep privately.
+  struct CostTable {
+    std::array<u32, kNumOpcodes> base{};
+    u32 taken_branch = 0;    // conditional branches share one taken cost
+    // Upper bound on cycles a memory-touching instruction can add beyond its
+    // base cost: an access spans at most two pages, so at most two TLB-miss
+    // walk penalties. Used by the pre-summer to prove a whole block retires
+    // before the cycle/IRQ frontier.
+    u32 mem_extra_bound = 0;
+  };
+  constexpr CostTable BuildCostTable() const {
+    CostTable t;
+    for (u16 op = 0; op < kNumOpcodes; ++op) {
+      t.base[op] = BaseCost(static_cast<Opcode>(op), /*branch_taken=*/false);
+    }
+    t.taken_branch = BaseCost(Opcode::kJe, /*branch_taken=*/true);
+    t.mem_extra_bound = 2 * tlb_miss_penalty;
+    return t;
+  }
 
   static CycleModel Measured();
   static CycleModel TheoryPentium();

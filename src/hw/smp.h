@@ -4,11 +4,14 @@
 // Model: each vCPU carries its own cycle counter; the interleaver always
 // steps the vCPU with the *smallest* counter (ties broken by lowest index)
 // and lets it run only until it is no longer the minimum. Because Cpu::Run
-// honours its cycle limit strictly at instruction-retire boundaries, the
+// honours its cycle limit strictly at instruction-retire boundaries — the
+// superblock engine bounds its quanta the same way: basic-block runs end
+// early at the cycle-limit frontier, so a slice never overshoots by more
+// than the one instruction the per-instruction path would also retire — the
 // resulting schedule is a deterministic retire-boundary interleave: a pure
 // function of program + initial state, independent of host timing, and —
-// because the decode-cache and D-TLB fast paths keep per-CPU cycle counters
-// byte-identical to the per-byte oracle — identical in every
+// because the block-engine, decode-cache and D-TLB fast paths keep per-CPU
+// cycle counters byte-identical to the per-byte oracle — identical in every
 // fast-path/oracle combination. That is what makes SMP runs
 // differential-testable with the same oracle discipline as the uniprocessor
 // (tests/cpu_property_test.cc, tests/smp_test.cc).

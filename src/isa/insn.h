@@ -101,6 +101,26 @@ struct Insn {
   static std::optional<Insn> Decode(const u8 in[kInsnSize]);
 };
 
+// Every opcode, in enum order. The execution engine expands this once into
+// the per-opcode handler table and once into the interpreter switch, so both
+// dispatch paths share a single semantic implementation per opcode
+// (src/hw/cpu.cc). Order is checked against the enum by a static_assert next
+// to the table; adding an opcode means adding it to the enum AND here.
+#define PALLADIUM_FOR_EACH_OPCODE(X)                                          \
+  X(kNop) X(kHlt)                                                             \
+  X(kMovRR) X(kMovRI) X(kLoad) X(kStore) X(kStoreI) X(kLea)                   \
+  X(kPushR) X(kPushI) X(kPopR) X(kPushSeg) X(kPopSeg) X(kMovSegR) X(kMovRSeg) \
+  X(kAddRR) X(kAddRI) X(kSubRR) X(kSubRI) X(kAndRR) X(kAndRI)                 \
+  X(kOrRR) X(kOrRI) X(kXorRR) X(kXorRI) X(kShlRI) X(kShrRI) X(kSarRI)         \
+  X(kImulRR) X(kImulRI) X(kUdivRR) X(kCmpRR) X(kCmpRI) X(kTestRR) X(kTestRI)  \
+  X(kNegR) X(kNotR) X(kIncR) X(kDecR)                                         \
+  X(kJmp) X(kJe) X(kJne) X(kJb) X(kJae) X(kJbe) X(kJa) X(kJl) X(kJge)         \
+  X(kJle) X(kJg) X(kJs) X(kJns)                                               \
+  X(kCall) X(kCallR) X(kRet) X(kRetN) X(kJmpR)                                \
+  X(kLcall) X(kLret) X(kInt) X(kIret)
+
+inline constexpr u16 kNumOpcodes = static_cast<u16>(Opcode::kCount);
+
 const char* OpcodeName(Opcode op);
 const char* RegName(Reg r);
 const char* SegRegName(SegReg s);

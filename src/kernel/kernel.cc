@@ -667,7 +667,10 @@ RunResult Kernel::RunProcess(Pid pid, u64 cycle_budget) {
     // With hardware timer interrupts the watchdog rides the IRQ path and the
     // CPU runs straight to the caller's deadline; without them, chop the run
     // into slices and tick the watchdog cooperatively (the legacy behavior,
-    // observable-identical for existing callers).
+    // observable-identical for existing callers). Either way the slice edge
+    // is exact: Cpu::Run stops at instruction-retire boundaries only, and
+    // the superblock engine ends its basic-block runs early at the same
+    // frontier, so watchdog and slice accounting are engine-independent.
     u64 slice_end = deadline;
     if (!interrupts_enabled_) {
       slice_end = cpu().cycles() + config_.timer_slice_cycles;

@@ -534,8 +534,11 @@ TEST(DtlbDifferential, FastAndSlowPathsAgreeOnRandomPrograms) {
 // second device injecting IRQs at pseudo-random cycle counts. Delivery is
 // keyed off the cycle counter at retire boundaries, so ALL architectural
 // effects — registers, memory (ISR counters, interrupt frames), cycles,
-// fault stream AND interrupt stream — must be identical in the four
-// fetch/data configurations: (decode cache on/off) x (D-TLB on/off).
+// fault stream AND interrupt stream — must be identical in the eight
+// engine configurations: (block engine on/off) x (decode cache on/off) x
+// (D-TLB on/off). (Blocks require the decode cache; the blocks-on/decode-off
+// configs degenerate to the per-instruction path and pin that the switch
+// interplay stays exact.)
 
 class ScriptedIrqDevice : public IrqDevice {
  public:
@@ -596,11 +599,13 @@ struct IrqDiffRun {
   std::vector<u8> memory;
 };
 
-IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, bool decode_cache,
-                              bool dtlb, u64 timer_period, const std::vector<u64>& nic_times) {
+IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, bool blocks,
+                              bool decode_cache, bool dtlb, u64 timer_period,
+                              const std::vector<u64>& nic_times) {
   BareMachineConfig config;
   config.physical_memory_bytes = kFuzzMem;
   BareMachine bm(config);
+  bm.cpu().set_block_engine_enabled(blocks);
   bm.cpu().set_decode_cache_enabled(decode_cache);
   bm.cpu().set_dtlb_enabled(dtlb);
   EXPECT_TRUE(bm.pm().WriteBlock(kCodeBase, program.data(), static_cast<u32>(program.size())));
@@ -657,7 +662,7 @@ IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, boo
   return out;
 }
 
-TEST(IrqDifferential, AllFourModesAgreeUnderRandomInterrupts) {
+TEST(IrqDifferential, AllEightModesAgreeUnderRandomInterrupts) {
   constexpr u32 kSeeds = 16;
   constexpr u32 kIterations = 300;
   constexpr u32 kBodyLen = 160;
@@ -676,17 +681,21 @@ TEST(IrqDifferential, AllFourModesAgreeUnderRandomInterrupts) {
     }
 
     struct ModeSpec {
-      bool decode, dtlb;
+      bool blocks, decode, dtlb;
       const char* name;
     };
-    const ModeSpec specs[] = {{true, true, "fast/fast"},
-                              {true, false, "fast/oracle"},
-                              {false, true, "oracle/fast"},
-                              {false, false, "oracle/oracle"}};
+    const ModeSpec specs[] = {{true, true, true, "block/fast/fast"},
+                              {true, true, false, "block/fast/oracle"},
+                              {true, false, true, "block/oracle/fast"},
+                              {true, false, false, "block/oracle/oracle"},
+                              {false, true, true, "insn/fast/fast"},
+                              {false, true, false, "insn/fast/oracle"},
+                              {false, false, true, "insn/oracle/fast"},
+                              {false, false, false, "insn/oracle/oracle"}};
     IrqDiffRun ref;
-    for (int s = 0; s < 4; ++s) {
-      IrqDiffRun run = RunDifferentialIrq(program, mode, specs[s].decode, specs[s].dtlb,
-                                          timer_period, nic_times);
+    for (int s = 0; s < 8; ++s) {
+      IrqDiffRun run = RunDifferentialIrq(program, mode, specs[s].blocks, specs[s].decode,
+                                          specs[s].dtlb, timer_period, nic_times);
       SCOPED_TRACE("seed " + std::to_string(seed) + " config " + specs[s].name);
       if (s == 0) {
         ref = std::move(run);
@@ -771,7 +780,7 @@ struct SmpDiffRun {
 };
 
 SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, FuzzMode mode,
-                              bool decode_cache, bool dtlb,
+                              bool blocks, bool decode_cache, bool dtlb,
                               const std::vector<u64>& shootdown_cycles) {
   const u32 n = static_cast<u32>(programs.size());
   BareMachineConfig config;
@@ -781,6 +790,7 @@ SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, Fuzz
   Machine& m = bm.machine();
   EXPECT_EQ(m.num_cpus(), n);
   for (u32 c = 0; c < n; ++c) {
+    m.cpu(c).set_block_engine_enabled(blocks);
     m.cpu(c).set_decode_cache_enabled(decode_cache);
     m.cpu(c).set_dtlb_enabled(dtlb);
   }
@@ -900,17 +910,30 @@ TEST(SmpDifferential, AllModesAgreePerVcpuUnderSharedMemoryAndShootdowns) {
       }
 
       struct ModeSpec {
-        bool decode, dtlb;
+        bool blocks, decode, dtlb;
         const char* name;
       };
-      const ModeSpec specs[] = {{true, true, "fast/fast"},
-                                {true, false, "fast/oracle"},
-                                {false, true, "oracle/fast"},
-                                {false, false, "oracle/oracle"}};
+      // Full 8-mode cross at N=1; the block-engine dimension is spot-checked
+      // against the per-instruction and full-oracle configurations at N=2/4
+      // (each extra SMP mode multiplies the interleaved run count).
+      const ModeSpec uni_specs[] = {{true, true, true, "block/fast/fast"},
+                                    {true, true, false, "block/fast/oracle"},
+                                    {true, false, true, "block/oracle/fast"},
+                                    {true, false, false, "block/oracle/oracle"},
+                                    {false, true, true, "insn/fast/fast"},
+                                    {false, true, false, "insn/fast/oracle"},
+                                    {false, false, true, "insn/oracle/fast"},
+                                    {false, false, false, "insn/oracle/oracle"}};
+      const ModeSpec smp_specs[] = {{true, true, true, "block/fast/fast"},
+                                    {true, true, false, "block/fast/oracle"},
+                                    {false, true, true, "insn/fast/fast"},
+                                    {false, false, false, "insn/oracle/oracle"}};
+      const ModeSpec* specs = n == 1 ? uni_specs : smp_specs;
+      const int num_specs = n == 1 ? 8 : 4;
       SmpDiffRun ref;
-      for (int s = 0; s < 4; ++s) {
-        SmpDiffRun run = RunSmpDifferential(programs, mode, specs[s].decode, specs[s].dtlb,
-                                            shootdowns);
+      for (int s = 0; s < num_specs; ++s) {
+        SmpDiffRun run = RunSmpDifferential(programs, mode, specs[s].blocks, specs[s].decode,
+                                            specs[s].dtlb, shootdowns);
         SCOPED_TRACE("seed " + std::to_string(seed) + " n " + std::to_string(n) +
                      " config " + specs[s].name);
         if (s == 0) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bench-smoke gate: fail if block-engine sim-MIPS regressed vs the baseline.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [tolerance]
+
+Both files are google-benchmark JSON (bench_simspeed output). For every
+block-engine throughput benchmark (name ending in `_block`) the gate checks:
+
+ 1. absolute sim-MIPS against the committed baseline, with `tolerance`
+    slack (default 0.20 = 20%, env PALLADIUM_BENCH_MIPS_TOLERANCE);
+ 2. if the absolute check fails, the *paired in-binary ratio* —
+    block sim-MIPS / insn-engine sim-MIPS from the same JSON — against the
+    baseline's ratio. A runner that is uniformly slower than the machine
+    that produced the baseline moves both engines together and keeps the
+    ratio, so only a genuine block-engine regression (ratio collapse) fails
+    the gate.
+
+Aggregate entries (`_median` etc.) are preferred when present so
+`--benchmark_repetitions` runs gate on the median.
+"""
+import json
+import os
+import sys
+
+
+def sim_mips(path):
+    with open(path) as f:
+        data = json.load(f)
+    plain = {}
+    median = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if "sim_mips" not in bench:
+            continue
+        if name.endswith("_median"):
+            median[name[: -len("_median")]] = float(bench["sim_mips"])
+        elif "_" in name:
+            plain[name] = float(bench["sim_mips"])
+    # Median aggregates win over per-repetition entries.
+    plain.update(median)
+    return plain
+
+
+def engine_ratio(mips, block_name):
+    insn_name = block_name[: -len("_block")] + "_insn"
+    block = mips.get(block_name)
+    insn = mips.get(insn_name)
+    if block is None or not insn:
+        return None
+    return block / insn
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    tolerance = float(
+        sys.argv[3] if len(sys.argv) > 3
+        else os.environ.get("PALLADIUM_BENCH_MIPS_TOLERANCE", "0.20"))
+    baseline = sim_mips(baseline_path)
+    fresh = sim_mips(fresh_path)
+    block_names = sorted(n for n in baseline if n.endswith("_block"))
+    if not block_names:
+        print(f"FAIL: no block-engine benchmarks in baseline {baseline_path}")
+        return 1
+    failed = False
+    for name in block_names:
+        base = baseline[name]
+        got = fresh.get(name)
+        if got is None:
+            print(f"FAIL: {name}: present in baseline but missing from fresh run")
+            failed = True
+            continue
+        abs_ratio = got / base if base else float("inf")
+        line = f"{name}: baseline {base:.1f} -> fresh {got:.1f} sim-MIPS ({abs_ratio:.2f}x)"
+        if got >= base * (1.0 - tolerance):
+            print(f"{line} ok")
+            continue
+        # Absolute check failed; arbitrate with the machine-independent
+        # paired engine ratio.
+        base_er = engine_ratio(baseline, name)
+        fresh_er = engine_ratio(fresh, name)
+        if base_er is None or fresh_er is None:
+            print(f"{line} FAIL (more than {tolerance:.0%} below baseline; "
+                  f"no insn-engine pair to normalize against)")
+            failed = True
+        elif fresh_er >= base_er * (1.0 - tolerance):
+            print(f"{line} ok (absolute below baseline, but block/insn ratio "
+                  f"held: {base_er:.2f}x -> {fresh_er:.2f}x — slower machine, "
+                  f"not a regression)")
+        else:
+            print(f"{line} FAIL (block/insn ratio collapsed: "
+                  f"{base_er:.2f}x -> {fresh_er:.2f}x)")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
