@@ -43,7 +43,7 @@ void FillExecInfo(DecodedInsn& d, const CycleModel::CostTable& costs) {
   d.cost = costs.base[op];
 }
 
-const DecodeCache::Page* DecodeCache::GetOrBuild(const PhysicalMemory& pm, u32 frame) {
+DecodeCache::Page* DecodeCache::GetOrBuild(const PhysicalMemory& pm, u32 frame) {
   // Safe point: no decoded instruction is mid-execution while the CPU is
   // fetching, so pages retired by earlier invalidations can really be freed.
   retired_.clear();
@@ -129,7 +129,7 @@ const DecodeCache::Page* DecodeCache::GetOrBuild(const PhysicalMemory& pm, u32 f
   ++stats_.builds;
   if (has_code_.size() <= pfn) has_code_.resize(pfn + 1, 0);
   has_code_[pfn] = 1;
-  const Page* raw_page = page.get();
+  Page* raw_page = page.get();
   pages_.emplace(pfn, std::move(page));
   return raw_page;
 }

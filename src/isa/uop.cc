@@ -1,0 +1,303 @@
+// Lowering from decoded basic-block runs to the micro-op IR (see uop.h for
+// the tier's contract). The pass is purely syntactic: it folds
+// add/sub-immediate chains, assigns each memory uop a pin slot, computes the
+// prefix sums the executor needs to reconstruct exact eip/cycles/instruction
+// counts at any early exit, and runs the backward flags-liveness scan that
+// decides which ALU uops must record their operands.
+#include "src/isa/uop.h"
+
+#include "src/isa/decode_cache.h"
+
+namespace palladium {
+
+namespace {
+
+bool WritesFlags(UopKind k) {
+  switch (k) {
+    case UopKind::kAdd:
+    case UopKind::kSub:
+    case UopKind::kCmp:
+    case UopKind::kAnd:
+    case UopKind::kTest:
+    case UopKind::kOr:
+    case UopKind::kXor:
+    case UopKind::kShl:
+    case UopKind::kShr:
+    case UopKind::kSar:
+    case UopKind::kImul:
+    case UopKind::kNeg:
+    case UopKind::kInc:
+    case UopKind::kDec:
+    case UopKind::kFold:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Uops at which the trace can exit with flags observable: a fault hands the
+// current EFLAGS to the handler, so the latest flag write before any of
+// these must have been recorded.
+bool IsFaultCapable(UopKind k) {
+  return k == UopKind::kLoad || k == UopKind::kStore || k == UopKind::kStoreI ||
+         k == UopKind::kExec;
+}
+
+// Register-only ALU ops with a direct uop kind; b_imm tells the executor
+// where operand b lives.
+bool AluKindFor(Opcode op, UopKind* kind, bool* b_imm) {
+  switch (op) {
+    case Opcode::kAddRR: *kind = UopKind::kAdd; *b_imm = false; return true;
+    case Opcode::kAddRI: *kind = UopKind::kAdd; *b_imm = true; return true;
+    case Opcode::kSubRR: *kind = UopKind::kSub; *b_imm = false; return true;
+    case Opcode::kSubRI: *kind = UopKind::kSub; *b_imm = true; return true;
+    case Opcode::kCmpRR: *kind = UopKind::kCmp; *b_imm = false; return true;
+    case Opcode::kCmpRI: *kind = UopKind::kCmp; *b_imm = true; return true;
+    case Opcode::kAndRR: *kind = UopKind::kAnd; *b_imm = false; return true;
+    case Opcode::kAndRI: *kind = UopKind::kAnd; *b_imm = true; return true;
+    case Opcode::kTestRR: *kind = UopKind::kTest; *b_imm = false; return true;
+    case Opcode::kTestRI: *kind = UopKind::kTest; *b_imm = true; return true;
+    case Opcode::kOrRR: *kind = UopKind::kOr; *b_imm = false; return true;
+    case Opcode::kOrRI: *kind = UopKind::kOr; *b_imm = true; return true;
+    case Opcode::kXorRR: *kind = UopKind::kXor; *b_imm = false; return true;
+    case Opcode::kXorRI: *kind = UopKind::kXor; *b_imm = true; return true;
+    case Opcode::kShlRI: *kind = UopKind::kShl; *b_imm = true; return true;
+    case Opcode::kShrRI: *kind = UopKind::kShr; *b_imm = true; return true;
+    case Opcode::kSarRI: *kind = UopKind::kSar; *b_imm = true; return true;
+    case Opcode::kImulRR: *kind = UopKind::kImul; *b_imm = false; return true;
+    case Opcode::kImulRI: *kind = UopKind::kImul; *b_imm = true; return true;
+    case Opcode::kNegR: *kind = UopKind::kNeg; *b_imm = false; return true;
+    case Opcode::kNotR: *kind = UopKind::kNot; *b_imm = false; return true;
+    case Opcode::kIncR: *kind = UopKind::kInc; *b_imm = false; return true;
+    case Opcode::kDecR: *kind = UopKind::kDec; *b_imm = false; return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFoldable(Opcode op) {
+  return op == Opcode::kAddRI || op == Opcode::kSubRI;
+}
+
+}  // namespace
+
+std::unique_ptr<Trace> LowerRun(const DecodedInsn* slots, u32 entry_slot, u32 run_len) {
+  if (run_len < 2) return nullptr;
+  auto t = std::make_unique<Trace>();
+  t->entry_slot = static_cast<u16>(entry_slot);
+  t->run_len = static_cast<u8>(run_len);
+
+  u32 insn_before = 0;
+  u32 cost_before = 0;
+  u32 num_pins = 0;
+  u32 s = entry_slot;
+  const u32 body_end = entry_slot + run_len - 1;  // final slot excluded
+  while (s < body_end) {
+    const DecodedInsn& d = slots[s];
+    // Interior run members are decoded non-terminators by construction of
+    // run_len; bail rather than trust a violated invariant.
+    if (d.state != DecodedInsn::State::kDecoded) return nullptr;
+    const Insn& in = d.insn;
+    Uop u;
+    u.slot = static_cast<u16>(s);
+    u.insn_before = static_cast<u16>(insn_before);
+    u.cost_before = cost_before;
+    u.cost = d.cost;
+
+    UopKind alu_kind;
+    bool alu_b_imm;
+    if (IsFoldable(in.opcode)) {
+      // Constant folding: a run of add/sub-immediate on one register
+      // collapses into a single uop. The recorded flags must be those of the
+      // chain's *last* op applied to the true intermediate value, so keep
+      // the delta accumulated before it and its own immediate.
+      u32 total = 0;
+      u32 pre_last = 0;
+      u32 chain_cost = 0;
+      u32 len = 0;
+      u32 j = s;
+      while (j < body_end && slots[j].state == DecodedInsn::State::kDecoded &&
+             IsFoldable(slots[j].insn.opcode) && slots[j].insn.r1 == in.r1) {
+        pre_last = total;
+        const u32 delta = static_cast<u32>(slots[j].insn.imm);
+        total += slots[j].insn.opcode == Opcode::kAddRI ? delta : 0u - delta;
+        chain_cost += slots[j].cost;
+        ++len;
+        ++j;
+      }
+      if (len >= 2) {
+        const Insn& last = slots[j - 1].insn;
+        u.kind = UopKind::kFold;
+        u.r1 = in.r1;
+        u.imm = static_cast<i32>(total);
+        u.imm2 = static_cast<i32>(pre_last);
+        u.disp = last.imm;
+        u.fold_last_is_sub = last.opcode == Opcode::kSubRI;
+        u.span = static_cast<u8>(len);
+        u.cost = chain_cost;
+      } else {
+        u.kind = in.opcode == Opcode::kAddRI ? UopKind::kAdd : UopKind::kSub;
+        u.b_imm = true;
+        u.r1 = in.r1;
+        u.imm = in.imm;
+      }
+    } else if (AluKindFor(in.opcode, &alu_kind, &alu_b_imm)) {
+      u.kind = alu_kind;
+      u.b_imm = alu_b_imm;
+      u.r1 = in.r1;
+      u.r2 = in.r2;
+      u.imm = in.imm;
+    } else {
+      switch (in.opcode) {
+        case Opcode::kNop:
+          u.kind = UopKind::kNop;
+          break;
+        case Opcode::kMovRR:
+          u.kind = UopKind::kMovRR;
+          u.r1 = in.r1;
+          u.r2 = in.r2;
+          break;
+        case Opcode::kMovRI:
+          u.kind = UopKind::kMovRI;
+          u.r1 = in.r1;
+          u.imm = in.imm;
+          break;
+        case Opcode::kLea:
+          u.kind = UopKind::kLea;
+          u.r1 = in.r1;
+          u.r2 = in.r2;
+          u.r3 = in.r3;
+          u.scale = in.scale;
+          u.disp = in.disp;
+          break;
+        case Opcode::kLoad:
+        case Opcode::kStore:
+        case Opcode::kStoreI:
+          u.kind = in.opcode == Opcode::kLoad    ? UopKind::kLoad
+                   : in.opcode == Opcode::kStore ? UopKind::kStore
+                                                 : UopKind::kStoreI;
+          u.r1 = in.r1;
+          u.r2 = in.r2;
+          u.r3 = in.r3;
+          u.scale = in.scale;
+          u.size = in.size;
+          u.seg_idx = d.seg_idx;
+          u.is_stack = d.is_stack;
+          u.imm = in.imm;
+          u.disp = in.disp;
+          u.pin = static_cast<u8>(num_pins++);
+          break;
+        // Push/pop are fixed-shape stack accesses (Cpu::Push32/Pop32): a
+        // 4-byte store at SS:ESP-4 / load at SS:ESP, with the ESP move
+        // committed only on success. Lowering them to pinned memory uops
+        // (instead of kExec) puts the hottest stack page behind a pin.
+        case Opcode::kPushR:
+        case Opcode::kPushI:
+          u.kind = in.opcode == Opcode::kPushR ? UopKind::kStore : UopKind::kStoreI;
+          u.r1 = in.r1;
+          u.r2 = static_cast<u8>(Reg::kEsp);
+          u.scale = 0;
+          u.size = 4;
+          u.seg_idx = 1;  // SS, unconditionally (no override applies)
+          u.is_stack = true;
+          u.imm = in.imm;
+          u.disp = -4;
+          u.esp_post = -4;
+          u.pin = static_cast<u8>(num_pins++);
+          break;
+        case Opcode::kPopR:
+          u.kind = UopKind::kLoad;
+          u.r1 = in.r1;
+          u.r2 = static_cast<u8>(Reg::kEsp);
+          u.scale = 0;
+          u.size = 4;
+          u.seg_idx = 1;
+          u.is_stack = true;
+          u.disp = 0;
+          u.esp_post = 4;
+          u.pin = static_cast<u8>(num_pins++);
+          break;
+        default:
+          // Everything else (segment moves, udiv) runs through the shared
+          // per-opcode execution core. None of these write flags.
+          u.kind = UopKind::kExec;
+          break;
+      }
+    }
+
+    t->uops.push_back(u);
+    insn_before += u.span;
+    cost_before += u.cost;
+    s += u.span;
+  }
+
+  t->pins.resize(num_pins);
+  t->body_insns = insn_before;
+  t->body_cost = cost_before;
+
+  // A conditional-branch terminator lowers into the trace as well (body_insns
+  // and body_cost stay body-only; the kJcc uop does its own accounting). This
+  // is what lets a hot loop whose backward edge targets this run's entry
+  // iterate entirely inside the uop executor.
+  const DecodedInsn& term = slots[body_end];
+  if (term.state == DecodedInsn::State::kDecoded && IsJcc(term.insn.opcode)) {
+    const u8 cond = static_cast<u8>(static_cast<int>(term.insn.opcode) -
+                                    static_cast<int>(Opcode::kJe));
+    if (!t->uops.empty() && t->uops.back().kind == UopKind::kCmp) {
+      // The body's last instruction is the compare feeding the terminator:
+      // fuse them. The merged uop keeps the compare's operands and prefix
+      // sums, retires both instructions, and evaluates the condition without
+      // going through the lazy-flag cache.
+      Uop& u = t->uops.back();
+      u.kind = UopKind::kCmpJcc;
+      u.target = nullptr;
+      u.imm2 = u.imm;  // the compare's immediate; `imm` becomes the target
+      u.imm = term.insn.imm;
+      u.r3 = cond;
+      u.cost2 = term.cost;
+      u.span = 2;
+      // Un-count the compare from the body: the fused uop accounts for both
+      // instructions itself, like the standalone terminator does.
+      t->body_insns = u.insn_before;
+      t->body_cost = u.cost_before;
+    } else {
+      Uop u;
+      u.kind = UopKind::kJcc;
+      u.r1 = cond;
+      u.imm = term.insn.imm;
+      u.slot = static_cast<u16>(body_end);
+      u.insn_before = static_cast<u16>(insn_before);
+      u.cost_before = cost_before;
+      u.cost = term.cost;
+      t->uops.push_back(u);
+    }
+  }
+
+  // Backward flags liveness. At the body's end flags are observable (the
+  // run's final slot — often a Jcc — and the retire boundary both read
+  // them); a fault-capable uop makes the flags before it observable (the
+  // fault handler sees EFLAGS); INC/DEC propagate observability to the
+  // preceding producer only when they themselves record, because they
+  // capture its CF at record time. A producer whose result is dead records
+  // nothing — static dead-flag elimination.
+  bool observable = true;
+  for (size_t i = t->uops.size(); i-- > 0;) {
+    Uop& u = t->uops[i];
+    if (u.kind == UopKind::kCmpJcc) {
+      // Always records (every exit materializes the compare's flags) and
+      // fully overwrites the lazy cache, so earlier flag writes are dead.
+      u.record = true;
+      observable = false;
+    } else if (WritesFlags(u.kind)) {
+      u.record = observable;
+      observable =
+          (u.kind == UopKind::kInc || u.kind == UopKind::kDec) && u.record;
+    } else if (IsFaultCapable(u.kind)) {
+      observable = true;
+    }
+  }
+
+  return t;
+}
+
+}  // namespace palladium

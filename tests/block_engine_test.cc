@@ -315,8 +315,12 @@ TEST(BlockEngine, CycleLimitSlicesLandOnIdenticalBoundaries) {
 TEST(BlockEngine, LoopChainsWithoutLeavingDispatch) {
   BareMachine bm;
   // This test is about the engine itself; override the PALLADIUM_NO_BLOCKS
-  // oracle so it still observes block dispatch under the CI oracle matrix.
+  // oracle so it still observes block dispatch under the CI oracle matrix,
+  // and pin the trace tier off — once the loop goes hot the trace executor
+  // iterates in place without chaining, which is exactly what this test
+  // must not measure.
   bm.cpu().set_block_engine_enabled(true);
+  bm.cpu().set_trace_engine_enabled(false);
   std::string diag;
   auto img = bm.LoadProgram(R"(
   .global main

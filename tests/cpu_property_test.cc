@@ -600,12 +600,13 @@ struct IrqDiffRun {
 };
 
 IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, bool blocks,
-                              bool decode_cache, bool dtlb, u64 timer_period,
+                              bool trace, bool decode_cache, bool dtlb, u64 timer_period,
                               const std::vector<u64>& nic_times) {
   BareMachineConfig config;
   config.physical_memory_bytes = kFuzzMem;
   BareMachine bm(config);
   bm.cpu().set_block_engine_enabled(blocks);
+  bm.cpu().set_trace_engine_enabled(trace);
   bm.cpu().set_decode_cache_enabled(decode_cache);
   bm.cpu().set_dtlb_enabled(dtlb);
   EXPECT_TRUE(bm.pm().WriteBlock(kCodeBase, program.data(), static_cast<u32>(program.size())));
@@ -662,7 +663,7 @@ IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, boo
   return out;
 }
 
-TEST(IrqDifferential, AllEightModesAgreeUnderRandomInterrupts) {
+TEST(IrqDifferential, AllSixteenModesAgreeUnderRandomInterrupts) {
   constexpr u32 kSeeds = 16;
   constexpr u32 kIterations = 300;
   constexpr u32 kBodyLen = 160;
@@ -681,21 +682,35 @@ TEST(IrqDifferential, AllEightModesAgreeUnderRandomInterrupts) {
     }
 
     struct ModeSpec {
-      bool blocks, decode, dtlb;
+      bool blocks, trace, decode, dtlb;
       const char* name;
     };
-    const ModeSpec specs[] = {{true, true, true, "block/fast/fast"},
-                              {true, true, false, "block/fast/oracle"},
-                              {true, false, true, "block/oracle/fast"},
-                              {true, false, false, "block/oracle/oracle"},
-                              {false, true, true, "insn/fast/fast"},
-                              {false, true, false, "insn/fast/oracle"},
-                              {false, false, true, "insn/oracle/fast"},
-                              {false, false, false, "insn/oracle/oracle"}};
+    // Full 16-mode cross: engine (block/insn) x trace tier (hot/off) x
+    // decode cache x D-TLB. The trace axis is inert without the block
+    // engine and decode cache (the tier is entered from RunBlock over a
+    // decoded page), but the inert combinations still pin down that merely
+    // enabling the tier changes nothing.
+    const ModeSpec specs[] = {{true, true, true, true, "block+trace/fast/fast"},
+                              {true, true, true, false, "block+trace/fast/oracle"},
+                              {true, true, false, true, "block+trace/oracle/fast"},
+                              {true, true, false, false, "block+trace/oracle/oracle"},
+                              {true, false, true, true, "block/fast/fast"},
+                              {true, false, true, false, "block/fast/oracle"},
+                              {true, false, false, true, "block/oracle/fast"},
+                              {true, false, false, false, "block/oracle/oracle"},
+                              {false, true, true, true, "insn+trace/fast/fast"},
+                              {false, true, true, false, "insn+trace/fast/oracle"},
+                              {false, true, false, true, "insn+trace/oracle/fast"},
+                              {false, true, false, false, "insn+trace/oracle/oracle"},
+                              {false, false, true, true, "insn/fast/fast"},
+                              {false, false, true, false, "insn/fast/oracle"},
+                              {false, false, false, true, "insn/oracle/fast"},
+                              {false, false, false, false, "insn/oracle/oracle"}};
     IrqDiffRun ref;
-    for (int s = 0; s < 8; ++s) {
-      IrqDiffRun run = RunDifferentialIrq(program, mode, specs[s].blocks, specs[s].decode,
-                                          specs[s].dtlb, timer_period, nic_times);
+    for (int s = 0; s < 16; ++s) {
+      IrqDiffRun run = RunDifferentialIrq(program, mode, specs[s].blocks, specs[s].trace,
+                                          specs[s].decode, specs[s].dtlb, timer_period,
+                                          nic_times);
       SCOPED_TRACE("seed " + std::to_string(seed) + " config " + specs[s].name);
       if (s == 0) {
         ref = std::move(run);
@@ -780,7 +795,7 @@ struct SmpDiffRun {
 };
 
 SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, FuzzMode mode,
-                              bool blocks, bool decode_cache, bool dtlb,
+                              bool blocks, bool trace, bool decode_cache, bool dtlb,
                               const std::vector<u64>& shootdown_cycles) {
   const u32 n = static_cast<u32>(programs.size());
   BareMachineConfig config;
@@ -791,6 +806,7 @@ SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, Fuzz
   EXPECT_EQ(m.num_cpus(), n);
   for (u32 c = 0; c < n; ++c) {
     m.cpu(c).set_block_engine_enabled(blocks);
+    m.cpu(c).set_trace_engine_enabled(trace);
     m.cpu(c).set_decode_cache_enabled(decode_cache);
     m.cpu(c).set_dtlb_enabled(dtlb);
   }
@@ -910,30 +926,44 @@ TEST(SmpDifferential, AllModesAgreePerVcpuUnderSharedMemoryAndShootdowns) {
       }
 
       struct ModeSpec {
-        bool blocks, decode, dtlb;
+        bool blocks, trace, decode, dtlb;
         const char* name;
       };
-      // Full 8-mode cross at N=1; the block-engine dimension is spot-checked
-      // against the per-instruction and full-oracle configurations at N=2/4
-      // (each extra SMP mode multiplies the interleaved run count).
-      const ModeSpec uni_specs[] = {{true, true, true, "block/fast/fast"},
-                                    {true, true, false, "block/fast/oracle"},
-                                    {true, false, true, "block/oracle/fast"},
-                                    {true, false, false, "block/oracle/oracle"},
-                                    {false, true, true, "insn/fast/fast"},
-                                    {false, true, false, "insn/fast/oracle"},
-                                    {false, false, true, "insn/oracle/fast"},
-                                    {false, false, false, "insn/oracle/oracle"}};
-      const ModeSpec smp_specs[] = {{true, true, true, "block/fast/fast"},
-                                    {true, true, false, "block/fast/oracle"},
-                                    {false, true, true, "insn/fast/fast"},
-                                    {false, false, false, "insn/oracle/oracle"}};
+      // Full 16-mode cross at N=1; the block-engine and trace-tier
+      // dimensions are spot-checked against the per-instruction and
+      // full-oracle configurations at N=2/4 (each extra SMP mode multiplies
+      // the interleaved run count).
+      const ModeSpec uni_specs[] = {
+          {true, true, true, true, "block+trace/fast/fast"},
+          {true, true, true, false, "block+trace/fast/oracle"},
+          {true, true, false, true, "block+trace/oracle/fast"},
+          {true, true, false, false, "block+trace/oracle/oracle"},
+          {true, false, true, true, "block/fast/fast"},
+          {true, false, true, false, "block/fast/oracle"},
+          {true, false, false, true, "block/oracle/fast"},
+          {true, false, false, false, "block/oracle/oracle"},
+          {false, true, true, true, "insn+trace/fast/fast"},
+          {false, true, true, false, "insn+trace/fast/oracle"},
+          {false, true, false, true, "insn+trace/oracle/fast"},
+          {false, true, false, false, "insn+trace/oracle/oracle"},
+          {false, false, true, true, "insn/fast/fast"},
+          {false, false, true, false, "insn/fast/oracle"},
+          {false, false, false, true, "insn/oracle/fast"},
+          {false, false, false, false, "insn/oracle/oracle"}};
+      const ModeSpec smp_specs[] = {
+          {true, true, true, true, "block+trace/fast/fast"},
+          {true, true, true, false, "block+trace/fast/oracle"},
+          {true, false, true, true, "block/fast/fast"},
+          {true, false, true, false, "block/fast/oracle"},
+          {false, true, true, true, "insn+trace/fast/fast"},
+          {false, false, true, true, "insn/fast/fast"},
+          {false, false, false, false, "insn/oracle/oracle"}};
       const ModeSpec* specs = n == 1 ? uni_specs : smp_specs;
-      const int num_specs = n == 1 ? 8 : 4;
+      const int num_specs = n == 1 ? 16 : 7;
       SmpDiffRun ref;
       for (int s = 0; s < num_specs; ++s) {
-        SmpDiffRun run = RunSmpDifferential(programs, mode, specs[s].blocks, specs[s].decode,
-                                            specs[s].dtlb, shootdowns);
+        SmpDiffRun run = RunSmpDifferential(programs, mode, specs[s].blocks, specs[s].trace,
+                                            specs[s].decode, specs[s].dtlb, shootdowns);
         SCOPED_TRACE("seed " + std::to_string(seed) + " n " + std::to_string(n) +
                      " config " + specs[s].name);
         if (s == 0) {

@@ -1,19 +1,20 @@
 #!/usr/bin/env python3
-"""Bench-smoke gate: fail if block-engine sim-MIPS regressed vs the baseline.
+"""Bench-smoke gate: fail if block- or trace-engine sim-MIPS regressed.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [tolerance]
 
 Both files are google-benchmark JSON (bench_simspeed output). For every
-block-engine throughput benchmark (name ending in `_block`) the gate checks:
+gated throughput benchmark — block engine (name ending in `_block`) and
+hot-trace tier (name ending in `_trace`) — the gate checks:
 
  1. absolute sim-MIPS against the committed baseline, with `tolerance`
     slack (default 0.20 = 20%, env PALLADIUM_BENCH_MIPS_TOLERANCE);
- 2. if the absolute check fails, the *paired in-binary ratio* —
-    block sim-MIPS / insn-engine sim-MIPS from the same JSON — against the
-    baseline's ratio. A runner that is uniformly slower than the machine
-    that produced the baseline moves both engines together and keeps the
-    ratio, so only a genuine block-engine regression (ratio collapse) fails
-    the gate.
+ 2. if the absolute check fails, the *paired in-binary ratio* from the same
+    JSON — block/insn for `_block` names, trace/block for `_trace` names —
+    against the baseline's ratio. A runner that is uniformly slower than
+    the machine that produced the baseline moves both engines together and
+    keeps the ratio, so only a genuine engine regression (ratio collapse)
+    fails the gate.
 
 Aggregate entries (`_median` etc.) are preferred when present so
 `--benchmark_repetitions` runs gate on the median.
@@ -41,13 +42,25 @@ def sim_mips(path):
     return plain
 
 
-def engine_ratio(mips, block_name):
-    insn_name = block_name[: -len("_block")] + "_insn"
-    block = mips.get(block_name)
-    insn = mips.get(insn_name)
-    if block is None or not insn:
+# Gated suffix -> the in-binary reference engine its ratio is paired with.
+PAIRED_REFERENCE = {"_block": "_insn", "_trace": "_block"}
+
+
+def gated_suffix(name):
+    for suffix in PAIRED_REFERENCE:
+        if name.endswith(suffix):
+            return suffix
+    return None
+
+
+def engine_ratio(mips, name):
+    suffix = gated_suffix(name)
+    ref_name = name[: -len(suffix)] + PAIRED_REFERENCE[suffix]
+    gated = mips.get(name)
+    ref = mips.get(ref_name)
+    if gated is None or not ref:
         return None
-    return block / insn
+    return gated / ref
 
 
 def main():
@@ -60,16 +73,23 @@ def main():
         else os.environ.get("PALLADIUM_BENCH_MIPS_TOLERANCE", "0.20"))
     baseline = sim_mips(baseline_path)
     fresh = sim_mips(fresh_path)
-    block_names = sorted(n for n in baseline if n.endswith("_block"))
-    if not block_names:
-        print(f"FAIL: no block-engine benchmarks in baseline {baseline_path}")
+    gated_names = sorted(n for n in baseline if gated_suffix(n))
+    if not gated_names:
+        print(f"FAIL: no block- or trace-engine benchmarks in baseline "
+              f"{baseline_path}")
         return 1
+    if not any(n.endswith("_trace") for n in gated_names):
+        print(f"note: baseline {baseline_path} has no trace-tier benchmarks; "
+              f"gating block engine only")
     failed = False
-    for name in block_names:
+    for name in gated_names:
+        engine = gated_suffix(name).lstrip("_")
         base = baseline[name]
         got = fresh.get(name)
         if got is None:
-            print(f"FAIL: {name}: present in baseline but missing from fresh run")
+            print(f"FAIL: {name}: {engine}-engine benchmark present in "
+                  f"baseline but missing from fresh run (did bench_simspeed "
+                  f"drop the --engine {engine} spec?)")
             failed = True
             continue
         abs_ratio = got / base if base else float("inf")
@@ -79,18 +99,20 @@ def main():
             continue
         # Absolute check failed; arbitrate with the machine-independent
         # paired engine ratio.
+        ref = PAIRED_REFERENCE[gated_suffix(name)].lstrip("_")
+        pair = f"{engine}/{ref}"
         base_er = engine_ratio(baseline, name)
         fresh_er = engine_ratio(fresh, name)
         if base_er is None or fresh_er is None:
             print(f"{line} FAIL (more than {tolerance:.0%} below baseline; "
-                  f"no insn-engine pair to normalize against)")
+                  f"no {ref}-engine pair to normalize against)")
             failed = True
         elif fresh_er >= base_er * (1.0 - tolerance):
-            print(f"{line} ok (absolute below baseline, but block/insn ratio "
+            print(f"{line} ok (absolute below baseline, but {pair} ratio "
                   f"held: {base_er:.2f}x -> {fresh_er:.2f}x — slower machine, "
                   f"not a regression)")
         else:
-            print(f"{line} FAIL (block/insn ratio collapsed: "
+            print(f"{line} FAIL ({pair} ratio collapsed: "
                   f"{base_er:.2f}x -> {fresh_er:.2f}x)")
             failed = True
     return 1 if failed else 0
