@@ -101,19 +101,46 @@ pd_shared:
 
 int main(int argc, char** argv) {
   u32 total_requests = 1000;
-  u32 smp = 0;  // 0 = PALLADIUM_SMP env (default 1)
+  u32 smp = 0;       // 0 = PALLADIUM_SMP env (default 1)
+  u32 queues = 0;    // 0 = one RX/TX queue pair per vCPU
+  u32 batch = 32;    // frames per protected filter crossing
+  u32 moderation = 0;  // NIC ITR window in cycles (0 = IRQ per DMA burst)
+  bool napi = true;
+  const char* usage =
+      "usage: %s [requests] [--smp N] [--queues N] [--batch N] [--moderation CYCLES] "
+      "[--no-napi]\n";
+  auto flag_value = [&](int& i) -> u32 {
+    if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) return 0;
+    return static_cast<u32>(std::atoi(argv[++i]));
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smp") == 0) {
-      if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
-        std::fprintf(stderr, "usage: %s [requests] [--smp N]\n", argv[0]);
+      if ((smp = flag_value(i)) == 0) {
+        std::fprintf(stderr, usage, argv[0]);
         return 2;
       }
-      smp = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queues") == 0) {
+      if ((queues = flag_value(i)) == 0) {
+        std::fprintf(stderr, usage, argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      if ((batch = flag_value(i)) == 0) {
+        std::fprintf(stderr, usage, argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--moderation") == 0) {
+      if ((moderation = flag_value(i)) == 0) {
+        std::fprintf(stderr, usage, argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-napi") == 0) {
+      napi = false;
     } else if (std::atoi(argv[i]) > 0) {
       total_requests = static_cast<u32>(std::atoi(argv[i]));
     } else {
-      std::fprintf(stderr, "unrecognized argument '%s'; usage: %s [requests] [--smp N]\n",
-                   argv[i], argv[0]);
+      std::fprintf(stderr, "unrecognized argument '%s'; ", argv[i]);
+      std::fprintf(stderr, usage, argv[0]);
       return 2;
     }
   }
@@ -132,10 +159,17 @@ int main(int argc, char** argv) {
   // pins each client's flow to one worker (and so to one core); on one
   // vCPU keep the PR 3 balanced round-robin.
   if (ResolveNumCpus(smp) > 1) cfg.steering = FlowSteering::kFlowHash;
+  // Dataplane fast-path knobs: one RX/TX queue pair per vCPU unless pinned.
+  cfg.queues = queues != 0 ? queues : ResolveNumCpus(smp);
+  cfg.napi = napi;
+  cfg.filter_batch = batch;
+  cfg.rx_irq_moderation = moderation;
   std::printf("--- interrupt-driven multi-worker server ---\n");
   std::printf("%u clients, %u requests, %u worker processes, timer slice %llu cycles\n",
               cfg.clients, cfg.total_requests, cfg.workers,
               static_cast<unsigned long long>(cfg.slice_cycles));
+  std::printf("dataplane: %u NIC queue(s), NAPI %s, filter batch %u, ITR %u cycles\n",
+              cfg.queues, cfg.napi ? "on" : "off", cfg.filter_batch, cfg.rx_irq_moderation);
   MultiServerResult r = RunMultiWorkerServer(cfg);
   if (!r.ok) {
     std::fprintf(stderr, "multi-worker server failed: %s\n", r.diag.c_str());
@@ -158,6 +192,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.preemptions));
   std::printf("protected filter invocations: %llu\n",
               static_cast<unsigned long long>(r.filter_invocations));
+  std::printf("connections: %llu (%llu keep-alive reuses); latency p50/p99: %llu/%llu cycles\n",
+              static_cast<unsigned long long>(r.connections),
+              static_cast<unsigned long long>(r.keepalive_reuses),
+              static_cast<unsigned long long>(r.latency_p50_cycles),
+              static_cast<unsigned long long>(r.latency_p99_cycles));
   std::printf("per-worker requests served:");
   for (i32 s : r.per_worker_served) std::printf(" %d", s);
   std::printf("\n\nEvery request crossed the NIC ring, a protected SPL 1 filter, a\n");

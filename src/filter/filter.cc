@@ -1,6 +1,7 @@
 #include "src/filter/filter.h"
 
 #include <cctype>
+#include <functional>
 #include <sstream>
 
 #include "src/net/packet.h"
@@ -190,32 +191,31 @@ bool EvalFilterHost(const FilterExpr& expr, const u8* pkt, u32 len) {
   return true;
 }
 
-std::string CompileFilterToAsm(const FilterExpr& expr, u32 shared_capacity) {
-  std::ostringstream os;
-  os << "  .global filter_run\n"
-     << "filter_run:\n";
-  // Bounds: reject short packets once, up front, instead of per term.
-  u32 min_len = 0;
-  for (const FilterTerm& t : expr.terms) {
-    min_len = std::max(min_len, FilterFieldOffset(t.field) + FilterFieldWidth(t.field));
-  }
+namespace {
+
+// Emits the per-packet term checks. `at(off)` names the operand for byte
+// offset `off` into the [u32 len][frame bytes] record — an absolute
+// pd_shared reference for the single-frame entry, an %esi-relative one for
+// the batch entry (DS-relative either way; EBP/ESP bases would resolve to
+// SS). Clobbers %eax/%ecx/%edx. Length is expected in %ecx on entry when
+// `min_len` > 0.
+void EmitTermChecks(std::ostringstream& os, const FilterExpr& expr, u32 min_len,
+                    const std::function<std::string(u32)>& at, const std::string& reject) {
   if (min_len > 0) {
-    os << "  ld pd_shared, %ecx\n"
-       << "  cmp $" << min_len << ", %ecx\n"
-       << "  jb filter_reject\n";
+    os << "  cmp $" << min_len << ", %ecx\n"
+       << "  jb " << reject << "\n";
   }
-  int swap_id = 0;
   for (const FilterTerm& t : expr.terms) {
     const u32 off = 4 + FilterFieldOffset(t.field);  // +4 skips the length word
     const u32 width = FilterFieldWidth(t.field);
     const char* ld = width == 1 ? "ld8" : (width == 2 ? "ld16" : "ld");
-    os << "  " << ld << " pd_shared+" << off << ", %eax\n";
+    os << "  " << ld << " " << at(off) << ", %eax\n";
     if (t.rel == FilterRel::kEq || t.rel == FilterRel::kNe) {
       // Compare the raw little-endian load against the byte-swapped
       // constant: zero per-packet swap cost (constant folded at compile
       // time) — this is what keeps the compiled filter's slope small.
       os << "  cmp $" << ByteSwap(t.value, width) << ", %eax\n";
-      os << (t.rel == FilterRel::kEq ? "  jne filter_reject\n" : "  je filter_reject\n");
+      os << (t.rel == FilterRel::kEq ? "  jne " : "  je ") << reject << "\n";
     } else {
       // Ordered comparison: normalize to host order first.
       if (width == 2) {
@@ -240,21 +240,69 @@ std::string CompileFilterToAsm(const FilterExpr& expr, u32 shared_capacity) {
       }
       os << "  cmp $" << t.value << ", %eax\n";
       switch (t.rel) {
-        case FilterRel::kGt: os << "  jbe filter_reject\n"; break;
-        case FilterRel::kGe: os << "  jb filter_reject\n"; break;
-        case FilterRel::kLt: os << "  jae filter_reject\n"; break;
-        case FilterRel::kLe: os << "  ja filter_reject\n"; break;
+        case FilterRel::kGt: os << "  jbe " << reject << "\n"; break;
+        case FilterRel::kGe: os << "  jb " << reject << "\n"; break;
+        case FilterRel::kLt: os << "  jae " << reject << "\n"; break;
+        case FilterRel::kLe: os << "  ja " << reject << "\n"; break;
         default: break;
       }
-      ++swap_id;
     }
   }
+}
+
+}  // namespace
+
+std::string CompileFilterToAsm(const FilterExpr& expr, u32 shared_capacity, u32 batch_stride) {
+  std::ostringstream os;
+  // Bounds: reject short packets once, up front, instead of per term.
+  u32 min_len = 0;
+  for (const FilterTerm& t : expr.terms) {
+    min_len = std::max(min_len, FilterFieldOffset(t.field) + FilterFieldWidth(t.field));
+  }
+
+  os << "  .global filter_run\n"
+     << "filter_run:\n";
+  if (min_len > 0) os << "  ld pd_shared, %ecx\n";
+  EmitTermChecks(os, expr, min_len,
+                 [](u32 off) { return "pd_shared+" + std::to_string(off); }, "filter_reject");
   os << "  mov $1, %eax\n"
      << "  ret\n"
      << "filter_reject:\n"
      << "  mov $0, %eax\n"
-     << "  ret\n"
-     << "  .data\n"
+     << "  ret\n";
+
+  if (batch_stride >= 8) {
+    // Batched entry: pd_shared+0 = u32 frame count, records (same layout as
+    // the single-frame area) every batch_stride bytes from pd_shared+16.
+    // Returns the match bitmap in %eax. Register plan: %esi record cursor
+    // (DS-relative), %ebp remaining count (pure data register — EBP as a
+    // *base* would select SS, whose segment differs inside an extension),
+    // %ebx current record's bit, %edi accumulated bitmap; %eax/%ecx/%edx
+    // are the term scratch registers.
+    os << "  .global filter_run_batch\n"
+       << "filter_run_batch:\n"
+       << "  ld pd_shared, %ebp\n"
+       << "  lea pd_shared+" << kFilterBatchBase << ", %esi\n"
+       << "  mov $1, %ebx\n"
+       << "  mov $0, %edi\n"
+       << "fb_next:\n"
+       << "  cmp $0, %ebp\n"
+       << "  je fb_done\n";
+    if (min_len > 0) os << "  ld 0(%esi), %ecx\n";
+    EmitTermChecks(os, expr, min_len,
+                   [](u32 off) { return std::to_string(off) + "(%esi)"; }, "fb_rej");
+    os << "  or %ebx, %edi\n"
+       << "fb_rej:\n"
+       << "  add $" << batch_stride << ", %esi\n"
+       << "  shl $1, %ebx\n"
+       << "  dec %ebp\n"
+       << "  jmp fb_next\n"
+       << "fb_done:\n"
+       << "  mov %edi, %eax\n"
+       << "  ret\n";
+  }
+
+  os << "  .data\n"
      << "  .global pd_shared\n"
      << "pd_shared:\n"
      << "  .space " << shared_capacity << "\n";

@@ -51,13 +51,30 @@ std::optional<FilterExpr> ParseFilter(const std::string& text, std::string* erro
 // Host reference evaluation (ground truth for property tests).
 bool EvalFilterHost(const FilterExpr& expr, const u8* pkt, u32 len);
 
+// Upper bound on frames per batched filter call: the batch entry point
+// returns its verdicts as a 32-bit match bitmap.
+inline constexpr u32 kMaxFilterBatch = 32;
+
+// Offset of the first batch record inside pd_shared (after the u32 frame
+// count and pad); each record is [u32 len][frame bytes], `batch_stride`
+// bytes apart.
+inline constexpr u32 kFilterBatchBase = 16;
+
 // Compiles to simulated assembly. The generated function `filter_run`
 // expects the packet image at the module's exported `pd_shared` area:
 //   pd_shared+0: u32 packet length, pd_shared+4: packet bytes.
 // Returns 1 for match, 0 otherwise. Equality terms compare the raw
 // little-endian load against a byte-swapped constant (no per-packet swap);
 // ordered terms byte-swap the loaded value first.
-std::string CompileFilterToAsm(const FilterExpr& expr, u32 shared_capacity = 2048);
+//
+// When `batch_stride` is nonzero a second entry point `filter_run_batch` is
+// emitted for amortized classification: pd_shared+0 holds a u32 frame
+// count (at most kMaxFilterBatch), records start at pd_shared+16, each
+// `batch_stride` bytes apart as [u32 len][frame bytes]. The return value is
+// a bitmap — bit i set iff record i matches. The caller must size
+// `shared_capacity` to cover kFilterBatchBase + count * batch_stride.
+std::string CompileFilterToAsm(const FilterExpr& expr, u32 shared_capacity = 2048,
+                               u32 batch_stride = 0);
 
 // Compiles to BPF bytecode for the interpreted baseline.
 BpfProgram CompileFilterToBpf(const FilterExpr& expr);

@@ -48,7 +48,11 @@ inline constexpr u32 kIrqTimer = 0;  // interval timer (scheduler + watchdog), p
 // not wait behind NIC servicing on the target core.
 inline constexpr u32 kIrqIpiShootdown = 1;  // TLB/D-TLB shootdown ack (vector 0x21)
 inline constexpr u32 kIrqIpiResched = 2;    // reschedule kick (vector 0x22)
-inline constexpr u32 kIrqNic = 5;    // network interface (routed to CPU 0)
+inline constexpr u32 kIrqNic = 5;    // network interface RX (per-queue: owning core)
+// TX-completion line: the NIC latches it when descriptor DMA finishes (one
+// edge per completion batch, not per frame). With multi-queue wiring each
+// queue raises the line on its owning core's local PIC, MSI-X style.
+inline constexpr u32 kIrqNicTx = 6;
 
 // --- Host entry ids (offsets into the host-call range) ----------------------
 inline constexpr u32 kHostEntrySyscall = 0;
@@ -89,6 +93,11 @@ inline constexpr u32 kSysExposeService = 217; // ebx=name ecx=fn -> gate selecto
 inline constexpr u32 kSysPktRecv = 220;  // ebx=buf ecx=cap edx=flags(1=nonblock) -> len
 inline constexpr u32 kSysPktSend = 221;  // ebx=buf ecx=len -> len (via the NIC TX ring)
 inline constexpr u32 kSysYield = 222;    // voluntarily end the scheduling slice
+// Batched packet I/O (recvmmsg/sendmmsg-style): one gate crossing moves a
+// vector of frames. Buffer layout: repeated records of [u32 len][len bytes],
+// each record padded to 4-byte alignment.
+inline constexpr u32 kSysPktRecvM = 223;  // ebx=buf ecx=cap edx=flags -> total bytes
+inline constexpr u32 kSysPktSendM = 224;  // ebx=buf ecx=total bytes -> frames sent
 
 // Errno-style return values (negative in EAX, as in Linux).
 inline constexpr u32 kErrPerm = static_cast<u32>(-1);
@@ -147,6 +156,14 @@ struct KernelCosts {
   // Packet syscalls: fixed dispatch work plus the copy loop.
   u32 pkt_syscall_base = 380;
   u32 pkt_copy_per_byte = 1;
+  // Batched packet syscalls: the gate + dispatch + base are paid once per
+  // call; each additional frame in the vector costs only the queue/ring
+  // bookkeeping plus its copy loop.
+  u32 pkt_msg_overhead = 48;
+  // NAPI poll loop: driver cost per poll iteration (ring scan, IRQ
+  // mask/unmask bookkeeping) and per frame collected from the ring.
+  u32 napi_poll = 80;
+  u32 napi_per_frame = 16;
 };
 
 }  // namespace palladium

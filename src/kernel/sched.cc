@@ -148,10 +148,12 @@ void Scheduler::ServiceParked(u32 c, u64 event_cycle, bool machine_idle) {
   m.set_current_cpu(c);
   Cpu& cpu = m.cpu(c);
   if (event_cycle > cpu.cycles()) {
-    if (machine_idle) {
-      stats_.idle_cycles += event_cycle - cpu.cycles();
-      ++stats_.idle_jumps;
-    }
+    // The span this vCPU skips was idle time on this core whether or not
+    // the rest of the machine was busy — counting only whole-machine idle
+    // under-reported idle on any loaded SMP run (and reported 0 for a
+    // saturated N=1 run that still parked between bursts).
+    stats_.idle_cycles += event_cycle - cpu.cycles();
+    if (machine_idle) ++stats_.idle_jumps;
     cpu.set_cycles(event_cycle);
   }
   kernel_.ServicePendingIrqsHostSide();

@@ -1,7 +1,9 @@
 #include "src/web/server_sim.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "src/asm/assembler.h"
@@ -203,6 +205,10 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   Nic nic(machine.pm(), kernel.pic(), kIrqNic);
   PacketDataplane::Config dcfg;
   dcfg.steering = config.steering;
+  dcfg.queues = config.queues;
+  dcfg.napi = config.napi;
+  dcfg.filter_batch = config.filter_batch;
+  dcfg.rx_irq_moderation = config.rx_irq_moderation;
   PacketDataplane dataplane(kernel, kext, nic, dcfg);
   if (!dataplane.AddFlow("http", "ip.proto == 6 && tcp.dport == 80", workers, &diag)) {
     result.diag = "flow: " + diag;
@@ -212,6 +218,14 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   // The send path runs the request through the real HTTP layer and formats
   // the response onto the wire, charged to the sending worker.
   u64 parsed = 0;
+  // Keep-alive connection table: one entry per client 5-tuple the server has
+  // seen; a request on a known tuple is a keep-alive reuse. Request latency
+  // is wire-arrival -> response formatted, looked up by the /doc-<i> id.
+  std::unordered_map<u64, u32> connections;
+  u64 keepalive_reuses = 0;
+  std::vector<u64> inject_cycles(config.total_requests, 0);
+  std::vector<u64> latencies;
+  latencies.reserve(config.total_requests);
   dataplane.set_tx_hook([&](Kernel& k, Process&, const std::vector<u8>& frame) {
     k.Charge(config.http_service_cycles);
     std::vector<u8> payload;
@@ -223,6 +237,16 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
           std::string(frame.begin() + off, frame.end()));
       if (req.has_value()) {
         ++parsed;
+        const u64 conn_key = (static_cast<u64>(ReadBe32(&frame[kOffIpSrc])) << 16) |
+                             ReadBe16(&frame[kOffSrcPort]);
+        if (!connections.emplace(conn_key, 1).second) ++keepalive_reuses;
+        if (req->path.size() > 5 && req->path.compare(0, 5, "/doc-") == 0) {
+          const u64 id = std::strtoull(req->path.c_str() + 5, nullptr, 10);
+          if (id < inject_cycles.size() && inject_cycles[id] != 0) {
+            const u64 now = k.machine().cpu().cycles();
+            latencies.push_back(now > inject_cycles[id] ? now - inject_cycles[id] : 0);
+          }
+        }
       } else {
         resp.status = 400;
         resp.reason = "Bad Request";
@@ -247,8 +271,11 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
     const u32 client = i % std::max(1u, config.clients);
     PacketSpec spec;
     spec.proto = kIpProtoTcp;
-    spec.src_ip = 0x0A000100u + client;  // 10.0.1.x
-    spec.src_port = static_cast<u16>(1024 + client);
+    // Split the client id across ip and port so the soak's 100k+ clients map
+    // to 100k+ *distinct* 5-tuples (a 16-bit port alone wraps at 64k):
+    // 10.1.<x>.<y> with 1024 ports per address.
+    spec.src_ip = 0x0A010000u + (client >> 10);
+    spec.src_port = static_cast<u16>(1024 + (client & 1023));
     spec.dst_ip = 0x0A000001u;
     spec.dst_port = 80;
     const std::string req = "GET /doc-" + std::to_string(i) +
@@ -256,6 +283,7 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
                             std::to_string(client) + "\r\n\r\n";
     auto frame = BuildPacketWithPayload(spec, req.data(), static_cast<u32>(req.size()));
     nic.Inject(frame.data(), static_cast<u32>(frame.size()), at);
+    inject_cycles[i] = at;
     at += config.inter_arrival_cycles;
   }
 
@@ -276,20 +304,39 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   result.cycles = run.cycles;
   // Throughput over the busy period only (idle fast-forward is the machine
   // waiting for the wire, not work) — same definition as bench_dataplane.
-  const u64 busy_cycles = run.cycles - sched.stats().idle_cycles;
+  // idle_cycles is summed over every vCPU, so the busy base is vCPUs x wall
+  // cycles, not wall cycles alone.
+  const u64 cpu_cycles = static_cast<u64>(machine.num_cpus()) * run.cycles;
+  const u64 busy_cycles = cpu_cycles - std::min(sched.stats().idle_cycles, cpu_cycles);
   result.requests_per_sec =
       busy_cycles > 0 ? static_cast<double>(result.served) * 200e6 / busy_cycles : 0;
   result.cpus = machine.num_cpus();
   for (u32 c = 0; c < machine.num_cpus(); ++c) {
     result.timer_irqs += kernel.pic(c).delivered(kIrqTimer);
+    // Multi-queue: each RX queue interrupts its own core's local PIC.
+    result.nic_irqs += kernel.pic(c).delivered(kIrqNic);
   }
-  result.nic_irqs = kernel.pic().delivered(kIrqNic);
   result.preemptions = sched.stats().preemptions;
   result.context_switches = sched.stats().context_switches;
   result.filter_invocations = dataplane.stats().filter_invocations;
   result.idle_cycles = sched.stats().idle_cycles;
   result.steals = sched.stats().steals;
   result.shootdown_ipis = kernel.smp_stats().shootdown_ipis;
+  result.queue_full_drops = dataplane.stats().dropped_queue_full;
+  result.connections = connections.size();
+  result.keepalive_reuses = keepalive_reuses;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](u32 p) {
+      const size_t idx = std::min(latencies.size() - 1,
+                                  static_cast<size_t>(latencies.size()) * p / 100);
+      return latencies[idx];
+    };
+    result.latency_p50_cycles = pct(50);
+    result.latency_p90_cycles = pct(90);
+    result.latency_p99_cycles = pct(99);
+    result.latency_max_cycles = latencies.back();
+  }
   u64 worker_total = 0;
   for (Pid pid : workers) {
     Process* proc = kernel.process(pid);

@@ -99,6 +99,12 @@ struct MultiServerConfig {
   // under SMP, to one core). Round-robin keeps the PR 3 balanced-load
   // behavior that the example and tests assert.
   FlowSteering steering = FlowSteering::kRoundRobin;
+  // Dataplane fast-path knobs, forwarded to PacketDataplane::Config (the
+  // soak scenario turns these up; PALLADIUM_NO_NAPI still forces the oracle).
+  u32 queues = 1;              // per-core NIC queue pairs (clamped to vCPUs)
+  bool napi = true;            // NAPI poll loop vs IRQ-per-frame
+  u32 filter_batch = 32;       // frames per protected filter crossing
+  u32 rx_irq_moderation = 0;   // NIC ITR window in cycles (0 = off)
 };
 
 struct MultiServerResult {
@@ -117,6 +123,18 @@ struct MultiServerResult {
   u32 cpus = 1;              // vCPUs the machine actually ran with
   u64 steals = 0;            // scheduler work-steals
   u64 shootdown_ipis = 0;    // cross-CPU TLB shootdown IPIs
+  u64 queue_full_drops = 0;  // requests dropped at saturated worker queues
+  // Keep-alive connection table (host side, keyed by the client 5-tuple):
+  // how many distinct connections the run saw and how many requests rode an
+  // already-open connection instead of paying a fresh-flow setup.
+  u64 connections = 0;
+  u64 keepalive_reuses = 0;
+  // Request latency (inject on the wire -> response formatted onto the TX
+  // ring), in simulated cycles; zeros when nothing was served.
+  u64 latency_p50_cycles = 0;
+  u64 latency_p90_cycles = 0;
+  u64 latency_p99_cycles = 0;
+  u64 latency_max_cycles = 0;
   std::vector<i32> per_worker_served;  // worker exit codes
 };
 

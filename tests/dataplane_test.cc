@@ -5,6 +5,9 @@
 // flowing on other flows; and the interrupt-driven multi-worker web server.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
+#include "src/asm/assembler.h"
 #include "src/core/kernel_ext.h"
 #include "src/filter/filter.h"
 #include "src/hw/nic.h"
@@ -116,9 +119,13 @@ TEST(Dataplane, QueueOverflowDropsAndAccounts) {
   auto result = fx.sched.RunAll(1'000'000'000ull);
   EXPECT_EQ(result.exited, 1u);
   const auto& stats = fx.dataplane.stats();
-  EXPECT_EQ(stats.matched, 8u);
-  EXPECT_EQ(stats.delivered + stats.dropped_queue_full, 8u);
-  EXPECT_GT(stats.dropped_queue_full, 0u);
+  // Backpressure: once the only destination saturates (queue_limit = 2, the
+  // worker can't run mid-drain), the remaining frames drop *before* paying a
+  // protected crossing — they are never counted matched.
+  EXPECT_EQ(stats.matched, 2u);
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_EQ(stats.dropped_queue_full, 6u);
+  EXPECT_EQ(stats.filter_calls_avoided, 6u);
   EXPECT_EQ(fx.f.kernel().process(w)->pkts_dropped, stats.dropped_queue_full);
   EXPECT_EQ(static_cast<u64>(fx.f.kernel().process(w)->exit_code), stats.delivered);
 }
@@ -242,6 +249,383 @@ TEST(Dataplane, MultiWorkerWebServerServesAllClients) {
     sum += s;
   }
   EXPECT_EQ(static_cast<u64>(sum), r.served);
+}
+
+// ---------------------------------------------------------------------------
+// Differential tests: the NAPI/batched fast path against the per-frame oracle.
+
+// Runs a complete echo scenario under an explicit dataplane config on a fresh
+// 1-vCPU machine and returns the accounting. Both modes use the same batched
+// worker so the only variable is the dataplane pipeline itself.
+struct ScenarioOutcome {
+  PacketDataplane::Stats stats;
+  std::vector<i32> exit_codes;  // per worker, spawn order
+  u64 wire_tx = 0;              // frames that completed TX DMA
+  u32 exited = 0;
+};
+
+ScenarioOutcome RunEchoScenario(const PacketDataplane::Config& dcfg, u32 workers,
+                                u32 total_frames, u64 inter_arrival, u32 queue_limit) {
+  ScenarioOutcome out;
+  KernelFixture f(1);
+  Scheduler sched(f.kernel());
+  KernelExtensionManager kext(f.kernel());
+  Nic nic(f.machine().pm(), f.kernel().pic(), kIrqNic);
+  PacketDataplane dp(f.kernel(), kext, nic, dcfg);
+  bool shutdown_issued = false;
+  sched.set_idle_hook([&]() {
+    if (shutdown_issued) return false;
+    shutdown_issued = true;
+    dp.Shutdown();
+    return true;
+  });
+  std::string diag;
+  std::vector<Pid> pids;
+  for (u32 i = 0; i < workers; ++i) {
+    Pid pid = f.LoadProgram(kPktEchoMWorkerSource, &diag);
+    EXPECT_NE(pid, 0u) << diag;
+    if (pid == 0) return out;
+    if (queue_limit != 0) f.kernel().process(pid)->pkt_queue_limit = queue_limit;
+    sched.AddProcess(pid);
+    pids.push_back(pid);
+  }
+  EXPECT_TRUE(dp.AddFlow("f7777", "ip.proto == 6 && tcp.dport == 7777", pids, &diag)) << diag;
+
+  PacketSpec match;
+  match.proto = kIpProtoTcp;
+  match.dst_port = 7777;
+  TraceGenerator gen(2026, match, 0.6);
+  u64 at = 5'000;
+  for (u32 i = 0; i < total_frames; ++i) {
+    bool unused = false;
+    auto frame = BuildPacket(gen.Next(&unused));
+    nic.Inject(frame.data(), static_cast<u32>(frame.size()), at);
+    at += inter_arrival;
+  }
+  auto result = sched.RunAll(4'000'000'000ull);
+  out.exited = result.exited;
+  nic.FlushTx();  // retire in-flight TX DMA so the wire log is complete
+  out.stats = dp.stats();
+  out.wire_tx = nic.tx_frames().size();
+  for (Pid pid : pids) out.exit_codes.push_back(f.kernel().process(pid)->exit_code);
+  return out;
+}
+
+PacketDataplane::Config FastPathConfig() {
+  PacketDataplane::Config cfg;
+  cfg.napi = true;
+  cfg.filter_batch = 32;
+  cfg.rx_irq_moderation = 8'000;
+  return cfg;
+}
+
+PacketDataplane::Config OracleConfig() {
+  PacketDataplane::Config cfg;
+  cfg.napi = false;
+  cfg.filter_batch = 1;
+  cfg.queues = 1;
+  cfg.rx_irq_moderation = 0;
+  return cfg;
+}
+
+TEST(Dataplane, NapiBatchedPathMatchesOracleAccounting) {
+  auto fast = RunEchoScenario(FastPathConfig(), 2, 60, 900, 0);
+  auto oracle = RunEchoScenario(OracleConfig(), 2, 60, 900, 0);
+  EXPECT_EQ(fast.exited, 2u);
+  EXPECT_EQ(oracle.exited, 2u);
+
+  // Byte-identical served/dropped/match accounting (the modes may differ in
+  // crossings and interrupts — that is the point — but never in outcomes).
+  EXPECT_EQ(fast.stats.rx_frames, oracle.stats.rx_frames);
+  EXPECT_EQ(fast.stats.filter_frames, oracle.stats.filter_frames);
+  EXPECT_EQ(fast.stats.matched, oracle.stats.matched);
+  EXPECT_EQ(fast.stats.delivered, oracle.stats.delivered);
+  EXPECT_EQ(fast.stats.dropped_no_match, oracle.stats.dropped_no_match);
+  EXPECT_EQ(fast.stats.dropped_queue_full, oracle.stats.dropped_queue_full);
+  EXPECT_EQ(fast.stats.dropped_dead_dest, oracle.stats.dropped_dead_dest);
+  EXPECT_EQ(fast.stats.tx_frames, oracle.stats.tx_frames);
+  EXPECT_EQ(fast.wire_tx, oracle.wire_tx);
+  // Same per-worker delivery sequence, not just the same totals.
+  EXPECT_EQ(fast.exit_codes, oracle.exit_codes);
+  EXPECT_EQ(fast.stats.rx_frames, 60u);
+  EXPECT_EQ(fast.stats.dropped_queue_full, 0u);
+
+  if (std::getenv("PALLADIUM_NO_NAPI") == nullptr) {
+    // And the fast path actually ran fast: batched crossings, fewer IRQs.
+    EXPECT_GT(fast.stats.filter_batches, 0u);
+    EXPECT_LT(fast.stats.filter_invocations, oracle.stats.filter_invocations);
+    EXPECT_LT(fast.stats.nic_irqs, oracle.stats.nic_irqs);
+    EXPECT_EQ(oracle.stats.filter_invocations, oracle.stats.filter_frames)
+        << "the oracle pays one protected crossing per frame";
+  }
+}
+
+TEST(Dataplane, OverflowAccountingMatchesOracleUnderBurst) {
+  // A same-cycle burst into a 3-deep queue: both modes must agree exactly on
+  // what was matched, delivered, and dropped. (filter_frames may differ: the
+  // batch mode classifies the whole burst before discovering saturation,
+  // while the oracle's entry check avoids those crossings — but the outcome
+  // accounting runs the identical per-frame state machine.)
+  auto fast = RunEchoScenario(FastPathConfig(), 1, 10, 0, 3);
+  auto oracle = RunEchoScenario(OracleConfig(), 1, 10, 0, 3);
+  EXPECT_EQ(fast.exited, 1u);
+  EXPECT_EQ(oracle.exited, 1u);
+  EXPECT_EQ(fast.stats.rx_frames, 10u);
+  EXPECT_EQ(oracle.stats.rx_frames, 10u);
+  EXPECT_EQ(fast.stats.matched, oracle.stats.matched);
+  EXPECT_EQ(fast.stats.delivered, oracle.stats.delivered);
+  EXPECT_EQ(fast.stats.dropped_no_match, oracle.stats.dropped_no_match);
+  EXPECT_EQ(fast.stats.dropped_queue_full, oracle.stats.dropped_queue_full);
+  EXPECT_EQ(fast.stats.filter_calls_avoided, oracle.stats.filter_calls_avoided);
+  EXPECT_EQ(fast.stats.tx_frames, oracle.stats.tx_frames);
+  EXPECT_EQ(fast.exit_codes, oracle.exit_codes);
+  EXPECT_GT(fast.stats.dropped_queue_full, 0u) << "the burst must actually overflow";
+  EXPECT_GE(fast.stats.filter_frames, oracle.stats.filter_frames);
+}
+
+// Multi-queue RSS: on a 4-vCPU machine with 4 RX queues, the hardware hash
+// spreads wire flows across queues and every queue interrupts its own core's
+// local PIC — no core is a dataplane bottleneck or bystander.
+TEST(Dataplane, MultiQueueRssSpreadsIrqsAcrossCores) {
+  if (std::getenv("PALLADIUM_NO_NAPI") != nullptr) {
+    GTEST_SKIP() << "oracle mode forces a single queue";
+  }
+  KernelFixture f(4);
+  Scheduler sched(f.kernel());
+  KernelExtensionManager kext(f.kernel());
+  Nic nic(f.machine().pm(), f.kernel().pic(), kIrqNic);
+  PacketDataplane::Config dcfg;
+  dcfg.queues = 4;
+  dcfg.napi = true;
+  dcfg.filter_batch = 8;
+  dcfg.steering = FlowSteering::kFlowHash;
+  PacketDataplane dp(f.kernel(), kext, nic, dcfg);
+  ASSERT_EQ(dp.config().queues, 4u);
+  bool shutdown_issued = false;
+  sched.set_idle_hook([&]() {
+    if (shutdown_issued) return false;
+    shutdown_issued = true;
+    dp.Shutdown();
+    return true;
+  });
+  std::string diag;
+  std::vector<Pid> pids;
+  for (u32 i = 0; i < 4; ++i) {
+    Pid pid = f.LoadProgram(kPktEchoMWorkerSource, &diag);
+    ASSERT_NE(pid, 0u) << diag;
+    sched.AddProcess(pid);  // round-robin homes: worker i on vCPU i
+    pids.push_back(pid);
+  }
+  ASSERT_TRUE(dp.AddFlow("f7777", "ip.proto == 6 && tcp.dport == 7777", pids, &diag)) << diag;
+
+  const u32 kTotal = 64;
+  for (u32 i = 0; i < kTotal; ++i) {
+    PacketSpec spec;
+    spec.proto = kIpProtoTcp;
+    spec.dst_port = 7777;
+    spec.src_port = static_cast<u16>(1024 + i * 7);
+    spec.src_ip = 0x0A000001 + (i % 13);
+    auto frame = BuildPacket(spec);
+    nic.Inject(frame.data(), static_cast<u32>(frame.size()), 5'000 + i * 1'500);
+  }
+  auto result = sched.RunAll(4'000'000'000ull);
+  EXPECT_EQ(result.exited, 4u);
+
+  const auto& stats = dp.stats();
+  EXPECT_EQ(stats.rx_frames, kTotal);
+  EXPECT_EQ(stats.matched, kTotal);
+  EXPECT_EQ(stats.delivered, kTotal);
+  EXPECT_EQ(stats.dropped_queue_full, 0u);
+  EXPECT_EQ(stats.dropped_dead_dest, 0u);
+  // Every core took RX interrupts from its own queue — the RSS hash spread
+  // the 64 distinct 5-tuples across all four queue/core pairs.
+  for (u32 c = 0; c < 4; ++c) {
+    EXPECT_GT(f.kernel().pic(c).delivered(kIrqNic), 0u) << "core " << c;
+  }
+  i64 sum = 0;
+  for (Pid pid : pids) {
+    const i32 served = f.kernel().process(pid)->exit_code;
+    EXPECT_GE(served, 0);
+    sum += served;
+  }
+  EXPECT_EQ(static_cast<u64>(sum), stats.delivered);
+}
+
+// RPS backlog overflow: a burst beyond backlog_limit is dropped *before*
+// classification — cheap drops, no protected crossings paid for them.
+TEST(Dataplane, RpsBacklogOverflowDropsBeforeClassification) {
+  KernelFixture f(1);
+  Scheduler sched(f.kernel());
+  KernelExtensionManager kext(f.kernel());
+  Nic nic(f.machine().pm(), f.kernel().pic(), kIrqNic);
+  PacketDataplane::Config dcfg;
+  dcfg.rps = true;
+  dcfg.backlog_limit = 4;
+  PacketDataplane dp(f.kernel(), kext, nic, dcfg);
+  bool shutdown_issued = false;
+  sched.set_idle_hook([&]() {
+    if (shutdown_issued) return false;
+    shutdown_issued = true;
+    dp.Shutdown();
+    return true;
+  });
+  std::string diag;
+  Pid w = f.LoadProgram(kPktEchoWorkerSource, &diag);
+  ASSERT_NE(w, 0u) << diag;
+  sched.AddProcess(w);
+  ASSERT_TRUE(dp.AddFlow("all", "ether.type == 0x0800", {w}, &diag)) << diag;
+
+  PacketSpec spec;
+  auto frame = BuildPacket(spec);
+  const u32 kTotal = 12;
+  for (u32 i = 0; i < kTotal; ++i) {
+    nic.Inject(frame.data(), static_cast<u32>(frame.size()), 1'000);
+  }
+  auto result = sched.RunAll(1'000'000'000ull);
+  EXPECT_EQ(result.exited, 1u);
+
+  const auto& stats = dp.stats();
+  EXPECT_EQ(stats.rx_frames, kTotal);
+  EXPECT_EQ(stats.dropped_backlog_full, kTotal - dcfg.backlog_limit);
+  // Only the backlogged frames ever reached a filter, and they were
+  // classified in worker context (RPS) with batched crossings.
+  EXPECT_EQ(stats.rps_deferred, static_cast<u64>(dcfg.backlog_limit));
+  EXPECT_EQ(stats.filter_frames, static_cast<u64>(dcfg.backlog_limit));
+  EXPECT_EQ(stats.delivered, static_cast<u64>(dcfg.backlog_limit));
+  EXPECT_EQ(static_cast<u64>(f.kernel().process(w)->exit_code), stats.delivered);
+}
+
+// The in_classify_ re-entrancy guard: a filter extension invokes a kernel
+// service (INT 0x81) whose host side calls Shutdown() — which flushes the
+// RPS backlog via DrainBacklog — *while DrainBacklog is already mid-batch on
+// the stack*. The guard must make the nested drain a no-op (a re-entrant
+// ClassifyFrames would nest a protected Invoke inside the running one);
+// every frame still gets classified exactly once by the outer loop.
+TEST(Dataplane, ShutdownFromFilterContextCannotReenterClassification) {
+  KernelFixture f(1);
+  Scheduler sched(f.kernel());
+  KernelExtensionManager kext(f.kernel());
+  Nic nic(f.machine().pm(), f.kernel().pic(), kIrqNic);
+  PacketDataplane::Config dcfg;
+  dcfg.rps = true;
+  dcfg.backlog_limit = 64;
+  dcfg.filter_batch = 2;  // keep frames in the backlog while classifying
+  PacketDataplane dp(f.kernel(), kext, nic, dcfg);
+  std::string diag;
+  Pid w = f.LoadProgram(kPktEchoWorkerSource, &diag);
+  ASSERT_NE(w, 0u) << diag;
+  sched.AddProcess(w);
+
+  u32 service_calls = 0;
+  kext.RegisterService(500, [&](Kernel&, u32, u32, u32) -> u32 {
+    ++service_calls;
+    dp.Shutdown();  // nested DrainBacklog attempt from filter context
+    return 0;
+  });
+  AssembleError aerr;
+  auto kill_switch = Assemble(R"(
+  .global filter_run
+filter_run:
+  mov $500, %eax
+  int $0x81
+  mov $1, %eax
+  ret
+  .data
+  .global pd_shared
+pd_shared:
+  .space 2064
+)",
+                              &aerr);
+  ASSERT_TRUE(kill_switch.has_value()) << aerr.ToString();
+  auto ext = kext.LoadExtension("killswitch", *kill_switch, &diag);
+  ASSERT_TRUE(ext.has_value()) << diag;
+  auto fid = kext.FindFunction("killswitch:filter_run");
+  ASSERT_TRUE(fid.has_value());
+  ASSERT_TRUE(dp.AddFlowFunction("killswitch", *ext, *fid, {w}));
+
+  PacketSpec spec;
+  auto frame = BuildPacket(spec);
+  const u32 kTotal = 6;
+  for (u32 i = 0; i < kTotal; ++i) {
+    nic.Inject(frame.data(), static_cast<u32>(frame.size()), 1'000);
+  }
+  auto result = sched.RunAll(1'000'000'000ull);
+  EXPECT_FALSE(result.deadlocked);
+  EXPECT_EQ(result.exited, 1u);
+
+  EXPECT_GT(service_calls, 0u) << "the filter reached the kernel service";
+  EXPECT_TRUE(dp.shutdown());
+  const auto& stats = dp.stats();
+  EXPECT_EQ(stats.filter_aborts, 0u) << "the service call is legal, not a violation";
+  EXPECT_EQ(stats.rps_deferred, kTotal) << "each frame classified exactly once";
+  EXPECT_EQ(stats.filter_frames, kTotal);
+  EXPECT_EQ(stats.delivered, kTotal);
+  EXPECT_EQ(static_cast<u64>(f.kernel().process(w)->exit_code), kTotal);
+}
+
+// The batched filter entry point is generated code: cross-check its match
+// bitmap, record by record, against both the host evaluator and the
+// single-frame entry point over a mixed trace staged directly in pd_shared.
+TEST(Dataplane, BatchFilterCodegenMatchesHostEval) {
+  KernelFixture f(1);
+  KernelExtensionManager kext(f.kernel());
+  std::string diag;
+  const std::string filter_text = "ip.proto == 6 && tcp.dport == 7777";
+  auto expr = ParseFilter(filter_text, &diag);
+  ASSERT_TRUE(expr.has_value()) << diag;
+
+  // The same layout AddFlow programs: records every stride bytes from +16.
+  const u32 buf_stride = 2048;
+  const u32 stride = 4 + ((buf_stride + 3) & ~3u);
+  const u32 capacity = std::max(buf_stride + 16, kFilterBatchBase + kMaxFilterBatch * stride);
+  AssembleError aerr;
+  auto obj = Assemble(CompileFilterToAsm(*expr, capacity, stride), &aerr);
+  ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+  auto ext = kext.LoadExtension("bf", *obj, &diag);
+  ASSERT_TRUE(ext.has_value()) << diag;
+  auto single = kext.FindFunction("bf:filter_run");
+  auto batch = kext.FindFunction("bf:filter_run_batch");
+  ASSERT_TRUE(single.has_value());
+  ASSERT_TRUE(batch.has_value()) << "compiled filters must export the batch entry";
+
+  PacketSpec match;
+  match.proto = kIpProtoTcp;
+  match.dst_port = 7777;
+  TraceGenerator gen(7, match, 0.5);
+  const u32 kBatch = 12;
+  std::vector<std::vector<u8>> frames;
+  u32 expected_bitmap = 0;
+  for (u32 j = 0; j < kBatch; ++j) {
+    bool unused = false;
+    frames.push_back(BuildPacket(gen.Next(&unused)));
+    if (EvalFilterHost(*expr, frames[j].data(), static_cast<u32>(frames[j].size()))) {
+      expected_bitmap |= 1u << j;
+    }
+  }
+  ASSERT_NE(expected_bitmap, 0u);
+  ASSERT_NE(expected_bitmap, (1u << kBatch) - 1);
+
+  // Batch ABI: count at +0, [u32 len][bytes] records at +16 + j * stride.
+  ASSERT_TRUE(kext.WriteShared(*ext, 0, &kBatch, 4));
+  for (u32 j = 0; j < kBatch; ++j) {
+    const u32 len = static_cast<u32>(frames[j].size());
+    const u32 base = kFilterBatchBase + j * stride;
+    ASSERT_TRUE(kext.WriteShared(*ext, base, &len, 4));
+    ASSERT_TRUE(kext.WriteShared(*ext, base + 4, frames[j].data(), len));
+  }
+  auto r = kext.Invoke(*batch, kBatch);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, expected_bitmap);
+
+  // And frame by frame through the single-frame entry, same verdicts.
+  for (u32 j = 0; j < kBatch; ++j) {
+    const u32 len = static_cast<u32>(frames[j].size());
+    ASSERT_TRUE(kext.WriteShared(*ext, 0, &len, 4));
+    ASSERT_TRUE(kext.WriteShared(*ext, 4, frames[j].data(), len));
+    auto s = kext.Invoke(*single, len);
+    ASSERT_TRUE(s.ok) << s.error;
+    EXPECT_EQ(s.value, (expected_bitmap >> j) & 1u) << "frame " << j;
+  }
 }
 
 }  // namespace

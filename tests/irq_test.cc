@@ -278,7 +278,7 @@ TEST(NicModel, RxDropsWhenRingExhausted) {
   EXPECT_EQ(f.nic.stats().rx_dropped, 3u);
 }
 
-TEST(NicModel, TxKickConsumesReadyDescriptorsInOrder) {
+TEST(NicModel, TxKickSchedulesDmaAndCompletesOnTheClock) {
   NicFixture f;
   const char* msgs[] = {"alpha", "bravo"};
   for (u32 i = 0; i < 2; ++i) {
@@ -289,11 +289,26 @@ TEST(NicModel, TxKickConsumesReadyDescriptorsInOrder) {
     f.bm.pm().Write32(desc + kNicDescLen, 5);
     f.bm.pm().Write32(desc + kNicDescStatus, kDescOwn);
   }
-  EXPECT_EQ(f.nic.TxKick(), 2u);
-  ASSERT_EQ(f.nic.tx_frames().size(), 2u);
+  // The doorbell only schedules DMA — nothing completes in zero time.
+  EXPECT_EQ(f.nic.TxKick(0, 1000), 2u);
+  EXPECT_EQ(f.nic.tx_frames().size(), 0u);
+  const u64 dma = f.nic.tx_dma_cycles();
+  EXPECT_EQ(f.nic.next_event(), 1000 + dma);
+  f.nic.Advance(1000 + dma - 1);
+  EXPECT_EQ(f.nic.tx_frames().size(), 0u);
+  // Descriptors complete tx_dma_cycles apart, in ring order.
+  f.nic.Advance(1000 + dma);
+  ASSERT_EQ(f.nic.tx_frames().size(), 1u);
   EXPECT_EQ(std::string(f.nic.tx_frames()[0].begin(), f.nic.tx_frames()[0].end()), "alpha");
+  EXPECT_TRUE(f.pic.pending() & (1u << 6)) << "TX-completion IRQ raised";
+  f.nic.Advance(1000 + 2 * dma);
+  ASSERT_EQ(f.nic.tx_frames().size(), 2u);
   EXPECT_EQ(std::string(f.nic.tx_frames()[1].begin(), f.nic.tx_frames()[1].end()), "bravo");
-  EXPECT_EQ(f.nic.TxKick(), 0u) << "descriptors flipped to done";
+  EXPECT_EQ(f.nic.stats().tx_frames, 2u);
+  // Completions landing in one Advance coalesce into one edge; here the two
+  // retired in separate Advances, so two edges total.
+  EXPECT_EQ(f.nic.stats().tx_completion_irqs, 2u);
+  EXPECT_EQ(f.nic.TxKick(0, 5000), 0u) << "descriptors flipped to done";
 }
 
 // --- Kernel-level nested entries ---------------------------------------------

@@ -481,9 +481,9 @@ TEST(Smp, RpsBacklogOverflowDropsCheaplyWithoutStalling) {
   EXPECT_EQ(result.exited, 1u);
   const auto& stats = dataplane.stats();
   EXPECT_GT(stats.dropped_backlog_full, 0u) << "the burst must have overflowed the cap";
-  EXPECT_EQ(stats.filter_invocations + stats.dropped_backlog_full, kTotal)
+  EXPECT_EQ(stats.filter_frames + stats.dropped_backlog_full, kTotal)
       << "dropped frames never reached a filter; the rest were classified once";
-  EXPECT_EQ(stats.tx_frames, stats.filter_invocations) << "everything classified was served";
+  EXPECT_EQ(stats.tx_frames, stats.filter_frames) << "everything classified was served";
 }
 
 // --- Hostile kext on CPU 1, traffic on CPU 0 -------------------------------------

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Bench-smoke gate: fail if block- or trace-engine sim-MIPS regressed.
+"""Bench-smoke gate: fail if a gated benchmark metric regressed.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [tolerance]
 
-Both files are google-benchmark JSON (bench_simspeed output). For every
-gated throughput benchmark — block engine (name ending in `_block`) and
-hot-trace tier (name ending in `_trace`) — the gate checks:
+The JSON format is auto-detected by content:
+
+google-benchmark JSON (bench_simspeed output, a "benchmarks" list). For
+every gated throughput benchmark — block engine (name ending in `_block`)
+and hot-trace tier (name ending in `_trace`) — the gate checks:
 
  1. absolute sim-MIPS against the committed baseline, with `tolerance`
     slack (default 0.20 = 20%, env PALLADIUM_BENCH_MIPS_TOLERANCE);
@@ -18,10 +20,78 @@ hot-trace tier (name ending in `_trace`) — the gate checks:
 
 Aggregate entries (`_median` etc.) are preferred when present so
 `--benchmark_repetitions` runs gate on the median.
+
+BenchJson dataplane output (a "metrics" object carrying
+"dataplane_packets_per_sec" or "requests_per_sec"): the gate checks the
+simulated packet/request rate against the committed baseline with
+`tolerance` slack (default 0.10, env PALLADIUM_BENCH_PPS_TOLERANCE) —
+the rate is simulated cycles per packet, so it is machine-independent and
+the tolerance only absorbs scheduling nondeterminism — and requires
+"queue_full_drops" to be no worse than the baseline's.
 """
 import json
 import os
 import sys
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def is_metrics_format(data):
+    return isinstance(data, dict) and isinstance(data.get("metrics"), dict)
+
+
+# Throughput keys a BenchJson dataplane file may carry, in gate preference
+# order (the plain bench emits packets/sec, the soak emits requests/sec).
+DATAPLANE_RATE_KEYS = ("dataplane_packets_per_sec", "requests_per_sec")
+
+
+def check_dataplane(baseline_data, fresh_data, argv_tolerance):
+    tolerance = float(
+        argv_tolerance if argv_tolerance is not None
+        else os.environ.get("PALLADIUM_BENCH_PPS_TOLERANCE", "0.10"))
+    base_m = baseline_data["metrics"]
+    fresh_m = fresh_data["metrics"]
+    name = baseline_data.get("bench", "dataplane")
+    failed = False
+
+    rate_key = next((k for k in DATAPLANE_RATE_KEYS if k in base_m), None)
+    if rate_key is None:
+        print(f"FAIL: {name}: baseline has none of {DATAPLANE_RATE_KEYS}")
+        return 1
+    base_rate = float(base_m[rate_key])
+    if rate_key not in fresh_m:
+        print(f"FAIL: {name}: fresh run is missing {rate_key}")
+        failed = True
+    else:
+        fresh_rate = float(fresh_m[rate_key])
+        ratio = fresh_rate / base_rate if base_rate else float("inf")
+        line = (f"{name} {rate_key}: baseline {base_rate:.0f} -> "
+                f"fresh {fresh_rate:.0f} ({ratio:.2f}x)")
+        if fresh_rate >= base_rate * (1.0 - tolerance):
+            print(f"{line} ok")
+        else:
+            print(f"{line} FAIL (more than {tolerance:.0%} below baseline; "
+                  f"the rate is in simulated cycles, so this is a real "
+                  f"dataplane regression, not runner noise)")
+            failed = True
+
+    base_drops = base_m.get("queue_full_drops")
+    fresh_drops = fresh_m.get("queue_full_drops")
+    if base_drops is not None:
+        if fresh_drops is None:
+            print(f"FAIL: {name}: fresh run is missing queue_full_drops")
+            failed = True
+        elif float(fresh_drops) > float(base_drops):
+            print(f"{name} queue_full_drops: baseline {float(base_drops):.0f} "
+                  f"-> fresh {float(fresh_drops):.0f} FAIL (drops regressed)")
+            failed = True
+        else:
+            print(f"{name} queue_full_drops: baseline {float(base_drops):.0f} "
+                  f"-> fresh {float(fresh_drops):.0f} ok")
+    return 1 if failed else 0
 
 
 def sim_mips(path):
@@ -68,6 +138,16 @@ def main():
         print(__doc__)
         return 2
     baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    baseline_data = load_json(baseline_path)
+    fresh_data = load_json(fresh_path)
+    if is_metrics_format(baseline_data) or is_metrics_format(fresh_data):
+        if not (is_metrics_format(baseline_data) and is_metrics_format(fresh_data)):
+            print(f"FAIL: {baseline_path} and {fresh_path} are different "
+                  f"bench JSON formats (one has a 'metrics' object, the "
+                  f"other does not)")
+            return 1
+        return check_dataplane(baseline_data, fresh_data,
+                               sys.argv[3] if len(sys.argv) > 3 else None)
     tolerance = float(
         sys.argv[3] if len(sys.argv) > 3
         else os.environ.get("PALLADIUM_BENCH_MIPS_TOLERANCE", "0.20"))
