@@ -291,6 +291,7 @@ fnname:
   std::printf("   [paper: Palladium 142 vs L4 best case 242 on a P166]\n\n");
   Json().Set("ipc_palladium_cycles", palladium);
   Json().Set("ipc_l4_model_cycles", l4);
+  sys.EmitSystemMetrics(&Json());
 }
 
 void BenchGateParamCopy() {

@@ -35,6 +35,8 @@
 #include "src/kernel/sched.h"
 #include "src/net/dataplane.h"
 #include "src/net/packet.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/web/server_sim.h"
 
 using namespace palladium;
@@ -128,8 +130,16 @@ struct DataplaneRun {
 // default is the production pipeline: per-core queues with RSS, NAPI
 // polling under interrupt moderation, batched crossings, and workers moving
 // frame vectors with pkt_recvm/pkt_sendm.
+// Optional telemetry attachments for one run; all pure observers, so an
+// attached run retires the exact same simulated cycles as a bare one.
+struct ObsAttach {
+  obs::CycleProfile* profiler = nullptr;
+  obs::FlightRecorder* recorder = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
 DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32 num_cpus,
-                                bool oracle) {
+                                bool oracle, const ObsAttach& telemetry = {}) {
   MachineConfig mcfg;
   mcfg.num_cpus = num_cpus;  // explicit, so the comparison ignores PALLADIUM_SMP
   Machine machine(mcfg);
@@ -181,6 +191,20 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32
     std::exit(1);
   }
 
+  if (telemetry.recorder != nullptr) {
+    telemetry.recorder->Reset(machine.num_cpus() + nic.num_queues());
+    for (u32 q = 0; q < nic.num_queues(); ++q) {
+      telemetry.recorder->SetTrackName(machine.num_cpus() + q,
+                                       "nic.q" + std::to_string(q));
+    }
+    nic.set_recorder(telemetry.recorder, machine.num_cpus());
+  }
+  if (telemetry.profiler != nullptr) {
+    telemetry.profiler->Reset(machine.num_cpus(),
+                              machine.cpu(0).cycle_model().tlb_miss_penalty);
+  }
+  kernel.AttachObservability(telemetry.recorder, telemetry.profiler);
+
   u64 at = 5'000;
   for (u32 i = 0; i < packets; ++i) {
     auto frame = MatchingFrame(static_cast<u16>(1024 + (i & 1023)));
@@ -203,10 +227,10 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32
   out.cycles = result.cycles;
   out.idle_cycles = sched.stats().idle_cycles;
   // Throughput over the busy period only (idle fast-forward cycles are the
-  // machine waiting for the wire, not work). idle_cycles accrues per vCPU,
-  // so the busy base is vCPUs x wall cycles.
-  const u64 cpu_cycles = static_cast<u64>(machine.num_cpus()) * result.cycles;
-  out.busy_cycles = cpu_cycles - std::min(sched.stats().idle_cycles, cpu_cycles);
+  // machine waiting for the wire, not work) — obs::BusyCycles is the one
+  // shared definition, also used by server_sim and the profiler's report.
+  out.busy_cycles =
+      obs::BusyCycles(machine.num_cpus(), result.cycles, sched.stats().idle_cycles);
   const double cpp =
       out.served > 0 ? static_cast<double>(out.busy_cycles) / out.served : 0;
   out.pps = cpp > 0 ? kCpuMhz * 1e6 / cpp : 0;
@@ -231,6 +255,13 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32
   out.shootdown_ipis = kernel.smp_stats().shootdown_ipis;
   out.backlog_dropped = dataplane.stats().dropped_backlog_full;
   out.workers_exited = result.exited;
+  if (telemetry.metrics != nullptr) {
+    telemetry.metrics->CollectMachine(kernel, &sched);
+    telemetry.metrics->CollectNic(nic);
+    telemetry.metrics->CollectDataplane(dataplane);
+    if (telemetry.profiler != nullptr) telemetry.metrics->CollectProfile(*telemetry.profiler);
+    if (telemetry.recorder != nullptr) telemetry.metrics->CollectRecorder(*telemetry.recorder);
+  }
   return out;
 }
 
@@ -258,6 +289,10 @@ int RunSoak(u32 requests, u32 smp) {
   cfg.napi = true;
   cfg.filter_batch = 32;
   cfg.rx_irq_moderation = 16'000;
+  obs::CycleProfile profiler;
+  obs::MetricsRegistry metrics;
+  cfg.profiler = &profiler;
+  cfg.metrics = &metrics;
 
   const bool no_napi_env = std::getenv("PALLADIUM_NO_NAPI") != nullptr;
   std::printf("soak (%s): %u requests, %u distinct client flows, %u vCPUs, %u workers...\n",
@@ -303,6 +338,7 @@ int RunSoak(u32 requests, u32 smp) {
   json.Set("smp_cpus", static_cast<u64>(r.cpus));
   json.Set("workers", static_cast<u64>(cfg.workers));
   json.Set("no_napi_mode", no_napi_env ? 1.0 : 0.0);
+  EmitMetrics(metrics, &json);
   const std::string path = json.Write();
   std::printf("\nwrote %s\n", path.c_str());
 
@@ -335,10 +371,14 @@ int main(int argc, char** argv) {
   u32 smp = 1;
   bool smp_given = false;
   bool soak = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smp") == 0) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--smp") == 0) {
       if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) {
-        std::fprintf(stderr, "usage: %s [packets] [--smp N] [--soak [requests]]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [packets] [--smp N] [--soak [requests]] [--profile]\n",
+                     argv[0]);
         return 2;
       }
       smp = static_cast<u32>(std::atoi(argv[++i]));
@@ -363,7 +403,7 @@ int main(int argc, char** argv) {
       // A typo must not silently become packets=0 and disarm both gates.
       std::fprintf(stderr,
                    "unrecognized argument '%s'; usage: %s [packets] [--smp N] [--soak "
-                   "[requests]]\n",
+                   "[requests]] [--profile]\n",
                    argv[i], argv[0]);
       return 2;
     }
@@ -391,7 +431,17 @@ int main(int argc, char** argv) {
   std::printf("dataplane (%s, %u vCPU(s), %u workers, %u packets): running...\n",
               no_napi_env ? "oracle: IRQ per packet" : "NAPI + batched crossings", smp,
               kWorkers, packets);
-  DataplaneRun run = RunInterruptDriven(packets, kWorkers, inter_arrival, smp, no_napi_env);
+  // Telemetry rides on the main run unconditionally: observation is free in
+  // simulated time, so the gated pps is measured with it enabled.
+  obs::CycleProfile profiler;
+  obs::FlightRecorder recorder;
+  obs::MetricsRegistry metrics;
+  ObsAttach telemetry;
+  telemetry.profiler = &profiler;
+  telemetry.recorder = &recorder;
+  telemetry.metrics = &metrics;
+  DataplaneRun run =
+      RunInterruptDriven(packets, kWorkers, inter_arrival, smp, no_napi_env, telemetry);
   std::printf("oracle run (IRQ per packet, crossing per frame, same load): running...\n");
   DataplaneRun oracle =
       no_napi_env ? run : RunInterruptDriven(packets, kWorkers, inter_arrival, smp, true);
@@ -456,6 +506,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(uni.queue_dropped));
     std::printf("%-44s %14.2f\n", "SMP scaling (wire pps vs 1 vCPU)", scaling);
   }
+  if (profile) {
+    std::printf("\n");
+    profiler.PrintBreakdown(stdout, run.served, "pkt");
+  }
 
   BenchJson json(smp > 1 ? "dataplane_smp" + std::to_string(smp) : "dataplane");
   json.Set("packets_offered", static_cast<u64>(packets));
@@ -501,6 +555,7 @@ int main(int argc, char** argv) {
     json.Set("work_steals", run.steals);
     json.Set("shootdown_ipis", run.shootdown_ipis);
   }
+  EmitMetrics(metrics, &json);
   const std::string path = json.Write();
   std::printf("\nwrote %s\n", path.c_str());
 

@@ -62,6 +62,7 @@ extname:
               static_cast<unsigned long long>(dlopen_c), CyclesToUs(dlopen_c));
   std::printf("  seg_dlopen:  %8llu cycles (%.1f us)   [paper: ~420 us]\n",
               static_cast<unsigned long long>(seg_dlopen_c), CyclesToUs(seg_dlopen_c));
+  sys.EmitSystemMetrics(&Json());
 }
 
 // set_range marking cost across page counts.

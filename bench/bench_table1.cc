@@ -157,6 +157,7 @@ fnname:
   json.Set("protected_call_measured_cycles", inter_measured);
   json.Set("unprotected_call_measured_cycles", intra_measured);
   json.Set("protection_overhead_cycles", inter_measured - intra_measured);
+  sys.EmitSystemMetrics(&json);
   std::printf("wrote %s\n", json.Write().c_str());
   return 0;
 }

@@ -49,7 +49,9 @@ struct CallCosts {
   u64 palladium;
 };
 
-CallCosts MeasureCalls(u32 size) {
+// When `json` is non-null the run's subsystem counters are federated into it
+// (the fixture is per-call, so the caller picks which size's run to snapshot).
+CallCosts MeasureCalls(u32 size, BenchJson* json = nullptr) {
   BenchSystem sys;
   sys.RegisterObject("revext", kReverseExt);
   sys.RunApp(R"(
@@ -137,6 +139,7 @@ extname:
 fnname:
   .asciz "reverse"
 )");
+  if (json != nullptr) sys.EmitSystemMetrics(json);
   return CallCosts{sys.PairedDelta(1), sys.PairedDelta(2)};
 }
 
@@ -153,7 +156,7 @@ int main() {
 
   BenchJson json("table2");
   for (u32 size : {32u, 64u, 128u, 256u}) {
-    CallCosts costs = MeasureCalls(size);
+    CallCosts costs = MeasureCalls(size, size == 256u ? &json : nullptr);
 
     // RPC: marshalling + socket path + the same compute (measured above).
     LocalRpcChannel channel;

@@ -18,7 +18,9 @@ struct MeasuredCalls {
   u64 protected_call;
 };
 
-MeasuredCalls MeasureLibCgiCalls() {
+// Snapshots the measurement run's subsystem counters into `json` (the
+// BenchSystem is scoped to this call, so the caller cannot do it later).
+MeasuredCalls MeasureLibCgiCalls(BenchJson* json) {
   BenchSystem sys;
   sys.RegisterObject("cgiext", R"(
   .global render
@@ -81,6 +83,7 @@ extname:
 fnname:
   .asciz "render"
 )");
+  if (json != nullptr) sys.EmitSystemMetrics(json);
   return MeasuredCalls{sys.PairedDelta(1), sys.PairedDelta(2)};
 }
 
@@ -90,7 +93,8 @@ fnname:
 int main() {
   using namespace palladium;
 
-  MeasuredCalls calls = MeasureLibCgiCalls();
+  BenchJson json("table3");
+  MeasuredCalls calls = MeasureLibCgiCalls(&json);
   WebServerCosts costs;
   costs.libcgi_call_cycles = calls.unprotected;
   costs.libcgi_protected_call_cycles = calls.protected_call;
@@ -108,7 +112,6 @@ int main() {
 
   std::printf("%-12s %8s %9s %12s %14s %8s\n", "Size", "CGI", "FastCGI", "LibCGI(Prot)",
               "LibCGI(Unprot)", "Server");
-  BenchJson json("table3");
   json.Set("libcgi_unprotected_call_cycles", calls.unprotected);
   json.Set("libcgi_protected_call_cycles", calls.protected_call);
   for (int s = 0; s < 4; ++s) {

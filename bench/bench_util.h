@@ -19,6 +19,7 @@
 #include "src/core/user_ext.h"
 #include "src/dl/dynamic_linker.h"
 #include "src/kernel/kernel.h"
+#include "src/obs/metrics.h"
 
 namespace palladium {
 
@@ -67,6 +68,19 @@ class BenchJson {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> metrics_;
 };
+
+// Federates a MetricsRegistry snapshot into a bench's JSON under the "obs."
+// prefix, keeping the bench's own headline metrics separate from the
+// registry's subsystem counters.
+inline void EmitMetrics(const obs::MetricsRegistry& registry, BenchJson* json) {
+  for (const auto& [name, v] : registry.values()) {
+    if (v.integral) {
+      json->Set("obs." + name, v.u);
+    } else {
+      json->Set("obs." + name, v.d);
+    }
+  }
+}
 
 inline constexpr u32 kSysBenchMark = 240;
 inline constexpr double kCpuMhz = 200.0;  // the paper's Pentium 200
@@ -141,6 +155,14 @@ class BenchSystem {
   }
 
   Pid last_pid() const { return last_pid_; }
+
+  // Snapshots this system's subsystem counters (per-CPU TLB/decode/engine
+  // stats, kernel SMP stats) into `json` under the "obs." prefix.
+  void EmitSystemMetrics(BenchJson* json) const {
+    obs::MetricsRegistry registry;
+    registry.CollectMachine(kernel_, nullptr);
+    EmitMetrics(registry, json);
+  }
 
   // Interval between marks [2k] and [2k+1] minus the empty-pair baseline
   // (marks [0],[1]); callers lay out their checkpoints accordingly.

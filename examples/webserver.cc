@@ -19,6 +19,9 @@
 #include "src/kernel/sched.h"
 #include "src/net/dataplane.h"
 #include "src/net/packet.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/web/server_sim.h"
 
 using namespace palladium;
@@ -106,9 +109,11 @@ int main(int argc, char** argv) {
   u32 batch = 32;    // frames per protected filter crossing
   u32 moderation = 0;  // NIC ITR window in cycles (0 = IRQ per DMA burst)
   bool napi = true;
+  bool profile = false;
+  const char* trace_path = nullptr;
   const char* usage =
       "usage: %s [requests] [--smp N] [--queues N] [--batch N] [--moderation CYCLES] "
-      "[--no-napi]\n";
+      "[--no-napi] [--profile] [--trace FILE]\n";
   auto flag_value = [&](int& i) -> u32 {
     if (i + 1 >= argc || std::atoi(argv[i + 1]) <= 0) return 0;
     return static_cast<u32>(std::atoi(argv[++i]));
@@ -136,6 +141,14 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-napi") == 0) {
       napi = false;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, usage, argv[0]);
+        return 2;
+      }
+      trace_path = argv[++i];
     } else if (std::atoi(argv[i]) > 0) {
       total_requests = static_cast<u32>(std::atoi(argv[i]));
     } else {
@@ -164,6 +177,14 @@ int main(int argc, char** argv) {
   cfg.napi = napi;
   cfg.filter_batch = batch;
   cfg.rx_irq_moderation = moderation;
+  obs::FlightRecorder recorder;
+  obs::CycleProfile profiler;
+  obs::MetricsRegistry metrics;
+  if (trace_path != nullptr) cfg.recorder = &recorder;
+  if (profile) {
+    cfg.profiler = &profiler;
+    cfg.metrics = &metrics;
+  }
   std::printf("--- interrupt-driven multi-worker server ---\n");
   std::printf("%u clients, %u requests, %u worker processes, timer slice %llu cycles\n",
               cfg.clients, cfg.total_requests, cfg.workers,
@@ -199,7 +220,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.latency_p99_cycles));
   std::printf("per-worker requests served:");
   for (i32 s : r.per_worker_served) std::printf(" %d", s);
-  std::printf("\n\nEvery request crossed the NIC ring, a protected SPL 1 filter, a\n");
+  std::printf("\n");
+  if (profile) {
+    // The paper's Table 1-3 style: where did every retired cycle go?
+    profiler.PrintBreakdown(stdout, r.served, "req");
+  }
+  if (trace_path != nullptr) {
+    if (recorder.WriteJsonl(trace_path)) {
+      u64 events = 0;
+      for (u32 t = 0; t < recorder.num_tracks(); ++t) {
+        events += recorder.recorded_events(t);
+      }
+      std::printf("flight-recorder trace: %llu events (%llu dropped) -> %s\n",
+                  static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(recorder.TotalDropped()),
+                  trace_path);
+      std::printf("convert with tools/trace2chrome.py for Perfetto/chrome://tracing\n");
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path);
+      return 1;
+    }
+  }
+  std::printf("\nEvery request crossed the NIC ring, a protected SPL 1 filter, a\n");
   std::printf("per-process queue and two syscalls, under preemptive scheduling —\n");
   std::printf("the asynchronous half of the paper's machine.\n");
   return 0;

@@ -3,6 +3,7 @@
 #include "src/asm/assembler.h"
 #include "src/core/trampoline.h"
 #include "src/hw/paging.h"
+#include "src/obs/trace.h"
 
 namespace palladium {
 
@@ -213,6 +214,16 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
   Tss saved_tss = cpu.tss();
   const u64 start_cycles = cpu.cycles();
 
+  // Observability: the whole invocation is crossing overhead except the spans
+  // the extension itself retires (kFilterBody, set around each inner Run).
+  const u32 obs_cpu = kernel_.machine().current_cpu_index();
+  const obs::Category prev_cat = kernel_.ProfileSet(obs::Category::kCrossing);
+  obs::FlightRecorder* rec = kernel_.recorder();
+  if (rec != nullptr) {
+    rec->Record(obs_cpu, cpu.cycles(), obs::EventType::kCrossingEnter,
+                obs::EventClass::kArch, function_id, arg);
+  }
+
   // Ensure a kernel-capable address space and a safe inner PL0 stack for the
   // return gate (nested entries must not trample an in-progress syscall
   // frame on the per-process kernel stack).
@@ -230,6 +241,11 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
     cpu.RestoreContext(saved);
     if (saved_cr3 != cpu.cr3() && saved_cr3 != 0) cpu.LoadCr3(saved_cr3);
     cpu.tss() = saved_tss;
+    if (rec != nullptr) {
+      rec->Record(obs_cpu, cpu.cycles(), obs::EventType::kCrossingExit,
+                  obs::EventClass::kArch, function_id, result.ok ? 1u : 0u);
+    }
+    kernel_.ProfileRestore(prev_cat);
   };
 
   // Kernel-side Prepare: enter the extension segment at SPL 1 with the
@@ -256,7 +272,9 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
   const u64 deadline = cpu.cycles() + (kernel_.interrupts_enabled() ? ext.cycle_limit * 16
                                                                     : ext.cycle_limit);
   for (;;) {
+    kernel_.ProfileSet(obs::Category::kFilterBody);
     StopInfo stop = cpu.Run(deadline);
+    kernel_.ProfileSet(obs::Category::kCrossing);
     switch (stop.reason) {
       case StopReason::kHostCall:
         if (stop.host_call_id >= kHostEntryIrqBase &&

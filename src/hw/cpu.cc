@@ -5,6 +5,8 @@
 
 #include "src/hw/irq.h"
 #include "src/hw/paging.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 
 namespace palladium {
 
@@ -887,6 +889,14 @@ StopInfo Cpu::Run(u64 cycle_limit) {
         if (irq_trace_ != nullptr) {
           irq_trace_->push_back(IrqEvent{static_cast<u8>(vec), cpl_, eip_, cycles_});
         }
+        if (recorder_ != nullptr) {
+          recorder_->Record(obs_track_, cycles_, obs::EventType::kIrqDeliver,
+                            obs::EventClass::kArch, static_cast<u32>(vec), cpl_);
+        }
+        if (profiler_ != nullptr) {
+          profiler_->Set(obs_track_, cycles_, tlb_.stats().misses,
+                         obs::Category::kIrq);
+        }
         Fault fault;
         if (!DoInt(static_cast<u8>(vec), /*software=*/false, &fault)) {
           stop.reason = StopReason::kFault;
@@ -1410,6 +1420,10 @@ run_start:
         ti = static_cast<u16>(page->traces.size());
         page->traces.push_back(std::move(lowered));
         ++trace_stats_.promotions;
+        if (recorder_ != nullptr) {
+          recorder_->Record(obs_track_, cycles_, obs::EventType::kTraceCompile,
+                            obs::EventClass::kEngine, eip_, d->run_len);
+        }
       } else {
         ti = kTraceUntraceable;
       }
@@ -1419,7 +1433,15 @@ run_start:
       const TraceExit te =
           ExecTrace(page, *page->traces[ti], gen0, until, d->run_cost_max, stop);
       if (te == TraceExit::kStopped) PALLADIUM_BLOCK_EXIT(BlockExit::kStopped);
-      if (te == TraceExit::kYield) goto yield;
+      if (te == TraceExit::kYield) {
+        // The decode generation changed mid-body: a store (local or remote)
+        // invalidated the trace's page and the body exited at the boundary.
+        if (recorder_ != nullptr) {
+          recorder_->Record(obs_track_, cycles_, obs::EventType::kTraceInvalidate,
+                            obs::EventClass::kEngine, eip_, 0);
+        }
+        goto yield;
+      }
       d += d->run_len - 1;
       n = 1;
     }

@@ -69,6 +69,11 @@ struct CpuContext {
 
 class IrqHub;
 
+namespace obs {
+class CycleProfile;
+class FlightRecorder;
+}  // namespace obs
+
 class Cpu {
  public:
   Cpu(PhysicalMemory& pm, DescriptorTable& gdt, DescriptorTable& idt,
@@ -118,6 +123,7 @@ class Cpu {
   const Tlb::Stats& tlb_stats() const { return tlb_.stats(); }
   Tlb& tlb() { return tlb_; }
   DecodeCache& decode_cache() { return dcache_; }
+  const DecodeCache& decode_cache() const { return dcache_; }
   // Disables the decoded-page fetch fast path (every fetch translates all 16
   // instruction bytes and re-decodes). Exists so benches can measure the
   // pre-cache baseline; correctness is identical either way. Implies the
@@ -208,6 +214,22 @@ class Cpu {
   };
   // Enables tracing into caller-owned storage (nullptr disables).
   void set_irq_trace(std::vector<IrqEvent>* trace) { irq_trace_ = trace; }
+
+  // --- Observability (optional, pure observers) ------------------------------
+  // A flight recorder receives IRQ-delivery events (kArch class) and
+  // trace-tier compile/invalidate events (kEngine class) on `track`; a cycle
+  // profiler is switched to Category::kIrq at hardware-interrupt delivery.
+  // Both only *read* the cycle/stat counters — attaching them cannot perturb
+  // execution, so every differential mode stays byte-identical with
+  // telemetry on. nullptr detaches.
+  void set_recorder(obs::FlightRecorder* recorder, u32 track) {
+    recorder_ = recorder;
+    obs_track_ = track;
+  }
+  void set_profiler(obs::CycleProfile* profiler, u32 cpu_index) {
+    profiler_ = profiler;
+    obs_track_ = cpu_index;
+  }
 
   // Host entry range: instruction fetches whose *linear* address lands in
   // [base, base+size) stop execution with kHostCall and
@@ -362,6 +384,12 @@ class Cpu {
   // --- Hardware interrupt fabric (optional) ---------------------------------
   IrqHub* irq_hub_ = nullptr;
   std::vector<IrqEvent>* irq_trace_ = nullptr;
+
+  // --- Observability (optional) ---------------------------------------------
+  // Both hooks share the track/index: a CPU records onto its own vCPU track.
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::CycleProfile* profiler_ = nullptr;
+  u32 obs_track_ = 0;
 
   // --- Data access fast path -------------------------------------------------
   // Host-pointer pages keyed by linear page, validated against the TLB's

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace palladium {
 
 namespace {
@@ -107,9 +109,10 @@ bool Nic::DmaRxFrame(Queue& queue, const std::vector<u8>& frame) {
   return true;
 }
 
-void Nic::CompleteOneTx(Queue& queue) {
+u32 Nic::CompleteOneTx(Queue& queue) {
   const u32 desc = queue.tx.desc_phys + queue.tx_head * kNicDescBytes;
   u32 status = 0, len = 0, buf = 0;
+  u32 sent = 0;
   if (pm_.Read32(desc + kNicDescStatus, &status) && status == kDescOwn) {
     pm_.Read32(desc + kNicDescLen, &len);
     pm_.Read32(desc + kNicDescBuf, &buf);
@@ -120,12 +123,14 @@ void Nic::CompleteOneTx(Queue& queue) {
       if (tx_log_.size() > kTxLogCap) tx_log_.pop_front();
       ++stats_.tx_frames;
       stats_.tx_bytes += len;
+      sent = len;
     }
     pm_.Write32(desc + kNicDescStatus, kDescDone);
   }
   // A descriptor reclaimed (or misprogrammed) under a scheduled completion
   // still advances the engine; the schedule entry is consumed either way.
   queue.tx_head = queue.tx.count > 0 ? (queue.tx_head + 1) % queue.tx.count : 0;
+  return sent;
 }
 
 u64 Nic::QueueNextEvent(u32 q) const {
@@ -146,9 +151,18 @@ void Nic::AdvanceQueue(u32 q, u64 now) {
     if (queue.arrivals.front().frame.size() > queue.rx.buf_stride) {
       ++stats_.rx_dropped;
     } else if (DmaRxFrame(queue, queue.arrivals.front().frame)) {
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs_first_track_ + q, at, obs::EventType::kFrameDma,
+                          obs::EventClass::kArch, q,
+                          static_cast<u32>(queue.arrivals.front().frame.size()));
+      }
       if (queue.rx_irq_enabled) {
         if (rx_irq_moderation_ == 0) {
           if (queue.pic != nullptr) queue.pic->Raise(queue.rx_irq);
+          if (recorder_ != nullptr) {
+            recorder_->Record(obs_first_track_ + q, at, obs::EventType::kIrqRaise,
+                              obs::EventClass::kArch, queue.rx_irq, q);
+          }
         } else if (queue.rx_irq_due == kIdle) {
           // ITR: arm the moderation timer — the first DMA after a quiet
           // period fires as soon as the gate allows; frames landing while
@@ -168,13 +182,25 @@ void Nic::AdvanceQueue(u32 q, u64 now) {
     queue.arrivals.pop_front();
   }
   if (queue.rx_irq_due != kIdle && queue.rx_irq_due <= now) {
-    if (queue.rx_irq_enabled && queue.pic != nullptr) queue.pic->Raise(queue.rx_irq);
+    if (queue.rx_irq_enabled && queue.pic != nullptr) {
+      queue.pic->Raise(queue.rx_irq);
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs_first_track_ + q, queue.rx_irq_due,
+                          obs::EventType::kIrqRaise, obs::EventClass::kArch,
+                          queue.rx_irq, q);
+      }
+    }
     queue.rx_irq_gate = queue.rx_irq_due + rx_irq_moderation_;
     queue.rx_irq_due = kIdle;
   }
   bool completed = false;
   while (!queue.tx_complete_at.empty() && queue.tx_complete_at.front() <= now) {
-    CompleteOneTx(queue);
+    const u64 at = queue.tx_complete_at.front();
+    const u32 sent = CompleteOneTx(queue);
+    if (recorder_ != nullptr) {
+      recorder_->Record(obs_first_track_ + q, at, obs::EventType::kFrameTx,
+                        obs::EventClass::kArch, q, sent);
+    }
     queue.tx_complete_at.pop_front();
     completed = true;
   }
@@ -183,6 +209,10 @@ void Nic::AdvanceQueue(u32 q, u64 now) {
       // One coalesced TX-completion edge per Advance that retired work.
       if (queue.pic != nullptr) queue.pic->Raise(queue.tx_irq);
       ++stats_.tx_completion_irqs;
+      if (recorder_ != nullptr) {
+        recorder_->Record(obs_first_track_ + q, now, obs::EventType::kIrqRaise,
+                          obs::EventClass::kArch, queue.tx_irq, q);
+      }
     } else {
       ++stats_.tx_irqs_suppressed;
     }

@@ -40,6 +40,10 @@
 
 namespace palladium {
 
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
+
 struct NicRing {
   u32 desc_phys = 0;    // base of `count` 16-byte descriptors
   u32 count = 0;
@@ -146,6 +150,15 @@ class Nic : public IrqDevice {
   u32 tx_dma_cycles() const { return tx_dma_cycles_; }
   void set_tx_dma_cycles(u32 cycles) { tx_dma_cycles_ = cycles > 0 ? cycles : 1; }
 
+  // Observability: a pure observer — recording never touches device state or
+  // the simulated clock. Queue q records on track `first_track + q` so every
+  // track stays inside one core's clock domain (per-queue devices advance on
+  // their owning core's clock, which is not globally monotone under SMP).
+  void set_recorder(obs::FlightRecorder* recorder, u32 first_track) {
+    recorder_ = recorder;
+    obs_first_track_ = first_track;
+  }
+
   const Stats& stats() const { return stats_; }
   const std::deque<std::vector<u8>>& tx_frames() const { return tx_log_; }
   const NicRing& rx_ring(u32 q = 0) const { return queues_[q].rx; }
@@ -199,7 +212,7 @@ class Nic : public IrqDevice {
   u64 QueueNextEvent(u32 q) const;
   void AdvanceQueue(u32 q, u64 now);
   bool DmaRxFrame(Queue& queue, const std::vector<u8>& frame);
-  void CompleteOneTx(Queue& queue);
+  u32 CompleteOneTx(Queue& queue);  // returns the completed frame's length
 
   PhysicalMemory& pm_;
   std::vector<Queue> queues_;
@@ -209,6 +222,8 @@ class Nic : public IrqDevice {
   u32 rx_irq_moderation_ = 0;  // ITR window; 0 = interrupt per DMA
   std::deque<std::vector<u8>> tx_log_;  // completion order, most recent kTxLogCap
   Stats stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  u32 obs_first_track_ = 0;
 };
 
 }  // namespace palladium

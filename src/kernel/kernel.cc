@@ -4,6 +4,7 @@
 
 #include "src/hw/paging.h"
 #include "src/kernel/sched.h"
+#include "src/obs/trace.h"
 
 namespace palladium {
 
@@ -98,9 +99,38 @@ void Kernel::EnableTimerInterrupts() {
   }
 }
 
+void Kernel::AttachObservability(obs::FlightRecorder* recorder,
+                                 obs::CycleProfile* profiler) {
+  recorder_ = recorder;
+  profiler_ = profiler;
+  for (u32 c = 0; c < machine_.num_cpus(); ++c) {
+    machine_.cpu(c).set_recorder(recorder, c);
+    machine_.cpu(c).set_profiler(profiler, c);
+    if (recorder != nullptr && c < recorder->num_tracks() &&
+        recorder->track_name(c).empty()) {
+      recorder->SetTrackName(c, "cpu" + std::to_string(c));
+    }
+  }
+}
+
+obs::Category Kernel::ProfileSet(obs::Category cat) {
+  if (profiler_ == nullptr || !profiler_->enabled()) return cat;
+  const u32 c = machine_.current_cpu_index();
+  const obs::Category prev = profiler_->Current(c);
+  const Cpu& cpu = machine_.cpu(c);
+  profiler_->Set(c, cpu.cycles(), cpu.tlb_stats().misses, cat);
+  return prev;
+}
+
 void Kernel::SendIpi(u32 target_cpu, u32 ipi_irq) {
   if (target_cpu >= machine_.num_cpus()) return;
   fabric_[target_cpu]->pic.Raise(ipi_irq);
+  if (recorder_ != nullptr) {
+    const u32 cur_cpu = machine_.current_cpu_index();
+    recorder_->Record(cur_cpu, machine_.cpu(cur_cpu).cycles(),
+                      obs::EventType::kIrqRaise, obs::EventClass::kArch,
+                      ipi_irq, target_cpu);
+  }
 }
 
 void Kernel::ShootdownPage(u32 cr3, u32 linear) {
@@ -117,18 +147,25 @@ void Kernel::ShootdownPage(u32 cr3, u32 linear) {
   // invalidation is applied synchronously here, and the IPI charges the
   // target core's interrupt cost at its next retire boundary.
   const bool kernel_range = linear >= kKernelBase || cr3 == kernel_page_dir_template_;
-  bool any_remote = false;
+  u32 remote = 0;
   for (u32 c = 0; c < machine_.num_cpus(); ++c) {
     if (c == cur_cpu) continue;
     if (!kernel_range && machine_.cpu(c).cr3() != cr3) continue;
     machine_.cpu(c).tlb().FlushPage(linear);
-    any_remote = true;
+    ++remote;
     if (interrupts_enabled_) {
       SendIpi(c, kIrqIpiShootdown);
       ++smp_stats_.shootdown_ipis;
     }
   }
-  if (any_remote) ++smp_stats_.shootdown_pages;
+  if (remote != 0) {
+    ++smp_stats_.shootdown_pages;
+    if (recorder_ != nullptr) {
+      recorder_->Record(cur_cpu, machine_.cpu(cur_cpu).cycles(),
+                        obs::EventType::kTlbShootdown, obs::EventClass::kArch,
+                        PageNumber(linear), remote);
+    }
+  }
 }
 
 void Kernel::FlushAddressSpace(u32 cr3) {
@@ -536,6 +573,11 @@ void Kernel::SwitchTo(Process& proc) {
   if (interrupts_enabled_) cpu().set_eflags(cpu().eflags() | kFlagIf);
   cur() = &proc;
   Charge(config_.costs.context_switch);
+  if (recorder_ != nullptr) {
+    const u32 cur_cpu = machine_.current_cpu_index();
+    recorder_->Record(cur_cpu, cpu().cycles(), obs::EventType::kContextSwitch,
+                      obs::EventClass::kArch, proc.pid, 0);
+  }
 }
 
 void Kernel::SaveCurrent() {
@@ -565,8 +607,16 @@ void Kernel::ExtensionWatchdogTick(Process& proc) {
 
 bool Kernel::HandleIrqFromGate(u32 irq, bool in_kernel_context) {
   const u32 cur_cpu = machine_.current_cpu_index();
+  // Attribute the host-side IRQ service span to kIrq, restoring the
+  // interrupted category (kernel, or crossing during a kext invocation) on
+  // every exit path below.
+  const obs::Category prev_cat = ProfileSet(obs::Category::kIrq);
   Charge(config_.costs.irq_dispatch);
   fabric_[cur_cpu]->pic.Eoi();
+  if (recorder_ != nullptr) {
+    recorder_->Record(cur_cpu, cpu().cycles(), obs::EventType::kIrqEoi,
+                      obs::EventClass::kArch, irq, 0);
+  }
   // Hardware interrupts are transparent: restore the interrupted context
   // before any kernel work, so handlers (which are host code) see the
   // machine exactly as the interrupt found it.
@@ -585,6 +635,7 @@ bool Kernel::HandleIrqFromGate(u32 irq, bool in_kernel_context) {
   }
   auto it = irq_handlers_.find(irq);
   if (it != irq_handlers_.end()) it->second(*this);
+  ProfileRestore(prev_cat);
   return preempt;
 }
 
@@ -598,13 +649,19 @@ void Kernel::ServicePendingIrqsHostSide() {
     const int vec = pic.Acknowledge();
     if (vec < 0) break;
     const u32 irq = static_cast<u32>(vec) - kVecIrqBase;
+    const obs::Category prev_cat = ProfileSet(obs::Category::kIrq);
     pic.Eoi();
+    if (recorder_ != nullptr) {
+      recorder_->Record(cur_cpu, cpu().cycles(), obs::EventType::kIrqEoi,
+                        obs::EventClass::kArch, irq, 0);
+    }
     if (irq == kIrqIpiShootdown || irq == kIrqIpiResched) ++smp_stats_.ipis_received;
     // No watchdog/preemption while idle (there is no current process), but
     // user-registered handlers — including one on the timer line — still
     // run, matching the gate path.
     auto it = irq_handlers_.find(irq);
     if (it != irq_handlers_.end()) it->second(*this);
+    ProfileRestore(prev_cat);
   }
 }
 

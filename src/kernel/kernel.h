@@ -22,10 +22,15 @@
 #include "src/kernel/abi.h"
 #include "src/kernel/page_alloc.h"
 #include "src/kernel/process.h"
+#include "src/obs/profile.h"
 
 namespace palladium {
 
 class Scheduler;
+
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
 
 // Outcome of RunProcess.
 enum class RunOutcome : u8 {
@@ -67,6 +72,7 @@ class Kernel {
   Kernel(Machine& machine, const Config& config);
 
   Machine& machine() { return machine_; }
+  const Machine& machine() const { return machine_; }
   Cpu& cpu() { return machine_.cpu(); }
   FrameAllocator& frames() { return frames_; }
   const Config& config() const { return config_; }
@@ -229,6 +235,21 @@ class Kernel {
   void set_scheduler(Scheduler* sched) { sched_ = sched; }
   Scheduler* scheduler() { return sched_; }
 
+  // --- Observability (optional, pure observers) --------------------------------
+  // Attaches a flight recorder (tracks 0..N-1 = vCPUs; device tracks are the
+  // harness's business) and/or a cycle profiler to the whole machine: every
+  // CPU gets its hooks, and kernel-level transitions (IRQ service, context
+  // switches, shootdowns, protection crossings) record/attribute through
+  // these pointers. Hooks only read the cycle counters — they never charge —
+  // so runs are byte-identical with telemetry attached. nullptr detaches.
+  void AttachObservability(obs::FlightRecorder* recorder, obs::CycleProfile* profiler);
+  obs::FlightRecorder* recorder() const { return recorder_; }
+  obs::CycleProfile* profiler() const { return profiler_; }
+  // Category switch + restore helpers for host-side kernel code running on
+  // the current vCPU (no-ops when no profiler is attached).
+  obs::Category ProfileSet(obs::Category cat);
+  void ProfileRestore(obs::Category cat) { ProfileSet(cat); }
+
   // --- Syscall/gate plumbing ---------------------------------------------------
   // Emulates IRET from the current interrupt-gate frame, placing `eax_value`
   // in EAX. Used by every syscall handler.
@@ -336,6 +357,8 @@ class Kernel {
   Scheduler* sched_ = nullptr;
   bool preempt_pending_ = false;
   SmpStats smp_stats_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::CycleProfile* profiler_ = nullptr;
 
   std::map<Pid, std::unique_ptr<Process>> processes_;
   Pid next_pid_ = 1;

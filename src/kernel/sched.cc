@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/profile.h"
+
 namespace palladium {
 
 Scheduler::Scheduler(Kernel& kernel) : Scheduler(kernel, Config{}) {}
@@ -134,7 +136,17 @@ bool Scheduler::Dispatch(u32 c, u64 deadline) {
   Cpu& cpu = m.cpu(c);
   // Causality: a process enqueued at cycle S on another core cannot start
   // before S on this one; an idle core's lagging clock snaps forward.
-  if (stamp > cpu.cycles()) cpu.set_cycles(stamp);
+  if (stamp > cpu.cycles()) {
+    obs::CycleProfile* prof = kernel_.profiler();
+    if (prof != nullptr && prof->enabled()) {
+      // The skipped span is idle time on this core, not kernel work.
+      prof->Set(c, cpu.cycles(), cpu.tlb_stats().misses, obs::Category::kIdle);
+      cpu.set_cycles(stamp);
+      prof->Set(c, cpu.cycles(), cpu.tlb_stats().misses, obs::Category::kKernel);
+    } else {
+      cpu.set_cycles(stamp);
+    }
+  }
   m.set_current_cpu(c);
   kernel_.SwitchTo(*proc);
   ++stats_.context_switches;
@@ -154,7 +166,14 @@ void Scheduler::ServiceParked(u32 c, u64 event_cycle, bool machine_idle) {
     // saturated N=1 run that still parked between bursts).
     stats_.idle_cycles += event_cycle - cpu.cycles();
     if (machine_idle) ++stats_.idle_jumps;
-    cpu.set_cycles(event_cycle);
+    obs::CycleProfile* prof = kernel_.profiler();
+    if (prof != nullptr && prof->enabled()) {
+      prof->Set(c, cpu.cycles(), cpu.tlb_stats().misses, obs::Category::kIdle);
+      cpu.set_cycles(event_cycle);
+      prof->Set(c, cpu.cycles(), cpu.tlb_stats().misses, obs::Category::kKernel);
+    } else {
+      cpu.set_cycles(event_cycle);
+    }
   }
   kernel_.ServicePendingIrqsHostSide();
 }
@@ -166,6 +185,13 @@ Scheduler::RunAllResult Scheduler::RunAll(u64 cycle_budget) {
   for (u32 c = 0; c < n; ++c) start_max = std::max(start_max, m.cpu(c).cycles());
   const u64 deadline = cycle_budget == ~0ull ? ~0ull : start_max + cycle_budget;
   RunAllResult result;
+  obs::CycleProfile* prof = kernel_.profiler();
+  if (prof != nullptr && prof->enabled()) {
+    for (u32 c = 0; c < n; ++c) {
+      prof->Begin(c, m.cpu(c).cycles(), m.cpu(c).tlb_stats().misses,
+                  obs::Category::kKernel);
+    }
+  }
 
   for (;;) {
     // (1) Hand work to idle vCPUs: own queue, steal, adopt.
@@ -258,7 +284,15 @@ Scheduler::RunAllResult Scheduler::RunAll(u64 cycle_budget) {
     if (have_event) stop_at = std::min(stop_at, ev_cycle + 1);
     if (stop_at <= min_active) stop_at = min_active + 1;
 
+    if (prof != nullptr && prof->enabled()) {
+      prof->Set(run_cpu, cpu.cycles(), cpu.tlb_stats().misses,
+                obs::Category::kUser);
+    }
     StopInfo stop = cpu.Run(stop_at);
+    if (prof != nullptr && prof->enabled()) {
+      prof->Set(run_cpu, cpu.cycles(), cpu.tlb_stats().misses,
+                obs::Category::kKernel);
+    }
     if (stop.reason == StopReason::kCycleLimit) {
       if (cpu.cycles() >= deadline) {
         const Pid pid = kernel_.current(run_cpu)->pid;
@@ -297,6 +331,12 @@ Scheduler::RunAllResult Scheduler::RunAll(u64 cycle_budget) {
       case StopAction::kTerminated:
         kernel_.current_[run_cpu] = nullptr;
         break;
+    }
+  }
+
+  if (prof != nullptr && prof->enabled()) {
+    for (u32 c = 0; c < n; ++c) {
+      prof->Finish(c, m.cpu(c).cycles(), m.cpu(c).tlb_stats().misses);
     }
   }
 

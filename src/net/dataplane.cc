@@ -7,6 +7,7 @@
 #include "src/asm/assembler.h"
 #include "src/filter/filter.h"
 #include "src/net/packet.h"
+#include "src/obs/trace.h"
 
 namespace palladium {
 
@@ -210,6 +211,12 @@ bool PacketDataplane::Deliver(FlowInfo& flow, const std::vector<u8>& frame) {
     proc->pkt_queue.push_back(frame);
     ++proc->pkts_delivered;
     ++stats_.delivered;
+    if (obs::FlightRecorder* rec = kernel_.recorder()) {
+      rec->Record(kernel_.machine().current_cpu_index(),
+                  kernel_.machine().cpu().cycles(), obs::EventType::kFrameEnqueue,
+                  obs::EventClass::kArch, pid,
+                  static_cast<u32>(proc->pkt_queue.size()));
+    }
     if (proc->state == ProcessState::kBlocked && proc->waiting_packet) {
       kernel_.WakeProcess(*proc);
     }
@@ -315,6 +322,15 @@ void PacketDataplane::ClassifyFrames(std::vector<std::vector<u8>>& frames) {
   // per-frame oracle runs, so batch and oracle modes agree byte-for-byte on
   // matched/delivered/dropped counters. Saturation is re-checked per frame:
   // this batch's own deliveries can fill the last queue mid-batch.
+  if (obs::FlightRecorder* rec = kernel_.recorder()) {
+    u32 matched = 0;
+    for (u32 i = 0; i < n; ++i) {
+      if (first_match[i] >= 0) ++matched;
+    }
+    rec->Record(kernel_.machine().current_cpu_index(),
+                kernel_.machine().cpu().cycles(), obs::EventType::kFrameClassify,
+                obs::EventClass::kArch, n, matched);
+  }
   for (u32 i = 0; i < n; ++i) {
     Process* blocker = nullptr;
     if (config_.backpressure && AllDestsSaturated(&blocker)) {
@@ -387,6 +403,10 @@ void PacketDataplane::PollQueue(u32 q) {
     stats_.napi_frames += batch.size();
     kernel_.Charge(kernel_.costs().napi_poll +
                    static_cast<u32>(batch.size()) * kernel_.costs().napi_per_frame);
+    if (obs::FlightRecorder* rec = kernel_.recorder()) {
+      rec->Record(cpu, kernel_.machine().cpu().cycles(), obs::EventType::kNapiPoll,
+                  obs::EventClass::kArch, q, static_cast<u32>(batch.size()));
+    }
     if (config_.rps) {
       for (std::vector<u8>& frame : batch) {
         if (backlog_.size() >= config_.backlog_limit) {
@@ -537,6 +557,11 @@ void PacketDataplane::SysPktRecv(u32 buf, u32 cap, u32 flags) {
   }
   kernel_.Charge(n * kernel_.costs().pkt_copy_per_byte);
   proc.pkt_queue.pop_front();
+  if (obs::FlightRecorder* rec = kernel_.recorder()) {
+    rec->Record(kernel_.machine().current_cpu_index(),
+                kernel_.machine().cpu().cycles(), obs::EventType::kFrameRecv,
+                obs::EventClass::kArch, proc.pid, n);
+  }
   kernel_.ReturnFromGate(n);
 }
 

@@ -1,0 +1,123 @@
+#include "src/obs/profile.h"
+
+#include <string>
+
+namespace palladium {
+namespace obs {
+
+const char* CategoryName(Category c) {
+  switch (c) {
+    case Category::kUser:
+      return "user";
+    case Category::kKernel:
+      return "kernel";
+    case Category::kFilterBody:
+      return "filter_body";
+    case Category::kCrossing:
+      return "crossing";
+    case Category::kIrq:
+      return "irq";
+    case Category::kTlbMiss:
+      return "tlb_miss";
+    case Category::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+void CycleProfile::Reset(u32 num_cpus, u32 tlb_miss_penalty) {
+  per_cpu_.assign(num_cpus, PerCpu{});
+  tlb_miss_penalty_ = tlb_miss_penalty;
+}
+
+void CycleProfile::Flush(PerCpu& p, u64 cycle, u64 misses) {
+  if (!p.open || cycle <= p.span_cycle) return;
+  const u64 span = cycle - p.span_cycle;
+  u64 penalty = (misses - p.span_misses) * tlb_miss_penalty_;
+  if (penalty > span) penalty = span;  // defensive; cannot happen by model
+  p.buckets[static_cast<u32>(p.cat)] += span - penalty;
+  p.buckets[static_cast<u32>(Category::kTlbMiss)] += penalty;
+}
+
+void CycleProfile::Begin(u32 c, u64 cycle, u64 misses, Category cat) {
+  PerCpu& p = per_cpu_[c];
+  if (p.begun) {
+    // Re-arm after a Finish (drivers may call RunAll repeatedly). Cycles
+    // charged between the runs land in the resuming category so the
+    // sum-equals-total invariant holds across Begin/Finish pairs.
+    p.open = true;
+    p.cat = cat;
+    Flush(p, cycle, misses);
+    p.span_cycle = cycle;
+    p.span_misses = misses;
+    p.end_cycle = cycle;
+    return;
+  }
+  p.begun = true;
+  p.begin_cycle = p.end_cycle = cycle;
+  p.span_cycle = cycle;
+  p.span_misses = misses;
+  p.cat = cat;
+  p.open = true;
+}
+
+void CycleProfile::Set(u32 c, u64 cycle, u64 misses, Category cat) {
+  PerCpu& p = per_cpu_[c];
+  Flush(p, cycle, misses);
+  p.span_cycle = cycle;
+  p.span_misses = misses;
+  p.cat = cat;
+}
+
+void CycleProfile::Finish(u32 c, u64 cycle, u64 misses) {
+  PerCpu& p = per_cpu_[c];
+  Flush(p, cycle, misses);
+  p.span_cycle = cycle;
+  p.span_misses = misses;
+  p.end_cycle = cycle;
+  p.open = false;
+}
+
+u64 CycleProfile::BucketTotal(Category cat) const {
+  u64 sum = 0;
+  for (const PerCpu& p : per_cpu_) sum += p.buckets[static_cast<u32>(cat)];
+  return sum;
+}
+
+u64 CycleProfile::TotalAll() const {
+  u64 sum = 0;
+  for (const PerCpu& p : per_cpu_) sum += p.end_cycle - p.begin_cycle;
+  return sum;
+}
+
+void CycleProfile::PrintBreakdown(std::FILE* out, u64 per_unit,
+                                  const char* unit_name) const {
+  const u64 total = TotalAll();
+  std::fprintf(out, "--- cycle attribution (%u vCPU%s, %llu cycles) ---\n",
+               num_cpus(), num_cpus() == 1 ? "" : "s",
+               static_cast<unsigned long long>(total));
+  if (per_unit > 0) {
+    std::fprintf(out, "%-14s %14s %7s %14s\n", "category", "cycles", "share",
+                 (std::string("cyc/") + unit_name).c_str());
+  } else {
+    std::fprintf(out, "%-14s %14s %7s\n", "category", "cycles", "share");
+  }
+  for (u32 i = 0; i < kNumCategories; ++i) {
+    const Category cat = static_cast<Category>(i);
+    const u64 cycles = BucketTotal(cat);
+    const double share = total != 0 ? 100.0 * static_cast<double>(cycles) /
+                                          static_cast<double>(total)
+                                    : 0.0;
+    if (per_unit > 0) {
+      std::fprintf(out, "%-14s %14llu %6.2f%% %14.1f\n", CategoryName(cat),
+                   static_cast<unsigned long long>(cycles), share,
+                   static_cast<double>(cycles) / static_cast<double>(per_unit));
+    } else {
+      std::fprintf(out, "%-14s %14llu %6.2f%%\n", CategoryName(cat),
+                   static_cast<unsigned long long>(cycles), share);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace palladium

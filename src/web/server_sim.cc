@@ -12,6 +12,9 @@
 #include "src/kernel/sched.h"
 #include "src/net/dataplane.h"
 #include "src/net/packet.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 #include "src/web/http.h"
 
 namespace palladium {
@@ -215,6 +218,23 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
     return result;
   }
 
+  // Optional telemetry: one trace track per vCPU plus one per NIC queue;
+  // the profiler accounts every retired cycle per vCPU. Both are pure
+  // observers — attaching them cannot change the simulated run.
+  if (config.recorder != nullptr) {
+    config.recorder->Reset(machine.num_cpus() + nic.num_queues());
+    for (u32 q = 0; q < nic.num_queues(); ++q) {
+      config.recorder->SetTrackName(machine.num_cpus() + q,
+                                    "nic.q" + std::to_string(q));
+    }
+    nic.set_recorder(config.recorder, machine.num_cpus());
+  }
+  if (config.profiler != nullptr) {
+    config.profiler->Reset(machine.num_cpus(),
+                           machine.cpu(0).cycle_model().tlb_miss_penalty);
+  }
+  kernel.AttachObservability(config.recorder, config.profiler);
+
   // The send path runs the request through the real HTTP layer and formats
   // the response onto the wire, charged to the sending worker.
   u64 parsed = 0;
@@ -303,11 +323,10 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
   result.parsed_requests = parsed;
   result.cycles = run.cycles;
   // Throughput over the busy period only (idle fast-forward is the machine
-  // waiting for the wire, not work) — same definition as bench_dataplane.
-  // idle_cycles is summed over every vCPU, so the busy base is vCPUs x wall
-  // cycles, not wall cycles alone.
-  const u64 cpu_cycles = static_cast<u64>(machine.num_cpus()) * run.cycles;
-  const u64 busy_cycles = cpu_cycles - std::min(sched.stats().idle_cycles, cpu_cycles);
+  // waiting for the wire, not work) — obs::BusyCycles is the one shared
+  // definition, also used by bench_dataplane and the profiler's report.
+  const u64 busy_cycles =
+      obs::BusyCycles(machine.num_cpus(), run.cycles, sched.stats().idle_cycles);
   result.requests_per_sec =
       busy_cycles > 0 ? static_cast<double>(result.served) * 200e6 / busy_cycles : 0;
   result.cpus = machine.num_cpus();
@@ -336,6 +355,13 @@ MultiServerResult RunMultiWorkerServer(const MultiServerConfig& config) {
     result.latency_p90_cycles = pct(90);
     result.latency_p99_cycles = pct(99);
     result.latency_max_cycles = latencies.back();
+  }
+  if (config.metrics != nullptr) {
+    config.metrics->CollectMachine(kernel, &sched);
+    config.metrics->CollectNic(nic);
+    config.metrics->CollectDataplane(dataplane);
+    if (config.profiler != nullptr) config.metrics->CollectProfile(*config.profiler);
+    if (config.recorder != nullptr) config.metrics->CollectRecorder(*config.recorder);
   }
   u64 worker_total = 0;
   for (Pid pid : workers) {

@@ -25,6 +25,12 @@
 
 namespace palladium {
 
+namespace obs {
+class FlightRecorder;
+class CycleProfile;
+class MetricsRegistry;
+}  // namespace obs
+
 enum class CgiModel : u8 {
   kStatic,           // server serves the file directly (upper bound)
   kCgi,              // fork + exec per request
@@ -105,6 +111,13 @@ struct MultiServerConfig {
   bool napi = true;            // NAPI poll loop vs IRQ-per-frame
   u32 filter_batch = 32;       // frames per protected filter crossing
   u32 rx_irq_moderation = 0;   // NIC ITR window in cycles (0 = off)
+  // Observability (optional; all pure observers of the simulated clock).
+  // An attached recorder is Reset to one track per vCPU plus one per NIC
+  // queue; a profiler is Reset for the run's vCPU count; a registry is
+  // populated with the full metric snapshot after the run.
+  obs::FlightRecorder* recorder = nullptr;
+  obs::CycleProfile* profiler = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct MultiServerResult {

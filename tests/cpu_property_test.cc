@@ -10,6 +10,8 @@
 #include "src/hw/paging.h"
 #include "src/hw/smp.h"
 #include "src/hw/timer.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
 
 namespace palladium {
 namespace {
@@ -597,6 +599,9 @@ struct IrqDiffRun {
   u64 tlb_hits = 0;
   u64 tlb_misses = 0;
   std::vector<u8> memory;
+  // Architectural flight-recorder stream: tracing+profiling run fully
+  // enabled in every mode, and the kArch events must be byte-identical.
+  std::vector<obs::Event> arch_events;
 };
 
 IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, bool blocks,
@@ -609,6 +614,16 @@ IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, boo
   bm.cpu().set_trace_engine_enabled(trace);
   bm.cpu().set_decode_cache_enabled(decode_cache);
   bm.cpu().set_dtlb_enabled(dtlb);
+  // Telemetry fully on: observation must be free in simulated time, so the
+  // differential assertions below hold with the recorder and profiler
+  // attached. Capacity is sized so nothing wraps (engine-event counts differ
+  // across modes and would otherwise evict different arch events).
+  obs::FlightRecorder recorder;
+  recorder.Reset(1, 1u << 16);
+  obs::CycleProfile profiler;
+  profiler.Reset(1, bm.cpu().cycle_model().tlb_miss_penalty);
+  bm.cpu().set_recorder(&recorder, 0);
+  bm.cpu().set_profiler(&profiler, 0);
   EXPECT_TRUE(bm.pm().WriteBlock(kCodeBase, program.data(), static_cast<u32>(program.size())));
   auto isr0 = EncodeCounterIsr(kIsrCounters + 0);
   auto isr5 = EncodeCounterIsr(kIsrCounters + 4);
@@ -660,6 +675,8 @@ IrqDiffRun RunDifferentialIrq(const std::vector<u8>& program, FuzzMode mode, boo
   out.tlb_hits = bm.cpu().tlb_stats().hits;
   out.tlb_misses = bm.cpu().tlb_stats().misses;
   out.memory.assign(bm.pm().HostData(), bm.pm().HostData() + bm.pm().size());
+  EXPECT_EQ(recorder.TotalDropped(), 0u) << "fuzz ring sized too small to compare streams";
+  out.arch_events = recorder.ArchEvents(0);
   return out;
 }
 
@@ -734,6 +751,14 @@ TEST(IrqDifferential, AllSixteenModesAgreeUnderRandomInterrupts) {
             << "irq " << i << " diverged: vector " << static_cast<int>(run.irqs[i].vector)
             << " at cycle " << run.irqs[i].cycle << " vs " << ref.irqs[i].cycle;
       }
+      ASSERT_EQ(run.arch_events.size(), ref.arch_events.size())
+          << "flight-recorder arch streams differ in length";
+      for (size_t i = 0; i < run.arch_events.size(); ++i) {
+        EXPECT_TRUE(run.arch_events[i] == ref.arch_events[i])
+            << "arch event " << i << " (" << EventTypeName(run.arch_events[i].type)
+            << ") diverged at cycle " << run.arch_events[i].cycle << " vs "
+            << ref.arch_events[i].cycle;
+      }
       EXPECT_EQ(run.ctx.eip, ref.ctx.eip);
       EXPECT_EQ(run.ctx.eflags, ref.ctx.eflags);
       EXPECT_EQ(run.ctx.cpl, ref.ctx.cpl);
@@ -787,6 +812,7 @@ struct SmpCpuResult {
   CpuContext ctx;
   u64 cycles = 0;
   u64 instructions = 0;
+  std::vector<obs::Event> arch_events;
 };
 
 struct SmpDiffRun {
@@ -804,11 +830,19 @@ SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, Fuzz
   BareMachine bm(config);
   Machine& m = bm.machine();
   EXPECT_EQ(m.num_cpus(), n);
+  // Telemetry fully on (one recorder track and one profiler slot per vCPU);
+  // the per-vCPU differential assertions below must hold regardless.
+  obs::FlightRecorder recorder;
+  recorder.Reset(n, 1u << 16);
+  obs::CycleProfile profiler;
+  profiler.Reset(n, m.cpu(0).cycle_model().tlb_miss_penalty);
   for (u32 c = 0; c < n; ++c) {
     m.cpu(c).set_block_engine_enabled(blocks);
     m.cpu(c).set_trace_engine_enabled(trace);
     m.cpu(c).set_decode_cache_enabled(decode_cache);
     m.cpu(c).set_dtlb_enabled(dtlb);
+    m.cpu(c).set_recorder(&recorder, c);
+    m.cpu(c).set_profiler(&profiler, c);
   }
   for (u32 c = 0; c < n; ++c) {
     const u32 base = kCodeBase + c * kSmpCodeStride;
@@ -866,7 +900,9 @@ SmpDiffRun RunSmpDifferential(const std::vector<std::vector<u8>>& programs, Fuzz
     out.cpus[c].ctx = m.cpu(c).SaveContext();
     out.cpus[c].cycles = m.cpu(c).cycles();
     out.cpus[c].instructions = m.cpu(c).instructions_retired();
+    out.cpus[c].arch_events = recorder.ArchEvents(c);
   }
+  EXPECT_EQ(recorder.TotalDropped(), 0u) << "fuzz ring sized too small to compare streams";
   out.memory.assign(bm.pm().HostData(), bm.pm().HostData() + bm.pm().size());
   return out;
 }
@@ -998,6 +1034,12 @@ TEST(SmpDifferential, AllModesAgreePerVcpuUnderSharedMemoryAndShootdowns) {
           EXPECT_EQ(a.ctx.cpl, b.ctx.cpl);
           for (u8 r = 0; r < kNumRegs; ++r) {
             EXPECT_EQ(a.ctx.regs[r], b.ctx.regs[r]) << "reg " << static_cast<int>(r);
+          }
+          ASSERT_EQ(a.arch_events.size(), b.arch_events.size())
+              << "flight-recorder arch streams differ in length";
+          for (size_t i = 0; i < a.arch_events.size(); ++i) {
+            EXPECT_TRUE(a.arch_events[i] == b.arch_events[i])
+                << "arch event " << i << " diverged";
           }
         }
         ASSERT_EQ(run.memory.size(), ref.memory.size());

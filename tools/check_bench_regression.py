@@ -78,6 +78,17 @@ def check_dataplane(baseline_data, fresh_data, argv_tolerance):
                   f"dataplane regression, not runner noise)")
             failed = True
 
+    # Metrics present in the fresh snapshot but absent from the committed
+    # baseline are new telemetry (e.g. the federated "obs." registry
+    # counters), not regressions: report them so the baseline refresh is a
+    # conscious step, and gate only on the keys both sides carry.
+    fresh_only = sorted(set(fresh_m) - set(base_m))
+    if fresh_only:
+        preview = ", ".join(fresh_only[:5])
+        more = f", ... ({len(fresh_only)} total)" if len(fresh_only) > 5 else ""
+        print(f"note: {name}: {len(fresh_only)} fresh metrics have no committed "
+              f"baseline yet (not gated): {preview}{more}")
+
     base_drops = base_m.get("queue_full_drops")
     fresh_drops = fresh_m.get("queue_full_drops")
     if base_drops is not None:
