@@ -14,7 +14,9 @@ bool BpfProgram::Validate(std::string* error) const {
     const BpfInsn& in = insns_[i];
     switch (in.code) {
       case BpfOp::kJmpJa:
-        if (i + 1 + in.k >= insns_.size()) {
+        // 64-bit arithmetic: a huge k must not wrap i+1+k back into range
+        // (a wrapped "forward" jump is a backward jump — an infinite loop).
+        if (static_cast<u64>(i) + 1 + in.k >= insns_.size()) {
           if (error != nullptr) *error = "ja target out of range";
           return false;
         }
@@ -23,7 +25,8 @@ bool BpfProgram::Validate(std::string* error) const {
       case BpfOp::kJmpJgtK:
       case BpfOp::kJmpJgeK:
       case BpfOp::kJmpJsetK:
-        if (i + 1 + in.jt >= insns_.size() || i + 1 + in.jf >= insns_.size()) {
+        if (static_cast<u64>(i) + 1 + in.jt >= insns_.size() ||
+            static_cast<u64>(i) + 1 + in.jf >= insns_.size()) {
           if (error != nullptr) *error = "conditional target out of range";
           return false;
         }
@@ -63,25 +66,33 @@ std::vector<u8> BpfProgram::Serialize() const {
   return out;
 }
 
-u32 BpfInterpretHost(const BpfProgram& prog, const u8* pkt, u32 len) {
+u32 BpfInterpretHost(const BpfProgram& prog, const u8* pkt, u32 len, BpfHostStats* stats) {
   u32 a = 0;
   const auto& insns = prog.insns();
+  if (stats != nullptr) ++stats->packets;
+  auto bad = [stats]() -> u32 {
+    if (stats != nullptr) ++stats->bad_accesses;
+    return 0;
+  };
   for (u32 pc = 0; pc < insns.size();) {
     const BpfInsn& in = insns[pc];
+    if (stats != nullptr) ++stats->insns;
     switch (in.code) {
       case BpfOp::kLdWAbs:
-        if (in.k + 4 > len) return 0;
+        // 64-bit bound: k near UINT32_MAX must not wrap k+4 below len and
+        // read out of bounds of the host packet buffer.
+        if (static_cast<u64>(in.k) + 4 > len) return bad();
         a = (static_cast<u32>(pkt[in.k]) << 24) | (static_cast<u32>(pkt[in.k + 1]) << 16) |
             (static_cast<u32>(pkt[in.k + 2]) << 8) | pkt[in.k + 3];
         ++pc;
         break;
       case BpfOp::kLdHAbs:
-        if (in.k + 2 > len) return 0;
+        if (static_cast<u64>(in.k) + 2 > len) return bad();
         a = (static_cast<u32>(pkt[in.k]) << 8) | pkt[in.k + 1];
         ++pc;
         break;
       case BpfOp::kLdBAbs:
-        if (in.k >= len) return 0;
+        if (in.k >= len) return bad();
         a = pkt[in.k];
         ++pc;
         break;
@@ -171,10 +182,12 @@ bpf_loop:
   mov $0, %eax           ; unknown opcode: reject the packet
   jmp bpf_done
 op_ldw:
-  mov %edx, %edi
-  add $4, %edi
-  cmp %esi, %edi
-  ja bad_access
+  cmp %esi, %edx         ; overflow-free bound: reject k >= len, then
+  jae bad_access         ; require len - k >= 4 (k+4 could wrap at 2^32)
+  mov %esi, %edi
+  sub %edx, %edi
+  cmp $4, %edi
+  jb bad_access
   ld8 PKT(%edx), %eax
   shl $8, %eax
   ld8 PKT+1(%edx), %edi
@@ -187,10 +200,12 @@ op_ldw:
   or %edi, %eax
   jmp next_insn
 op_ldh:
-  mov %edx, %edi
-  add $2, %edi
-  cmp %esi, %edi
-  ja bad_access
+  cmp %esi, %edx
+  jae bad_access
+  mov %esi, %edi
+  sub %edx, %edi
+  cmp $2, %edi
+  jb bad_access
   ld8 PKT(%edx), %eax
   shl $8, %eax
   ld8 PKT+1(%edx), %edi

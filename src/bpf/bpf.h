@@ -58,9 +58,19 @@ class BpfProgram {
   std::vector<BpfInsn> insns_;
 };
 
+// Interpreter counters for the obs layer (packets run, insns retired,
+// accesses rejected by the bounds checks).
+struct BpfHostStats {
+  u64 packets = 0;
+  u64 insns = 0;
+  u64 bad_accesses = 0;
+};
+
 // Host reference interpreter (for cross-validation against the simulated
 // one). Returns the filter's accept value; 0 on fall-off or bad access.
-u32 BpfInterpretHost(const BpfProgram& prog, const u8* pkt, u32 len);
+// `stats`, when given, accumulates across calls.
+u32 BpfInterpretHost(const BpfProgram& prog, const u8* pkt, u32 len,
+                     BpfHostStats* stats = nullptr);
 
 // The interpreter as simulated assembly. It expects, at assembly-time
 // constants: PROG at `prog_addr` (serialized program), PKT at `pkt_addr`,

@@ -61,17 +61,38 @@ std::optional<u32> KernelExtensionManager::LoadExtension(const std::string& name
     seg = &it->second;
     ext_id = options.into_segment;
   } else {
-    if (next_region_offset_ + options.segment_span > kKextRegionSpan) {
-      if (diag != nullptr) *diag = "kernel extension region exhausted";
-      return std::nullopt;
+    // First-fit from the free list (regions returned by UnloadExtension), so
+    // repeated load/unload cycles reuse addresses instead of exhausting the
+    // kext region — and so stale-translation bugs at a reused base would show.
+    u32 region_offset = 0;
+    bool reused = false;
+    for (auto rit = free_regions_.begin(); rit != free_regions_.end(); ++rit) {
+      if (rit->second >= options.segment_span) {
+        region_offset = rit->first;
+        if (rit->second > options.segment_span) {
+          rit->first += options.segment_span;
+          rit->second -= options.segment_span;
+        } else {
+          free_regions_.erase(rit);
+        }
+        reused = true;
+        break;
+      }
+    }
+    if (!reused) {
+      if (next_region_offset_ + options.segment_span > kKextRegionSpan) {
+        if (diag != nullptr) *diag = "kernel extension region exhausted";
+        return std::nullopt;
+      }
+      region_offset = next_region_offset_;
+      next_region_offset_ += options.segment_span;
     }
     ext_id = next_ext_id_++;
     ExtensionState st;
     st.name = name;
-    st.linear_base = kKextRegionBase + next_region_offset_;
+    st.linear_base = kKextRegionBase + region_offset;
     st.span = options.segment_span;
     st.cycle_limit = options.cycle_limit;
-    next_region_offset_ += options.segment_span;
     // Stack at the top of the segment; stubs right below it.
     st.stack_top = st.span;
     st.stub_bump = st.span - options.stack_bytes - kPageSize;
@@ -143,21 +164,44 @@ std::optional<u32> KernelExtensionManager::LoadExtension(const std::string& name
     eft_.push_back(std::move(entry));
     seg->stub_bump += 2 * kInsnSize;
   }
+  ++loads_;
   return ext_id;
 }
 
 void KernelExtensionManager::UnloadExtension(u32 ext_id) {
   auto it = extensions_.find(ext_id);
   if (it == extensions_.end()) return;
-  kernel_.gdt().Clear(Selector(it->second.code_selector).index());
-  kernel_.gdt().Clear(Selector(it->second.data_selector).index());
-  for (auto fit = eft_.begin(); fit != eft_.end();) {
-    if (fit->ext_id == ext_id) {
-      fit = eft_.erase(fit);
-    } else {
-      ++fit;
+  ExtensionState& ext = it->second;
+  kernel_.gdt().Clear(Selector(ext.code_selector).index());
+  kernel_.gdt().Clear(Selector(ext.data_selector).index());
+  // Tombstone (never erase) this extension's EFT entries: function ids are
+  // indices held by live callers (e.g. dataplane flows), so erasing entries
+  // would silently rebind every later id to the wrong function.
+  for (FunctionEntry& e : eft_) {
+    if (e.ext_id == ext_id) {
+      e.ext_id = 0;
+      e.name.clear();
+      e.transfer_offset = 0;
     }
   }
+  // Queued async requests against the dead extension must not run.
+  for (auto qit = async_queue_.begin(); qit != async_queue_.end();) {
+    if (eft_[qit->first].ext_id == 0) {
+      qit = async_queue_.erase(qit);
+    } else {
+      ++qit;
+    }
+  }
+  // Unmap and free every page of the segment. UnmapKernelPage evicts each
+  // frame from every vCPU's decode cache (and trace tier) and the kernel-
+  // range PTE shootdown flushes all TLBs/D-TLBs, so no stale translation of
+  // the dead image survives a reload at the same linear base.
+  for (u32 off = 0; off < ext.span; off += kPageSize) {
+    kernel_.UnmapKernelPage(ext.linear_base + off);
+  }
+  // Return the region for first-fit reuse by the next LoadExtension.
+  free_regions_.emplace_back(ext.linear_base - kKextRegionBase, ext.span);
+  ++unloads_;
   extensions_.erase(it);
 }
 
@@ -165,6 +209,7 @@ std::optional<u32> KernelExtensionManager::FindFunction(const std::string& name)
   std::optional<u32> match;
   for (u32 i = 0; i < eft_.size(); ++i) {
     const FunctionEntry& e = eft_[i];
+    if (e.ext_id == 0) continue;  // tombstone of an unloaded extension
     if (e.name == name) return i;
     // Suffix match on ":<fn>" for the unqualified form.
     if (e.name.size() > name.size() &&
@@ -189,6 +234,7 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Abort(ExtensionStat
   // the offending extension without further cleanup.
   kernel_.Charge(charge);
   ext.aborted = true;
+  ++aborts_;
   InvokeResult r;
   r.ok = false;
   r.error = reason;
@@ -197,7 +243,7 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Abort(ExtensionStat
 
 KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function_id, u32 arg) {
   InvokeResult result;
-  if (function_id >= eft_.size()) {
+  if (function_id >= eft_.size() || eft_[function_id].ext_id == 0) {
     result.error = "no such extension function";
     return result;
   }
@@ -207,6 +253,7 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
     result.error = "extension was aborted";
     return result;
   }
+  ++invocations_;
 
   Cpu& cpu = kernel_.cpu();
   const CpuContext saved = cpu.SaveContext();
@@ -238,6 +285,7 @@ KernelExtensionManager::InvokeResult KernelExtensionManager::Invoke(u32 function
   }
 
   auto restore = [&] {
+    invoke_cycles_ += cpu.cycles() - start_cycles;
     cpu.RestoreContext(saved);
     if (saved_cr3 != cpu.cr3() && saved_cr3 != 0) cpu.LoadCr3(saved_cr3);
     cpu.tss() = saved_tss;
@@ -356,7 +404,7 @@ void KernelExtensionManager::RegisterService(u32 number, ServiceFn fn) {
 }
 
 bool KernelExtensionManager::EnqueueAsync(u32 function_id, u32 arg) {
-  if (function_id >= eft_.size()) return false;
+  if (function_id >= eft_.size() || eft_[function_id].ext_id == 0) return false;
   ExtensionState& ext = extensions_.at(eft_[function_id].ext_id);
   if (ext.aborted) return false;
   ext.busy = true;
@@ -371,12 +419,13 @@ u32 KernelExtensionManager::DrainAsync() {
     async_queue_.pop_front();
     Invoke(fid, arg);
     ++executed;
-    ExtensionState& ext = extensions_.at(eft_[fid].ext_id);
+    auto eit = extensions_.find(eft_[fid].ext_id);
+    if (eit == extensions_.end()) continue;  // unloaded while draining
     bool more = false;
     for (const auto& [qfid, _] : async_queue_) {
       if (eft_[qfid].ext_id == eft_[fid].ext_id) more = true;
     }
-    ext.busy = more;
+    eit->second.busy = more;
   }
   return executed;
 }

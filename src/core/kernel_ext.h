@@ -94,11 +94,18 @@ class KernelExtensionManager {
   const ExtensionState* extension(u32 ext_id) const;
 
   struct FunctionEntry {
-    u32 ext_id = 0;
+    u32 ext_id = 0;  // 0 = tombstone (extension unloaded; id stays reserved)
     std::string name;
     u32 transfer_offset = 0;  // segment-relative entry for Invoke
   };
   const std::vector<FunctionEntry>& function_table() const { return eft_; }
+
+  // Lifetime / invocation counters for the obs layer.
+  u64 loads() const { return loads_; }
+  u64 unloads() const { return unloads_; }
+  u64 invocations() const { return invocations_; }
+  u64 aborts() const { return aborts_; }
+  u64 invoke_cycles() const { return invoke_cycles_; }
 
  private:
   void HandleKernelService();
@@ -108,6 +115,9 @@ class KernelExtensionManager {
   std::map<u32, ExtensionState> extensions_;
   u32 next_ext_id_ = 1;
   u32 next_region_offset_ = 0;  // within [kKextRegionBase, +kKextRegionSpan)
+  // Regions returned by UnloadExtension, as (region offset, span) pairs;
+  // LoadExtension reuses them first-fit before bumping next_region_offset_.
+  std::vector<std::pair<u32, u32>> free_regions_;
   std::vector<FunctionEntry> eft_;
   std::map<u32, ServiceFn> services_;
   std::deque<std::pair<u32, u32>> async_queue_;  // (function id, arg)
@@ -115,6 +125,11 @@ class KernelExtensionManager {
   u64 packets_output_ = 0;
   u32 service_ext_ = 0;  // extension id whose service call is being handled
   std::string printk_output_;
+  u64 loads_ = 0;
+  u64 unloads_ = 0;
+  u64 invocations_ = 0;
+  u64 aborts_ = 0;
+  u64 invoke_cycles_ = 0;  // total cycles spent inside Invoke (incl. crossing)
 };
 
 }  // namespace palladium

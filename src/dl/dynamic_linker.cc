@@ -39,7 +39,35 @@ std::optional<u32> DynamicLinker::LoadLibrary(Pid pid, const std::string& name,
   }
   next_base_[pid] = end + kPageSize;
   loaded_[pid].push_back(Library{name, *img, expose_ppl1});
+  ++loads_;
   return base;
+}
+
+bool DynamicLinker::UnloadLibrary(Pid pid, const std::string& name, std::string* diag) {
+  Process* proc = kernel_.process(pid);
+  if (proc == nullptr) {
+    if (diag != nullptr) *diag = "no such process";
+    return false;
+  }
+  auto it = loaded_.find(pid);
+  if (it == loaded_.end()) {
+    if (diag != nullptr) *diag = "no libraries loaded";
+    return false;
+  }
+  for (auto lit = it->second.begin(); lit != it->second.end(); ++lit) {
+    if (lit->name != name) continue;
+    const u32 base = lit->image.base;
+    const u32 end = PageAlignUp(base + lit->image.TotalSpan());
+    if (!kernel_.UnmapArea(*proc, base, end)) {
+      if (diag != nullptr) *diag = "cannot unmap library area";
+      return false;
+    }
+    it->second.erase(lit);
+    ++unloads_;
+    return true;
+  }
+  if (diag != nullptr) *diag = "library not loaded: " + name;
+  return false;
 }
 
 std::optional<u32> DynamicLinker::Lookup(Pid pid, const std::string& symbol) const {

@@ -43,6 +43,13 @@ class DynamicLinker {
   std::optional<u32> LoadLibrary(Pid pid, const std::string& name, bool expose_ppl1,
                                  std::string* diag);
 
+  // Unmaps a loaded library: frees its pages (Kernel::UnmapArea evicts every
+  // frame from every vCPU's decode cache and shoots down the TLBs/D-TLBs) and
+  // drops its symbols from the process. The library's address range is NOT
+  // reused by later loads (next_base_ only grows), so dangling pointers fault
+  // instead of silently hitting a new image.
+  bool UnloadLibrary(Pid pid, const std::string& name, std::string* diag);
+
   // Looks a symbol up across all libraries loaded in the process.
   std::optional<u32> Lookup(Pid pid, const std::string& symbol) const;
 
@@ -63,11 +70,17 @@ class DynamicLinker {
     return it == loaded_.end() ? nullptr : &it->second;
   }
 
+  // Counters for the obs layer.
+  u64 loads() const { return loads_; }
+  u64 unloads() const { return unloads_; }
+
  private:
   Kernel& kernel_;
   std::map<std::string, ObjectFile> registry_;
   std::map<Pid, std::vector<Library>> loaded_;
   std::map<Pid, u32> next_base_;
+  u64 loads_ = 0;
+  u64 unloads_ = 0;
 };
 
 }  // namespace palladium

@@ -461,6 +461,20 @@ u32 Kernel::MapKernelPage(u32 linear, bool user_bit) {
   return frame;
 }
 
+bool Kernel::UnmapKernelPage(u32 linear) {
+  if (linear < kKernelBase) return false;
+  PageTableEditor ed = Editor(kernel_page_dir_template_);
+  u32 pte = 0;
+  if (!ed.GetPte(linear, &pte) || !(pte & kPtePresent)) return false;
+  u32 frame = pte & kPteFrameMask;
+  // Kernel mappings may have been decoded (extension code runs from them):
+  // drop every vCPU's cached translations before the frame is recycled.
+  EvictFrameEverywhere(frame);
+  ed.Unmap(linear);
+  frames_.Free(frame);
+  return true;
+}
+
 // --- Image loading -----------------------------------------------------------
 
 void Kernel::InstallSignalTrampoline(Process& proc) {

@@ -118,6 +118,10 @@ class Kernel {
   // Maps `linear` (in kernel space, >= 3 GB) to a fresh frame in every
   // process (kernel mappings are shared). Returns the frame, 0 on OOM.
   u32 MapKernelPage(u32 linear, bool user_bit = false);
+  // Undoes MapKernelPage: evicts the frame from every vCPU's decode cache,
+  // unmaps the shared kernel PTE (shooting down all TLBs/D-TLBs) and frees
+  // the frame. Returns false if the page was not mapped.
+  bool UnmapKernelPage(u32 linear);
   // Direct-map helpers: kernel linear <-> physical.
   static u32 KernelLinearToPhys(u32 linear) { return linear - kKernelBase; }
   // The kernel-only page directory (valid CR3 when no process is current).

@@ -116,13 +116,13 @@ PacketDataplane::~PacketDataplane() {
   }
 }
 
-bool PacketDataplane::AddFlow(const std::string& name, const std::string& filter_text,
-                              std::vector<Pid> dests, std::string* diag) {
+std::optional<PacketDataplane::CompiledFilter> PacketDataplane::LoadFilterExtension(
+    const std::string& kext_name, const std::string& filter_text, std::string* diag) {
   std::string err;
   auto expr = ParseFilter(filter_text, &err);
   if (!expr) {
     if (diag != nullptr) *diag = "parse: " + err;
-    return false;
+    return std::nullopt;
   }
   // Shared area: the single-frame image at +0/+4 and the batch records at
   // +16 overlap in use, never in time; capacity covers the larger layout.
@@ -133,22 +133,69 @@ bool PacketDataplane::AddFlow(const std::string& name, const std::string& filter
   auto obj = Assemble(CompileFilterToAsm(*expr, capacity, stride), &aerr);
   if (!obj) {
     if (diag != nullptr) *diag = "assemble: " + aerr.ToString();
-    return false;
+    return std::nullopt;
   }
-  auto ext = kext_.LoadExtension(name, *obj, diag);
-  if (!ext) return false;
-  auto fid = kext_.FindFunction(name + ":filter_run");
+  auto ext = kext_.LoadExtension(kext_name, *obj, diag);
+  if (!ext) return std::nullopt;
+  auto fid = kext_.FindFunction(kext_name + ":filter_run");
   if (!fid) {
     if (diag != nullptr) *diag = "compiled filter exports no filter_run";
+    kext_.UnloadExtension(*ext);
+    return std::nullopt;
+  }
+  CompiledFilter out;
+  out.ext_id = *ext;
+  out.function_id = *fid;
+  auto bfid = kext_.FindFunction(kext_name + ":filter_run_batch");
+  if (bfid) {
+    out.has_batch = true;
+    out.batch_function_id = *bfid;
+    out.batch_stride = stride;
+  }
+  return out;
+}
+
+bool PacketDataplane::AddFlow(const std::string& name, const std::string& filter_text,
+                              std::vector<Pid> dests, std::string* diag) {
+  auto cf = LoadFilterExtension(name, filter_text, diag);
+  if (!cf) return false;
+  if (!AddFlowFunction(name, cf->ext_id, cf->function_id, std::move(dests))) return false;
+  flows_.back().batch_function_id = cf->batch_function_id;
+  flows_.back().has_batch = cf->has_batch;
+  flows_.back().batch_stride = cf->batch_stride;
+  return true;
+}
+
+bool PacketDataplane::UpgradeFlow(const std::string& name, const std::string& filter_text,
+                                  std::string* diag) {
+  FlowInfo* flow = nullptr;
+  for (FlowInfo& f : flows_) {
+    if (f.name == name) {
+      flow = &f;
+      break;
+    }
+  }
+  if (flow == nullptr || flow->dead) {
+    if (diag != nullptr) *diag = "no such live flow: " + name;
     return false;
   }
-  if (!AddFlowFunction(name, *ext, *fid, std::move(dests))) return false;
-  auto bfid = kext_.FindFunction(name + ":filter_run_batch");
-  if (bfid) {
-    flows_.back().batch_function_id = *bfid;
-    flows_.back().has_batch = true;
-    flows_.back().batch_stride = stride;
-  }
+  // Load v2 under a versioned extension name so both images coexist across
+  // the swap (the old EFT entries stay live until the flow points away).
+  const std::string vname = name + "#v" + std::to_string(++upgrade_seq_);
+  auto cf = LoadFilterExtension(vname, filter_text, diag);
+  if (!cf) return false;
+  const u32 old_ext = flow->ext_id;
+  // The swap: host code between classification runs, so every frame is
+  // classified by exactly the old or exactly the new image — never dropped.
+  flow->ext_id = cf->ext_id;
+  flow->function_id = cf->function_id;
+  flow->batch_function_id = cf->batch_function_id;
+  flow->has_batch = cf->has_batch;
+  flow->batch_stride = cf->batch_stride;
+  // Retire the old image: pages unmapped and freed, decode/trace entries
+  // evicted on every vCPU, TLBs/D-TLBs shot down, region reusable.
+  kext_.UnloadExtension(old_ext);
+  ++stats_.flow_upgrades;
   return true;
 }
 

@@ -174,6 +174,7 @@ class PacketDataplane {
     u64 tx_completion_irqs = 0;  // TX-completion handler activations
     u64 napi_polls = 0;          // non-empty poll batches
     u64 napi_frames = 0;         // frames collected by the poll loop
+    u64 flow_upgrades = 0;       // live filter replacements (UpgradeFlow)
   };
 
   struct FlowInfo {
@@ -208,6 +209,18 @@ class PacketDataplane {
   // frame.
   bool AddFlow(const std::string& name, const std::string& filter_text, std::vector<Pid> dests,
                std::string* diag);
+
+  // Live filter upgrade (the paper's dynamically-replaceable extension
+  // story): compiles `filter_text`, loads it as a *new* kernel extension
+  // (versioned name, so both images coexist for the swap), atomically points
+  // the flow's classification at the new function ids, then unloads the old
+  // image — whose pages are unmapped, decode-cache/trace entries evicted and
+  // TLB/D-TLB entries shot down. In-flight frames are never dropped: the
+  // swap happens between classification runs (host code), so every frame is
+  // classified by exactly one version. Must not be called from inside a
+  // filter invocation. Only valid for flows created by AddFlow (which own
+  // their extension segment).
+  bool UpgradeFlow(const std::string& name, const std::string& filter_text, std::string* diag);
 
   // Registers a flow classified by an arbitrary Extension Function Table
   // entry (any loaded kext exporting the filter_run/pd_shared convention) —
@@ -252,6 +265,19 @@ class PacketDataplane {
   Nic& nic() { return nic_; }
 
  private:
+  // Compiled-filter deployment shared by AddFlow and UpgradeFlow: compiles
+  // `filter_text` (per-frame + batch entry points), loads it as extension
+  // `kext_name`, and resolves the function ids.
+  struct CompiledFilter {
+    u32 ext_id = 0;
+    u32 function_id = 0;
+    bool has_batch = false;
+    u32 batch_function_id = 0;
+    u32 batch_stride = 0;
+  };
+  std::optional<CompiledFilter> LoadFilterExtension(const std::string& kext_name,
+                                                    const std::string& filter_text,
+                                                    std::string* diag);
   void SysPktRecv(u32 buf, u32 cap, u32 flags);
   void SysPktSend(u32 buf, u32 len);
   void SysPktRecvM(u32 buf, u32 cap, u32 flags);
@@ -295,6 +321,7 @@ class PacketDataplane {
   std::deque<std::vector<u8>> backlog_;  // RPS: raw frames awaiting classification
   u32 wake_cursor_ = 0;                  // round-robin over all_dests_ for RPS wakes
   bool in_classify_ = false;             // guards re-entrant backlog draining
+  u32 upgrade_seq_ = 0;                  // versions UpgradeFlow kext names
 };
 
 }  // namespace palladium

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/bpf/bpf.h"
+#include "src/core/kernel_ext.h"
+#include "src/dl/dynamic_linker.h"
 #include "src/hw/cpu.h"
 #include "src/hw/nic.h"
 #include "src/kernel/kernel.h"
@@ -10,6 +13,8 @@
 #include "src/net/dataplane.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
+#include "src/rpc/rpc.h"
+#include "src/sfi/sfi.h"
 
 namespace palladium {
 namespace obs {
@@ -92,6 +97,7 @@ void MetricsRegistry::CollectDataplane(const PacketDataplane& dp) {
   Counter("dataplane.tx_completion_irqs", s.tx_completion_irqs);
   Counter("dataplane.napi_polls", s.napi_polls);
   Counter("dataplane.napi_frames", s.napi_frames);
+  Counter("dataplane.flow_upgrades", s.flow_upgrades);
 }
 
 void MetricsRegistry::CollectKernel(const Kernel& kernel) {
@@ -118,6 +124,41 @@ void MetricsRegistry::CollectRecorder(const FlightRecorder& recorder) {
   for (u32 t = 0; t < recorder.num_tracks(); ++t) total += recorder.recorded_events(t);
   Counter("obs.trace.events", total);
   Counter("obs.trace.dropped_events", recorder.TotalDropped());
+}
+
+void MetricsRegistry::CollectKext(const KernelExtensionManager& kext) {
+  Counter("kext.loads", kext.loads());
+  Counter("kext.unloads", kext.unloads());
+  Counter("kext.invocations", kext.invocations());
+  Counter("kext.aborts", kext.aborts());
+  Counter("kext.invoke_cycles", kext.invoke_cycles());
+}
+
+void MetricsRegistry::CollectSfi(const SfiStats& stats) {
+  Counter("sfi.original_insns", stats.original_insns);
+  Counter("sfi.rewritten_insns", stats.rewritten_insns);
+  Counter("sfi.sandboxed_memory_ops", stats.sandboxed_memory_ops);
+  Counter("sfi.sandboxed_indirect_jumps", stats.sandboxed_indirect_jumps);
+  Gauge("sfi.expansion", stats.Expansion());
+}
+
+void MetricsRegistry::CollectBpf(const BpfHostStats& stats) {
+  Counter("bpf.packets", stats.packets);
+  Counter("bpf.insns", stats.insns);
+  Counter("bpf.bad_accesses", stats.bad_accesses);
+}
+
+void MetricsRegistry::CollectRpc(const LocalRpcChannel& rpc) {
+  Counter("rpc.calls", rpc.calls());
+  Counter("rpc.bytes_marshalled", rpc.bytes_marshalled());
+  Counter("rpc.cycles", rpc.cycles());
+  Counter("rpc.context_switches_per_call", rpc.costs().context_switches);
+  Counter("rpc.domain_crossings_per_call", rpc.costs().domain_crossings);
+}
+
+void MetricsRegistry::CollectDl(const DynamicLinker& dl) {
+  Counter("dl.loads", dl.loads());
+  Counter("dl.unloads", dl.unloads());
 }
 
 void MetricsRegistry::CollectMachine(const Kernel& kernel, const Scheduler* sched) {

@@ -22,10 +22,15 @@
 namespace palladium {
 
 class Cpu;
+class DynamicLinker;
 class Kernel;
+class KernelExtensionManager;
+class LocalRpcChannel;
 class Nic;
 class PacketDataplane;
 class Scheduler;
+struct BpfHostStats;
+struct SfiStats;
 
 namespace obs {
 
@@ -55,6 +60,12 @@ class MetricsRegistry {
   void CollectKernel(const Kernel& kernel);  // SMP shootdown counters
   void CollectProfile(const CycleProfile& profile);
   void CollectRecorder(const FlightRecorder& recorder);
+  // Protection-subsystem counters (the Figure-7 ablation modes).
+  void CollectKext(const KernelExtensionManager& kext);
+  void CollectSfi(const SfiStats& stats);
+  void CollectBpf(const BpfHostStats& stats);
+  void CollectRpc(const LocalRpcChannel& rpc);
+  void CollectDl(const DynamicLinker& dl);
   // Every CPU + scheduler + SMP counter of a kernel machine in one call.
   void CollectMachine(const Kernel& kernel, const Scheduler* sched);
 

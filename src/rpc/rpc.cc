@@ -20,6 +20,8 @@ std::optional<std::vector<u8>> LocalRpcChannel::Call(const std::string& method,
   std::vector<u8> client_view(socket_buffer_.begin(), socket_buffer_.end());
 
   cycles_ += costs_.base_cycles;
+  ++calls_;
+  bytes_marshalled_ += request.size() + reply.size();
   return client_view;
 }
 

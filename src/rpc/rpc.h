@@ -47,12 +47,18 @@ class LocalRpcChannel {
   u64 cycles() const { return cycles_; }
   void ResetCycles() { cycles_ = 0; }
   const RpcCosts& costs() const { return costs_; }
+  // Counters for the obs layer: completed request-reply transactions and
+  // bytes marshalled (both directions).
+  u64 calls() const { return calls_; }
+  u64 bytes_marshalled() const { return bytes_marshalled_; }
 
  private:
   RpcCosts costs_;
   std::map<std::string, Handler> handlers_;
   std::vector<u8> socket_buffer_;
   u64 cycles_ = 0;
+  u64 calls_ = 0;
+  u64 bytes_marshalled_ = 0;
 };
 
 }  // namespace palladium

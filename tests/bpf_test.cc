@@ -3,7 +3,9 @@
 // on random packets — the Figure-7 baseline must be semantically sound.
 #include <gtest/gtest.h>
 
+#include "src/asm/assembler.h"
 #include "src/bpf/bpf.h"
+#include "src/core/kernel_ext.h"
 #include "src/filter/filter.h"
 #include "src/hw/bare_machine.h"
 #include "src/net/packet.h"
@@ -50,6 +52,23 @@ TEST(BpfValidate, RejectsFallOffEnd) {
   EXPECT_FALSE(p.Validate(&err));
 }
 
+// Regression: `i + 1 + k` was computed in 32 bits, so a huge k wrapped the
+// "forward" target back into range — validation passed and the interpreters
+// looped forever (a wrapped forward jump is a backward jump).
+TEST(BpfValidate, RejectsWrappingJaTarget) {
+  BpfProgram p;
+  p.Append({BpfOp::kJmpJa, 0, 0, 0xFFFFFFFFu});  // pc += 1 + k wraps to pc
+  p.Append({BpfOp::kRetK, 0, 0, 1});
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+  EXPECT_NE(err.find("target"), std::string::npos);
+
+  BpfProgram q;
+  q.Append({BpfOp::kJmpJa, 0, 0, 0xFFFFFFFEu});  // wraps to pc - 1
+  q.Append({BpfOp::kRetK, 0, 0, 1});
+  EXPECT_FALSE(q.Validate(&err));
+}
+
 TEST(BpfHost, MatchesAndRejects) {
   BpfProgram p = AcceptTcpPort80();
   PacketSpec hit;
@@ -73,6 +92,27 @@ TEST(BpfHost, ShortPacketRejected) {
   BpfProgram p = AcceptTcpPort80();
   u8 tiny[4] = {0, 0, 0, 0};
   EXPECT_EQ(BpfInterpretHost(p, tiny, 4), 0u);
+}
+
+// Regression: the load bounds check `k + 4 > len` wrapped at 2^32, so a
+// near-UINT32_MAX offset passed the check and read out of bounds of the
+// host packet buffer (ASan-visible heap overflow).
+TEST(BpfHost, HugeLoadOffsetRejectedNotWrapped) {
+  BpfProgram w;
+  w.Append({BpfOp::kLdWAbs, 0, 0, 0xFFFFFFFEu});  // k + 4 wraps to 2
+  w.Append({BpfOp::kRetK, 0, 0, 1});
+  std::string err;
+  ASSERT_TRUE(w.Validate(&err)) << err;
+  std::vector<u8> pkt(64, 0xAB);
+  BpfHostStats stats;
+  EXPECT_EQ(BpfInterpretHost(w, pkt.data(), static_cast<u32>(pkt.size()), &stats), 0u);
+  EXPECT_EQ(stats.bad_accesses, 1u);
+
+  BpfProgram h;
+  h.Append({BpfOp::kLdHAbs, 0, 0, 0xFFFFFFFFu});  // k + 2 wraps to 1
+  h.Append({BpfOp::kRetK, 0, 0, 1});
+  ASSERT_TRUE(h.Validate(&err)) << err;
+  EXPECT_EQ(BpfInterpretHost(h, pkt.data(), static_cast<u32>(pkt.size())), 0u);
 }
 
 TEST(BpfHost, AluAndJsetWork) {
@@ -214,6 +254,90 @@ TEST_F(BpfSimTest, InterpretationCostGrowsWithTerms) {
   RunSim(CompileFilterToBpf(e4), pkt, &ok, &cost4);
   ASSERT_TRUE(ok);
   EXPECT_GT(cost4, cost1 + 3 * 35) << "each extra term should cost >~35 cycles interpreted";
+}
+
+// Regression: the simulated interpreter's op_ldw/op_ldh bounds check
+// computed k+4 in a 32-bit register, so a huge k wrapped below len and the
+// load went through — reading whatever sits at (PKT + k) mod 2^32 instead
+// of rejecting the access.
+TEST_F(BpfSimTest, HugeLoadOffsetRejectedInSimToo) {
+  BpfProgram w;
+  w.Append({BpfOp::kLdWAbs, 0, 0, 0xFFFFFFFEu});
+  w.Append({BpfOp::kRetK, 0, 0, 1});
+  std::string err;
+  ASSERT_TRUE(w.Validate(&err)) << err;
+  std::vector<u8> pkt(64, 0xAB);
+  bool ok = false;
+  EXPECT_EQ(RunSim(w, pkt, &ok), 0u);
+  EXPECT_TRUE(ok);
+
+  BpfProgram h;
+  h.Append({BpfOp::kLdHAbs, 0, 0, 0xFFFFFFFFu});
+  h.Append({BpfOp::kRetK, 0, 0, 1});
+  ASSERT_TRUE(h.Validate(&err)) << err;
+  EXPECT_EQ(RunSim(h, pkt, &ok), 0u);
+  EXPECT_TRUE(ok);
+}
+
+// The interpreter must bound accesses by the *actual* frame length passed
+// per call, not any constant baked in at build time: the same interpreter
+// image accepts a full-size frame and rejects a truncated copy of it.
+TEST_F(BpfSimTest, TruncatedFrameRejectedByActualLength) {
+  BpfProgram p = AcceptTcpPort80();
+  PacketSpec spec;
+  spec.proto = kIpProtoTcp;
+  spec.dst_port = 80;
+  auto pkt = BuildPacket(spec);
+  bool ok = false;
+  EXPECT_EQ(RunSim(p, pkt, &ok), 1u);
+  EXPECT_TRUE(ok);
+  // Same bytes, truncated before the TCP header: the dport load must be
+  // rejected by the length check, exactly as the host reference does.
+  std::vector<u8> truncated(pkt.begin(), pkt.begin() + kOffDstPort);
+  EXPECT_EQ(RunSim(p, truncated, &ok), 0u);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(BpfInterpretHost(p, truncated.data(), static_cast<u32>(truncated.size())), 0u);
+}
+
+// Satellite hardening claim: a hostile BPF program that loops forever must
+// be terminated by the existing extension watchdog accounting when the
+// interpreter is deployed as a protected kernel extension — not hang the
+// harness. The program is corrupted *after* validation (patched in memory),
+// modeling a filter image overwritten at runtime.
+TEST(BpfKext, HostileLoopingProgramKilledByWatchdog) {
+  Machine machine;
+  Kernel kernel(machine);
+  KernelExtensionManager kext(kernel);
+  constexpr u32 kProgOff = 0x40000;
+  constexpr u32 kPktOff = 0x48000;
+  AssembleError aerr;
+  auto obj = Assemble(BpfInterpreterAsmSource(kProgOff, kPktOff), &aerr);
+  ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+  KextOptions opt;
+  opt.cycle_limit = 50'000;
+  std::string diag;
+  auto id = kext.LoadExtension("bpfint", *obj, &diag, opt);
+  ASSERT_TRUE(id.has_value()) << diag;
+  auto fid = kext.FindFunction("bpfint:bpf_run");
+  ASSERT_TRUE(fid.has_value());
+
+  BpfProgram p;
+  p.Append({BpfOp::kJmpJa, 0, 0, 0});  // patched below
+  p.Append({BpfOp::kRetK, 0, 0, 1});
+  std::string err;
+  ASSERT_TRUE(p.Validate(&err)) << err;
+  auto ser = p.Serialize();
+  // Corrupt insn 0's k to 0xFFFFFFFF: pc += 1 + k leaves pc in place — an
+  // unconditional self-loop the validator could never have admitted.
+  const u32 evil_k = 0xFFFFFFFFu;
+  std::memcpy(&ser[4], &evil_k, 4);
+  const u32 base = kext.extension(*id)->linear_base;
+  ASSERT_TRUE(kernel.WriteKernelVirt(base + kProgOff, ser.data(), static_cast<u32>(ser.size())));
+
+  auto r = kext.Invoke(*fid, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("time limit"), std::string::npos) << r.error;
+  EXPECT_TRUE(kext.extension(*id)->aborted);
 }
 
 }  // namespace

@@ -628,5 +628,197 @@ TEST(Dataplane, BatchFilterCodegenMatchesHostEval) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Live filter upgrade under traffic.
+
+// An echo worker that, after serving its 3rd frame, issues syscall 235 — the
+// test wires that to PacketDataplane::UpgradeFlow, so the upgrade lands in
+// the middle of the packet stream, between protected filter invocations.
+constexpr char kUpgradingEchoWorkerSource[] = R"(
+  .global main
+main:
+  mov $90, %eax           ; SYS_MMAP
+  mov $0, %ebx
+  mov $4096, %ecx
+  mov $3, %edx
+  int $0x80
+  mov %eax, %esi          ; packet buffer
+  mov $0, %edi            ; served counter
+loop:
+  mov $220, %eax          ; SYS_PKT_RECV
+  mov %esi, %ebx
+  mov $2048, %ecx
+  mov $0, %edx
+  int $0x80
+  cmp $0, %eax
+  jl done
+  mov %eax, %ecx
+  mov $221, %eax          ; SYS_PKT_SEND
+  mov %esi, %ebx
+  int $0x80
+  inc %edi
+  cmp $3, %edi
+  jne loop
+  mov $235, %eax          ; 3rd frame served: request the filter upgrade
+  int $0x80
+  jmp loop
+done:
+  mov $1, %eax            ; SYS_EXIT
+  mov %edi, %ebx
+  int $0x80
+)";
+
+// One echo run over a fixed mixed trace where the worker's syscall 235
+// either live-upgrades flow f7777 (to an identical-semantics v2) or is a
+// no-op. Everything else — trace, worker, timing — is held constant.
+ScenarioOutcome RunLiveUpgradeScenario(bool upgrade, u64* flow_upgrades) {
+  ScenarioOutcome out;
+  KernelFixture f(1);
+  Scheduler sched(f.kernel());
+  KernelExtensionManager kext(f.kernel());
+  Nic nic(f.machine().pm(), f.kernel().pic(), kIrqNic);
+  PacketDataplane dp(f.kernel(), kext, nic);
+  bool shutdown_issued = false;
+  sched.set_idle_hook([&]() {
+    if (shutdown_issued) return false;
+    shutdown_issued = true;
+    dp.Shutdown();
+    return true;
+  });
+  std::string diag;
+  Pid w = f.LoadProgram(kUpgradingEchoWorkerSource, &diag);
+  EXPECT_NE(w, 0u) << diag;
+  if (w == 0) return out;
+  sched.AddProcess(w);
+  const std::string filter_text = "ip.proto == 6 && tcp.dport == 7777";
+  f.kernel().RegisterSyscall(235, [&](Kernel& k, u32, u32, u32) {
+    if (upgrade) {
+      std::string d2;
+      EXPECT_TRUE(dp.UpgradeFlow("f7777", filter_text, &d2)) << d2;
+    }
+    k.ReturnFromGate(0);
+  });
+  EXPECT_TRUE(dp.AddFlow("f7777", filter_text, {w}, &diag)) << diag;
+
+  PacketSpec match;
+  match.proto = kIpProtoTcp;
+  match.dst_port = 7777;
+  TraceGenerator gen(424242, match, 0.5);
+  u64 at = 5'000;
+  for (u32 i = 0; i < 40; ++i) {
+    bool unused = false;
+    auto frame = BuildPacket(gen.Next(&unused));
+    nic.Inject(frame.data(), static_cast<u32>(frame.size()), at);
+    at += 3'000;
+  }
+  auto result = sched.RunAll(2'000'000'000ull);
+  out.exited = result.exited;
+  nic.FlushTx();
+  out.stats = dp.stats();
+  out.wire_tx = nic.tx_frames().size();
+  out.exit_codes.push_back(f.kernel().process(w)->exit_code);
+  *flow_upgrades = dp.stats().flow_upgrades;
+  return out;
+}
+
+// The tentpole scenario: v2 of the filter is loaded, atomically switched in,
+// and v1 unloaded — all while frames keep arriving. Zero frames may be lost
+// to the upgrade, and the accounting must be byte-identical to a control run
+// that never upgrades.
+TEST(DataplaneUpgrade, LiveUpgradeUnderTrafficZeroDropsMatchesControl) {
+  u64 upgraded_count = 0, control_count = 0;
+  auto upgraded = RunLiveUpgradeScenario(true, &upgraded_count);
+  auto control = RunLiveUpgradeScenario(false, &control_count);
+  EXPECT_EQ(upgraded.exited, 1u);
+  EXPECT_EQ(control.exited, 1u);
+  EXPECT_EQ(upgraded_count, 1u) << "the upgrade must actually have happened";
+  EXPECT_EQ(control_count, 0u);
+
+  EXPECT_EQ(upgraded.stats.rx_frames, 40u);
+  EXPECT_EQ(upgraded.stats.rx_frames, control.stats.rx_frames);
+  EXPECT_EQ(upgraded.stats.matched, control.stats.matched);
+  EXPECT_EQ(upgraded.stats.delivered, control.stats.delivered);
+  EXPECT_EQ(upgraded.stats.dropped_no_match, control.stats.dropped_no_match);
+  EXPECT_EQ(upgraded.stats.dropped_queue_full, 0u);
+  EXPECT_EQ(control.stats.dropped_queue_full, 0u);
+  EXPECT_EQ(upgraded.stats.dropped_dead_dest, 0u);
+  EXPECT_EQ(upgraded.stats.tx_frames, control.stats.tx_frames);
+  EXPECT_EQ(upgraded.wire_tx, control.wire_tx);
+  EXPECT_EQ(upgraded.exit_codes, control.exit_codes);
+  EXPECT_GT(upgraded.stats.delivered, 3u) << "the upgrade fired mid-stream";
+  EXPECT_EQ(upgraded.stats.filter_aborts, 0u);
+}
+
+// Upgrade to *different* semantics, twice, in drained phases so each wave's
+// verdict is attributable to exactly one filter version. The second upgrade
+// lands v3 at v1's reclaimed kext region — the regression pin: a stale
+// decoded block, trace, or D-TLB entry from the v1 image at that linear base
+// would classify wave C with v1's (or garbage) semantics.
+TEST(DataplaneUpgrade, UpgradeChangesVerdictsAndReusedRegionRunsNewCode) {
+  DataplaneFixture fx;
+  std::string diag;
+  Pid w = fx.SpawnEchoWorker(&diag);
+  ASSERT_NE(w, 0u) << diag;
+  ASSERT_TRUE(fx.dataplane.AddFlow("f", "ip.proto == 6 && tcp.dport == 7777", {w}, &diag))
+      << diag;
+  const u32 v1_base = fx.kext.extension(fx.dataplane.flows()[0].ext_id)->linear_base;
+
+  auto inject_wave = [&]() {
+    for (u16 port : {7777, 8888, 9999}) {
+      PacketSpec spec;
+      spec.proto = kIpProtoTcp;
+      spec.dst_port = port;
+      auto frame = BuildPacket(spec);
+      for (u32 i = 0; i < 4; ++i) {
+        fx.nic.Inject(frame.data(), static_cast<u32>(frame.size()), 0);
+      }
+    }
+  };
+  u32 v3_base = 0;
+  u32 phase = 0;
+  fx.sched.set_idle_hook([&]() {
+    ++phase;
+    std::string d2;
+    if (phase == 1) {  // wave A fully classified by v1
+      EXPECT_TRUE(fx.dataplane.UpgradeFlow("f", "ip.proto == 6 && tcp.dport == 8888", &d2))
+          << d2;
+      inject_wave();
+      return true;
+    }
+    if (phase == 2) {  // wave B fully classified by v2
+      EXPECT_TRUE(fx.dataplane.UpgradeFlow("f", "ip.proto == 6 && tcp.dport == 9999", &d2))
+          << d2;
+      v3_base = fx.kext.extension(fx.dataplane.flows()[0].ext_id)->linear_base;
+      inject_wave();
+      return true;
+    }
+    if (phase == 3) {
+      fx.dataplane.Shutdown();
+      return true;
+    }
+    return false;
+  });
+
+  inject_wave();  // wave A
+  auto result = fx.sched.RunAll(4'000'000'000ull);
+  EXPECT_EQ(result.exited, 1u);
+  EXPECT_FALSE(result.deadlocked);
+
+  // v1 was unloaded when v2 arrived, so v3's first-fit allocation reclaims
+  // v1's region: the new code runs at the very addresses the machine spent
+  // wave A executing v1 from.
+  EXPECT_EQ(v3_base, v1_base) << "expected the upgrade to reuse the freed kext region";
+
+  const auto& stats = fx.dataplane.stats();
+  EXPECT_EQ(stats.flow_upgrades, 2u);
+  EXPECT_EQ(stats.rx_frames, 36u);
+  EXPECT_EQ(stats.matched, 12u) << "each wave matched exactly its version's port";
+  EXPECT_EQ(stats.delivered, 12u);
+  EXPECT_EQ(stats.dropped_no_match, 24u);
+  EXPECT_EQ(stats.dropped_queue_full, 0u);
+  EXPECT_EQ(stats.filter_aborts, 0u);
+  EXPECT_EQ(static_cast<u32>(fx.f.kernel().process(w)->exit_code), 12u);
+}
+
 }  // namespace
 }  // namespace palladium

@@ -104,6 +104,80 @@ TEST_F(DlTest, GotSlotsHoldResolvedAddresses) {
   EXPECT_FALSE(*pte & kPteWrite);
 }
 
+TEST_F(DlTest, UnloadLibraryRemovesMappingAndSymbols) {
+  Register("liba", ".global f\nf:\n  mov $5, %eax\n  ret\n");
+  std::string diag;
+  auto base = dl_.LoadLibrary(pid_, "liba", false, &diag);
+  ASSERT_TRUE(base.has_value()) << diag;
+  Process* proc = kernel_.process(pid_);
+  u32 word = 0;
+  EXPECT_TRUE(kernel_.CopyFromUser(*proc, *base, &word, 4));
+  ASSERT_TRUE(dl_.UnloadLibrary(pid_, "liba", &diag)) << diag;
+  EXPECT_FALSE(dl_.Lookup(pid_, "f").has_value());
+  // The pages are genuinely gone, not just forgotten by the linker.
+  EXPECT_FALSE(kernel_.CopyFromUser(*proc, *base, &word, 4));
+  EXPECT_EQ(dl_.loads(), 1u);
+  EXPECT_EQ(dl_.unloads(), 1u);
+  // Double unload fails cleanly.
+  EXPECT_FALSE(dl_.UnloadLibrary(pid_, "liba", &diag));
+  // The freed range is never reused: a dangling pointer into the old
+  // library faults instead of silently hitting the next image.
+  Register("libb", ".global g\ng:\n  ret\n");
+  auto base2 = dl_.LoadLibrary(pid_, "libb", false, &diag);
+  ASSERT_TRUE(base2.has_value()) << diag;
+  EXPECT_GT(*base2, *base);
+}
+
+// Regression pin for the unload path under the engine matrix: a call into
+// an unloaded library must #PF — a stale decode-cache block, trace, or
+// (D-)TLB entry surviving Kernel::UnmapArea would instead execute the dead
+// image. Runs with the D-TLB fast path on and off; the CI matrix adds the
+// block/trace-engine and SMP axes on top.
+TEST(DlUnload, StaleCallAfterUnloadFaults) {
+  for (bool dtlb : {true, false}) {
+    Machine machine;
+    Kernel kernel(machine);
+    kernel.cpu().set_dtlb_enabled(dtlb);
+    DynamicLinker dl(kernel);
+    Pid pid = kernel.CreateProcess();
+    ASSERT_NE(pid, 0u);
+    AssembleError aerr;
+    auto obj = Assemble(".global f\nf:\n  mov $7, %eax\n  ret\n", &aerr);
+    ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+    dl.RegisterObject("liba", *obj);
+    std::string diag;
+    auto base = dl.LoadLibrary(pid, "liba", false, &diag);
+    ASSERT_TRUE(base.has_value()) << diag;
+    auto faddr = dl.Lookup(pid, "f");
+    ASSERT_TRUE(faddr.has_value());
+
+    kernel.RegisterSyscall(233, [&](Kernel& k, u32, u32, u32) {
+      std::string d2;
+      EXPECT_TRUE(dl.UnloadLibrary(pid, "liba", &d2)) << d2;
+      k.ReturnFromGate(0);
+    });
+
+    auto img = AssembleAndLink(AbiPrelude() + R"(
+  .extern f
+  .global main
+main:
+  call f                ; warm: decode cache + TLB + D-TLB entries
+  mov $233, %eax
+  int $INT_SYSCALL      ; the kernel unloads the library underneath us
+  call f                ; stale: must #PF, never run the dead image
+  mov $SYS_EXIT, %eax
+  mov $0, %ebx
+  int $INT_SYSCALL
+)",
+                               kUserTextBase, {{"f", *faddr}}, &diag);
+    ASSERT_TRUE(img.has_value()) << diag;
+    ASSERT_TRUE(kernel.LoadUserImage(pid, *img, "main", &diag)) << diag;
+    RunResult r = kernel.RunProcess(pid);
+    EXPECT_EQ(r.outcome, RunOutcome::kKilled) << "dtlb=" << dtlb;
+    EXPECT_NE(r.kill_reason.find("#PF"), std::string::npos) << r.kill_reason;
+  }
+}
+
 TEST_F(DlTest, GotUnresolvedSymbolFails) {
   Process* proc = kernel_.process(pid_);
   u32 got_page = 0x70000000;

@@ -459,5 +459,72 @@ bad:
   EXPECT_EQ(r.value, 1u);
 }
 
+// Regression: UnloadExtension used to erase its EFT entries, silently
+// shifting every later function id onto the wrong function — fatal for any
+// live caller holding ids (the dataplane's FlowInfo does exactly that).
+TEST_F(KextFixture, FunctionIdsSurviveEarlierUnload) {
+  u32 a = MustLoad("first", ".global fa\nfa:\n  mov $11, %eax\n  ret\n");
+  MustLoad("second", ".global fb\nfb:\n  mov $22, %eax\n  ret\n");
+  const u32 fa = Fn("first:fa");
+  const u32 fb = Fn("second:fb");
+  kext_.UnloadExtension(a);
+  // The surviving extension keeps its id and its binding.
+  EXPECT_EQ(Fn("second:fb"), fb);
+  auto r = kext_.Invoke(fb, 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 22u);
+  // The dead extension's id is a tombstone: refused, never rebound.
+  EXPECT_FALSE(kext_.FindFunction("first:fa").has_value());
+  auto dead = kext_.Invoke(fa, 0);
+  EXPECT_FALSE(dead.ok);
+  EXPECT_NE(dead.error.find("no such extension function"), std::string::npos);
+}
+
+// Regression: UnloadExtension used to leak every mapped page and frame of
+// the segment and never reclaim its slice of the kext region, so repeated
+// load/unload cycles exhausted physical memory (64 MB / 1 MB segments).
+TEST_F(KextFixture, RepeatedLoadUnloadReclaimsFramesAndRegion) {
+  const u32 free_before = kernel_.frames().free_frames();
+  u32 base0 = 0;
+  for (int i = 0; i < 80; ++i) {
+    const std::string name = "cycle" + std::to_string(i);
+    u32 id = MustLoad(name, ".global f\nf:\n  mov $7, %eax\n  ret\n");
+    const auto* st = kext_.extension(id);
+    ASSERT_NE(st, nullptr);
+    if (i == 0) {
+      base0 = st->linear_base;
+    } else {
+      // First-fit reuse of the freed region, not fresh address space.
+      EXPECT_EQ(st->linear_base, base0);
+    }
+    auto r = kext_.Invoke(Fn(name + ":f"), 0);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value, 7u);
+    kext_.UnloadExtension(id);
+    ASSERT_EQ(kernel_.frames().free_frames(), free_before) << "iteration " << i;
+  }
+  // The unmapped segment is genuinely gone from the kernel address space.
+  u32 tmp = 0;
+  EXPECT_FALSE(kernel_.ReadKernelVirt(base0, &tmp, 4));
+}
+
+// Regression: reloading at a reused linear base must run the *new* image —
+// a stale decode-cache or trace-tier entry from the unloaded extension would
+// execute v1 code under v2's name. UnmapKernelPage's EvictFrameEverywhere +
+// kernel-range shootdown pin this under every engine/D-TLB/SMP combination.
+TEST_F(KextFixture, ReloadAtReusedBaseRunsNewCode) {
+  u32 v1 = MustLoad("imgv1", ".global f1\nf1:\n  mov $1, %eax\n  ret\n");
+  const u32 base = kext_.extension(v1)->linear_base;
+  // Decode and run v1 (warm twice so the block engine caches it).
+  EXPECT_EQ(kext_.Invoke(Fn("imgv1:f1"), 0).value, 1u);
+  EXPECT_EQ(kext_.Invoke(Fn("imgv1:f1"), 0).value, 1u);
+  kext_.UnloadExtension(v1);
+  u32 v2 = MustLoad("imgv2", ".global f1\nf1:\n  mov $2, %eax\n  ret\n");
+  ASSERT_EQ(kext_.extension(v2)->linear_base, base);
+  auto r = kext_.Invoke(Fn("imgv2:f1"), 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 2u);
+}
+
 }  // namespace
 }  // namespace palladium

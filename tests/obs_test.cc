@@ -13,9 +13,15 @@
 #include <string>
 #include <vector>
 
+#include "src/asm/assembler.h"
+#include "src/bpf/bpf.h"
+#include "src/core/kernel_ext.h"
+#include "src/dl/dynamic_linker.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
+#include "src/rpc/rpc.h"
+#include "src/sfi/sfi.h"
 #include "src/web/server_sim.h"
 
 namespace palladium {
@@ -217,7 +223,7 @@ TEST(MetricsRegistry, SnapshotCoversEverySubsystem) {
   for (const char* key :
        {"cpu0.cycles", "cpu1.tlb.misses", "sched.idle_cycles",
         "sched.cpu0.context_switches", "nic.rx_frames", "nic.q0.rx_frames",
-        "dataplane.delivered",
+        "dataplane.delivered", "dataplane.flow_upgrades",
         "kernel.smp.shootdown_ipis", "obs.profile.user", "obs.profile.total_cycles",
         "obs.trace.events", "obs.trace.dropped_events"}) {
     EXPECT_EQ(values.count(key), 1u) << "missing metric " << key;
@@ -225,6 +231,146 @@ TEST(MetricsRegistry, SnapshotCoversEverySubsystem) {
   const std::string json = run.metrics.SnapshotJson();
   EXPECT_NE(json.find("\"cpu0.cycles\""), std::string::npos);
   EXPECT_NE(json.find("\"obs.profile.user\""), std::string::npos);
+}
+
+// The protection-subsystem collectors added for the head-to-head bench:
+// each dormant subsystem (kext manager, SFI rewriter, BPF interpreter, RPC
+// channel, dynamic linker) federates into the same registry namespace.
+TEST(MetricsRegistry, ProtectionCollectorsCoverDormantSubsystems) {
+  obs::MetricsRegistry registry;
+
+  // Kext: one load, one invocation, one unload.
+  {
+    Machine machine;
+    Kernel kernel(machine);
+    KernelExtensionManager kext(kernel);
+    AssembleError aerr;
+    auto obj = Assemble(".global f\nf:\n  mov $7, %eax\n  ret\n", &aerr);
+    ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+    std::string diag;
+    auto ext = kext.LoadExtension("m", *obj, &diag);
+    ASSERT_TRUE(ext.has_value()) << diag;
+    auto fid = kext.FindFunction("m:f");
+    ASSERT_TRUE(fid.has_value());
+    ASSERT_TRUE(kext.Invoke(*fid, 0).ok);
+    kext.UnloadExtension(*ext);
+    registry.CollectKext(kext);
+  }
+  // SFI: stats from a real rewrite.
+  {
+    AssembleError aerr;
+    auto obj = Assemble("  st %eax, 0(%ebx)\n  ret\n", &aerr);
+    ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+    SfiOptions opt;
+    opt.sandbox_base = 0x00400000;
+    opt.sandbox_bits = 20;
+    SfiStats stats;
+    std::string diag;
+    ASSERT_TRUE(SfiRewrite(*obj, opt, &stats, &diag).has_value()) << diag;
+    registry.CollectSfi(stats);
+  }
+  // BPF: one packet through the host interpreter.
+  {
+    BpfProgram prog({{BpfOp::kRetK, 0, 0, 1}});
+    std::string diag;
+    ASSERT_TRUE(prog.Validate(&diag)) << diag;
+    const u8 pkt[4] = {0, 0, 0, 0};
+    BpfHostStats stats;
+    BpfInterpretHost(prog, pkt, 4, &stats);
+    registry.CollectBpf(stats);
+  }
+  // RPC: one request-reply transaction.
+  {
+    LocalRpcChannel rpc;
+    rpc.Bind("echo", [](const std::vector<u8>& req) { return req; });
+    ASSERT_TRUE(rpc.Call("echo", std::vector<u8>(32, 0xAB)).has_value());
+    registry.CollectRpc(rpc);
+  }
+  // DL: one load, one unload.
+  {
+    Machine machine;
+    Kernel kernel(machine);
+    DynamicLinker dl(kernel);
+    Pid pid = kernel.CreateProcess();
+    ASSERT_NE(pid, 0u);
+    AssembleError aerr;
+    auto obj = Assemble(".global g\ng:\n  ret\n", &aerr);
+    ASSERT_TRUE(obj.has_value()) << aerr.ToString();
+    dl.RegisterObject("libg", *obj);
+    std::string diag;
+    ASSERT_TRUE(dl.LoadLibrary(pid, "libg", false, &diag).has_value()) << diag;
+    ASSERT_TRUE(dl.UnloadLibrary(pid, "libg", &diag)) << diag;
+    registry.CollectDl(dl);
+  }
+
+  const auto& values = registry.values();
+  for (const char* key :
+       {"kext.loads", "kext.unloads", "kext.invocations", "kext.aborts",
+        "kext.invoke_cycles", "sfi.original_insns", "sfi.rewritten_insns",
+        "sfi.sandboxed_memory_ops", "sfi.sandboxed_indirect_jumps",
+        "sfi.expansion", "bpf.packets", "bpf.insns", "bpf.bad_accesses",
+        "rpc.calls", "rpc.bytes_marshalled", "rpc.cycles",
+        "rpc.context_switches_per_call", "rpc.domain_crossings_per_call",
+        "dl.loads", "dl.unloads"}) {
+    EXPECT_EQ(values.count(key), 1u) << "missing metric " << key;
+  }
+  EXPECT_EQ(values.at("kext.loads").u, 1u);
+  EXPECT_EQ(values.at("kext.unloads").u, 1u);
+  EXPECT_EQ(values.at("kext.invocations").u, 1u);
+  EXPECT_EQ(values.at("kext.aborts").u, 0u);
+  EXPECT_GT(values.at("kext.invoke_cycles").u, 0u);
+  EXPECT_EQ(values.at("sfi.sandboxed_memory_ops").u, 1u);
+  EXPECT_EQ(values.at("bpf.packets").u, 1u);
+  EXPECT_EQ(values.at("rpc.calls").u, 1u);
+  EXPECT_EQ(values.at("rpc.bytes_marshalled").u, 64u) << "32 B each direction";
+  EXPECT_EQ(values.at("dl.loads").u, 1u);
+  EXPECT_EQ(values.at("dl.unloads").u, 1u);
+}
+
+// Attaching the full telemetry stack must not move a single simulated cycle
+// of a protected kext invocation: same return value, same cycle charge.
+TEST(Observability, KextInvokeCycleIdenticalWithRecorderAttached) {
+  auto run = [](bool observed, u64* invoke_cycles) -> u32 {
+    Machine machine;
+    Kernel kernel(machine);
+    obs::FlightRecorder recorder;
+    obs::CycleProfile profiler;
+    if (observed) {
+      recorder.Reset(machine.num_cpus());
+      profiler.Reset(machine.num_cpus(), /*tlb_miss_penalty=*/0);
+      kernel.AttachObservability(&recorder, &profiler);
+    }
+    KernelExtensionManager kext(kernel);
+    AssembleError aerr;
+    auto obj = Assemble(R"(
+  .global f
+f:
+  push %ebp
+  mov %esp, %ebp
+  ld 8(%ebp), %eax
+  add $3, %eax
+  pop %ebp
+  ret
+)",
+                        &aerr);
+    EXPECT_TRUE(obj.has_value()) << aerr.ToString();
+    std::string diag;
+    auto ext = kext.LoadExtension("m", *obj, &diag);
+    EXPECT_TRUE(ext.has_value()) << diag;
+    auto fid = kext.FindFunction("m:f");
+    EXPECT_TRUE(fid.has_value());
+    auto r = kext.Invoke(*fid, 39);
+    EXPECT_TRUE(r.ok) << r.error;
+    *invoke_cycles = kext.invoke_cycles();
+    return r.value;
+  };
+  u64 bare_cycles = 0, observed_cycles = 0;
+  const u32 bare = run(false, &bare_cycles);
+  const u32 observed = run(true, &observed_cycles);
+  EXPECT_EQ(bare, 42u);
+  EXPECT_EQ(observed, bare);
+  EXPECT_GT(bare_cycles, 0u);
+  EXPECT_EQ(observed_cycles, bare_cycles) << "telemetry perturbed the protected crossing";
 }
 
 }  // namespace

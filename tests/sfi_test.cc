@@ -205,5 +205,109 @@ landing:
   EXPECT_EQ(bm.cpu().reg(Reg::kEsi), 1u) << "jump must land on the masked in-sandbox target";
 }
 
+TEST(SfiExecution, RewrittenHotLoopPromotesToTraceTier) {
+  // A hot sandboxed loop must survive promotion through the block and trace
+  // tiers: the masked address computation (lea/and/or) is exactly the kind
+  // of straight-line arithmetic the trace tier folds, and a divergence here
+  // means the fast tiers execute different semantics than the insn engine.
+  const std::string src = R"(
+  .global main
+main:
+  mov $buf, %ebx
+  mov $200, %ecx
+  mov $0, %esi
+loop:
+  st %ecx, 0(%ebx)
+  ld 0(%ebx), %eax
+  add %eax, %esi
+  dec %ecx
+  cmp $0, %ecx
+  jne loop
+  hlt
+  .data
+buf:
+  .long 0
+)";
+  ObjectFile obj = MustAssemble(src);
+  SfiStats stats;
+  std::string diag;
+  auto rewritten = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  ASSERT_TRUE(rewritten.has_value()) << diag;
+  ASSERT_GT(stats.sandboxed_memory_ops, 0u);
+
+  auto run = [&](bool blocks, bool trace, u64* promotions) -> u32 {
+    BareMachine bm;
+    bm.cpu().set_block_engine_enabled(blocks);
+    bm.cpu().set_trace_engine_enabled(trace);
+    LinkError lerr;
+    auto img = LinkImage(*rewritten, kSandboxBase, {}, &lerr);
+    EXPECT_TRUE(img.has_value()) << lerr.message;
+    EXPECT_TRUE(bm.LoadImage(*img));
+    bm.Start(*img->Lookup("main"), 0, kSandboxBase + 0x80000);
+    StopInfo stop = bm.Run(10'000'000);
+    EXPECT_EQ(stop.reason, StopReason::kHalted);
+    *promotions = bm.cpu().trace_stats().promotions;
+    return bm.cpu().reg(Reg::kEsi);
+  };
+  u64 oracle_promotions = 0, traced_promotions = 0;
+  const u32 oracle = run(false, false, &oracle_promotions);
+  const u32 traced = run(true, true, &traced_promotions);
+  EXPECT_EQ(oracle, 20100u);  // sum 1..200
+  EXPECT_EQ(traced, oracle) << "trace tier diverges on SFI-rewritten code";
+  EXPECT_EQ(oracle_promotions, 0u);
+  EXPECT_GT(traced_promotions, 0u) << "loop never promoted; test is vacuous";
+}
+
+// Regression pin: rewriting an image in place must kill the stale decoded
+// blocks of the old code. If the decode cache survived the overwrite, the
+// second run would re-execute the unsandboxed v1 store and clobber the
+// canary even though the bytes in memory are the confined v2.
+TEST(SfiExecution, InPlaceRewriteInvalidatesStaleDecodedCode) {
+  const u32 canary_addr = 0x00600000;  // outside [0x400000, 0x500000)
+  const std::string src = R"(
+  .global main
+main:
+  mov $0x00600000, %ebx
+  sti $0xDEAD, 0(%ebx)
+  hlt
+)";
+  ObjectFile obj = MustAssemble(src);
+  SfiStats stats;
+  std::string diag;
+  auto rewritten = SfiRewrite(obj, DefaultOptions(), &stats, &diag);
+  ASSERT_TRUE(rewritten.has_value()) << diag;
+
+  LinkError lerr;
+  auto v1 = LinkImage(obj, kSandboxBase, {}, &lerr);
+  ASSERT_TRUE(v1.has_value()) << lerr.message;
+  auto v2 = LinkImage(*rewritten, kSandboxBase, {}, &lerr);
+  ASSERT_TRUE(v2.has_value()) << lerr.message;
+
+  BareMachine bm;
+  ASSERT_TRUE(bm.pm().Write32(canary_addr, 0xCAFED00Du));
+  ASSERT_TRUE(bm.LoadImage(*v1));
+  bm.Start(*v1->Lookup("main"), 0, kSandboxBase + 0x80000);
+  StopInfo stop = bm.Run(1'000'000);
+  ASSERT_EQ(stop.reason, StopReason::kHalted);
+  u32 canary = 0;
+  ASSERT_TRUE(bm.pm().Read32(canary_addr, &canary));
+  ASSERT_EQ(canary, 0xDEADu) << "unprotected v1 must reach the canary";
+
+  // In-place upgrade: the rewritten image lands on the very addresses the
+  // CPU just executed, through the same physical-write path loaders use.
+  ASSERT_TRUE(bm.pm().Write32(canary_addr, 0xCAFED00Du));
+  ASSERT_TRUE(bm.pm().WriteBlock(v2->base, v2->bytes.data(),
+                                 static_cast<u32>(v2->bytes.size())));
+  bm.Start(*v2->Lookup("main"), 0, kSandboxBase + 0x80000);
+  stop = bm.Run(1'000'000);
+  EXPECT_EQ(stop.reason, StopReason::kHalted);
+  ASSERT_TRUE(bm.pm().Read32(canary_addr, &canary));
+  EXPECT_EQ(canary, 0xCAFED00Du) << "stale decoded v1 code ran after the rewrite";
+  u32 redirected = 0;
+  ASSERT_TRUE(bm.pm().Read32(
+      kSandboxBase | (canary_addr & ((1u << kSandboxBits) - 1)), &redirected));
+  EXPECT_EQ(redirected, 0xDEADu) << "v2 must have run, confined";
+}
+
 }  // namespace
 }  // namespace palladium

@@ -28,6 +28,14 @@ simulated packet/request rate against the committed baseline with
 the rate is simulated cycles per packet, so it is machine-independent and
 the tolerance only absorbs scheduling nondeterminism — and requires
 "queue_full_drops" to be no worse than the baseline's.
+
+BenchJson protection output (a "metrics" object carrying
+"palladium_cycles_per_invocation"): the gate checks the protection
+overhead *ratio* — Palladium cycles/invocation over unprotected
+cycles/invocation, both simulated and machine-independent — against the
+committed baseline with `tolerance` slack (default 0.10, env
+PALLADIUM_BENCH_PROT_TOLERANCE), and requires the live-upgrade scenario
+to have dropped zero frames ("upgrade_dropped_frames" == 0).
 """
 import json
 import os
@@ -82,12 +90,7 @@ def check_dataplane(baseline_data, fresh_data, argv_tolerance):
     # baseline are new telemetry (e.g. the federated "obs." registry
     # counters), not regressions: report them so the baseline refresh is a
     # conscious step, and gate only on the keys both sides carry.
-    fresh_only = sorted(set(fresh_m) - set(base_m))
-    if fresh_only:
-        preview = ", ".join(fresh_only[:5])
-        more = f", ... ({len(fresh_only)} total)" if len(fresh_only) > 5 else ""
-        print(f"note: {name}: {len(fresh_only)} fresh metrics have no committed "
-              f"baseline yet (not gated): {preview}{more}")
+    report_fresh_only(name, base_m, fresh_m)
 
     base_drops = base_m.get("queue_full_drops")
     fresh_drops = fresh_m.get("queue_full_drops")
@@ -102,6 +105,64 @@ def check_dataplane(baseline_data, fresh_data, argv_tolerance):
         else:
             print(f"{name} queue_full_drops: baseline {float(base_drops):.0f} "
                   f"-> fresh {float(fresh_drops):.0f} ok")
+    return 1 if failed else 0
+
+
+def report_fresh_only(name, base_m, fresh_m):
+    fresh_only = sorted(set(fresh_m) - set(base_m))
+    if fresh_only:
+        preview = ", ".join(fresh_only[:5])
+        more = f", ... ({len(fresh_only)} total)" if len(fresh_only) > 5 else ""
+        print(f"note: {name}: {len(fresh_only)} fresh metrics have no committed "
+              f"baseline yet (not gated): {preview}{more}")
+
+
+def check_protection(baseline_data, fresh_data, argv_tolerance):
+    tolerance = float(
+        argv_tolerance if argv_tolerance is not None
+        else os.environ.get("PALLADIUM_BENCH_PROT_TOLERANCE", "0.10"))
+    base_m = baseline_data["metrics"]
+    fresh_m = fresh_data["metrics"]
+    name = baseline_data.get("bench", "protection")
+    failed = False
+
+    def overhead_ratio(m, where):
+        pd = m.get("palladium_cycles_per_invocation")
+        un = m.get("unprotected_cycles_per_invocation")
+        if pd is None or un is None or not float(un):
+            print(f"FAIL: {name}: {where} is missing palladium/unprotected "
+                  f"cycles_per_invocation")
+            return None
+        return float(pd) / float(un)
+
+    base_ratio = overhead_ratio(base_m, "baseline")
+    fresh_ratio = overhead_ratio(fresh_m, "fresh run")
+    if base_ratio is None or fresh_ratio is None:
+        failed = True
+    else:
+        line = (f"{name} palladium/unprotected cycles ratio: baseline "
+                f"{base_ratio:.2f}x -> fresh {fresh_ratio:.2f}x")
+        if fresh_ratio <= base_ratio * (1.0 + tolerance):
+            print(f"{line} ok")
+        else:
+            print(f"{line} FAIL (protected crossing got more than "
+                  f"{tolerance:.0%} more expensive relative to the "
+                  f"unprotected run — both are simulated cycles, so this is "
+                  f"a real protection regression)")
+            failed = True
+
+    drops = fresh_m.get("upgrade_dropped_frames")
+    if drops is None:
+        print(f"FAIL: {name}: fresh run is missing upgrade_dropped_frames")
+        failed = True
+    elif float(drops) != 0:
+        print(f"{name} upgrade_dropped_frames: {float(drops):.0f} FAIL "
+              f"(the live filter upgrade must not lose frames)")
+        failed = True
+    else:
+        print(f"{name} upgrade_dropped_frames: 0 ok")
+
+    report_fresh_only(name, base_m, fresh_m)
     return 1 if failed else 0
 
 
@@ -157,8 +218,10 @@ def main():
                   f"bench JSON formats (one has a 'metrics' object, the "
                   f"other does not)")
             return 1
-        return check_dataplane(baseline_data, fresh_data,
-                               sys.argv[3] if len(sys.argv) > 3 else None)
+        argv_tol = sys.argv[3] if len(sys.argv) > 3 else None
+        if "palladium_cycles_per_invocation" in baseline_data["metrics"]:
+            return check_protection(baseline_data, fresh_data, argv_tol)
+        return check_dataplane(baseline_data, fresh_data, argv_tol)
     tolerance = float(
         sys.argv[3] if len(sys.argv) > 3
         else os.environ.get("PALLADIUM_BENCH_MIPS_TOLERANCE", "0.20"))
