@@ -23,10 +23,12 @@
 // The absolute-pps gate reads PALLADIUM_BENCH_MIN_PPS (default 10000)
 // so loaded CI runners can relax it without patching the binary; the JSON
 // carries the threshold and the margin either way.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -123,6 +125,11 @@ struct DataplaneRun {
   u64 shootdown_ipis = 0;
   u64 backlog_dropped = 0;
   u32 workers_exited = 0;
+  // Host wall-clock spent inside the scheduler run — how fast the simulator
+  // itself chewed through the workload, as opposed to every other field,
+  // which is in simulated cycles. Report-only: host time is machine
+  // dependent, so the regression gate never compares it across runners.
+  double host_wall_seconds = 0;
 };
 
 // `oracle` selects the PR 3 pipeline: single queue, an IRQ per DMA'd frame,
@@ -219,7 +226,9 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32
     return true;
   });
 
+  const auto host_start = std::chrono::steady_clock::now();
   auto result = sched.RunAll(20'000'000'000ull);
+  const auto host_end = std::chrono::steady_clock::now();
   nic.FlushTx();  // retire DMA still in flight when the last worker exited
 
   DataplaneRun out;
@@ -255,6 +264,8 @@ DataplaneRun RunInterruptDriven(u32 packets, u32 workers, u64 inter_arrival, u32
   out.shootdown_ipis = kernel.smp_stats().shootdown_ipis;
   out.backlog_dropped = dataplane.stats().dropped_backlog_full;
   out.workers_exited = result.exited;
+  out.host_wall_seconds =
+      std::chrono::duration<double>(host_end - host_start).count();
   if (telemetry.metrics != nullptr) {
     telemetry.metrics->CollectMachine(kernel, &sched);
     telemetry.metrics->CollectNic(nic);
@@ -505,6 +516,9 @@ int main(int argc, char** argv) {
     std::printf("%-44s %14llu\n", "1-vCPU queue drops",
                 static_cast<unsigned long long>(uni.queue_dropped));
     std::printf("%-44s %14.2f\n", "SMP scaling (wire pps vs 1 vCPU)", scaling);
+    std::printf("%-44s %14.3f\n", "host wall seconds (N-vCPU run)", run.host_wall_seconds);
+    std::printf("%-44s %14.0f\n", "host packets/sec (wall clock)",
+                run.host_wall_seconds > 0 ? run.served / run.host_wall_seconds : 0.0);
   }
   if (profile) {
     std::printf("\n");
@@ -554,6 +568,14 @@ int main(int argc, char** argv) {
     json.Set("smp_scaling", scaling);
     json.Set("work_steals", run.steals);
     json.Set("shootdown_ipis", run.shootdown_ipis);
+    // Host-side throughput of the simulator itself, report-only (host time
+    // is runner dependent; check_bench_regression.py gates only on keys the
+    // committed baseline carries, and these are deliberately absent there).
+    json.Set("host_wall_seconds", run.host_wall_seconds);
+    json.Set("host_packets_per_sec",
+             run.host_wall_seconds > 0 ? run.served / run.host_wall_seconds : 0.0);
+    json.Set("host_uni_wall_seconds", uni.host_wall_seconds);
+    json.Set("host_cpus", static_cast<u64>(std::thread::hardware_concurrency()));
   }
   EmitMetrics(metrics, &json);
   const std::string path = json.Write();

@@ -18,10 +18,20 @@
 // {trace,block,insn,oracle}` restricts the run to a single engine.
 // Architectural results are identical across engines — only the wall-clock
 // rate moves.
+// The SMP rows (`BM_Smp{Alu,Mem}_nN_{interleaved,threaded}`) measure the
+// same per-vCPU workloads on an N-vCPU machine under the deterministic
+// min-cycle interleaver vs the host-parallel threaded mode (one host thread
+// per vCPU, epoch barriers — src/hw/smp.h), as paired in-binary rows:
+// `sim_mips` is the *aggregate* simulated instruction rate over all vCPUs,
+// so threaded/interleaved on the same JSON is the host-parallel speedup.
+// `host_cpus` records how many host cores the runner had (the threaded rows
+// are meaningless to compare across machines without it).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -29,6 +39,7 @@
 #include "src/bpf/bpf.h"
 #include "src/filter/filter.h"
 #include "src/hw/bare_machine.h"
+#include "src/hw/smp.h"
 #include "src/net/packet.h"
 
 namespace palladium {
@@ -145,6 +156,115 @@ void RunThroughput(benchmark::State& state, const char* workload, Engine engine)
   }
 }
 
+// Per-vCPU variants of the workloads above: identical instruction mix, but
+// every vCPU gets a private data window (so the workload is data-race-free,
+// the regime threaded mode guarantees equivalence for) and its own code and
+// stack placement.
+std::string SmpAluWorkload(u32 c, u32 iterations) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, R"(
+  .global main
+main:
+  mov $%u, %%ecx
+loop:
+  add $3, %%eax
+  xor $5, %%eax
+  ld 0x%x, %%ebx
+  dec %%ecx
+  cmp $0, %%ecx
+  jne loop
+  hlt
+)",
+                iterations, 0x200000 + c * 0x2000);
+  return buf;
+}
+
+std::string SmpMemWorkload(u32 c, u32 iterations) {
+  // Private per-vCPU window well above the code images (which sit at
+  // 0x10000 + c * 0x8000, i.e. up to 0x28000+): a window below 0x28000
+  // would let CPU 0's stores clobber CPU 2's instruction bytes, making the
+  // workload racy instead of DRF. Vpns 512+ also map to TLB sets 0..7,
+  // clear of the code pages' sets.
+  const u32 base = 0x200000 + c * 0x2000;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, R"(
+  .global main
+main:
+  mov $%u, %%ecx
+  mov $0x%x, %%ebx
+  mov $0x%x, %%esi
+loop:
+  st %%eax, 0(%%ebx)
+  ld 0(%%ebx), %%eax
+  st %%eax, 8(%%esi)
+  ld 8(%%esi), %%edx
+  push %%eax
+  push %%edx
+  st16 %%edx, 16(%%ebx)
+  ld16 16(%%ebx), %%eax
+  st8 %%eax, 24(%%esi)
+  ld8 24(%%esi), %%edx
+  pop %%edx
+  pop %%eax
+  dec %%ecx
+  cmp $0, %%ecx
+  jne loop
+  hlt
+)",
+                iterations, base, base + 0x1000);
+  return buf;
+}
+
+// Aggregate N-vCPU throughput under either SMP harness. Long loops amortize
+// the per-iteration thread spawn/join of the threaded harness over a few
+// hundred epochs of real execution.
+void RunSmpThroughput(benchmark::State& state, bool mem_workload, u32 n, bool threaded) {
+  constexpr u32 kIterations = 50'000;
+  BareMachineConfig cfg;
+  cfg.num_cpus = n;
+  BareMachine bm(cfg);
+  Machine& m = bm.machine();
+  std::vector<u32> entries(n);
+  for (u32 c = 0; c < n; ++c) {
+    ConfigureEngine(m.cpu(c), Engine::kTrace);  // the default configuration
+    const std::string src =
+        mem_workload ? SmpMemWorkload(c, kIterations) : SmpAluWorkload(c, kIterations);
+    std::string diag;
+    auto img = bm.LoadProgram(src, 0x10000 + c * 0x8000, &diag);
+    if (!img) {
+      state.SkipWithError(diag.c_str());
+      return;
+    }
+    entries[c] = *img->Lookup("main");
+  }
+  const auto park_on_stop = [](u32, const StopInfo&) { return false; };
+  u64 insns = 0;
+  for (auto _ : state) {
+    u64 before = 0;
+    for (u32 c = 0; c < n; ++c) {
+      bm.StartCpu(c, entries[c], 0, 0x80000 - c * 0x4000);
+      m.cpu(c).set_cycles(0);  // the harness limit is on cumulative cycles
+      before += m.cpu(c).instructions_retired();
+    }
+    if (threaded) {
+      ThreadedSmp ts(m);
+      ts.Run(~0ull, park_on_stop);
+    } else {
+      SmpInterleaver il(m);
+      il.Run(~0ull, park_on_stop);
+    }
+    u64 after = 0;
+    for (u32 c = 0; c < n; ++c) after += m.cpu(c).instructions_retired();
+    insns += after - before;
+  }
+  state.counters["sim_insns_per_sec"] =
+      benchmark::Counter(static_cast<double>(insns), benchmark::Counter::kIsRate);
+  state.counters["sim_mips"] = benchmark::Counter(
+      static_cast<double>(insns) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["host_cpus"] =
+      benchmark::Counter(static_cast<double>(std::thread::hardware_concurrency()));
+}
+
 void BM_AssembleFilter(benchmark::State& state) {
   std::string err;
   auto expr = ParseFilter(
@@ -205,6 +325,31 @@ void RegisterSimBenches(const std::string& engine_filter) {
         [engine = spec.engine](benchmark::State& st) {
           RunThroughput(st, kMemWorkload, engine);
         });
+  }
+  // SMP rows only in unfiltered runs (the CI invocation), so every JSON that
+  // carries a `_threaded` row also carries its `_interleaved` pair — the
+  // regression gate normalizes with the in-binary ratio.
+  if (!engine_filter.empty()) return;
+  for (u32 n : {1u, 2u, 4u}) {
+    for (bool threaded : {false, true}) {
+      const std::string mode = threaded ? "threaded" : "interleaved";
+      // UseRealTime: the default CPU-time clock only counts the main
+      // thread, which would credit the threaded harness with work its
+      // worker threads did. Wall time is the honest denominator for an
+      // aggregate-throughput claim on both harnesses.
+      benchmark::RegisterBenchmark(
+          ("BM_SmpAlu_n" + std::to_string(n) + "_" + mode).c_str(),
+          [n, threaded](benchmark::State& st) {
+            RunSmpThroughput(st, /*mem_workload=*/false, n, threaded);
+          })
+          ->UseRealTime();
+      benchmark::RegisterBenchmark(
+          ("BM_SmpMem_n" + std::to_string(n) + "_" + mode).c_str(),
+          [n, threaded](benchmark::State& st) {
+            RunSmpThroughput(st, /*mem_workload=*/true, n, threaded);
+          })
+          ->UseRealTime();
+    }
   }
 }
 

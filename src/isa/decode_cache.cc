@@ -59,7 +59,7 @@ DecodeCache::Page* DecodeCache::GetOrBuild(const PhysicalMemory& pm, u32 frame) 
     }
     pages_.clear();
     std::fill(has_code_.begin(), has_code_.end(), 0);
-    ++generation_;
+    generation_.fetch_add(1, std::memory_order_release);
   }
 
   assert(costs_ != nullptr && "DecodeCache::set_cost_table must be called first");
@@ -140,7 +140,7 @@ void DecodeCache::Retire(u32 pfn) {
   retired_.push_back(std::move(it->second));
   pages_.erase(it);
   has_code_[pfn] = 0;
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_release);
   ++stats_.write_invalidations;
 }
 
@@ -154,7 +154,7 @@ void DecodeCache::InvalidateAll() {
   for (auto& entry : pages_) retired_.push_back(std::move(entry.second));
   pages_.clear();
   std::fill(has_code_.begin(), has_code_.end(), 0);
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 }  // namespace palladium

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -203,6 +204,37 @@ class Kernel {
   // (exec, init_PL): flushes every CPU running `cr3`.
   void FlushAddressSpace(u32 cr3);
 
+  // --- Epoch-staged cross-CPU work (threaded SMP mode) ----------------------
+  // With staging on, the *remote* side of every cross-CPU operation —
+  // sibling TLB shootdowns/flushes, IPIs, sibling decode-cache frame
+  // evictions, cross-queue scheduler wakeups — is queued per target instead
+  // of applied synchronously. The threaded harness drains each target's
+  // queue (DrainRemoteOps) in the quiesced epoch-barrier window, so remote
+  // effects land no later than the next barrier, which is the delivery
+  // contract ThreadedSmp promises. Local effects (the initiator's own
+  // INVLPG/flush/evict) stay synchronous either way. Staging is off by
+  // default: the interleaver's synchronous protocol remains the oracle and
+  // the default semantics.
+  //
+  // Staging may be requested from any thread (StageRemoteWork-style
+  // channels); draining and the initiator-side recorder events assume the
+  // caller is in a quiesced/serial context with current_cpu meaningful.
+  struct RemoteOp {
+    enum class Kind : u8 { kFlushPage, kFlushAll, kIpi, kEvictFrame, kWake };
+    Kind kind;
+    u32 arg = 0;    // kFlushPage: linear; kEvictFrame: frame; kWake: pid
+    u32 irq = 0;    // kIpi: IRQ line on the target's local PIC
+    u64 stamp = 0;  // kWake: the waker's cycle stamp (causality)
+  };
+  void set_stage_remote_ops(bool on) { stage_remote_ops_ = on; }
+  bool stage_remote_ops() const { return stage_remote_ops_; }
+  // Applies the target's queued ops in FIFO order as-if executing on the
+  // target core (temporarily switches current_cpu and disables staging so
+  // the synchronous appliers run). Returns the number of ops applied.
+  u32 DrainRemoteOps(u32 target_cpu);
+  u32 staged_remote_ops(u32 target_cpu) const;
+  void StageRemoteOp(u32 target_cpu, const RemoteOp& op);
+
   // Handler for a device IRQ (NIC, ...), run host-side after the interrupted
   // context has been restored. The timer IRQ is the kernel's own.
   using IrqHandler = std::function<void(Kernel&)>;
@@ -361,6 +393,9 @@ class Kernel {
   Scheduler* sched_ = nullptr;
   bool preempt_pending_ = false;
   SmpStats smp_stats_;
+  bool stage_remote_ops_ = false;
+  mutable std::mutex remote_ops_mu_;           // staging can come off-thread
+  std::vector<std::vector<RemoteOp>> staged_remote_;  // one FIFO per vCPU
   obs::FlightRecorder* recorder_ = nullptr;
   obs::CycleProfile* profiler_ = nullptr;
 

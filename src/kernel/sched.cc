@@ -54,6 +54,18 @@ void Scheduler::OnWake(Pid pid) {
   if (proc != nullptr && proc->sched_queued) return;
   const u32 home =
       proc != nullptr && proc->home_cpu < cpus_.size() ? proc->home_cpu : 0;
+  const u32 cur_cpu = kernel_.machine().current_cpu_index();
+  if (kernel_.stage_remote_ops() && home != cur_cpu) {
+    // Threaded mode: a cross-CPU wakeup must not touch the sibling's ready
+    // queue mid-epoch. Stage it (with the waker's stamp, preserving
+    // causality); the barrier drain enqueues it and kicks the target with a
+    // resched IPI if it is busy — delivery no later than the next barrier.
+    if (proc != nullptr) proc->sched_queued = true;  // dedupe repeat wakes
+    kernel_.StageRemoteOp(
+        home, Kernel::RemoteOp{Kernel::RemoteOp::Kind::kWake, pid, 0,
+                               kernel_.cpu().cycles()});
+    return;
+  }
   // Stamp with the waking vCPU's clock: the wakee must not start in the past.
   Enqueue(home, pid, kernel_.cpu().cycles(), /*front=*/false);
   // Cross-CPU wakeup onto a busy core: kick it with a reschedule IPI so the
@@ -61,9 +73,18 @@ void Scheduler::OnWake(Pid pid) {
   // waiting out the running process's slice. The waker's own core needs no
   // kick (it re-evaluates on return), and an idle core is dispatched by the
   // RunAll loop directly.
-  const u32 cur = kernel_.machine().current_cpu_index();
-  if (home != cur && kernel_.current(home) != nullptr) {
+  if (home != cur_cpu && kernel_.current(home) != nullptr) {
     kernel_.SendIpi(home, kIrqIpiResched);
+  }
+}
+
+void Scheduler::ApplyStagedWake(u32 target_cpu, Pid pid, u64 stamp) {
+  // Barrier-drain half of the staged OnWake above: runs in the quiesced
+  // serial window with current_cpu == target (Kernel::DrainRemoteOps), so
+  // the direct enqueue and the busy-core resched kick are safe again.
+  Enqueue(target_cpu, pid, stamp, /*front=*/false);
+  if (kernel_.current(target_cpu) != nullptr) {
+    kernel_.SendIpi(target_cpu, kIrqIpiResched);
   }
 }
 

@@ -86,6 +86,9 @@ class Scheduler {
   // Kernel callbacks (run on the machine's current vCPU).
   bool OnTimerTick();    // true => preempt the current process
   void OnWake(Pid pid);  // a blocked process became runnable: queue it home
+  // Applies a wake OnWake staged for the epoch barrier (threaded SMP mode);
+  // called only from Kernel::DrainRemoteOps in the quiesced serial window.
+  void ApplyStagedWake(u32 target_cpu, Pid pid, u64 stamp);
   void OnYield() { yield_pending_ = true; }  // sys_yield: voluntary departure
 
   // Consulted when every process is blocked and no device has a scheduled

@@ -12,6 +12,7 @@
 #include "src/hw/timer.h"
 #include "src/obs/profile.h"
 #include "src/obs/trace.h"
+#include "tests/fuzz_util.h"
 
 namespace palladium {
 namespace {
@@ -19,13 +20,9 @@ namespace {
 constexpr u32 kCodeBase = 0x10000;
 constexpr u32 kStackTop = 0x80000;
 
-// Deterministic operand generator.
-u32 NextRand(u64* state) {
-  *state ^= *state >> 12;
-  *state ^= *state << 25;
-  *state ^= *state >> 27;
-  return static_cast<u32>((*state * 0x2545F4914F6CDD1Dull) >> 32);
-}
+// NextRand / FaultRecord / the fuzz-program builder live in
+// tests/fuzz_util.h, shared with the threaded-SMP differential
+// (tests/smp_threaded_test.cc).
 
 // Runs `op a, b` with a in EAX, b in EBX and returns EAX plus the flags.
 struct AluResult {
@@ -231,18 +228,6 @@ main:
 // instructions are skipped and recorded so hostile page setups yield long
 // fault streams instead of stopping at the first one.
 
-struct FaultRecord {
-  u32 eip;
-  FaultVector vector;
-  u32 error_code;
-  u32 linear;
-
-  bool operator==(const FaultRecord& o) const {
-    return eip == o.eip && vector == o.vector && error_code == o.error_code &&
-           linear == o.linear;
-  }
-};
-
 struct DiffRun {
   StopReason final_reason = StopReason::kHalted;
   std::vector<FaultRecord> faults;
@@ -262,193 +247,9 @@ constexpr u32 kFuzzMem = 8u << 20;
 // supervisor (PPL 0) page inside the data window.
 enum class FuzzMode : int { kPlainCpl0 = 0, kPlainCpl3, kHostileCpl3, kHostileCpl0, kCount };
 
-std::vector<Insn> BuildFuzzBody(u64* state, u32 body_base, u32 body_len) {
-  std::vector<Insn> body;
-  body.reserve(body_len);
-  // EAX/EBX/EDX/ESI/EDI/EBP are fair game; ECX is the loop counter and ESP
-  // the stack pointer (never a random destination, so iterations terminate).
-  const Reg scratch[] = {Reg::kEax, Reg::kEbx, Reg::kEdx, Reg::kEsi, Reg::kEdi, Reg::kEbp};
-  auto pick_reg = [&] { return static_cast<u8>(scratch[NextRand(state) % 6]); };
-  auto window_disp = [&] {
-    return static_cast<i32>(kFuzzDataBase + NextRand(state) % (kFuzzDataSpan - 8));
-  };
-  auto pick_size = [&] {
-    u32 r = NextRand(state) % 3;
-    return static_cast<u8>(r == 0 ? 1 : (r == 1 ? 2 : 4));
-  };
-  int depth = 0;
-  while (body.size() < body_len) {
-    const u32 remaining = body_len - static_cast<u32>(body.size());
-    // Reserve the tail for draining outstanding pushes (static balance; a
-    // forward branch may unbalance at runtime, which is fine — both runs
-    // see the identical drift).
-    if (remaining <= static_cast<u32>(depth)) {
-      Insn pop;
-      pop.opcode = Opcode::kPopR;
-      pop.r1 = pick_reg();
-      body.push_back(pop);
-      --depth;
-      continue;
-    }
-    Insn in;
-    switch (NextRand(state) % 16) {
-      case 0:
-        in.opcode = Opcode::kMovRI;
-        in.r1 = pick_reg();
-        in.imm = static_cast<i32>(NextRand(state));
-        break;
-      case 1:
-        in.opcode = Opcode::kMovRR;
-        in.r1 = pick_reg();
-        in.r2 = pick_reg();
-        break;
-      case 2:
-      case 3: {  // absolute load
-        in.opcode = Opcode::kLoad;
-        in.r1 = pick_reg();
-        in.r2 = kNoBaseReg;
-        in.size = pick_size();
-        in.disp = window_disp();
-        break;
-      }
-      case 4:
-      case 5: {  // absolute store
-        in.opcode = Opcode::kStore;
-        in.r1 = pick_reg();
-        in.r2 = kNoBaseReg;
-        in.size = pick_size();
-        in.disp = window_disp();
-        break;
-      }
-      case 6: {  // store immediate
-        in.opcode = Opcode::kStoreI;
-        in.r2 = kNoBaseReg;
-        in.size = pick_size();
-        in.imm = static_cast<i32>(NextRand(state));
-        in.disp = window_disp();
-        break;
-      }
-      case 7: {  // ALU r,r
-        const Opcode ops[] = {Opcode::kAddRR, Opcode::kSubRR, Opcode::kAndRR,
-                              Opcode::kOrRR,  Opcode::kXorRR, Opcode::kCmpRR};
-        in.opcode = ops[NextRand(state) % 6];
-        in.r1 = pick_reg();
-        in.r2 = pick_reg();
-        break;
-      }
-      case 8: {  // ALU r,imm
-        const Opcode ops[] = {Opcode::kAddRI, Opcode::kSubRI, Opcode::kAndRI,
-                              Opcode::kOrRI,  Opcode::kXorRI, Opcode::kCmpRI,
-                              Opcode::kTestRI};
-        in.opcode = ops[NextRand(state) % 7];
-        in.r1 = pick_reg();
-        in.imm = static_cast<i32>(NextRand(state));
-        break;
-      }
-      case 9: {
-        const Opcode ops[] = {Opcode::kShlRI, Opcode::kShrRI, Opcode::kSarRI};
-        in.opcode = ops[NextRand(state) % 3];
-        in.r1 = pick_reg();
-        in.imm = static_cast<i32>(NextRand(state) % 32);
-        break;
-      }
-      case 10: {
-        const Opcode ops[] = {Opcode::kIncR, Opcode::kDecR, Opcode::kNegR, Opcode::kNotR};
-        in.opcode = ops[NextRand(state) % 4];
-        in.r1 = pick_reg();
-        break;
-      }
-      case 11:  // push (bounded depth)
-        if (depth < 24) {
-          in.opcode = NextRand(state) % 2 ? Opcode::kPushR : Opcode::kPushI;
-          in.r1 = pick_reg();
-          in.imm = static_cast<i32>(NextRand(state));
-          ++depth;
-        } else {
-          in.opcode = Opcode::kPopR;
-          in.r1 = pick_reg();
-          --depth;
-        }
-        break;
-      case 12:  // reg-based memory op through a freshly anchored base
-        if (remaining >= static_cast<u32>(depth) + 2) {
-          Insn anchor;
-          anchor.opcode = Opcode::kMovRI;
-          anchor.r1 = static_cast<u8>(Reg::kEsi);
-          anchor.imm = window_disp();
-          body.push_back(anchor);
-          in.opcode = NextRand(state) % 2 ? Opcode::kLoad : Opcode::kStore;
-          in.r1 = pick_reg();
-          in.r2 = static_cast<u8>(Reg::kEsi);
-          in.size = pick_size();
-          in.disp = static_cast<i32>(NextRand(state) % 16) - 8;
-        } else {
-          in.opcode = Opcode::kNop;
-        }
-        break;
-      case 13: {  // conditional forward branch (targets stay inside the body,
-                  // before the drain tail, so the loop counter always runs)
-        const u32 lo = static_cast<u32>(body.size()) + 1;
-        const u32 hi = body_len - static_cast<u32>(depth);
-        if (hi <= lo) {
-          in.opcode = Opcode::kNop;
-          break;
-        }
-        const Opcode ops[] = {Opcode::kJe, Opcode::kJne, Opcode::kJb,  Opcode::kJae,
-                              Opcode::kJl, Opcode::kJge, Opcode::kJs,  Opcode::kJns};
-        in.opcode = ops[NextRand(state) % 8];
-        in.imm = static_cast<i32>(body_base + (lo + NextRand(state) % (hi - lo)) * kInsnSize);
-        break;
-      }
-      case 14:
-        in.opcode = Opcode::kLea;
-        in.r1 = pick_reg();
-        in.r2 = pick_reg();
-        in.scale = 0;
-        in.disp = static_cast<i32>(NextRand(state) % 256);
-        break;
-      default:
-        in.opcode = Opcode::kNop;
-        break;
-    }
-    body.push_back(in);
-  }
-  return body;
-}
-
 std::vector<u8> EncodeFuzzProgram(u64 seed, u32 iterations, u32 body_len) {
-  u64 state = seed * 0x9E3779B97F4A7C15ull + 1;
-  std::vector<Insn> program;
-  Insn init;
-  init.opcode = Opcode::kMovRI;
-  init.r1 = static_cast<u8>(Reg::kEcx);
-  init.imm = static_cast<i32>(iterations);
-  program.push_back(init);
-  const u32 body_base = kCodeBase + kInsnSize;  // after the counter init
-  std::vector<Insn> body = BuildFuzzBody(&state, body_base, body_len);
-  program.insert(program.end(), body.begin(), body.end());
-  Insn dec;
-  dec.opcode = Opcode::kDecR;
-  dec.r1 = static_cast<u8>(Reg::kEcx);
-  program.push_back(dec);
-  Insn cmp;
-  cmp.opcode = Opcode::kCmpRI;
-  cmp.r1 = static_cast<u8>(Reg::kEcx);
-  cmp.imm = 0;
-  program.push_back(cmp);
-  Insn jne;
-  jne.opcode = Opcode::kJne;
-  jne.imm = static_cast<i32>(body_base);
-  program.push_back(jne);
-  Insn hlt;
-  hlt.opcode = Opcode::kHlt;
-  program.push_back(hlt);
-
-  std::vector<u8> bytes(program.size() * kInsnSize);
-  for (size_t i = 0; i < program.size(); ++i) {
-    program[i].EncodeTo(bytes.data() + i * kInsnSize);
-  }
-  return bytes;
+  return EncodeLoopedFuzzProgram(seed, iterations, body_len, kCodeBase, kFuzzDataBase,
+                                 kFuzzDataSpan);
 }
 
 DiffRun RunDifferential(const std::vector<u8>& program, FuzzMode mode, bool dtlb) {
@@ -926,39 +727,11 @@ TEST(SmpDifferential, AllModesAgreePerVcpuUnderSharedMemoryAndShootdowns) {
       std::vector<std::vector<u8>> programs;
       for (u32 c = 0; c < n; ++c) {
         // Each vCPU gets its own random body, branch targets rebased to its
-        // code window.
-        u64 pseed = seed * 101 + c * 17 + 3;
-        u64 pstate = pseed * 0x9E3779B97F4A7C15ull + 1;
-        std::vector<Insn> program;
-        Insn init;
-        init.opcode = Opcode::kMovRI;
-        init.r1 = static_cast<u8>(Reg::kEcx);
-        init.imm = static_cast<i32>(kIterations);
-        program.push_back(init);
-        const u32 body_base = kCodeBase + c * kSmpCodeStride + kInsnSize;
-        std::vector<Insn> body = BuildFuzzBody(&pstate, body_base, kBodyLen);
-        program.insert(program.end(), body.begin(), body.end());
-        Insn dec;
-        dec.opcode = Opcode::kDecR;
-        dec.r1 = static_cast<u8>(Reg::kEcx);
-        program.push_back(dec);
-        Insn cmp;
-        cmp.opcode = Opcode::kCmpRI;
-        cmp.r1 = static_cast<u8>(Reg::kEcx);
-        cmp.imm = 0;
-        program.push_back(cmp);
-        Insn jne;
-        jne.opcode = Opcode::kJne;
-        jne.imm = static_cast<i32>(body_base);
-        program.push_back(jne);
-        Insn hlt;
-        hlt.opcode = Opcode::kHlt;
-        program.push_back(hlt);
-        std::vector<u8> bytes(program.size() * kInsnSize);
-        for (size_t i = 0; i < program.size(); ++i) {
-          program[i].EncodeTo(bytes.data() + i * kInsnSize);
-        }
-        programs.push_back(std::move(bytes));
+        // code window. (Shared builder: tests/fuzz_util.h.)
+        const u64 pseed = seed * 101 + c * 17 + 3;
+        programs.push_back(EncodeLoopedFuzzProgram(pseed, kIterations, kBodyLen,
+                                                   kCodeBase + c * kSmpCodeStride,
+                                                   kFuzzDataBase, kFuzzDataSpan));
       }
 
       struct ModeSpec {

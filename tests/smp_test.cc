@@ -8,6 +8,7 @@
 // flowing.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -580,6 +581,162 @@ main:
   EXPECT_EQ(k.process(hostile)->exit_code, static_cast<i32>(kErrFault));
   EXPECT_EQ(dataplane.stats().tx_frames, kTotal) << "CPU 0's traffic must not have stalled";
   EXPECT_EQ(static_cast<u64>(k.process(worker)->exit_code), static_cast<u64>(kTotal));
+}
+
+// --- Threaded SMP: staged cross-CPU delivery -----------------------------------
+
+// Mid-epoch staged TLB shootdown: work staged from one vCPU's thread while
+// the epoch is in flight must be applied to the sibling no later than the
+// next epoch barrier — the delivery contract ThreadedSmp promises.
+TEST(ThreadedSmp, MidEpochStagedShootdownLandsByNextBarrier) {
+  constexpr u32 kTarget = 0x301000;
+  BareMachineConfig cfg;
+  cfg.num_cpus = 2;
+  BareMachine bm(cfg);
+  Machine& m = bm.machine();
+
+  std::string diag;
+  // CPU 1: endless store loop on kTarget, priming its TLB entry every epoch.
+  auto img1 = bm.LoadProgram(R"(
+  .global main
+main:
+  mov $0x301000, %ebx
+  mov $0, %eax
+loop:
+  add $1, %eax
+  st %eax, 0(%ebx)
+  jmp loop
+)",
+                             0x40000, &diag);
+  ASSERT_TRUE(img1.has_value()) << diag;
+  bm.StartCpu(1, *img1->Lookup("main"), /*cpl=*/3, 0x80000);
+
+  // CPU 0: a short spin that halts mid-first-epoch — its stop handler runs
+  // on CPU 0's own host thread while CPU 1 is still executing its epoch.
+  auto img0 = bm.LoadProgram(R"(
+  .global main
+main:
+  mov $40, %ecx
+spin:
+  dec %ecx
+  cmp $0, %ecx
+  jne spin
+  hlt
+)",
+                             0x10000, &diag);
+  ASSERT_TRUE(img0.has_value()) << diag;
+  bm.StartCpu(0, *img0->Lookup("main"), /*cpl=*/0, 0x7C000);
+
+  ThreadedSmp ts(m, /*epoch_cycles=*/4096);
+  std::atomic<bool> staged{false};
+  std::atomic<bool> delivered{false};
+  std::atomic<bool> checked{false};
+  std::atomic<u64> count_at_stage{0};
+  ts.set_barrier_hook([&](u64) {
+    if (!staged.load() || checked.load()) return;
+    // First barrier after the mid-epoch stage. The drain precedes the hook
+    // in the serial window, so the flush must already have been applied:
+    // "delivered no later than the next barrier".
+    EXPECT_TRUE(delivered.load()) << "staged work not drained by the next barrier";
+    EXPECT_GT(m.cpu(1).tlb().change_count(), count_at_stage.load())
+        << "victim's invalidation counter must have advanced";
+    u32 frame = 0, flags = 0;
+    EXPECT_FALSE(m.cpu(1).tlb().Lookup(kTarget, &frame, &flags))
+        << "victim still holds the shot-down translation";
+    checked.store(true);
+  });
+  ts.Run(120'000, [&](u32 c, const StopInfo& stop) {
+    if (c == 0 && stop.reason == StopReason::kHalted && !staged.load()) {
+      // Mid-epoch, on CPU 0's thread: sibling TLB entries must NOT be
+      // touched from here — stage the invalidation instead. Polling the
+      // sibling's atomic change counter is the one sanctioned cross-thread
+      // read (src/hw/tlb.h).
+      count_at_stage.store(m.cpu(1).tlb().change_count());
+      ts.StageRemoteWork(1, [&](Cpu& target) {
+        u32 frame = 0, flags = 0;
+        EXPECT_TRUE(target.tlb().Lookup(kTarget, &frame, &flags))
+            << "victim TLB was never primed — the scenario is vacuous";
+        target.tlb().FlushPage(kTarget);
+        delivered.store(true);
+      });
+      staged.store(true);
+    }
+    return false;  // park on any stop (CPU 1 just runs out the cycle limit)
+  });
+  EXPECT_TRUE(staged.load()) << "CPU 0 never reached its halt";
+  EXPECT_TRUE(checked.load()) << "no barrier followed the staged work";
+}
+
+// Kernel-level staging (Kernel::set_stage_remote_ops): with staging on, the
+// remote half of a shootdown — sibling TLB flush and the shootdown IPI — is
+// queued per target instead of applied synchronously, and DrainRemoteOps
+// applies it as-if on the target core. Local effects stay synchronous.
+TEST(ThreadedSmp, KernelStagesRemoteShootdownAndIpiUntilDrain) {
+  KernelFixture f(/*num_cpus=*/2);
+  Kernel& k = f.kernel();
+  k.EnableTimerInterrupts();
+  Machine& m = f.machine();
+  m.set_current_cpu(0);
+
+  k.set_stage_remote_ops(true);
+  const u64 cc0 = m.cpu(0).tlb().change_count();
+  const u64 cc1 = m.cpu(1).tlb().change_count();
+  // Kernel-range page: every remote core can cache the translation.
+  k.ShootdownPage(m.cpu(0).cr3(), kKernelBase + 0x5000);
+
+  EXPECT_EQ(m.cpu(0).tlb().change_count(), cc0 + 1)
+      << "the initiator's own INVLPG stays synchronous";
+  EXPECT_EQ(m.cpu(1).tlb().change_count(), cc1)
+      << "the sibling must not be touched mid-epoch";
+  EXPECT_EQ(k.staged_remote_ops(1), 2u) << "flush + IPI staged for CPU 1";
+  EXPECT_EQ(k.pic(1).raised(kIrqIpiShootdown), 0u) << "IPI must not be latched yet";
+
+  // The quiesced barrier window drains the target's queue.
+  EXPECT_EQ(k.DrainRemoteOps(1), 2u);
+  EXPECT_EQ(m.cpu(1).tlb().change_count(), cc1 + 1);
+  EXPECT_GE(k.pic(1).raised(kIrqIpiShootdown), 1u) << "IPI latched on the target's PIC";
+  EXPECT_EQ(k.staged_remote_ops(1), 0u);
+  EXPECT_EQ(k.DrainRemoteOps(1), 0u) << "drain must be idempotent";
+}
+
+// Cross-queue scheduler wakeups stage the same way: OnWake from a foreign
+// vCPU queues a kWake op (deduping repeats) and the drain enqueues the
+// process on its home CPU, which then runs it normally.
+TEST(ThreadedSmp, StagedCrossCpuWakeEnqueuesOnDrain) {
+  KernelFixture f(/*num_cpus=*/2);
+  Kernel& k = f.kernel();
+  Scheduler::Config scfg;
+  scfg.work_stealing = false;  // keep the wakee on its home queue so the
+                               // "ran on CPU 1" assertion below is meaningful
+  Scheduler sched(k, scfg);
+  std::string diag;
+  Pid pid = f.LoadProgram(R"(
+  .global main
+main:
+  mov $SYS_EXIT, %eax
+  mov $7, %ebx
+  int $0x80
+)",
+                          &diag);
+  ASSERT_NE(pid, 0u) << diag;
+  Process* proc = k.process(pid);
+  ASSERT_NE(proc, nullptr);
+  proc->home_cpu = 1;
+
+  k.set_stage_remote_ops(true);
+  f.machine().set_current_cpu(0);
+  sched.OnWake(pid);  // cross-CPU wake from CPU 0 toward home CPU 1
+  EXPECT_EQ(k.staged_remote_ops(1), 1u);
+  EXPECT_TRUE(proc->sched_queued) << "staged wake must mark the process queued";
+  sched.OnWake(pid);  // repeat wakes dedupe against sched_queued
+  EXPECT_EQ(k.staged_remote_ops(1), 1u);
+
+  EXPECT_EQ(k.DrainRemoteOps(1), 1u);
+  k.set_stage_remote_ops(false);
+  auto result = sched.RunAll(50'000'000);
+  EXPECT_EQ(result.exited, 1u) << "the drained wake must have made the process runnable";
+  EXPECT_EQ(k.process(pid)->exit_code, 7);
+  EXPECT_GE(sched.cpu_stats(1).context_switches, 1u) << "it must have run on its home CPU";
 }
 
 }  // namespace

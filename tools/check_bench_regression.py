@@ -6,13 +6,15 @@ Usage: check_bench_regression.py BASELINE.json FRESH.json [tolerance]
 The JSON format is auto-detected by content:
 
 google-benchmark JSON (bench_simspeed output, a "benchmarks" list). For
-every gated throughput benchmark — block engine (name ending in `_block`)
-and hot-trace tier (name ending in `_trace`) — the gate checks:
+every gated throughput benchmark — block engine (name ending in `_block`),
+hot-trace tier (name ending in `_trace`), and host-parallel SMP (name
+ending in `_threaded`) — the gate checks:
 
  1. absolute sim-MIPS against the committed baseline, with `tolerance`
     slack (default 0.20 = 20%, env PALLADIUM_BENCH_MIPS_TOLERANCE);
  2. if the absolute check fails, the *paired in-binary ratio* from the same
-    JSON — block/insn for `_block` names, trace/block for `_trace` names —
+    JSON — block/insn for `_block` names, trace/block for `_trace` names,
+    threaded/interleaved for `_threaded` names —
     against the baseline's ratio. A runner that is uniformly slower than
     the machine that produced the baseline moves both engines together and
     keeps the ratio, so only a genuine engine regression (ratio collapse)
@@ -172,7 +174,10 @@ def sim_mips(path):
     plain = {}
     median = {}
     for bench in data.get("benchmarks", []):
-        name = bench.get("name", "")
+        # The SMP rows run with UseRealTime, which suffixes the name with
+        # "/real_time"; strip it so the `_threaded`/`_interleaved` suffix
+        # matching and baseline keys stay clock-agnostic.
+        name = bench.get("name", "").replace("/real_time", "")
         if "sim_mips" not in bench:
             continue
         if name.endswith("_median"):
@@ -184,8 +189,12 @@ def sim_mips(path):
     return plain
 
 
-# Gated suffix -> the in-binary reference engine its ratio is paired with.
-PAIRED_REFERENCE = {"_block": "_insn", "_trace": "_block"}
+# Gated suffix -> the in-binary reference its ratio is paired with. The SMP
+# rows gate the threaded harness against the interleaver on the same machine
+# and JSON: a runner with fewer/slower host cores moves both rows together,
+# so only a genuine loss of host-parallel speedup (ratio collapse) fails.
+PAIRED_REFERENCE = {"_block": "_insn", "_trace": "_block",
+                    "_threaded": "_interleaved"}
 
 
 def gated_suffix(name):
